@@ -1,0 +1,33 @@
+"""Benchmark helpers (pytest-benchmark harness).
+
+Each benchmark regenerates one of the paper's artifacts (see DESIGN.md's
+experiment index) and records the relevant *domain* metric — AST node
+counts, shadow-node counts, dynamic instruction counts, per-thread work —
+in ``benchmark.extra_info`` next to the wall-clock timing.  Absolute times
+are Python-interpreter times and not comparable to the paper's C++
+implementation; shapes and ratios are what EXPERIMENTS.md records.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from repro.pipeline import compile_source, run_source  # noqa: E402
+
+
+def make_loop_nest_source(depth: int, extent: int, pragma: str = "") -> str:
+    """A perfectly nested `depth`-deep loop nest summing its indices."""
+    lines = ["int main(void) {", "  long acc = 0;"]
+    if pragma:
+        lines.append(f"  {pragma}")
+    for d in range(depth):
+        lines.append(
+            f"  for (int i{d} = 0; i{d} < {extent}; i{d} += 1)"
+        )
+    body = " + ".join(f"i{d}" for d in range(depth))
+    lines.append(f"    acc += {body};")
+    lines.append('  printf("%d\\n", (int)acc);')
+    lines.append("  return 0;")
+    lines.append("}")
+    return "\n".join(lines)

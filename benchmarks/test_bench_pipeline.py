@@ -1,0 +1,104 @@
+"""E1 (paper Fig. 1): per-layer cost of the compilation pipeline.
+
+Regenerates the component-layer picture as a cost profile: how much each
+layer (Lexer, Preprocessor, Parser+Sema, CodeGen) contributes for a
+representative OpenMP translation unit.
+"""
+
+import pytest
+
+from repro.astlib.context import ASTContext
+from repro.codegen import CodeGenModule, CodeGenOptions
+from repro.diagnostics import DiagnosticsEngine
+from repro.lex import Lexer
+from repro.parse import Parser
+from repro.preprocessor import Preprocessor, PreprocessorOptions
+from repro.sema import Sema
+from repro.sourcemgr import FileManager, MemoryBuffer, SourceManager
+
+SOURCE = r"""
+#define N 256
+void body(int i, int j);
+void kernel(void) {
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < N; i += 1)
+    for (int j = 0; j < N; j += 1)
+      body(i, j);
+}
+void transform(void) {
+  #pragma omp tile sizes(8, 8)
+  for (int i = 0; i < N; i += 1)
+    for (int j = 0; j < N; j += 1)
+      body(i, j);
+}
+void unrolled(int M) {
+  #pragma omp unroll partial(4)
+  for (int k = 0; k < M; k += 1)
+    body(k, k);
+}
+""" * 4  # replicate for a non-trivial TU
+
+
+def relex(src=SOURCE):
+    sm = SourceManager()
+    fid = sm.create_main_file(MemoryBuffer("bench.c", src))
+    diags = DiagnosticsEngine(sm)
+    return Lexer(sm, fid, diags).lex_all()
+
+
+def preprocess(src=SOURCE):
+    sm = SourceManager()
+    fm = FileManager()
+    diags = DiagnosticsEngine(sm)
+    pp = Preprocessor(sm, fm, diags, PreprocessorOptions())
+    pp.enter_source(src, "bench.c")
+    return pp.lex_all(), sm, diags
+
+
+def parse_and_sema(tokens, sm, diags, irbuilder=False):
+    ctx = ASTContext()
+    sema = Sema(ctx, diags)
+    sema.openmp.use_irbuilder = irbuilder
+    parser = Parser(tokens, sema, diags)
+    tu = parser.parse_translation_unit()
+    return ctx, tu
+
+
+# NB: the replicated SOURCE redefines functions; compile each copy under
+# a fresh Sema instead for the full-pipeline benches.
+SINGLE = SOURCE[: len(SOURCE) // 4]
+
+
+class TestLayerCosts:
+    def test_bench_lexer_layer(self, benchmark):
+        tokens = benchmark(relex)
+        benchmark.extra_info["tokens"] = len(tokens)
+
+    def test_bench_preprocessor_layer(self, benchmark):
+        result = benchmark(preprocess)
+        benchmark.extra_info["tokens"] = len(result[0])
+
+    def test_bench_parser_sema_layer(self, benchmark):
+        def run():
+            tokens, sm, diags = preprocess(SINGLE)
+            return parse_and_sema(tokens, sm, diags)
+
+        ctx, tu = benchmark(run)
+        benchmark.extra_info["functions"] = len(list(tu.functions()))
+
+    def test_bench_codegen_layer(self, benchmark):
+        tokens, sm, diags = preprocess(SINGLE)
+        ctx, tu = parse_and_sema(tokens, sm, diags)
+
+        def run():
+            cgm = CodeGenModule(ctx, diags, CodeGenOptions())
+            return cgm.emit_translation_unit(tu)
+
+        module = benchmark(run)
+        benchmark.extra_info["ir_functions"] = len(module.functions)
+
+    def test_bench_full_pipeline(self, benchmark):
+        from repro.pipeline import compile_source
+
+        result = benchmark(lambda: compile_source(SINGLE))
+        benchmark.extra_info["ok"] = result.ok

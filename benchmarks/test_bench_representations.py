@@ -1,0 +1,120 @@
+"""E14 (paper §3): the two representations compared.
+
+* AST size: the shadow representation's hidden helper nodes vs the
+  canonical representation's 3 meta nodes (distance fn, user value fn,
+  user variable ref) — regenerating the paper's "reduced from the 36
+  shadow AST nodes" claim as measured numbers.
+* Sema + CodeGen time under each representation.
+"""
+
+import pytest
+
+from repro.astlib import omp
+from repro.astlib.visitor import count_nodes
+from repro.pipeline import compile_source
+
+WORKSHARE_SRC = r"""
+void body(int);
+void f(int N) {
+  #pragma omp parallel for
+  for (int i = 0; i < N; i += 1)
+    body(i);
+}
+"""
+
+TRANSFORM_SRC = r"""
+void body(int);
+void f(int N) {
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < N; i += 1)
+    body(i);
+}
+"""
+
+
+def first_directive(result):
+    return result.function("f").body.statements[0]
+
+
+class TestASTSize:
+    def test_bench_shadow_ast_size(self, benchmark):
+        def measure():
+            result = compile_source(
+                WORKSHARE_SRC, syntax_only=True, enable_irbuilder=False
+            )
+            directive = first_directive(result)
+            return (
+                directive.shadow_node_count(),
+                count_nodes(directive, include_shadow=True),
+            )
+
+        shadow_count, total = benchmark(measure)
+        benchmark.extra_info["helper_nodes"] = shadow_count
+        benchmark.extra_info["total_nodes_with_shadow"] = total
+        benchmark.extra_info["capacity_paper_claims"] = (
+            omp.OMPLoopDirective.shadow_capacity(1)
+        )
+        assert shadow_count >= 15
+
+    def test_bench_canonical_ast_size(self, benchmark):
+        def measure():
+            result = compile_source(
+                WORKSHARE_SRC, syntax_only=True, enable_irbuilder=True
+            )
+            directive = first_directive(result)
+            wrapper = directive.captured_stmt.body
+            while not isinstance(wrapper, omp.OMPCanonicalLoop):
+                wrapper = list(wrapper.children())[0]
+            return (
+                wrapper.meta_node_count(),
+                count_nodes(directive, include_shadow=True),
+            )
+
+        meta_count, total = benchmark(measure)
+        benchmark.extra_info["meta_nodes"] = meta_count
+        benchmark.extra_info["total_nodes"] = total
+        assert meta_count == 3
+
+    def test_paper_ratio_holds(self):
+        """The paper's headline: ~36 slots vs 3 meta nodes (12x)."""
+        shadow_capacity = omp.OMPLoopDirective.shadow_capacity(1)
+        assert shadow_capacity / 3 >= 10
+
+
+class TestCompileTime:
+    @pytest.mark.parametrize("irbuilder", [False, True])
+    def test_bench_sema_per_representation(self, benchmark, irbuilder):
+        benchmark.extra_info["representation"] = (
+            "irbuilder" if irbuilder else "shadow"
+        )
+        benchmark(
+            lambda: compile_source(
+                WORKSHARE_SRC,
+                syntax_only=True,
+                enable_irbuilder=irbuilder,
+            )
+        )
+
+    @pytest.mark.parametrize("irbuilder", [False, True])
+    def test_bench_full_compile_per_representation(
+        self, benchmark, irbuilder
+    ):
+        benchmark.extra_info["representation"] = (
+            "irbuilder" if irbuilder else "shadow"
+        )
+        benchmark(
+            lambda: compile_source(
+                WORKSHARE_SRC, enable_irbuilder=irbuilder
+            )
+        )
+
+    @pytest.mark.parametrize("irbuilder", [False, True])
+    def test_bench_transform_compile(self, benchmark, irbuilder):
+        benchmark.extra_info["representation"] = (
+            "irbuilder" if irbuilder else "shadow"
+        )
+        benchmark(
+            lambda: compile_source(
+                TRANSFORM_SRC, enable_irbuilder=irbuilder
+            )
+        )

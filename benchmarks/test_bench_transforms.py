@@ -1,0 +1,142 @@
+"""E5/E15/E9: cost of the transformation machinery itself.
+
+* shadow transform construction (Sema-side tile/unroll builders),
+* OpenMPIRBuilder skeleton creation + tile_loops/collapse_loops,
+* the AST dump of the transformed tree (paper listings).
+"""
+
+import pytest
+
+from repro.astlib import stmts as s
+from repro.astlib.dump import dump_ast
+from repro.core.shadow import build_tile_transform, build_unroll_transform
+from repro.ir import FunctionType, IRBuilder, Module, i64, void_t
+from repro.ompirbuilder import OpenMPIRBuilder
+from repro.pipeline import compile_source
+from repro.sema.canonical_loop import analyze_canonical_loop, collect_loop_nest
+
+
+def analyzed_nest(depth: int):
+    lines = ["void body(int);", "void f(void) {"]
+    for d in range(depth):
+        lines.append(
+            f"for (int i{d} = 0; i{d} < 64; i{d} += 1)"
+        )
+    lines.append("  body(i0);")
+    lines.append("}")
+    result = compile_source("\n".join(lines), syntax_only=True)
+    loop = result.function("f").body.statements[0]
+    analyses = collect_loop_nest(
+        result.ast_context, result.diagnostics, loop, depth, "tile"
+    )
+    return result.ast_context, analyses
+
+
+class TestShadowTransformConstruction:
+    def test_bench_unroll_transform_build(self, benchmark):
+        ctx, analyses = analyzed_nest(1)
+        result = benchmark(
+            lambda: build_unroll_transform(
+                ctx, analyses[0], 4, full=False
+            )
+        )
+        assert result.transformed_stmt is not None
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_bench_tile_transform_build(self, benchmark, depth):
+        ctx, analyses = analyzed_nest(depth)
+        sizes = [4] * depth
+        result = benchmark(
+            lambda: build_tile_transform(ctx, analyses, sizes)
+        )
+        assert result.num_generated_loops == 2 * depth
+        benchmark.extra_info["generated_loops"] = (
+            result.num_generated_loops
+        )
+
+    def test_bench_transformed_ast_dump(self, benchmark):
+        """Regenerating the paper's transformed-AST listing."""
+        ctx, analyses = analyzed_nest(1)
+        transform = build_unroll_transform(
+            ctx, analyses[0], 2, full=False
+        )
+        dump = benchmark(
+            lambda: dump_ast(transform.transformed_stmt)
+        )
+        assert "unrolled.iv.i0" in dump
+        assert "LoopHintAttr" in dump
+
+
+class TestOpenMPIRBuilderTransforms:
+    def fresh_loop(self):
+        mod = Module("bench")
+        fn = mod.add_function("f", FunctionType(void_t, [i64]))
+        sink = mod.add_function("sink", FunctionType(void_t, [i64]))
+        entry = fn.append_block("entry")
+        b = IRBuilder(mod)
+        b.set_insert_point(entry)
+        ompb = OpenMPIRBuilder(mod)
+        cli = ompb.create_canonical_loop(
+            b, fn.args[0], lambda bld, iv: bld.call(sink, [iv])
+        )
+        b.ret()
+        return mod, ompb, cli
+
+    def test_bench_create_canonical_loop(self, benchmark):
+        def build():
+            mod = Module("bench")
+            fn = mod.add_function("f", FunctionType(void_t, [i64]))
+            entry = fn.append_block("entry")
+            b = IRBuilder(mod)
+            b.set_insert_point(entry)
+            ompb = OpenMPIRBuilder(mod)
+            cli = ompb.create_canonical_loop(b, fn.args[0], None)
+            b.ret()
+            return cli
+
+        cli = benchmark(build)
+        cli.assert_ok()
+
+    def test_bench_tile_loops_ir(self, benchmark):
+        def build_and_tile():
+            mod, ompb, cli = self.fresh_loop()
+            b = IRBuilder(mod)
+            return ompb.tile_loops(b, [cli], [8])
+
+        result = benchmark(build_and_tile)
+        assert len(result) == 2
+
+    def test_bench_unroll_loop_partial_ir(self, benchmark):
+        def build_and_unroll():
+            mod, ompb, cli = self.fresh_loop()
+            b = IRBuilder(mod)
+            return ompb.unroll_loop_partial(b, cli, 4)
+
+        cli = benchmark(build_and_unroll)
+        cli.assert_ok()
+
+    def test_bench_collapse_loops_ir(self, benchmark):
+        def build_nest_and_collapse():
+            mod = Module("bench")
+            fn = mod.add_function("f", FunctionType(void_t, [i64]))
+            sink = mod.add_function("sink", FunctionType(void_t, [i64]))
+            entry = fn.append_block("entry")
+            b = IRBuilder(mod)
+            b.set_insert_point(entry)
+            ompb = OpenMPIRBuilder(mod)
+            outer = ompb.create_canonical_loop(
+                b, fn.args[0], None, "l0"
+            )
+            b.set_insert_point(outer.body, 0)
+            inner = ompb.create_canonical_loop(
+                b, fn.args[0], None, "l1"
+            )
+            b.set_insert_point(inner.body, 0)
+            b.call(sink, [inner.indvar])
+            b.set_insert_point(outer.after)
+            b.ret()
+            b2 = IRBuilder(mod)
+            return ompb.collapse_loops(b2, [outer, inner])
+
+        cli = benchmark(build_nest_and_collapse)
+        cli.assert_ok()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""Quickstart: compile and run an OpenMP 5.1 program with loop
+transformation directives under BOTH of the paper's representations.
+
+    python examples/quickstart.py
+
+Walks through the paper's workflow:
+1. `-ast-dump` of a `parallel for` (paper Listing 3),
+2. the composed `unroll full` / `unroll partial(2)` directives and their
+   shadow transformed AST (paper Listings 5/6),
+3. the `OMPCanonicalLoop` node of the OpenMPIRBuilder path (Listing 7),
+4. the emitted IR (including the Fig. 7 loop skeleton), and
+5. actual execution on the simulated OpenMP runtime.
+"""
+
+from repro import compile_source, run_source
+
+PROGRAM = r"""
+void note(int i, int tid);
+
+int main(void) {
+  int N = 12;
+  int out[12];
+
+  #pragma omp parallel for schedule(static) num_threads(4)
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < N; i += 1)
+    out[i] = omp_get_thread_num();
+
+  for (int i = 0; i < N; i += 1)
+    printf("iteration %2d ran on thread %d\n", i, out[i]);
+  return 0;
+}
+"""
+
+LISTING3 = r"""
+void body(int i);
+void f(void) {
+  #pragma omp parallel for schedule(static)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+"""
+
+LISTING5 = r"""
+void body(int i);
+void f(void) {
+  #pragma omp unroll full
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+"""
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    banner("1. clang-style -ast-dump of 'parallel for' (paper Listing 3)")
+    result = compile_source(LISTING3, syntax_only=True)
+    print(result.ast_dump(function="f"))
+
+    banner("2. composed unroll directives (paper Listing 5)")
+    result = compile_source(LISTING5, syntax_only=True)
+    print(result.ast_dump(function="f"))
+
+    banner("   ... and the hidden shadow transformed AST (Listing 6)")
+    directive = result.function("f").body.statements[0]
+    inner = directive.associated_stmt
+    from repro.astlib.dump import dump_ast
+
+    print(dump_ast(inner.get_transformed_stmt()))
+
+    banner("3. the OMPCanonicalLoop representation (paper Listing 7)")
+    result = compile_source(
+        LISTING5.replace("unroll full\n  #pragma omp ", ""),
+        syntax_only=True,
+        enable_irbuilder=True,
+    )
+    print(result.ast_dump(function="f"))
+
+    banner("4. emitted IR, OpenMPIRBuilder path (Fig. 7 skeleton inside)")
+    result = compile_source(PROGRAM, enable_irbuilder=True)
+    text = result.ir_text()
+    # Show just the outlined worksharing function.
+    start = text.index("define void @main.omp_outlined")
+    end = text.index("\n}", start) + 2
+    print(text[start:end])
+
+    banner("5. execution on the simulated OpenMP runtime (4 threads)")
+    for label, irb in (("shadow AST", False), ("OpenMPIRBuilder", True)):
+        outcome = run_source(
+            PROGRAM, num_threads=4, enable_irbuilder=irb
+        )
+        print(f"--- {label} path ---")
+        print(outcome.stdout, end="")
+    print()
+    print("Both representations produce identical schedules — the")
+    print("paper's semantic-equivalence claim, checked by execution.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Domain example: choosing a worksharing schedule for imbalanced work.
+
+An OpenMP worksharing loop with triangular per-iteration cost (iteration
+i costs ~i units) is run under every schedule the runtime supports.  For
+each schedule the example reports which thread ran which iterations and
+the worst per-thread load — the classic static-vs-dynamic trade-off, on
+top of the simulated runtime's deterministic thread team.
+
+    python examples/schedule_explorer.py
+"""
+
+from repro import run_source
+
+PROGRAM = r"""
+int main(void) {
+  /* iteration i performs i units of work; record owner and per-thread
+     load */
+  int owner[%(n)d];
+  int load[8];
+  for (int t = 0; t < 8; t += 1) load[t] = 0;
+
+  #pragma omp parallel for schedule(%(schedule)s) num_threads(%(threads)d)
+  for (int i = 0; i < %(n)d; i += 1) {
+    int me = omp_get_thread_num();
+    owner[i] = me;
+    int cost = 0;
+    for (int w = 0; w < i; w += 1)   /* the imbalanced work */
+      cost += 1;
+    #pragma omp critical
+    { load[me] += cost; }
+  }
+
+  for (int i = 0; i < %(n)d; i += 1) printf("%%d", owner[i]);
+  printf("|");
+  for (int t = 0; t < %(threads)d; t += 1) printf("%%d ", load[t]);
+  printf("\n");
+  return 0;
+}
+"""
+
+N = 32
+THREADS = 4
+
+
+def explore(schedule: str):
+    src = PROGRAM % {"n": N, "schedule": schedule, "threads": THREADS}
+    outcome = run_source(src, num_threads=THREADS)
+    owners, _, loads = outcome.stdout.strip().partition("|")
+    load_list = [int(x) for x in loads.split()]
+    return owners, load_list
+
+
+def main() -> None:
+    total = sum(range(N))
+    ideal = total / THREADS
+    print(
+        f"{N} iterations, cost(i) = i, {THREADS} threads; "
+        f"total work {total}, ideal per-thread {ideal:.0f}"
+    )
+    print()
+    print(f"{'schedule':>12} | iteration -> thread map{'':12} | "
+          f"per-thread load (max)")
+    print("-" * 78)
+    for schedule in (
+        "static",
+        "static, 2",
+        "dynamic",
+        "dynamic, 4",
+        "guided",
+    ):
+        owners, loads = explore(schedule)
+        worst = max(loads)
+        imbalance = worst / ideal
+        print(
+            f"{schedule:>12} | {owners} | {loads} "
+            f"(max {worst}, {imbalance:.2f}x ideal)"
+        )
+    print()
+    print("static hands thread 3 the expensive tail; dynamic/guided let")
+    print("early finishers steal chunks, pushing the worst-thread load")
+    print("toward the ideal — the shape that makes schedule choice (and")
+    print("the metadirective-style per-target selection the paper")
+    print("motivates) worth experimenting with.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Source-to-source tool: print what the loop transformations *did*.
+
+The paper notes the completed AST "can be used by tools such as
+source-to-source code generators, clang-tidy, clang-query, IDEs" — this
+example is such a tool.  It compiles a file with OpenMP loop
+transformation directives, then pretty-prints the Sema-built *shadow
+transformed AST* back as C source: the code the directive stands for,
+which a programmer would otherwise have written by hand (the paper's
+maintainability argument, made visible).
+
+    python examples/source_to_source.py
+"""
+
+from repro import compile_source
+from repro.astlib import omp
+from repro.astlib.printer import ASTPrinter
+from repro.astlib.visitor import RecursiveASTVisitor
+
+INPUT = r"""
+void body(int i, int j);
+
+void unrolled_kernel(int N) {
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < N; i += 1)
+    body(i, 0);
+}
+
+void tiled_kernel(void) {
+  #pragma omp tile sizes(2, 4)
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 12; j += 1)
+      body(i, j);
+}
+"""
+
+
+class TransformCollector(RecursiveASTVisitor):
+    def __init__(self) -> None:
+        super().__init__()
+        self.found: list[omp.OMPLoopTransformationDirective] = []
+
+    def visit_stmt(self, stmt) -> bool:
+        if isinstance(stmt, omp.OMPLoopTransformationDirective):
+            self.found.append(stmt)
+        return True
+
+
+def main() -> None:
+    result = compile_source(INPUT, syntax_only=True)
+    printer = ASTPrinter()
+
+    for fn in result.translation_unit.functions():
+        if fn.body is None:
+            continue
+        collector = TransformCollector()
+        collector.traverse_stmt(fn.body)
+        for directive in collector.found:
+            print("=" * 70)
+            print(f"function {fn.name}(): as written")
+            print("=" * 70)
+            print(printer.print_stmt(directive, 0))
+            print()
+            print(
+                f"--- what '#pragma omp {directive.directive_name}' "
+                "stands for (the shadow transformed AST) ---"
+            )
+            if directive.pre_inits is not None:
+                print(printer.print_stmt(directive.pre_inits, 0))
+            transformed = directive.get_transformed_stmt()
+            if transformed is None:
+                print("(no generated loop: emitted directly by CodeGen)")
+            else:
+                print(printer.print_stmt(transformed, 0))
+            print()
+
+    print("=" * 70)
+    print("Note the strip-mined loops, the '.capture_expr.' bound")
+    print("materialization, and the '#pragma clang loop unroll_count'")
+    print("hint on the kept inner loop — duplication is deferred to the")
+    print("mid-end LoopUnroll pass (paper section 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Domain example: tiling a matrix transpose (the classic locality case).
+
+The paper motivates loop transformation directives as a way to "separate
+the semantics of algorithms and performance-optimization" and to
+"experiment with different optimizations to find the best-performing one
+on a particular hardware".  This example runs that experiment: a matrix
+transpose reads row-major and writes column-major — whatever the loop
+order, one side strides badly.  Tiling with ``#pragma omp tile`` (same
+algorithm source, one changed directive) bounds both strides to the tile.
+
+A reuse-distance proxy (sum of |address delta| between consecutive
+touches of the *written* matrix) is measured on the simulated machine.
+
+    python examples/stencil_tiling.py
+"""
+
+from repro import run_source
+
+TRANSPOSE = r"""
+int main(void) {
+  double a[%(n)d * %(n)d];
+  double b[%(n)d * %(n)d];
+  for (int k = 0; k < %(n)d * %(n)d; k += 1)
+    a[k] = (double)(k %% 13);
+
+  long reuse = 0;
+  int last = 0;
+  double checksum = 0.0;
+
+  %(pragma)s
+  for (int i = 0; i < %(n)d; i += 1)
+    for (int j = 0; j < %(n)d; j += 1) {
+      int dst = j * %(n)d + i;       /* column-major write */
+      b[dst] = a[i * %(n)d + j];
+      checksum += b[dst] * (double)(i + 1);
+      int delta = dst - last;
+      if (delta < 0) delta = -delta;
+      reuse += delta;
+      last = dst;
+    }
+
+  printf("checksum=%%g reuse=%%d\n", checksum, (int)reuse);
+  return 0;
+}
+"""
+
+PARALLEL_TRANSPOSE = r"""
+int main(void) {
+  double a[%(n)d * %(n)d];
+  double b[%(n)d * %(n)d];
+  for (int k = 0; k < %(n)d * %(n)d; k += 1)
+    a[k] = (double)(k %% 13);
+
+  double checksum = 0.0;
+
+  #pragma omp parallel for reduction(+: checksum)
+  #pragma omp tile sizes(4, 4)
+  for (int i = 0; i < %(n)d; i += 1)
+    for (int j = 0; j < %(n)d; j += 1) {
+      int dst = j * %(n)d + i;
+      b[dst] = a[i * %(n)d + j];
+      checksum += b[dst] * (double)(i + 1);
+    }
+
+  printf("checksum=%%g\n", checksum);
+  return 0;
+}
+"""
+
+N = 20
+
+
+def run(pragma: str):
+    src = TRANSPOSE % {"n": N, "pragma": pragma}
+    outcome = run_source(src, num_threads=1)
+    checksum, reuse = outcome.stdout.split()
+    return checksum.split("=")[1], int(reuse.split("=")[1]), outcome
+
+
+def main() -> None:
+    print(f"matrix transpose, {N}x{N}; one changed pragma per row")
+    print()
+    print(
+        f"{'tile sizes':>12} | {'checksum':>9} | {'reuse proxy':>11} |"
+        f" {'instructions':>12}"
+    )
+    print("-" * 56)
+
+    baseline_checksum = None
+    results = {}
+    for label, pragma in [
+        ("(untiled)", ""),
+        ("2 x 2", "#pragma omp tile sizes(2, 2)"),
+        ("4 x 4", "#pragma omp tile sizes(4, 4)"),
+        ("8 x 8", "#pragma omp tile sizes(8, 8)"),
+        ("20 x 20", "#pragma omp tile sizes(20, 20)"),
+    ]:
+        checksum, reuse, outcome = run(pragma)
+        results[label] = reuse
+        if baseline_checksum is None:
+            baseline_checksum = checksum
+        marker = "" if checksum == baseline_checksum else "  <-- WRONG"
+        print(
+            f"{label:>12} | {checksum:>9} | {reuse:>11} |"
+            f" {outcome.instruction_count:>12}{marker}"
+        )
+
+    print()
+    print("Every tiling computes the same checksum (semantics preserved);")
+    print("small tiles cut the written matrix's reuse distance by "
+          f"{results['(untiled)'] / results['4 x 4']:.1f}x here,")
+    print("while the degenerate full-matrix tile reproduces the untiled")
+    print("order exactly — the sweet-spot search the directives make a")
+    print("one-line experiment.")
+
+    print()
+    print("Parallel tiled transpose (worksharing over the generated")
+    print("floor loop, 4 simulated threads):")
+    outcome = run_source(PARALLEL_TRANSPOSE % {"n": N}, num_threads=4)
+    print(" ", outcome.stdout.strip(),
+          f"(expected checksum={baseline_checksum})")
+    assert outcome.stdout.split("=")[1].strip() == baseline_checksum
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Unroll-factor experiments across the full stack.
+
+Sweeps ``#pragma omp unroll partial(F)`` over a dot-product kernel and
+reports, per factor and per representation (shadow AST vs
+OpenMPIRBuilder), the dynamic instruction count after the mid-end
+LoopUnroll pass ran — i.e. the actual effect of the metadata the
+front-end emitted.  Also demonstrates heuristic mode and full unrolling.
+
+    python examples/unroll_experiments.py
+"""
+
+from repro import run_source
+
+KERNEL = r"""
+int main(void) {
+  double x[256];
+  double y[256];
+  for (int k = 0; k < 256; k += 1) {
+    x[k] = (double)(k %% 9);
+    y[k] = (double)(k %% 5);
+  }
+  double dot = 0.0;
+  %(pragma)s
+  for (int i = 0; i < 250; i += 1)
+    dot += x[i] * y[i];
+  printf("%%g\n", dot);
+  return 0;
+}
+"""
+
+
+def measure(pragma: str, irbuilder: bool, optimize: bool = True):
+    src = KERNEL % {"pragma": pragma}
+    return run_source(
+        src, enable_irbuilder=irbuilder, optimize=optimize
+    )
+
+
+def main() -> None:
+    print("dot-product, 250 iterations; dynamic instruction count after")
+    print("the mid-end LoopUnroll pass consumed the unroll metadata")
+    print()
+    header = (
+        f"{'directive':>28} | {'shadow AST':>12} | {'IRBuilder':>12} |"
+        f" result"
+    )
+    print(header)
+    print("-" * len(header))
+
+    expected = None
+    rows = [
+        ("(none)", ""),
+        ("unroll partial(2)", "#pragma omp unroll partial(2)"),
+        ("unroll partial(4)", "#pragma omp unroll partial(4)"),
+        ("unroll partial(8)", "#pragma omp unroll partial(8)"),
+        ("unroll  (heuristic)", "#pragma omp unroll"),
+    ]
+    for label, pragma in rows:
+        legacy = measure(pragma, irbuilder=False)
+        irb = measure(pragma, irbuilder=True)
+        value = legacy.stdout.strip()
+        if expected is None:
+            expected = value
+        assert legacy.stdout == irb.stdout, "representations disagree"
+        marker = "" if value == expected else " <-- WRONG"
+        print(
+            f"{label:>28} | {legacy.instruction_count:>12} |"
+            f" {irb.instruction_count:>12} | {value}{marker}"
+        )
+
+    print()
+    print("Full unroll of a constant-trip loop (no loop remains at all):")
+    full = r"""
+int main(void) {
+  int factorial = 1;
+  #pragma omp unroll full
+  for (int i = 1; i <= 10; i += 1)
+    factorial *= i;
+  printf("10! = %d\n", factorial);
+  return 0;
+}
+"""
+    for opt in (False, True):
+        outcome = run_source(full, optimize=opt)
+        stage = "after mid-end" if opt else "front-end only"
+        print(
+            f"  {stage:>15}: {outcome.stdout.strip()}  "
+            f"({outcome.instruction_count} instructions)"
+        )
+    print()
+    print("Front-end emits only llvm.loop.unroll metadata; the drop in")
+    print("instruction count appears once the mid-end pass duplicates —")
+    print("'No duplication takes place until that point' (paper sec. 2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` with a ``[build-system]``
+table) cannot build the editable wheel.  This shim lets pip fall back to the
+classic ``setup.py develop`` editable path, which needs no wheel.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Loop Transformations using Clang's Abstract
+Syntax Tree" (Michael Kruse, ICPP 2021 workshops).
+
+A miniature Clang/LLVM pipeline in pure Python implementing OpenMP 5.1's
+``tile`` and ``unroll`` loop transformation directives with **both** AST
+representations the paper describes:
+
+1. the *shadow AST* (``OMPUnrollDirective``/``OMPTileDirective`` carrying
+   a Sema-built transformed statement next to the syntactic tree), and
+2. the *canonical loop* representation (``OMPCanonicalLoop`` +
+   ``CanonicalLoopInfo``/``OpenMPIRBuilder``).
+
+Quickstart::
+
+    from repro import compile_source, run_source
+
+    result = compile_source(source)
+    print(result.ast_dump())   # clang-style -ast-dump
+    print(result.ir_text())    # .ll-style IR
+
+    outcome = run_source(source, num_threads=4)
+    print(outcome.stdout)
+
+Layer packages (paper Fig. 1): :mod:`repro.sourcemgr`, :mod:`repro.lex`,
+:mod:`repro.preprocessor`, :mod:`repro.parse`, :mod:`repro.sema`,
+:mod:`repro.codegen`; the paper's contribution in :mod:`repro.core` and
+:mod:`repro.ompirbuilder`; execution substrate in :mod:`repro.ir`,
+:mod:`repro.midend`, :mod:`repro.runtime`, :mod:`repro.interp`.
+"""
+
+from repro.pipeline import (
+    CompilationError,
+    CompileResult,
+    RunResult,
+    compile_source,
+    run_source,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompilationError",
+    "CompileResult",
+    "RunResult",
+    "compile_source",
+    "run_source",
+]

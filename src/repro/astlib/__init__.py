@@ -1,0 +1,45 @@
+"""The Clang-style Abstract Syntax Tree.
+
+Follows the design constraints the paper describes:
+
+* The AST mixes syntactic-only (``ParenExpr``) and semantic-only
+  (``ImplicitCastExpr``) nodes in one structure and is **immutable by
+  convention** once Sema finished building it (the shadow-AST transforms
+  build *new* subtrees, they never mutate).
+* There is **no common base class** across the four node families ``Stmt``
+  (with ``Expr`` derived from it), ``Decl``, ``Type`` and ``OMPClause``;
+  each family has its own visitor (paper §1.2).
+* ``Stmt.children()`` enumerates only ``Stmt`` children.  Nodes may own
+  additional *shadow AST* children that are excluded from ``children()``
+  and from the AST dump (``OMPLoopDirective``'s code-generation helpers);
+  those are exposed via ``shadow_children()``.
+"""
+
+from repro.astlib.context import ASTContext, TargetInfo
+from repro.astlib import types as ast_types
+from repro.astlib import decls, exprs, stmts, omp, clauses
+from repro.astlib.dump import dump_ast
+from repro.astlib.visitor import (
+    DeclVisitor,
+    OMPClauseVisitor,
+    RecursiveASTVisitor,
+    StmtVisitorBase,
+    TypeVisitor,
+)
+
+__all__ = [
+    "ASTContext",
+    "DeclVisitor",
+    "OMPClauseVisitor",
+    "RecursiveASTVisitor",
+    "StmtVisitorBase",
+    "TargetInfo",
+    "TypeVisitor",
+    "ast_types",
+    "clauses",
+    "decls",
+    "dump_ast",
+    "exprs",
+    "omp",
+    "stmts",
+]

@@ -1,0 +1,268 @@
+"""The OMPClause hierarchy (paper Fig. 6).
+
+Clauses are their own class family — they are *not* statements, which is
+why ``Stmt.children()`` cannot enumerate them and AST dumps print them
+through specialized per-directive code (paper §1.2, footnote 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.sourcemgr.location import SourceLocation
+
+if TYPE_CHECKING:
+    from repro.astlib.exprs import DeclRefExpr, Expr
+
+
+class OMPClause:
+    """Base class of all OpenMP clauses."""
+
+    #: clause keyword as written in source, set by subclasses
+    clause_name = "<clause>"
+
+    def __init__(self, location: SourceLocation | None = None) -> None:
+        self.location = location or SourceLocation()
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        """Expressions owned by the clause (for dumping/traversal)."""
+        return ()
+
+    def dump_name(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+# ---------------------------------------------------------------------------
+# Loop-transformation clauses (new in OpenMP 5.1, paper Fig. 6)
+# ---------------------------------------------------------------------------
+class OMPFullClause(OMPClause):
+    """``full`` on ``omp unroll``: unroll completely; no generated loop
+    remains, hence the construct cannot be consumed by another directive."""
+
+    clause_name = "full"
+
+
+class OMPPartialClause(OMPClause):
+    """``partial(N)`` on ``omp unroll``.  ``factor`` may be None
+    (``partial`` without argument lets the implementation choose)."""
+
+    clause_name = "partial"
+
+    def __init__(
+        self,
+        factor: Optional["Expr"] = None,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.factor = factor
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.factor,)
+
+
+class OMPSizesClause(OMPClause):
+    """``sizes(s1, s2, ...)`` on ``omp tile``."""
+
+    clause_name = "sizes"
+
+    def __init__(
+        self,
+        sizes: Sequence["Expr"],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.sizes = list(sizes)
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return tuple(self.sizes)
+
+
+class OMPPermutationClause(OMPClause):
+    """``permutation(p1, p2, ...)`` on ``omp interchange``
+    (OpenMP 6.0 — the paper's §4 expected extensions)."""
+
+    clause_name = "permutation"
+
+    def __init__(
+        self,
+        indices: Sequence["Expr"],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.indices = list(indices)
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return tuple(self.indices)
+
+
+# ---------------------------------------------------------------------------
+# Worksharing / parallelism clauses
+# ---------------------------------------------------------------------------
+class ScheduleKind(enum.Enum):
+    STATIC = "static"
+    DYNAMIC = "dynamic"
+    GUIDED = "guided"
+    AUTO = "auto"
+    RUNTIME = "runtime"
+
+
+class OMPScheduleClause(OMPClause):
+    clause_name = "schedule"
+
+    def __init__(
+        self,
+        kind: ScheduleKind,
+        chunk_size: Optional["Expr"] = None,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.kind = kind
+        self.chunk_size = chunk_size
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.chunk_size,)
+
+
+class OMPNumThreadsClause(OMPClause):
+    clause_name = "num_threads"
+
+    def __init__(
+        self,
+        num_threads: "Expr",
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.num_threads = num_threads
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.num_threads,)
+
+
+class OMPCollapseClause(OMPClause):
+    clause_name = "collapse"
+
+    def __init__(
+        self, num_loops: "Expr", location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(location)
+        self.num_loops = num_loops
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.num_loops,)
+
+
+class OMPIfClause(OMPClause):
+    clause_name = "if"
+
+    def __init__(
+        self, condition: "Expr", location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(location)
+        self.condition = condition
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.condition,)
+
+
+class OMPNowaitClause(OMPClause):
+    clause_name = "nowait"
+
+
+class OMPOrderedClause(OMPClause):
+    clause_name = "ordered"
+
+
+class OMPSimdlenClause(OMPClause):
+    clause_name = "simdlen"
+
+    def __init__(
+        self, length: "Expr", location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(location)
+        self.length = length
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return (self.length,)
+
+
+# ---------------------------------------------------------------------------
+# Data-sharing clauses
+# ---------------------------------------------------------------------------
+class OMPVarListClause(OMPClause):
+    """Base for clauses carrying a variable list."""
+
+    def __init__(
+        self,
+        variables: Sequence["DeclRefExpr"],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(location)
+        self.variables = list(variables)
+
+    def child_exprs(self) -> Iterable[Optional["Expr"]]:
+        return tuple(self.variables)
+
+    def decls(self):
+        return [v.decl for v in self.variables]
+
+
+class OMPPrivateClause(OMPVarListClause):
+    clause_name = "private"
+
+
+class OMPFirstprivateClause(OMPVarListClause):
+    clause_name = "firstprivate"
+
+
+class OMPLastprivateClause(OMPVarListClause):
+    clause_name = "lastprivate"
+
+
+class OMPSharedClause(OMPVarListClause):
+    clause_name = "shared"
+
+
+class ReductionOperator(enum.Enum):
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    AND = "&"
+    OR = "|"
+    XOR = "^"
+    LAND = "&&"
+    LOR = "||"
+    MIN = "min"
+    MAX = "max"
+
+
+class OMPReductionClause(OMPVarListClause):
+    clause_name = "reduction"
+
+    def __init__(
+        self,
+        operator: ReductionOperator,
+        variables: Sequence["DeclRefExpr"],
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(variables, location)
+        self.operator = operator
+
+
+class DefaultKind(enum.Enum):
+    SHARED = "shared"
+    NONE = "none"
+    FIRSTPRIVATE = "firstprivate"
+
+
+class OMPDefaultClause(OMPClause):
+    clause_name = "default"
+
+    def __init__(
+        self, kind: DefaultKind, location: SourceLocation | None = None
+    ) -> None:
+        super().__init__(location)
+        self.kind = kind

@@ -1,0 +1,318 @@
+"""AST dumping in the style of ``clang -Xclang -ast-dump``.
+
+Reproduces the tree-drawing format of the paper's Listings 3, 5, 6 and 7:
+``|-`` / `` `-`` connectors, per-node labels such as::
+
+    VarDecl 0x7fffc6750e68 used i 'int' cinit
+    IntegerLiteral 'int' 7
+    DeclRefExpr 'int' lvalue Var 'i' 'int'
+    ImplicitParamDecl implicit .global_tid. 'const int *const __restrict'
+    ConstantExpr 'int'
+    |-value: Int 2
+
+``<<<NULL>>>`` marks absent child slots (e.g. a for-loop without an init
+statement).  Shadow AST children are **not** dumped — exactly the property
+the paper names them for — unless ``dump_shadow=True`` is requested (used
+by the transformed-AST listings and tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.astlib import clauses as cl
+from repro.astlib import decls as d
+from repro.astlib import exprs as e
+from repro.astlib import omp
+from repro.astlib import stmts as s
+from repro.astlib.types import QualType
+
+
+class _TreeWriter:
+    """Emits the `|-`/`` `-`` box-drawing structure."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def emit(self, prefix: str, connector: str, label: str) -> None:
+        self.lines.append(f"{prefix}{connector}{label}")
+
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+
+class ASTDumper:
+    def __init__(
+        self,
+        show_addresses: bool = False,
+        dump_shadow: bool = False,
+    ) -> None:
+        self.show_addresses = show_addresses
+        self.dump_shadow = dump_shadow
+        self.writer = _TreeWriter()
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def dump(self, node) -> str:
+        self.writer = _TreeWriter()
+        self._dump_node(node, "", "", is_root=True)
+        return self.writer.text()
+
+    # ------------------------------------------------------------------
+    # Label construction
+    # ------------------------------------------------------------------
+    def _addr(self, node) -> str:
+        if not self.show_addresses:
+            return ""
+        return f" {hex(getattr(node, 'node_id', 0))}"
+
+    def _ty(self, qt: QualType) -> str:
+        return f"'{qt.spelling()}'"
+
+    def _label(self, node) -> str:
+        if node is None:
+            return "<<<NULL>>>"
+        # --- Declarations ---
+        if isinstance(node, d.VarDecl):
+            parts = [type(node).__name__ + self._addr(node)]
+            if node.is_implicit:
+                parts.append("implicit")
+            if node.is_referenced:
+                parts.append("used")
+            parts.append(node.name)
+            parts.append(self._ty(node.type))
+            if isinstance(node, d.VarDecl) and node.has_init:
+                parts.append("cinit")
+            return " ".join(parts)
+        if isinstance(node, d.FunctionDecl):
+            return (
+                f"FunctionDecl{self._addr(node)} {node.name} "
+                f"{self._ty(node.type)}"
+            )
+        if isinstance(node, d.CapturedDecl):
+            suffix = " nothrow" if node.nothrow else ""
+            return f"CapturedDecl{self._addr(node)}{suffix}"
+        if isinstance(node, d.TypedefDecl):
+            return (
+                f"TypedefDecl{self._addr(node)} {node.name} "
+                f"{self._ty(node.underlying)}"
+            )
+        if isinstance(node, d.RecordDecl):
+            tag = "union" if node.is_union else "struct"
+            return f"RecordDecl{self._addr(node)} {tag} {node.name}"
+        if isinstance(node, d.FieldDecl):
+            return (
+                f"FieldDecl{self._addr(node)} {node.name} "
+                f"{self._ty(node.type)}"
+            )
+        if isinstance(node, d.Decl):
+            name = getattr(node, "name", "")
+            return f"{type(node).__name__}{self._addr(node)} {name}".rstrip()
+        # --- Clauses ---
+        if isinstance(node, cl.OMPScheduleClause):
+            return f"OMPScheduleClause {node.kind.value}"
+        if isinstance(node, cl.OMPReductionClause):
+            return f"OMPReductionClause '{node.operator.value}'"
+        if isinstance(node, cl.OMPDefaultClause):
+            return f"OMPDefaultClause {node.kind.value}"
+        if isinstance(node, cl.OMPClause):
+            return type(node).__name__
+        # --- Expressions (before generic statements) ---
+        if isinstance(node, e.IntegerLiteral):
+            return (
+                f"IntegerLiteral{self._addr(node)} {self._ty(node.type)} "
+                f"{node.value}"
+            )
+        if isinstance(node, e.FloatingLiteral):
+            return (
+                f"FloatingLiteral{self._addr(node)} {self._ty(node.type)} "
+                f"{node.value}"
+            )
+        if isinstance(node, e.CharacterLiteral):
+            return (
+                f"CharacterLiteral{self._addr(node)} {self._ty(node.type)} "
+                f"{node.value}"
+            )
+        if isinstance(node, e.BoolLiteralExpr):
+            return (
+                f"CXXBoolLiteralExpr{self._addr(node)} "
+                f"{self._ty(node.type)} {str(node.value).lower()}"
+            )
+        if isinstance(node, e.StringLiteral):
+            return (
+                f"StringLiteral{self._addr(node)} {self._ty(node.type)} "
+                f"{node.value!r}"
+            )
+        if isinstance(node, e.DeclRefExpr):
+            kind = (
+                "ParmVar"
+                if isinstance(node.decl, d.ParmVarDecl)
+                else "Function"
+                if isinstance(node.decl, d.FunctionDecl)
+                else "Var"
+            )
+            vc = (
+                " lvalue"
+                if node.value_category == e.ValueCategory.LVALUE
+                else ""
+            )
+            return (
+                f"DeclRefExpr{self._addr(node)} {self._ty(node.type)}{vc} "
+                f"{kind} '{node.decl.name}' {self._ty(node.decl.type)}"
+            )
+        if isinstance(node, e.CompoundAssignOperator):
+            return (
+                f"CompoundAssignOperator{self._addr(node)} "
+                f"{self._ty(node.type)} '{node.opcode.value}'"
+            )
+        if isinstance(node, e.BinaryOperator):
+            return (
+                f"BinaryOperator{self._addr(node)} {self._ty(node.type)} "
+                f"'{node.opcode.value}'"
+            )
+        if isinstance(node, e.UnaryOperator):
+            fix = "prefix" if node.opcode.is_prefix() else "postfix"
+            op = node.opcode.value.split(" ")[0]
+            return (
+                f"UnaryOperator{self._addr(node)} {self._ty(node.type)} "
+                f"{fix} '{op}'"
+            )
+        if isinstance(node, e.ImplicitCastExpr):
+            return (
+                f"ImplicitCastExpr{self._addr(node)} {self._ty(node.type)} "
+                f"<{node.cast_kind.value}>"
+            )
+        if isinstance(node, e.CStyleCastExpr):
+            return (
+                f"CStyleCastExpr{self._addr(node)} {self._ty(node.type)} "
+                f"<{node.cast_kind.value}>"
+            )
+        if isinstance(node, e.ConstantExpr):
+            return f"ConstantExpr{self._addr(node)} {self._ty(node.type)}"
+        if isinstance(node, e.ParenExpr):
+            return f"ParenExpr{self._addr(node)} {self._ty(node.type)}"
+        if isinstance(node, e.CallExpr):
+            return f"CallExpr{self._addr(node)} {self._ty(node.type)}"
+        if isinstance(node, e.ArraySubscriptExpr):
+            return (
+                f"ArraySubscriptExpr{self._addr(node)} "
+                f"{self._ty(node.type)} lvalue"
+            )
+        if isinstance(node, e.MemberExpr):
+            arrow = "->" if node.is_arrow else "."
+            return (
+                f"MemberExpr{self._addr(node)} {self._ty(node.type)} "
+                f"lvalue {arrow}{node.member.name}"
+            )
+        if isinstance(node, e.UnaryExprOrTypeTraitExpr):
+            return (
+                f"UnaryExprOrTypeTraitExpr{self._addr(node)} "
+                f"{self._ty(node.type)} {node.trait}"
+            )
+        if isinstance(node, e.ConditionalOperator):
+            return (
+                f"ConditionalOperator{self._addr(node)} "
+                f"{self._ty(node.type)}"
+            )
+        if isinstance(node, e.OpaqueValueExpr):
+            return (
+                f"OpaqueValueExpr{self._addr(node)} {self._ty(node.type)}"
+            )
+        if isinstance(node, e.Expr):
+            return f"{type(node).__name__}{self._addr(node)} {self._ty(node.type)}"
+        # --- Statements ---
+        if isinstance(node, s.AttributedStmt):
+            return f"AttributedStmt{self._addr(node)}"
+        if isinstance(node, s.Stmt):
+            return f"{type(node).__name__}{self._addr(node)}"
+        if isinstance(node, s.Attr):
+            return node.dump_name()
+        return str(node)
+
+    # ------------------------------------------------------------------
+    # Child enumeration
+    # ------------------------------------------------------------------
+    def _children(self, node) -> list:
+        """Dumpable children in clang order; ``None`` becomes <<<NULL>>>."""
+        if node is None:
+            return []
+        if isinstance(node, d.TranslationUnitDecl):
+            return list(node.declarations)
+        if isinstance(node, d.FunctionDecl):
+            return [*node.params, *( [node.body] if node.body else [] )]
+        if isinstance(node, d.CapturedDecl):
+            # Paper Listing 3 order: body, implicit params, then captured
+            # variable declarations referenced from the region.
+            out: list = [node.body]
+            out.extend(node.params)
+            return out
+        if isinstance(node, d.VarDecl):
+            return [node.init] if node.init is not None else []
+        if isinstance(node, d.RecordDecl):
+            return list(node.fields)
+        if isinstance(node, d.Decl):
+            return []
+        if isinstance(node, cl.OMPClause):
+            return [x for x in node.child_exprs() if x is not None]
+        if isinstance(node, omp.OMPExecutableDirective):
+            out = list(node.clauses)
+            if node.associated_stmt is not None:
+                out.append(node.associated_stmt)
+            if self.dump_shadow:
+                out.extend(node.shadow_children())
+            return out
+        if isinstance(node, s.CapturedStmt):
+            out = [node.captured_decl]
+            return out
+        if isinstance(node, s.DeclStmt):
+            return list(node.decls)
+        if isinstance(node, s.AttributedStmt):
+            return [*node.attrs, node.sub_stmt]
+        if isinstance(node, s.LoopHintAttr):
+            return [node.value] if node.value is not None else []
+        if isinstance(node, e.ConstantExpr):
+            return [("value: Int " + str(node.value)), node.sub_expr]
+        if isinstance(node, s.ForStmt):
+            # clang dumps all four slots, absent ones as <<<NULL>>>.
+            return [node.init, node.cond, node.inc, node.body]
+        if isinstance(node, s.Stmt):
+            return list(node.children())
+        return []
+
+    # ------------------------------------------------------------------
+    # Recursion
+    # ------------------------------------------------------------------
+    def _dump_node(
+        self, node, prefix: str, connector: str, is_root: bool = False
+    ) -> None:
+        if isinstance(node, str):
+            self.writer.emit(prefix, connector, node)
+            return
+        label = self._label(node)
+        self.writer.emit(prefix, connector, label)
+        if node is None:
+            return
+        children = self._children(node)
+        if not children:
+            return
+        if is_root:
+            child_prefix = ""
+        else:
+            child_prefix = prefix + ("| " if connector == "|-" else "  ")
+        for i, child in enumerate(children):
+            last = i == len(children) - 1
+            self._dump_node(
+                child, child_prefix, "`-" if last else "|-"
+            )
+
+
+def dump_ast(
+    node,
+    show_addresses: bool = False,
+    dump_shadow: bool = False,
+) -> str:
+    """Dump *node* (a Stmt, Decl or OMPClause) as clang-style text."""
+    return ASTDumper(
+        show_addresses=show_addresses, dump_shadow=dump_shadow
+    ).dump(node)

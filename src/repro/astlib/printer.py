@@ -1,0 +1,354 @@
+"""Pretty-printer: AST -> C source text.
+
+Used by the source-to-source example (dumping the transformed shadow AST as
+compilable C, the way `clang -ast-print` would) and by diagnostics that
+quote expressions.  Parentheses written by the user survive as ParenExpr
+nodes; everything else is re-parenthesized conservatively.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.astlib import clauses as cl
+from repro.astlib import decls as d
+from repro.astlib import exprs as e
+from repro.astlib import omp
+from repro.astlib import stmts as s
+
+
+class ASTPrinter:
+    def __init__(self, indent_width: int = 2) -> None:
+        self.indent_width = indent_width
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def print_expr(self, expr: Optional[e.Expr]) -> str:
+        if expr is None:
+            return ""
+        if isinstance(expr, e.IntegerLiteral):
+            return str(expr.value)
+        if isinstance(expr, e.FloatingLiteral):
+            text = repr(expr.value)
+            return text
+        if isinstance(expr, e.CharacterLiteral):
+            return f"'{chr(expr.value)}'"
+        if isinstance(expr, e.BoolLiteralExpr):
+            return "true" if expr.value else "false"
+        if isinstance(expr, e.StringLiteral):
+            escaped = (
+                expr.value.replace("\\", "\\\\")
+                .replace('"', '\\"')
+                .replace("\n", "\\n")
+                .replace("\t", "\\t")
+            )
+            return f'"{escaped}"'
+        if isinstance(expr, e.DeclRefExpr):
+            return expr.decl.name
+        if isinstance(expr, e.ParenExpr):
+            return f"({self.print_expr(expr.sub_expr)})"
+        if isinstance(expr, e.ImplicitCastExpr):
+            return self.print_expr(expr.sub_expr)
+        if isinstance(expr, e.ConstantExpr):
+            return self.print_expr(expr.sub_expr)
+        if isinstance(expr, e.CStyleCastExpr):
+            return (
+                f"({expr.type.spelling()})"
+                f"{self._maybe_paren(expr.sub_expr)}"
+            )
+        if isinstance(expr, e.CompoundAssignOperator):
+            return (
+                f"{self.print_expr(expr.lhs)} {expr.opcode.value} "
+                f"{self.print_expr(expr.rhs)}"
+            )
+        if isinstance(expr, e.BinaryOperator):
+            lhs = self._maybe_paren(expr.lhs)
+            rhs = self._maybe_paren(expr.rhs)
+            if expr.opcode == e.BinaryOperatorKind.COMMA:
+                return f"{lhs}, {rhs}"
+            return f"{lhs} {expr.opcode.value} {rhs}"
+        if isinstance(expr, e.UnaryOperator):
+            sub = self._maybe_paren(expr.sub_expr)
+            op = expr.opcode.value.split(" ")[0]
+            if expr.opcode.is_prefix():
+                return f"{op}{sub}"
+            return f"{sub}{op}"
+        if isinstance(expr, e.ConditionalOperator):
+            return (
+                f"{self._maybe_paren(expr.cond)} ? "
+                f"{self.print_expr(expr.true_expr)} : "
+                f"{self.print_expr(expr.false_expr)}"
+            )
+        if isinstance(expr, e.ArraySubscriptExpr):
+            return (
+                f"{self._maybe_paren(expr.base)}"
+                f"[{self.print_expr(expr.index)}]"
+            )
+        if isinstance(expr, e.CallExpr):
+            args = ", ".join(self.print_expr(a) for a in expr.args)
+            return f"{self._maybe_paren(expr.callee)}({args})"
+        if isinstance(expr, e.MemberExpr):
+            op = "->" if expr.is_arrow else "."
+            return f"{self._maybe_paren(expr.base)}{op}{expr.member.name}"
+        if isinstance(expr, e.UnaryExprOrTypeTraitExpr):
+            if expr.argument_type is not None:
+                return f"sizeof({expr.argument_type.spelling()})"
+            return f"sizeof({self.print_expr(expr.argument_expr)})"
+        if isinstance(expr, e.OpaqueValueExpr):
+            return self.print_expr(expr.source_expr)
+        if isinstance(expr, e.InitListExpr):
+            inner = ", ".join(self.print_expr(i) for i in expr.inits)
+            return "{" + inner + "}"
+        raise NotImplementedError(
+            f"cannot print {type(expr).__name__}"
+        )
+
+    def _maybe_paren(self, expr: e.Expr) -> str:
+        text = self.print_expr(expr)
+        atomic = (
+            e.IntegerLiteral,
+            e.FloatingLiteral,
+            e.CharacterLiteral,
+            e.BoolLiteralExpr,
+            e.StringLiteral,
+            e.DeclRefExpr,
+            e.ParenExpr,
+            e.CallExpr,
+            e.ArraySubscriptExpr,
+            e.MemberExpr,
+            e.UnaryExprOrTypeTraitExpr,
+        )
+        stripped = expr
+        while isinstance(stripped, (e.ImplicitCastExpr, e.ConstantExpr)):
+            stripped = (
+                stripped.sub_expr
+                if isinstance(stripped, (e.ImplicitCastExpr, e.ConstantExpr))
+                else stripped
+            )
+        if isinstance(stripped, atomic):
+            return self.print_expr(stripped)
+        return f"({text})"
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def print_var_decl(self, decl: d.VarDecl) -> str:
+        ty = decl.type
+        text = f"{ty.spelling()} {decl.name}"
+        # Array declarators need the suffix syntax.
+        from repro.astlib.types import ConstantArrayType, desugar
+
+        canonical = desugar(ty).type
+        if isinstance(canonical, ConstantArrayType):
+            text = (
+                f"{canonical.element.spelling()} {decl.name}"
+                f"[{canonical.size}]"
+            )
+        if decl.init is not None:
+            text += f" = {self.print_expr(decl.init)}"
+        return text
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def print_stmt(self, stmt: Optional[s.Stmt], indent: int = 0) -> str:
+        pad = " " * (indent * self.indent_width)
+        if stmt is None:
+            return f"{pad};"
+        if isinstance(stmt, s.NullStmt):
+            return f"{pad};"
+        if isinstance(stmt, e.Expr):
+            return f"{pad}{self.print_expr(stmt)};"
+        if isinstance(stmt, s.CompoundStmt):
+            lines = [f"{pad}{{"]
+            for child in stmt.statements:
+                lines.append(self.print_stmt(child, indent + 1))
+            lines.append(f"{pad}}}")
+            return "\n".join(lines)
+        if isinstance(stmt, s.DeclStmt):
+            decls = "; ".join(
+                self.print_var_decl(x)
+                for x in stmt.decls
+                if isinstance(x, d.VarDecl)
+            )
+            return f"{pad}{decls};"
+        if isinstance(stmt, s.IfStmt):
+            text = (
+                f"{pad}if ({self.print_expr(stmt.cond)})\n"
+                f"{self.print_stmt(stmt.then_stmt, indent + 1)}"
+            )
+            if stmt.else_stmt is not None:
+                text += (
+                    f"\n{pad}else\n"
+                    f"{self.print_stmt(stmt.else_stmt, indent + 1)}"
+                )
+            return text
+        if isinstance(stmt, s.WhileStmt):
+            return (
+                f"{pad}while ({self.print_expr(stmt.cond)})\n"
+                f"{self.print_stmt(stmt.body, indent + 1)}"
+            )
+        if isinstance(stmt, s.DoStmt):
+            return (
+                f"{pad}do\n{self.print_stmt(stmt.body, indent + 1)}\n"
+                f"{pad}while ({self.print_expr(stmt.cond)});"
+            )
+        if isinstance(stmt, s.ForStmt):
+            init = ""
+            if isinstance(stmt.init, s.DeclStmt):
+                init = self.print_stmt(stmt.init, 0).strip().rstrip(";")
+            elif isinstance(stmt.init, e.Expr):
+                init = self.print_expr(stmt.init)
+            cond = self.print_expr(stmt.cond) if stmt.cond else ""
+            inc = self.print_expr(stmt.inc) if stmt.inc else ""
+            return (
+                f"{pad}for ({init}; {cond}; {inc})\n"
+                f"{self.print_stmt(stmt.body, indent + 1)}"
+            )
+        if isinstance(stmt, s.CXXForRangeStmt):
+            var = stmt.loop_variable
+            range_decl = stmt.range_stmt.single_decl
+            assert isinstance(range_decl, d.VarDecl)
+            return (
+                f"{pad}for ({var.type.spelling()} {var.name} : "
+                f"{self.print_expr(range_decl.init)})\n"
+                f"{self.print_stmt(stmt.body, indent + 1)}"
+            )
+        if isinstance(stmt, s.BreakStmt):
+            return f"{pad}break;"
+        if isinstance(stmt, s.ContinueStmt):
+            return f"{pad}continue;"
+        if isinstance(stmt, s.ReturnStmt):
+            if stmt.value is None:
+                return f"{pad}return;"
+            return f"{pad}return {self.print_expr(stmt.value)};"
+        if isinstance(stmt, s.AttributedStmt):
+            lines = []
+            for attr in stmt.loop_hints():
+                arg = (
+                    f"({self.print_expr(attr.value)})"
+                    if attr.value is not None
+                    else ""
+                )
+                option = {
+                    s.LoopHintAttr.UNROLL_COUNT: "unroll_count",
+                    s.LoopHintAttr.UNROLL: "unroll",
+                    s.LoopHintAttr.UNROLL_FULL: "unroll(full)",
+                }.get(attr.option, attr.option)
+                lines.append(f"{pad}#pragma clang loop {option}{arg}")
+            lines.append(self.print_stmt(stmt.sub_stmt, indent))
+            return "\n".join(lines)
+        if isinstance(stmt, s.CapturedStmt):
+            return self.print_stmt(stmt.captured_decl.body, indent)
+        if isinstance(stmt, omp.OMPCanonicalLoop):
+            return self.print_stmt(stmt.loop_stmt, indent)
+        if isinstance(stmt, omp.OMPExecutableDirective):
+            clause_text = " ".join(
+                self.print_clause(c) for c in stmt.clauses
+            )
+            pragma = f"{pad}#pragma omp {stmt.directive_name}"
+            if clause_text:
+                pragma += f" {clause_text}"
+            if stmt.associated_stmt is None:
+                return pragma
+            return (
+                f"{pragma}\n"
+                f"{self.print_stmt(stmt.associated_stmt, indent)}"
+            )
+        if isinstance(stmt, s.SwitchStmt):
+            return (
+                f"{pad}switch ({self.print_expr(stmt.cond)})\n"
+                f"{self.print_stmt(stmt.body, indent + 1)}"
+            )
+        if isinstance(stmt, s.CaseStmt):
+            return (
+                f"{pad}case {self.print_expr(stmt.value)}:\n"
+                f"{self.print_stmt(stmt.sub_stmt, indent + 1)}"
+            )
+        if isinstance(stmt, s.DefaultStmt):
+            return (
+                f"{pad}default:\n"
+                f"{self.print_stmt(stmt.sub_stmt, indent + 1)}"
+            )
+        raise NotImplementedError(f"cannot print {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Clauses
+    # ------------------------------------------------------------------
+    def print_clause(self, clause: cl.OMPClause) -> str:
+        if isinstance(clause, cl.OMPPartialClause):
+            if clause.factor is None:
+                return "partial"
+            return f"partial({self.print_expr(clause.factor)})"
+        if isinstance(clause, cl.OMPSizesClause):
+            inner = ", ".join(self.print_expr(x) for x in clause.sizes)
+            return f"sizes({inner})"
+        if isinstance(clause, cl.OMPPermutationClause):
+            inner = ", ".join(
+                self.print_expr(x) for x in clause.indices
+            )
+            return f"permutation({inner})"
+        if isinstance(clause, cl.OMPScheduleClause):
+            if clause.chunk_size is not None:
+                return (
+                    f"schedule({clause.kind.value}, "
+                    f"{self.print_expr(clause.chunk_size)})"
+                )
+            return f"schedule({clause.kind.value})"
+        if isinstance(clause, cl.OMPNumThreadsClause):
+            return f"num_threads({self.print_expr(clause.num_threads)})"
+        if isinstance(clause, cl.OMPCollapseClause):
+            return f"collapse({self.print_expr(clause.num_loops)})"
+        if isinstance(clause, cl.OMPIfClause):
+            return f"if({self.print_expr(clause.condition)})"
+        if isinstance(clause, cl.OMPSimdlenClause):
+            return f"simdlen({self.print_expr(clause.length)})"
+        if isinstance(clause, cl.OMPReductionClause):
+            vars_ = ", ".join(v.decl.name for v in clause.variables)
+            return f"reduction({clause.operator.value}: {vars_})"
+        if isinstance(clause, cl.OMPVarListClause):
+            vars_ = ", ".join(v.decl.name for v in clause.variables)
+            return f"{clause.clause_name}({vars_})"
+        if isinstance(clause, cl.OMPDefaultClause):
+            return f"default({clause.kind.value})"
+        return clause.clause_name
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def print_function(self, fn: d.FunctionDecl) -> str:
+        params = ", ".join(
+            f"{p.type.spelling()} {p.name}" for p in fn.params
+        )
+        header = f"{fn.return_type.spelling()} {fn.name}({params or 'void'})"
+        if fn.body is None:
+            return f"{header};"
+        return f"{header}\n{self.print_stmt(fn.body, 0)}"
+
+    def print_translation_unit(self, tu: d.TranslationUnitDecl) -> str:
+        parts = []
+        for decl in tu.declarations:
+            if isinstance(decl, d.FunctionDecl):
+                parts.append(self.print_function(decl))
+            elif isinstance(decl, d.VarDecl):
+                parts.append(self.print_var_decl(decl) + ";")
+            elif isinstance(decl, d.TypedefDecl):
+                parts.append(
+                    f"typedef {decl.underlying.spelling()} {decl.name};"
+                )
+        return "\n\n".join(parts) + "\n"
+
+
+def print_ast(node, indent: int = 0) -> str:
+    """Convenience wrapper for printing a statement or expression."""
+    printer = ASTPrinter()
+    if isinstance(node, e.Expr):
+        return printer.print_expr(node)
+    if isinstance(node, s.Stmt):
+        return printer.print_stmt(node, indent)
+    if isinstance(node, d.FunctionDecl):
+        return printer.print_function(node)
+    if isinstance(node, d.TranslationUnitDecl):
+        return printer.print_translation_unit(node)
+    raise TypeError(f"cannot print {type(node).__name__}")

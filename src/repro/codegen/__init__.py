@@ -1,0 +1,18 @@
+"""CodeGen layer (paper Fig. 1): AST -> IR.
+
+Implements the "early outlining" approach of Clang's OpenMP support
+(paper §1): OpenMP semantics are fully lowered here; the produced IR
+contains no OpenMP constructs, only calls to the (simulated) OpenMP
+runtime.  Two OpenMP code-generation paths exist, selected by
+``enable_irbuilder`` (clang's ``-fopenmp-enable-irbuilder``):
+
+* the **legacy path** consumes the shadow AST: ``OMPLoopDirective``'s
+  helper expressions drive worksharing, and loop transformations emit
+  their transformed statements (paper §2.2);
+* the **OpenMPIRBuilder path** emits ``OMPCanonicalLoop`` wrappers through
+  :class:`repro.ompirbuilder.OpenMPIRBuilder` (paper §3.2).
+"""
+
+from repro.codegen.module import CodeGenModule, CodeGenOptions
+
+__all__ = ["CodeGenModule", "CodeGenOptions"]

@@ -1,0 +1,215 @@
+"""Construction of ``OMPCanonicalLoop`` meta-nodes (paper §3.1).
+
+The canonical representation abstracts the loop iteration space behind a
+*logical iteration counter* — always a normalized unsigned integer starting
+at 0 and incremented by 1 — and resolves, at the Sema layer, exactly the
+minimal base-language-dependent meta-information:
+
+1. **Distance function** — an expression evaluable before entering the
+   loop yielding the trip count, wrapped in a lambda
+   (``CapturedStmt``) so CodeGen can call it with any argument::
+
+       [&](size_t &Result) { Result = __end - __begin; }
+
+2. **User value function** — converts a logical iteration number into the
+   value of the loop user variable; ``__begin`` is captured **by value**
+   so it retains the loop iteration variable's *start* value even though
+   the variable is modified inside the loop::
+
+       [&,__begin](auto &Result, size_t __i) { Result = __begin + __i; }
+
+3. **User variable reference** — the variable to update before each
+   iteration.
+
+Results are communicated through a by-reference ``Result`` parameter, not
+a return value: returning a value of user-defined type would require
+language-dependent copy/move semantics only Sema can resolve (paper §3.1).
+"""
+
+from __future__ import annotations
+
+from repro.astlib import exprs as e
+from repro.astlib import stmts as s
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import CapturedDecl, ImplicitParamDecl, VarDecl
+from repro.astlib.omp import OMPCanonicalLoop
+from repro.astlib.tree_transform import TreeTransform
+from repro.astlib.types import QualType, desugar
+from repro.core.shadow import ShadowTransformBuilder
+from repro.sema.canonical_loop import CanonicalLoopAnalysis
+
+
+class CanonicalLoopBuilder:
+    """Builds the ``OMPCanonicalLoop`` wrapper for an analyzed loop."""
+
+    def __init__(self, ctx: ASTContext) -> None:
+        self.ctx = ctx
+        # The trip-count arithmetic is identical in both representations;
+        # reuse the shadow builder's expression factory.
+        self._exprs = ShadowTransformBuilder(ctx)
+
+    # ------------------------------------------------------------------
+    def build(self, analysis: CanonicalLoopAnalysis) -> OMPCanonicalLoop:
+        distance = self._build_distance_function(analysis)
+        loop_value = self._build_user_value_function(analysis)
+        user_ref = self._build_user_variable_ref(analysis)
+        return OMPCanonicalLoop(
+            analysis.loop_stmt,
+            distance,
+            loop_value,
+            user_ref,
+            analysis.loop_stmt.location,
+        )
+
+    # ------------------------------------------------------------------
+    # 1. Distance function
+    # ------------------------------------------------------------------
+    def _build_distance_function(
+        self, analysis: CanonicalLoopAnalysis
+    ) -> s.CapturedStmt:
+        logical = analysis.logical_type
+        result_param = ImplicitParamDecl(
+            "Result", self.ctx.get_reference(logical)
+        )
+        trip_expr = self._exprs.build_trip_count_expr(analysis)
+        assign = e.BinaryOperator(
+            e.BinaryOperatorKind.ASSIGN,
+            e.DeclRefExpr(result_param, logical, e.ValueCategory.LVALUE),
+            trip_expr,
+            logical,
+        )
+        body = s.CompoundStmt([assign])
+        decl = CapturedDecl(body, [result_param])
+        captured = s.CapturedStmt(decl, self._free_variables(trip_expr))
+        return captured
+
+    # ------------------------------------------------------------------
+    # 2. User value function
+    # ------------------------------------------------------------------
+    def _build_user_value_function(
+        self, analysis: CanonicalLoopAnalysis
+    ) -> s.CapturedStmt:
+        logical = analysis.logical_type
+        user_ty = self._user_variable_type(analysis)
+        result_param = ImplicitParamDecl(
+            "Result", self.ctx.get_reference(user_ty)
+        )
+        i_param = ImplicitParamDecl("__i", logical)
+        i_ref = e.ImplicitCastExpr(
+            e.CastKind.LVALUE_TO_RVALUE,
+            e.DeclRefExpr(i_param, logical, e.ValueCategory.LVALUE),
+            logical,
+        )
+        value_expr = self._build_value_expr(analysis, i_ref, user_ty)
+        assign = e.BinaryOperator(
+            e.BinaryOperatorKind.ASSIGN,
+            e.DeclRefExpr(result_param, user_ty, e.ValueCategory.LVALUE),
+            value_expr,
+            user_ty,
+        )
+        body = s.CompoundStmt([assign])
+        decl = CapturedDecl(body, [result_param, i_param])
+        captured = s.CapturedStmt(decl, self._free_variables(value_expr))
+        # __begin is captured by value (paper §3.1): at any time it must
+        # contain the *start* value even though the loop modifies the
+        # iteration variable.
+        captured.by_value.add(analysis.iter_var.name)
+        return captured
+
+    def _build_value_expr(
+        self,
+        analysis: CanonicalLoopAnalysis,
+        logical_ref: e.Expr,
+        user_ty: QualType,
+    ) -> e.Expr:
+        B = e.BinaryOperatorKind
+        x = self._exprs
+        if isinstance(analysis.loop_stmt, s.CXXForRangeStmt):
+            # Result = *(__begin_start + __i)
+            begin_start = x._copy(analysis.lower_bound)
+            ptr = e.BinaryOperator(
+                B.ADD,
+                begin_start,
+                x._cast_to(logical_ref, self.ctx.ptrdiff_type),
+                begin_start.type,
+            )
+            return e.UnaryOperator(
+                e.UnaryOperatorKind.DEREF,
+                ptr,
+                user_ty,
+                e.ValueCategory.LVALUE,
+            )
+        # Literal for-loop: Result = lb + __i * step
+        var_ty = QualType(desugar(analysis.iter_var.type).type)
+        step = x._copy(analysis.step)
+        if desugar(var_ty).is_pointer():
+            scaled = e.BinaryOperator(
+                B.MUL,
+                x._cast_to(logical_ref, self.ctx.ptrdiff_type),
+                x._cast_to(step, self.ctx.ptrdiff_type),
+                self.ctx.ptrdiff_type,
+            )
+            return e.BinaryOperator(
+                B.ADD, x._copy(analysis.lower_bound), scaled, var_ty
+            )
+        scaled = e.BinaryOperator(
+            B.MUL,
+            x._cast_to(logical_ref, var_ty),
+            x._cast_to(step, var_ty),
+            var_ty,
+        )
+        return e.BinaryOperator(
+            B.ADD,
+            x._cast_to(x._copy(analysis.lower_bound), var_ty),
+            scaled,
+            var_ty,
+        )
+
+    # ------------------------------------------------------------------
+    # 3. User variable reference
+    # ------------------------------------------------------------------
+    def _user_variable_decl(
+        self, analysis: CanonicalLoopAnalysis
+    ) -> VarDecl:
+        if isinstance(analysis.loop_stmt, s.CXXForRangeStmt):
+            return analysis.loop_stmt.loop_variable
+        return analysis.iter_var
+
+    def _user_variable_type(
+        self, analysis: CanonicalLoopAnalysis
+    ) -> QualType:
+        decl = self._user_variable_decl(analysis)
+        canonical = desugar(decl.type)
+        from repro.astlib.types import ReferenceType
+
+        if isinstance(canonical.type, ReferenceType):
+            return canonical.type.pointee
+        return QualType(canonical.type)
+
+    def _build_user_variable_ref(
+        self, analysis: CanonicalLoopAnalysis
+    ) -> e.DeclRefExpr:
+        decl = self._user_variable_decl(analysis)
+        return e.DeclRefExpr(
+            decl,
+            self._user_variable_type(analysis),
+            e.ValueCategory.LVALUE,
+        )
+
+    # ------------------------------------------------------------------
+    def _free_variables(self, expr: e.Expr) -> list[VarDecl]:
+        """Variables referenced by *expr*, i.e. the lambda's captures."""
+        seen: dict[int, VarDecl] = {}
+        for node in expr.walk():
+            if isinstance(node, e.DeclRefExpr) and isinstance(
+                node.decl, VarDecl
+            ) and not isinstance(node.decl, ImplicitParamDecl):
+                seen.setdefault(id(node.decl), node.decl)
+        return list(seen.values())
+
+
+def build_canonical_loop(
+    ctx: ASTContext, analysis: CanonicalLoopAnalysis
+) -> OMPCanonicalLoop:
+    """Wrap an analyzed canonical loop in an ``OMPCanonicalLoop`` node."""
+    return CanonicalLoopBuilder(ctx).build(analysis)

@@ -1,0 +1,5 @@
+"""The compiler driver: a clang-like command line over the pipeline."""
+
+from repro.driver.cli import main
+
+__all__ = ["main"]

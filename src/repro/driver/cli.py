@@ -1,0 +1,206 @@
+"""``miniclang`` — clang-flavoured CLI for the reproduction.
+
+Supported flags (mirroring the clang workflow the paper's listings use)::
+
+    miniclang source.c                 # compile, print IR
+    miniclang -ast-dump source.c       # clang -Xclang -ast-dump
+    miniclang -ast-dump-shadow ...     # dump including shadow AST
+    miniclang -fsyntax-only source.c
+    miniclang -fopenmp ...             # (default on)
+    miniclang -fno-openmp ...
+    miniclang -fopenmp-enable-irbuilder ...   # paper's §3 path
+    miniclang -O ...                   # run the mid-end pipeline
+    miniclang --run [--entry main] ... # compile and execute
+    miniclang -DNAME[=V] -Ipath ...
+    miniclang --num-threads N --run ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.pipeline import CompilationError, compile_source, run_source
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="miniclang",
+        description=(
+            "MiniC compiler reproducing Clang's OpenMP 5.1 loop "
+            "transformation implementation (tile/unroll via shadow AST "
+            "or OMPCanonicalLoop + OpenMPIRBuilder)"
+        ),
+    )
+    parser.add_argument("input", help="C source file ('-' for stdin)")
+    parser.add_argument(
+        "-ast-dump",
+        action="store_true",
+        dest="ast_dump",
+        help="print the AST (clang -Xclang -ast-dump style)",
+    )
+    parser.add_argument(
+        "-ast-dump-shadow",
+        action="store_true",
+        dest="ast_dump_shadow",
+        help="print the AST including shadow (transformed) subtrees",
+    )
+    parser.add_argument(
+        "-fsyntax-only",
+        action="store_true",
+        dest="syntax_only",
+        help="stop after semantic analysis",
+    )
+    parser.add_argument(
+        "-fopenmp",
+        action="store_true",
+        default=True,
+        dest="openmp",
+        help="enable OpenMP (default)",
+    )
+    parser.add_argument(
+        "-fno-openmp",
+        action="store_false",
+        dest="openmp",
+        help="disable OpenMP pragma handling",
+    )
+    parser.add_argument(
+        "-fopenmp-enable-irbuilder",
+        action="store_true",
+        dest="enable_irbuilder",
+        help="use the OMPCanonicalLoop/OpenMPIRBuilder representation "
+        "(paper section 3)",
+    )
+    parser.add_argument(
+        "-O",
+        action="store_true",
+        dest="optimize",
+        help="run the mid-end pass pipeline (incl. LoopUnroll)",
+    )
+    parser.add_argument(
+        "-emit-llvm",
+        action="store_true",
+        default=True,
+        dest="emit_llvm",
+        help="print textual IR (default action)",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="interpret the compiled module",
+    )
+    parser.add_argument("--entry", default="main")
+    parser.add_argument(
+        "--num-threads",
+        type=int,
+        default=4,
+        help="simulated OpenMP team size for --run",
+    )
+    parser.add_argument(
+        "-D",
+        action="append",
+        default=[],
+        dest="defines",
+        metavar="NAME[=VALUE]",
+    )
+    parser.add_argument(
+        "-I",
+        action="append",
+        default=[],
+        dest="include_paths",
+        metavar="DIR",
+    )
+    parser.add_argument(
+        "--function",
+        default=None,
+        help="restrict -ast-dump to one function",
+    )
+    parser.add_argument("-o", dest="output", default=None)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_arg_parser().parse_args(argv)
+    if args.input == "-":
+        source = sys.stdin.read()
+        filename = "<stdin>"
+    else:
+        try:
+            with open(args.input, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as err:
+            print(f"miniclang: error: {err}", file=sys.stderr)
+            return 1
+        filename = args.input
+
+    defines: dict[str, str] = {}
+    for item in args.defines:
+        if "=" in item:
+            name, value = item.split("=", 1)
+        else:
+            name, value = item, "1"
+        defines[name] = value
+
+    if args.run:
+        try:
+            result = run_source(
+                source,
+                entry=args.entry,
+                num_threads=args.num_threads,
+                filename=filename,
+                openmp=args.openmp,
+                enable_irbuilder=args.enable_irbuilder,
+                defines=defines,
+                optimize=args.optimize,
+            )
+        except CompilationError as err:
+            print(err.diagnostics_text, file=sys.stderr)
+            return 1
+        sys.stdout.write(result.stdout)
+        code = result.exit_code
+        return int(code) & 0xFF if isinstance(code, int) else 0
+
+    try:
+        result = compile_source(
+            source,
+            filename=filename,
+            openmp=args.openmp,
+            enable_irbuilder=args.enable_irbuilder,
+            syntax_only=args.syntax_only
+            or args.ast_dump
+            or args.ast_dump_shadow,
+            defines=defines,
+            include_paths=args.include_paths,
+        )
+    except CompilationError as err:
+        print(err.diagnostics_text, file=sys.stderr)
+        return 1
+
+    warnings = result.diagnostics.render_all()
+    if warnings:
+        print(warnings, file=sys.stderr)
+
+    output_text = ""
+    if args.ast_dump or args.ast_dump_shadow:
+        output_text = result.ast_dump(
+            function=args.function,
+            dump_shadow=args.ast_dump_shadow,
+        )
+    elif not args.syntax_only:
+        if args.optimize and result.module is not None:
+            from repro.midend import default_pass_pipeline
+
+            default_pass_pipeline().run(result.module)
+        output_text = result.ir_text()
+
+    if output_text:
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(output_text + "\n")
+        else:
+            print(output_text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""IR interpreter: executes :class:`repro.ir.Module` programs.
+
+Stands in for the CPU so the reproduction can *run* compiled programs and
+check the semantic-equivalence claims (original loop vs shadow-AST
+transformed vs OpenMPIRBuilder-generated).  Key properties:
+
+* flat byte-addressable memory with C layout (LP64),
+* a *stepping* execution engine: one instruction per :meth:`step` call,
+  which lets the simulated OpenMP runtime interleave team threads
+  deterministically (round-robin) and implement real barriers,
+* native hooks for the ``__kmpc_*`` runtime (:mod:`repro.runtime`) and a
+  small libc subset (printf, abort, malloc, ...).
+"""
+
+from repro.interp.memory import Memory, MemoryError_
+from repro.interp.interpreter import (
+    ExecutionContext,
+    Interpreter,
+    InterpreterError,
+    Trap,
+)
+
+__all__ = [
+    "ExecutionContext",
+    "Interpreter",
+    "InterpreterError",
+    "Memory",
+    "MemoryError_",
+    "Trap",
+]

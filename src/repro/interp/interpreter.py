@@ -1,0 +1,632 @@
+"""The stepping IR interpreter.
+
+``ExecutionContext`` is one logical thread: a call stack of frames plus a
+``step()`` method executing exactly one instruction.  The top-level
+:class:`Interpreter` owns memory, globals and the native-function registry
+(the simulated OpenMP runtime and a libc subset); the runtime's thread
+teams are additional ``ExecutionContext`` instances stepped round-robin by
+``__kmpc_fork_call`` (see :mod:`repro.runtime.kmp`).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional
+
+from repro.interp.memory import Memory, MemoryError_
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BinOp,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CastOp,
+    CondBranchInst,
+    FCmpInst,
+    FCmpPred,
+    GEPInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    IRType,
+    PointerType,
+    StructType,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class InterpreterError(Exception):
+    pass
+
+
+class Trap(Exception):
+    """Guest program trap (abort, unreachable, assertion failure)."""
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    BARRIER = "barrier"
+    DONE = "done"
+
+
+#: Sentinel a native may return to indicate "retry this call on the next
+#: step" (used to implement spinlocks for `critical` under deterministic
+#: round-robin interleaving).
+RETRY = object()
+
+
+class Frame:
+    def __init__(self, fn: Function, args: list[Any], stack_mark: int):
+        self.fn = fn
+        self.block: BasicBlock = fn.entry_block
+        self.prev_block: BasicBlock | None = None
+        self.index = 0
+        self.registers: dict[int, Any] = {}
+        for formal, actual in zip(fn.args, args):
+            self.registers[id(formal)] = actual
+        self.stack_mark = stack_mark
+        #: set by Call handling: instruction waiting for a return value
+        self.pending_call: Instruction | None = None
+
+
+class ExecutionContext:
+    """One logical thread of execution."""
+
+    #: default per-thread stack size (bytes)
+    STACK_SIZE = 1 << 19
+
+    def __init__(
+        self,
+        interp: "Interpreter",
+        fn: Function,
+        args: list[Any],
+        thread_id: int = 0,
+        stack_size: int | None = None,
+    ) -> None:
+        self.interp = interp
+        self.stack: list[Frame] = []
+        self.state = ThreadState.RUNNABLE
+        self.return_value: Any = None
+        self.thread_id = thread_id
+        #: global thread number (OpenMP gtid); set by the runtime
+        self.gtid = thread_id
+        #: the runtime team this context belongs to (None when serial)
+        self.team = None
+        # Each logical thread gets its own stack region so interleaved
+        # frame pushes/pops cannot corrupt each other.
+        size = stack_size or self.STACK_SIZE
+        self.stack_base = interp.memory.allocate(size)
+        self.stack_end = self.stack_base + size
+        self.stack_ptr = self.stack_base
+        self._push_frame(fn, args)
+
+    def stack_alloc(self, size: int, align: int = 8) -> int:
+        addr = (self.stack_ptr + align - 1) // align * align
+        if addr + size > self.stack_end:
+            raise InterpreterError("guest stack overflow")
+        self.stack_ptr = addr + max(1, size)
+        return addr
+
+    # ------------------------------------------------------------------
+    def _push_frame(self, fn: Function, args: list[Any]) -> None:
+        if fn.is_declaration:
+            raise InterpreterError(
+                f"call to undefined function @{fn.name}"
+            )
+        self.stack.append(Frame(fn, args, self.stack_ptr))
+
+    @property
+    def frame(self) -> Frame:
+        return self.stack[-1]
+
+    @property
+    def done(self) -> bool:
+        return self.state == ThreadState.DONE
+
+    # ------------------------------------------------------------------
+    # Value resolution
+    # ------------------------------------------------------------------
+    def value_of(self, v: Value) -> Any:
+        if isinstance(v, ConstantInt):
+            return v.value
+        if isinstance(v, ConstantFP):
+            return v.value
+        if isinstance(v, ConstantPointerNull):
+            return 0
+        if isinstance(v, UndefValue):
+            return 0
+        if isinstance(v, Function):
+            return self.interp.memory.address_of_function(v)
+        if isinstance(v, GlobalVariable):
+            return self.interp.global_address(v)
+        if isinstance(v, (Instruction, Argument)):
+            try:
+                return self.frame.registers[id(v)]
+            except KeyError:
+                raise InterpreterError(
+                    f"use of value %{v.name} before definition in "
+                    f"@{self.frame.fn.name}"
+                )
+        raise InterpreterError(f"cannot evaluate {v!r}")
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction (or finish a pending native call)."""
+        if self.state != ThreadState.RUNNABLE:
+            return
+        frame = self.frame
+        if frame.index >= len(frame.block.instructions):
+            raise InterpreterError(
+                f"fell off the end of block {frame.block.name}"
+            )
+        inst = frame.block.instructions[frame.index]
+        self.interp.instruction_count += 1
+        self._execute(inst)
+
+    def run_to_completion(self, fuel: int | None = None) -> Any:
+        """Step until done (used for single-threaded execution and inside
+        native calls).  Returns the top-level return value."""
+        budget = fuel if fuel is not None else self.interp.default_fuel
+        while not self.done:
+            if self.state == ThreadState.BARRIER:
+                # Single-threaded contexts pass barriers trivially.
+                self.state = ThreadState.RUNNABLE
+            self.step()
+            budget -= 1
+            if budget <= 0:
+                raise InterpreterError(
+                    "execution fuel exhausted (infinite loop?)"
+                )
+        return self.return_value
+
+    # ------------------------------------------------------------------
+    def _jump(self, target: BasicBlock) -> None:
+        frame = self.frame
+        frame.prev_block = frame.block
+        frame.block = target
+        frame.index = 0
+        # Resolve all phis of the target atomically (parallel copy).
+        phis = []
+        for inst in target.instructions:
+            if isinstance(inst, PhiInst):
+                phis.append(inst)
+            else:
+                break
+        if phis:
+            values = []
+            for phi in phis:
+                incoming = phi.incoming_for(frame.prev_block)
+                if incoming is None:
+                    raise InterpreterError(
+                        f"phi %{phi.name} has no incoming for "
+                        f"{frame.prev_block.name}"
+                    )
+                values.append(self.value_of(incoming))
+            for phi, value in zip(phis, values):
+                frame.registers[id(phi)] = value
+            frame.index = len(phis)
+
+    def _set(self, inst: Instruction, value: Any) -> None:
+        self.frame.registers[id(inst)] = value
+        self.frame.index += 1
+
+    def _return(self, value: Any) -> None:
+        frame = self.stack.pop()
+        self.stack_ptr = frame.stack_mark
+        if not self.stack:
+            self.return_value = value
+            self.state = ThreadState.DONE
+            return
+        caller = self.frame
+        call_inst = caller.block.instructions[caller.index]
+        assert isinstance(call_inst, CallInst)
+        if not call_inst.type.is_void:
+            caller.registers[id(call_inst)] = value
+        caller.index += 1
+
+    # ------------------------------------------------------------------
+    # Instruction semantics
+    # ------------------------------------------------------------------
+    def _execute(self, inst: Instruction) -> None:
+        mem = self.interp.memory
+        if isinstance(inst, BinaryInst):
+            self._set(inst, self._binop(inst))
+        elif isinstance(inst, ICmpInst):
+            self._set(inst, self._icmp(inst))
+        elif isinstance(inst, FCmpInst):
+            self._set(inst, self._fcmp(inst))
+        elif isinstance(inst, CastInst):
+            self._set(inst, self._cast(inst))
+        elif isinstance(inst, AllocaInst):
+            count = (
+                self.value_of(inst.array_size)
+                if inst.array_size is not None
+                else 1
+            )
+            size = inst.allocated_type.size_bytes() * max(1, count)
+            addr = self.stack_alloc(size)
+            mem.zero(addr, size)
+            self._set(inst, addr)
+        elif isinstance(inst, LoadInst):
+            addr = self.value_of(inst.pointer)
+            self._set(inst, mem.load(inst.type, addr))
+        elif isinstance(inst, StoreInst):
+            addr = self.value_of(inst.pointer)
+            mem.store(
+                inst.value.type, addr, self.value_of(inst.value)
+            )
+            self.frame.index += 1
+        elif isinstance(inst, GEPInst):
+            self._set(inst, self._gep(inst))
+        elif isinstance(inst, BranchInst):
+            self._jump(inst.target)
+        elif isinstance(inst, CondBranchInst):
+            cond = self.value_of(inst.condition)
+            self._jump(
+                inst.true_block if cond else inst.false_block
+            )
+        elif isinstance(inst, SwitchInst):
+            value = self.value_of(inst.condition)
+            ty = inst.condition.type
+            signed = (
+                ty.to_signed(value) if isinstance(ty, IntType) else value
+            )
+            for case_value, target in inst.cases:
+                if case_value == signed:
+                    self._jump(target)
+                    return
+            self._jump(inst.default)
+        elif isinstance(inst, ReturnInst):
+            self._return(
+                self.value_of(inst.value)
+                if inst.value is not None
+                else None
+            )
+        elif isinstance(inst, UnreachableInst):
+            raise Trap("reached 'unreachable' instruction")
+        elif isinstance(inst, SelectInst):
+            cond = self.value_of(inst.condition)
+            self._set(
+                inst,
+                self.value_of(
+                    inst.true_value if cond else inst.false_value
+                ),
+            )
+        elif isinstance(inst, PhiInst):
+            raise InterpreterError(
+                "phi encountered outside block entry"
+            )
+        elif isinstance(inst, CallInst):
+            self._call(inst)
+        else:
+            raise InterpreterError(
+                f"unhandled instruction {type(inst).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    def _binop(self, inst: BinaryInst) -> Any:
+        op = inst.op
+        lhs = self.value_of(inst.lhs)
+        rhs = self.value_of(inst.rhs)
+        if op.is_float_op:
+            if op == BinOp.FADD:
+                return lhs + rhs
+            if op == BinOp.FSUB:
+                return lhs - rhs
+            if op == BinOp.FMUL:
+                return lhs * rhs
+            if op == BinOp.FDIV:
+                if rhs == 0.0:
+                    return float("inf") if lhs > 0 else float("-inf") if lhs < 0 else float("nan")
+                return lhs / rhs
+            if op == BinOp.FREM:
+                import math
+
+                return math.fmod(lhs, rhs) if rhs != 0 else float("nan")
+        ty = inst.type
+        assert isinstance(ty, IntType)
+        sa, sb = ty.to_signed(lhs), ty.to_signed(rhs)
+        if op == BinOp.ADD:
+            return ty.wrap(lhs + rhs)
+        if op == BinOp.SUB:
+            return ty.wrap(lhs - rhs)
+        if op == BinOp.MUL:
+            return ty.wrap(lhs * rhs)
+        if op == BinOp.UDIV:
+            if rhs == 0:
+                raise Trap("division by zero")
+            return lhs // rhs
+        if op == BinOp.SDIV:
+            if rhs == 0:
+                raise Trap("division by zero")
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            return ty.wrap(q)
+        if op == BinOp.UREM:
+            if rhs == 0:
+                raise Trap("division by zero")
+            return lhs % rhs
+        if op == BinOp.SREM:
+            if rhs == 0:
+                raise Trap("division by zero")
+            q = abs(sa) // abs(sb)
+            if (sa < 0) != (sb < 0):
+                q = -q
+            return ty.wrap(sa - q * sb)
+        if op == BinOp.AND:
+            return lhs & rhs
+        if op == BinOp.OR:
+            return lhs | rhs
+        if op == BinOp.XOR:
+            return lhs ^ rhs
+        if op == BinOp.SHL:
+            return ty.wrap(lhs << (rhs % ty.bits))
+        if op == BinOp.LSHR:
+            return lhs >> (rhs % ty.bits)
+        if op == BinOp.ASHR:
+            return ty.wrap(sa >> (rhs % ty.bits))
+        raise InterpreterError(f"unhandled binop {op}")
+
+    def _icmp(self, inst: ICmpInst) -> int:
+        lhs = self.value_of(inst.lhs)
+        rhs = self.value_of(inst.rhs)
+        pred = inst.pred
+        ty = inst.lhs.type
+        if pred.is_signed and isinstance(ty, IntType):
+            lhs, rhs = ty.to_signed(lhs), ty.to_signed(rhs)
+        result = {
+            ICmpPred.EQ: lhs == rhs,
+            ICmpPred.NE: lhs != rhs,
+            ICmpPred.SLT: lhs < rhs,
+            ICmpPred.SLE: lhs <= rhs,
+            ICmpPred.SGT: lhs > rhs,
+            ICmpPred.SGE: lhs >= rhs,
+            ICmpPred.ULT: lhs < rhs,
+            ICmpPred.ULE: lhs <= rhs,
+            ICmpPred.UGT: lhs > rhs,
+            ICmpPred.UGE: lhs >= rhs,
+        }[pred]
+        return int(result)
+
+    def _fcmp(self, inst: FCmpInst) -> int:
+        lhs = self.value_of(inst.lhs)
+        rhs = self.value_of(inst.rhs)
+        result = {
+            FCmpPred.OEQ: lhs == rhs,
+            FCmpPred.ONE: lhs != rhs,
+            FCmpPred.OLT: lhs < rhs,
+            FCmpPred.OLE: lhs <= rhs,
+            FCmpPred.OGT: lhs > rhs,
+            FCmpPred.OGE: lhs >= rhs,
+        }[inst.pred]
+        return int(result)
+
+    def _cast(self, inst: CastInst) -> Any:
+        value = self.value_of(inst.value)
+        op = inst.op
+        src_ty = inst.value.type
+        dst_ty = inst.type
+        if op == CastOp.TRUNC:
+            assert isinstance(dst_ty, IntType)
+            return dst_ty.wrap(value)
+        if op == CastOp.ZEXT:
+            return value
+        if op == CastOp.SEXT:
+            assert isinstance(src_ty, IntType) and isinstance(
+                dst_ty, IntType
+            )
+            return dst_ty.wrap(src_ty.to_signed(value))
+        if op == CastOp.FPTOSI:
+            assert isinstance(dst_ty, IntType)
+            return dst_ty.wrap(int(value))
+        if op == CastOp.FPTOUI:
+            assert isinstance(dst_ty, IntType)
+            return dst_ty.wrap(int(value))
+        if op == CastOp.SITOFP:
+            assert isinstance(src_ty, IntType)
+            result = float(src_ty.to_signed(value))
+            if isinstance(dst_ty, FloatType) and dst_ty.bits == 32:
+                import struct as _s
+
+                result = _s.unpack("f", _s.pack("f", result))[0]
+            return result
+        if op == CastOp.UITOFP:
+            result = float(value)
+            if isinstance(dst_ty, FloatType) and dst_ty.bits == 32:
+                import struct as _s
+
+                result = _s.unpack("f", _s.pack("f", result))[0]
+            return result
+        if op in (CastOp.FPEXT, CastOp.FPTRUNC):
+            if isinstance(dst_ty, FloatType) and dst_ty.bits == 32:
+                import struct as _s
+
+                return _s.unpack("f", _s.pack("f", value))[0]
+            return float(value)
+        if op in (CastOp.PTRTOINT, CastOp.INTTOPTR, CastOp.BITCAST):
+            if isinstance(dst_ty, IntType):
+                return dst_ty.wrap(int(value))
+            return value
+        raise InterpreterError(f"unhandled cast {op}")
+
+    def _gep(self, inst: GEPInst) -> int:
+        addr = self.value_of(inst.pointer)
+        ty: IRType = inst.element_type
+        indices = [self.value_of(i) for i in inst.indices]
+        # First index scales by the element type as a whole.
+        first = indices[0]
+        idx_ty = inst.indices[0].type
+        if isinstance(idx_ty, IntType):
+            first = idx_ty.to_signed(first)
+        addr += first * ty.size_bytes()
+        for raw, idx_val in zip(inst.indices[1:], indices[1:]):
+            if isinstance(ty, StructType):
+                addr += ty.offset_of(idx_val)
+                ty = ty.elements[idx_val]
+            elif isinstance(ty, ArrayType):
+                signed = idx_val
+                if isinstance(raw.type, IntType):
+                    signed = raw.type.to_signed(idx_val)
+                addr += signed * ty.element.size_bytes()
+                ty = ty.element
+            else:
+                raise InterpreterError(
+                    f"gep into non-aggregate type {ty}"
+                )
+        return addr
+
+    # ------------------------------------------------------------------
+    def _call(self, inst: CallInst) -> None:
+        callee = inst.callee
+        fn: Function | None = None
+        if isinstance(callee, Function):
+            fn = callee
+        else:
+            addr = self.value_of(callee)
+            fn = self.interp.memory.function_at(addr)
+            if fn is None:
+                raise Trap(
+                    f"indirect call to invalid address {addr:#x}"
+                )
+        args = [self.value_of(a) for a in inst.args]
+        native = self.interp.native_for(fn)
+        if native is not None:
+            # Natives see C-signed integer values (the interpreter's
+            # register representation is the unsigned bit pattern).
+            native_args = [
+                a.type.to_signed(value)
+                if isinstance(a.type, IntType) and a.type.bits > 1
+                else value
+                for a, value in zip(inst.args, args)
+            ]
+            result = native(self.interp, self, native_args)
+            if result is RETRY:
+                return  # spin: re-execute this call on the next step
+            if not inst.type.is_void:
+                self.frame.registers[id(inst)] = result
+            self.frame.index += 1
+            return
+        self._push_frame(fn, args)
+
+
+class Interpreter:
+    """Owns a module instance: memory, globals, natives, entry points."""
+
+    def __init__(
+        self,
+        module: Module,
+        memory_size: int = 1 << 22,
+        default_fuel: int = 50_000_000,
+    ) -> None:
+        self.module = module
+        self.memory = Memory(memory_size)
+        self.default_fuel = default_fuel
+        self.instruction_count = 0
+        self.stdout: list[str] = []
+        self._global_addresses: dict[int, int] = {}
+        self._natives: dict[str, Callable] = {}
+        self._install_default_natives()
+        self._initialize_globals()
+        #: simulated OpenMP runtime state (created lazily)
+        from repro.runtime.kmp import OpenMPRuntime
+
+        self.omp = OpenMPRuntime(self)
+        self.omp.install(self)
+
+    # ------------------------------------------------------------------
+    def _initialize_globals(self) -> None:
+        for gv in self.module.globals.values():
+            size = gv.value_type.size_bytes()
+            if gv.initializer_bytes is not None:
+                size = max(size, len(gv.initializer_bytes))
+            addr = self.memory.allocate(size)
+            self.memory.zero(addr, size)
+            if gv.initializer_bytes is not None:
+                self.memory.write_bytes(addr, gv.initializer_bytes)
+            elif gv.initializer is not None:
+                if isinstance(gv.initializer, (ConstantInt, ConstantFP)):
+                    self.memory.store(
+                        gv.initializer.type,
+                        addr,
+                        gv.initializer.value,
+                    )
+            self._global_addresses[id(gv)] = addr
+
+    def global_address(self, gv: GlobalVariable) -> int:
+        addr = self._global_addresses.get(id(gv))
+        if addr is None:
+            raise InterpreterError(f"unknown global @{gv.name}")
+        return addr
+
+    # ------------------------------------------------------------------
+    # Natives
+    # ------------------------------------------------------------------
+    def register_native(
+        self, name: str, impl: Callable
+    ) -> None:
+        self._natives[name] = impl
+
+    def native_for(self, fn: Function) -> Callable | None:
+        if fn.native_impl is not None:
+            return fn.native_impl
+        if fn.is_declaration:
+            native = self._natives.get(fn.name)
+            if native is None:
+                raise InterpreterError(
+                    f"call to undefined external function @{fn.name}"
+                )
+            return native
+        return None
+
+    def _install_default_natives(self) -> None:
+        from repro.interp.native import install_libc
+
+        install_libc(self)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def create_context(
+        self, fn_name: str, args: list[Any] | None = None
+    ) -> ExecutionContext:
+        fn = self.module.get_function(fn_name)
+        if fn is None:
+            raise InterpreterError(f"no function @{fn_name}")
+        return ExecutionContext(self, fn, args or [])
+
+    def run(
+        self,
+        fn_name: str = "main",
+        args: list[Any] | None = None,
+        fuel: int | None = None,
+    ) -> Any:
+        ctx = self.create_context(fn_name, args)
+        return ctx.run_to_completion(fuel)
+
+    def output(self) -> str:
+        return "".join(self.stdout)

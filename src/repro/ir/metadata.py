@@ -1,0 +1,112 @@
+"""Loop metadata (``llvm.loop.*``).
+
+The shadow-AST unroll implementation does not duplicate any code in the
+front-end: it attaches ``llvm.loop.unroll.count`` metadata to the loop (via
+``LoopHintAttr``) and the mid-end ``LoopUnroll`` pass performs the
+expansion (paper §2.1/§2.2).  As in LLVM, the metadata node is attached to
+the loop latch's branch instruction under the ``llvm.loop`` key.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+_md_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class MDString:
+    text: str
+
+    def __str__(self) -> str:
+        return f'!"{self.text}"'
+
+
+class MDNode:
+    """A metadata tuple; ``distinct`` nodes get a unique identity (loop
+    IDs must be distinct so transformed loops are distinguishable)."""
+
+    def __init__(
+        self,
+        operands: Sequence[Union["MDNode", MDString, int, None]] = (),
+        distinct: bool = False,
+    ) -> None:
+        self.operands = list(operands)
+        self.distinct = distinct
+        self.id = next(_md_ids)
+
+    def __str__(self) -> str:
+        inner = ", ".join(
+            str(op) if op is not None else "null" for op in self.operands
+        )
+        prefix = "distinct " if self.distinct else ""
+        return f"{prefix}!{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"<MDNode !{self.id}>"
+
+
+# ---------------------------------------------------------------------------
+# llvm.loop helpers
+# ---------------------------------------------------------------------------
+UNROLL_COUNT = "llvm.loop.unroll.count"
+UNROLL_ENABLE = "llvm.loop.unroll.enable"
+UNROLL_FULL = "llvm.loop.unroll.full"
+UNROLL_DISABLE = "llvm.loop.unroll.disable"
+MUSTPROGRESS = "llvm.loop.mustprogress"
+
+
+def loop_metadata(
+    unroll_count: int | None = None,
+    unroll_enable: bool = False,
+    unroll_full: bool = False,
+    unroll_disable: bool = False,
+    extra: Sequence[MDNode] = (),
+) -> MDNode:
+    """Build a distinct ``llvm.loop`` metadata node.
+
+    Matches LLVM's convention: the first operand is a self-reference (the
+    loop ID), followed by property nodes.
+    """
+    node = MDNode([], distinct=True)
+    node.operands.append(node)  # self-referential loop id
+    if unroll_count is not None:
+        node.operands.append(
+            MDNode([MDString(UNROLL_COUNT), unroll_count])
+        )
+    if unroll_enable:
+        node.operands.append(MDNode([MDString(UNROLL_ENABLE)]))
+    if unroll_full:
+        node.operands.append(MDNode([MDString(UNROLL_FULL)]))
+    if unroll_disable:
+        node.operands.append(MDNode([MDString(UNROLL_DISABLE)]))
+    node.operands.extend(extra)
+    return node
+
+
+def _find_property(md: MDNode, name: str) -> MDNode | None:
+    for op in md.operands[1:]:
+        if (
+            isinstance(op, MDNode)
+            and op.operands
+            and isinstance(op.operands[0], MDString)
+            and op.operands[0].text == name
+        ):
+            return op
+    return None
+
+
+def get_unroll_count(md: MDNode) -> int | None:
+    """Read ``llvm.loop.unroll.count`` from a loop metadata node."""
+    prop = _find_property(md, UNROLL_COUNT)
+    if prop is not None and len(prop.operands) >= 2:
+        value = prop.operands[1]
+        if isinstance(value, int):
+            return value
+    return None
+
+
+def has_flag(md: MDNode, name: str) -> bool:
+    return _find_property(md, name) is not None

@@ -1,0 +1,135 @@
+"""IR surgery utilities shared by the OpenMPIRBuilder and mid-end passes."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Instruction, PhiInst
+from repro.ir.module import BasicBlock, Function
+from repro.ir.values import Value
+
+
+def replace_all_uses(fn: Function, old: Value, new: Value) -> int:
+    """Replace every operand use of *old* with *new* in *fn*.
+
+    Returns the number of instructions updated.  (Our IR keeps no use
+    lists; a full scan is O(instructions), fine at this scale.)
+    """
+    count = 0
+    for inst in fn.instructions():
+        if inst is new:
+            continue
+        if any(op is old for op in inst.operands()):
+            inst.replace_operand(old, new)
+            count += 1
+    return count
+
+
+def reachable_blocks(fn: Function) -> set[int]:
+    """ids of blocks reachable from the entry block."""
+    if not fn.blocks:
+        return set()
+    seen: set[int] = set()
+    stack = [fn.entry_block]
+    while stack:
+        block = stack.pop()
+        if id(block) in seen:
+            continue
+        seen.add(id(block))
+        stack.extend(block.successors())
+    return seen
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Delete blocks not reachable from entry; fix up phis of survivors.
+
+    Returns the number of blocks removed.
+    """
+    reachable = reachable_blocks(fn)
+    dead = [b for b in fn.blocks if id(b) not in reachable]
+    if not dead:
+        return 0
+    dead_ids = {id(b) for b in dead}
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        for phi in block.phis():
+            phi.incoming = [
+                (v, b) for v, b in phi.incoming if id(b) not in dead_ids
+            ]
+    for block in dead:
+        fn.remove_block(block)
+    return len(dead)
+
+
+def redirect_branch(
+    block: BasicBlock, old_target: BasicBlock, new_target: BasicBlock
+) -> bool:
+    """Retarget *block*'s terminator edges from *old_target* to
+    *new_target*; updates phis in both targets.  Returns whether any edge
+    changed."""
+    term = block.terminator
+    if term is None:
+        return False
+    changed = False
+    from repro.ir.instructions import (
+        BranchInst,
+        CondBranchInst,
+        SwitchInst,
+    )
+
+    if isinstance(term, BranchInst) and term.target is old_target:
+        term.target = new_target
+        changed = True
+    elif isinstance(term, CondBranchInst):
+        if term.true_block is old_target:
+            term.true_block = new_target
+            changed = True
+        if term.false_block is old_target:
+            term.false_block = new_target
+            changed = True
+    elif isinstance(term, SwitchInst):
+        if term.default is old_target:
+            term.default = new_target
+            changed = True
+        new_cases = []
+        for value, target in term.cases:
+            if target is old_target:
+                target = new_target
+                changed = True
+            new_cases.append((value, target))
+        term.cases = new_cases
+    if changed:
+        for phi in old_target.phis():
+            phi.incoming = [
+                (v, b) for v, b in phi.incoming if b is not block
+            ]
+        for phi in new_target.phis():
+            # The caller is responsible for adding correct incoming
+            # values for the new edge when the target has phis.
+            pass
+    return changed
+
+
+def split_block_before(
+    fn: Function, inst: Instruction, name: str = "split"
+) -> BasicBlock:
+    """Split *inst*'s block before *inst*; the new block receives *inst*
+    and everything after it.  The original block gets an unconditional
+    branch to the new block.  Returns the new block."""
+    from repro.ir.instructions import BranchInst
+
+    block = inst.parent
+    assert block is not None and block.parent is fn
+    idx = block.instructions.index(inst)
+    new_block = fn.append_block(name, after=block)
+    moved = block.instructions[idx:]
+    del block.instructions[idx:]
+    for m in moved:
+        new_block.append(m)
+    br = BranchInst(new_block)
+    block.append(br)
+    # Phis in successors that referenced `block` must now reference the
+    # new block (it owns the terminator that reaches them).
+    for succ in new_block.successors():
+        for phi in succ.phis():
+            phi.replace_incoming_block(block, new_block)
+    return new_block

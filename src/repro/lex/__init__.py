@@ -1,0 +1,13 @@
+"""Lexer layer (paper Fig. 1): characters -> :class:`Token` stream.
+
+As in Clang, the lexer is *raw*: it knows nothing about macros or pragmas
+beyond tokenizing them; ``#`` directives and ``#pragma omp`` handling live
+in :mod:`repro.preprocessor`, which turns OpenMP pragmas into the
+``ANNOT_PRAGMA_OPENMP`` ... ``ANNOT_PRAGMA_OPENMP_END`` annotation-token
+sandwich the parser consumes.
+"""
+
+from repro.lex.tokens import KEYWORDS, Token, TokenKind
+from repro.lex.lexer import Lexer, LexerError
+
+__all__ = ["KEYWORDS", "Lexer", "LexerError", "Token", "TokenKind"]

@@ -1,0 +1,299 @@
+"""The raw lexer: one :class:`MemoryBuffer` -> :class:`Token` stream.
+
+Design notes (mirroring clang's ``Lexer``):
+
+* The lexer is a pull interface — :meth:`Lexer.lex` returns the next token;
+  the Preprocessor drives it (paper Fig. 1: the parser pulls tokens through
+  the layers below).
+* Comments and whitespace are skipped but recorded on the next token via the
+  ``has_leading_space`` / ``at_line_start`` flags.
+* Line splices (backslash-newline) are handled, which matters for multi-line
+  ``#pragma omp`` directives.
+* In *keep_comments* mode comments could be returned as tokens; we only need
+  the skip behaviour here.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticsEngine, Severity
+from repro.lex.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
+from repro.sourcemgr.location import SourceLocation
+from repro.sourcemgr.source_manager import FileID, SourceManager
+
+_IDENT_START = set(
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$"
+)
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+_HORIZONTAL_WS = " \t\f\v"
+
+
+class LexerError(Exception):
+    """Raised on unrecoverable lexical errors (e.g. unterminated string)."""
+
+
+class Lexer:
+    """Tokenizes a single buffer.
+
+    Parameters
+    ----------
+    source_manager / fid:
+        Identify the buffer and let the lexer mint real
+        :class:`SourceLocation` values.
+    diags:
+        Errors (unterminated literals, stray characters) are reported here.
+    keywords_enabled:
+        When ``False`` all keywords lex as plain identifiers — used when
+        re-lexing pragma bodies where e.g. ``for`` is an OpenMP directive
+        name, not the C keyword (the preprocessor does this).
+    """
+
+    def __init__(
+        self,
+        source_manager: SourceManager,
+        fid: FileID,
+        diags: DiagnosticsEngine,
+        keywords_enabled: bool = True,
+    ) -> None:
+        self.sm = source_manager
+        self.fid = fid
+        self.diags = diags
+        self.keywords_enabled = keywords_enabled
+        self.buffer = source_manager.get_buffer(fid)
+        self.text = self.buffer.text
+        self.pos = 0
+        self._at_line_start = True
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _loc(self, offset: int | None = None) -> SourceLocation:
+        return self.sm.get_loc_for_offset(
+            self.fid, self.pos if offset is None else offset
+        )
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self.pos + ahead
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    # ------------------------------------------------------------------
+    # Whitespace / comments
+    # ------------------------------------------------------------------
+    def _skip_trivia(self) -> bool:
+        """Skip whitespace, comments and line splices.
+
+        Returns whether any horizontal space was skipped (for the
+        ``has_leading_space`` flag); newline skipping sets
+        ``self._at_line_start``.
+        """
+        skipped_space = False
+        text, n = self.text, len(self.text)
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in _HORIZONTAL_WS:
+                self.pos += 1
+                skipped_space = True
+            elif ch == "\n" or ch == "\r":
+                self.pos += 1
+                self._at_line_start = True
+                skipped_space = True
+            elif ch == "\\" and self.pos + 1 < n and text[self.pos + 1] in "\r\n":
+                # Line splice: backslash-newline vanishes entirely.
+                self.pos += 2
+                if (
+                    text[self.pos - 1] == "\r"
+                    and self.pos < n
+                    and text[self.pos] == "\n"
+                ):
+                    self.pos += 1
+                skipped_space = True
+            elif ch == "/" and self.pos + 1 < n:
+                nxt = text[self.pos + 1]
+                if nxt == "/":
+                    while self.pos < n and text[self.pos] != "\n":
+                        self.pos += 1
+                    skipped_space = True
+                elif nxt == "*":
+                    end = text.find("*/", self.pos + 2)
+                    if end == -1:
+                        self.diags.report(
+                            Severity.ERROR,
+                            "unterminated /* comment",
+                            self._loc(),
+                        )
+                        self.pos = n
+                    else:
+                        if "\n" in text[self.pos : end]:
+                            self._at_line_start = True
+                        self.pos = end + 2
+                    skipped_space = True
+                else:
+                    break
+            else:
+                break
+        return skipped_space
+
+    # ------------------------------------------------------------------
+    # Token producers
+    # ------------------------------------------------------------------
+    def lex(self) -> Token:
+        """Return the next token (EOF token at end of buffer)."""
+        leading_space = self._skip_trivia()
+        at_line_start = self._at_line_start
+        if self.at_end():
+            return Token(
+                TokenKind.EOF,
+                "",
+                self._loc(),
+                at_line_start=at_line_start,
+                has_leading_space=leading_space,
+            )
+        self._at_line_start = False
+        start = self.pos
+        ch = self.text[self.pos]
+
+        if ch in _IDENT_START:
+            tok = self._lex_identifier()
+        elif ch in _DIGITS or (
+            ch == "." and self._peek(1) in _DIGITS
+        ):
+            tok = self._lex_number()
+        elif ch == '"':
+            tok = self._lex_string()
+        elif ch == "'":
+            tok = self._lex_char()
+        else:
+            tok = self._lex_punctuator()
+
+        tok.at_line_start = at_line_start
+        tok.has_leading_space = leading_space
+        tok.location = self._loc(start)
+        return tok
+
+    def _lex_identifier(self) -> Token:
+        start = self.pos
+        text, n = self.text, len(self.text)
+        while self.pos < n and text[self.pos] in _IDENT_CONT:
+            self.pos += 1
+        spelling = text[start : self.pos]
+        if self.keywords_enabled and spelling in KEYWORDS:
+            return Token(KEYWORDS[spelling], spelling)
+        return Token(TokenKind.IDENTIFIER, spelling)
+
+    def _lex_number(self) -> Token:
+        """Lex a pp-number: integers (dec/oct/hex with suffixes) and floats.
+
+        Like clang we lex the *maximal munch* of the pp-number grammar and
+        leave validation to the literal parser in Sema.
+        """
+        start = self.pos
+        text, n = self.text, len(self.text)
+        self.pos += 1
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch in _IDENT_CONT or ch == ".":
+                self.pos += 1
+            elif ch in "+-" and text[self.pos - 1] in "eEpP":
+                self.pos += 1
+            else:
+                break
+        return Token(TokenKind.NUMERIC_CONSTANT, text[start : self.pos])
+
+    def _lex_string(self) -> Token:
+        start = self.pos
+        text, n = self.text, len(self.text)
+        self.pos += 1  # opening quote
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                self.pos += 2
+                continue
+            if ch == '"':
+                self.pos += 1
+                return Token(
+                    TokenKind.STRING_LITERAL, text[start : self.pos]
+                )
+            if ch == "\n":
+                break
+            self.pos += 1
+        self.diags.report(
+            Severity.ERROR, "unterminated string literal", self._loc(start)
+        )
+        return Token(TokenKind.UNKNOWN, text[start : self.pos])
+
+    def _lex_char(self) -> Token:
+        start = self.pos
+        text, n = self.text, len(self.text)
+        self.pos += 1
+        while self.pos < n:
+            ch = text[self.pos]
+            if ch == "\\" and self.pos + 1 < n:
+                self.pos += 2
+                continue
+            if ch == "'":
+                self.pos += 1
+                return Token(
+                    TokenKind.CHAR_CONSTANT, text[start : self.pos]
+                )
+            if ch == "\n":
+                break
+            self.pos += 1
+        self.diags.report(
+            Severity.ERROR,
+            "unterminated character constant",
+            self._loc(start),
+        )
+        return Token(TokenKind.UNKNOWN, text[start : self.pos])
+
+    def _lex_punctuator(self) -> Token:
+        text = self.text
+        for length in (3, 2, 1):
+            cand = text[self.pos : self.pos + length]
+            if len(cand) == length and cand in PUNCTUATORS:
+                self.pos += length
+                return Token(PUNCTUATORS[cand], cand)
+        bad = text[self.pos]
+        self.pos += 1
+        self.diags.report(
+            Severity.ERROR,
+            f"unexpected character {bad!r} in source",
+            self._loc(self.pos - 1),
+        )
+        return Token(TokenKind.UNKNOWN, bad)
+
+    # ------------------------------------------------------------------
+    # Bulk interface
+    # ------------------------------------------------------------------
+    def lex_all(self) -> list[Token]:
+        """All tokens of the buffer up to and including EOF."""
+        tokens: list[Token] = []
+        while True:
+            tok = self.lex()
+            tokens.append(tok)
+            if tok.kind == TokenKind.EOF:
+                return tokens
+
+
+def tokenize_string(
+    text: str,
+    name: str = "<string>",
+    diags: DiagnosticsEngine | None = None,
+    keywords_enabled: bool = True,
+) -> list[Token]:
+    """Convenience wrapper: tokenize a standalone string.
+
+    Builds a throwaway SourceManager; intended for tests and for re-lexing
+    snippets (not for real compilation, where locations must be shared).
+    """
+    from repro.sourcemgr.memory_buffer import MemoryBuffer
+
+    sm = SourceManager()
+    fid = sm.create_main_file(MemoryBuffer(name, text))
+    # NB: not `diags or ...` — an engine with zero diagnostics is falsy
+    # (it defines __len__).
+    engine = diags if diags is not None else DiagnosticsEngine(sm)
+    lexer = Lexer(sm, fid, engine, keywords_enabled=keywords_enabled)
+    return lexer.lex_all()

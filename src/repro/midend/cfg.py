@@ -1,0 +1,50 @@
+"""CFG traversal utilities."""
+
+from __future__ import annotations
+
+from repro.ir.module import BasicBlock, Function
+
+
+def successors(block: BasicBlock) -> list[BasicBlock]:
+    return block.successors()
+
+
+def predecessor_map(
+    fn: Function,
+) -> dict[int, list[BasicBlock]]:
+    """block id -> predecessors, in one pass (cheaper than per-block
+    ``BasicBlock.predecessors`` when used repeatedly)."""
+    preds: dict[int, list[BasicBlock]] = {
+        id(b): [] for b in fn.blocks
+    }
+    for block in fn.blocks:
+        for succ in block.successors():
+            preds[id(succ)].append(block)
+    return preds
+
+
+def postorder(fn: Function) -> list[BasicBlock]:
+    """Iterative DFS postorder from the entry block."""
+    if not fn.blocks:
+        return []
+    seen: set[int] = set()
+    order: list[BasicBlock] = []
+    stack: list[tuple[BasicBlock, int]] = [(fn.entry_block, 0)]
+    seen.add(id(fn.entry_block))
+    while stack:
+        block, idx = stack[-1]
+        succs = block.successors()
+        if idx < len(succs):
+            stack[-1] = (block, idx + 1)
+            succ = succs[idx]
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                stack.append((succ, 0))
+        else:
+            order.append(block)
+            stack.pop()
+    return order
+
+
+def reverse_postorder(fn: Function) -> list[BasicBlock]:
+    return list(reversed(postorder(fn)))

@@ -1,0 +1,141 @@
+"""Constant folding over already-built IR.
+
+The IRBuilder folds during construction (paper §1.3); this pass re-folds
+instructions whose operands *became* constant — e.g. the per-copy exit
+checks left behind by full unrolling once phi chains were resolved.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    BinaryInst,
+    BinOp,
+    CastInst,
+    CastOp,
+    CondBranchInst,
+    ICmpInst,
+    ICmpPred,
+    SelectInst,
+)
+from repro.ir.module import Function
+from repro.ir.types import IntType
+from repro.ir.utils import replace_all_uses
+from repro.ir.values import ConstantInt, Value
+from repro.midend.pass_manager import FunctionPass
+
+
+def _fold_instruction(inst) -> Value | None:
+    if isinstance(inst, BinaryInst) and isinstance(
+        inst.lhs, ConstantInt
+    ) and isinstance(inst.rhs, ConstantInt):
+        ty = inst.type
+        assert isinstance(ty, IntType)
+        a, b = inst.lhs.value, inst.rhs.value
+        sa, sb = inst.lhs.signed_value, inst.rhs.signed_value
+        op = inst.op
+        try:
+            result = {
+                BinOp.ADD: lambda: a + b,
+                BinOp.SUB: lambda: a - b,
+                BinOp.MUL: lambda: a * b,
+                BinOp.AND: lambda: a & b,
+                BinOp.OR: lambda: a | b,
+                BinOp.XOR: lambda: a ^ b,
+                BinOp.SHL: lambda: a << (b % ty.bits),
+                BinOp.LSHR: lambda: a >> (b % ty.bits),
+                BinOp.ASHR: lambda: sa >> (b % ty.bits),
+                BinOp.UDIV: lambda: a // b if b else None,
+                BinOp.UREM: lambda: a % b if b else None,
+            }[op]()
+        except KeyError:
+            return None
+        if result is None:
+            return None
+        return ConstantInt(ty, result)
+    if isinstance(inst, ICmpInst) and isinstance(
+        inst.lhs, ConstantInt
+    ) and isinstance(inst.rhs, ConstantInt):
+        pred = inst.pred
+        a, b = (
+            (inst.lhs.signed_value, inst.rhs.signed_value)
+            if pred.is_signed
+            else (inst.lhs.value, inst.rhs.value)
+        )
+        result = {
+            ICmpPred.EQ: a == b,
+            ICmpPred.NE: a != b,
+            ICmpPred.SLT: a < b,
+            ICmpPred.SLE: a <= b,
+            ICmpPred.SGT: a > b,
+            ICmpPred.SGE: a >= b,
+            ICmpPred.ULT: a < b,
+            ICmpPred.ULE: a <= b,
+            ICmpPred.UGT: a > b,
+            ICmpPred.UGE: a >= b,
+        }[pred]
+        return ConstantInt(IntType(1), int(result))
+    if isinstance(inst, CastInst) and isinstance(
+        inst.value, ConstantInt
+    ):
+        dst = inst.type
+        if isinstance(dst, IntType):
+            if inst.op in (CastOp.TRUNC, CastOp.ZEXT):
+                return ConstantInt(dst, inst.value.value)
+            if inst.op == CastOp.SEXT:
+                return ConstantInt(dst, inst.value.signed_value)
+    if isinstance(inst, SelectInst) and isinstance(
+        inst.condition, ConstantInt
+    ):
+        return (
+            inst.true_value
+            if inst.condition.value
+            else inst.false_value
+        )
+    return None
+
+
+class ConstantFoldPass(FunctionPass):
+    name = "constant-fold"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        # Iterate to a fixed point (folding feeds folding).
+        for _ in range(64):
+            local_change = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    folded = _fold_instruction(inst)
+                    if folded is not None:
+                        replace_all_uses(fn, inst, folded)
+                        inst.erase()
+                        local_change = True
+                # Fold constant conditional branches.
+                term = block.terminator
+                if isinstance(term, CondBranchInst) and isinstance(
+                    term.condition, ConstantInt
+                ):
+                    from repro.ir.instructions import BranchInst
+
+                    target = (
+                        term.true_block
+                        if term.condition.value
+                        else term.false_block
+                    )
+                    dead_target = (
+                        term.false_block
+                        if term.condition.value
+                        else term.true_block
+                    )
+                    for phi in dead_target.phis():
+                        phi.incoming = [
+                            (v, b)
+                            for v, b in phi.incoming
+                            if b is not block
+                        ]
+                    term.erase()
+                    block.append(BranchInst(target))
+                    local_change = True
+            if not local_change:
+                break
+            changed = True
+        return changed

@@ -1,0 +1,97 @@
+"""Trivial dead-code elimination: remove side-effect-free instructions
+whose results are never used."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    CastInst,
+    FCmpInst,
+    GEPInst,
+    ICmpInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    SelectInst,
+)
+from repro.ir.module import Function
+from repro.midend.pass_manager import FunctionPass
+
+#: instruction classes safe to delete when unused (loads are pure in our
+#: model — no volatile support)
+_PURE = (
+    BinaryInst,
+    ICmpInst,
+    FCmpInst,
+    CastInst,
+    GEPInst,
+    SelectInst,
+    PhiInst,
+    LoadInst,
+)
+
+
+class DeadCodeEliminationPass(FunctionPass):
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        while True:
+            used: set[int] = set()
+            for block in fn.blocks:
+                for inst in block.instructions:
+                    for op in inst.operands():
+                        used.add(id(op))
+            removed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if (
+                        isinstance(inst, _PURE)
+                        and id(inst) not in used
+                        and not inst.is_terminator
+                    ):
+                        inst.erase()
+                        removed = True
+            # Unused allocas with only stores into them are also dead
+            # (store-only slots): conservatively remove allocas whose
+            # only uses are stores *to* them.
+            store_only = self._store_only_allocas(fn)
+            for alloca, stores in store_only:
+                for store in stores:
+                    store.erase()
+                alloca.erase()
+                removed = True
+            if not removed:
+                return changed
+            changed = True
+
+    @staticmethod
+    def _store_only_allocas(fn: Function):
+        from repro.ir.instructions import StoreInst
+
+        uses: dict[int, list] = {}
+        allocas: dict[int, AllocaInst] = {}
+        escaped: set[int] = set()
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if isinstance(inst, AllocaInst):
+                    allocas[id(inst)] = inst
+                    uses.setdefault(id(inst), [])
+        for block in fn.blocks:
+            for inst in block.instructions:
+                for op in inst.operands():
+                    if id(op) in allocas:
+                        if (
+                            isinstance(inst, StoreInst)
+                            and inst.pointer is op
+                            and inst.value is not op
+                        ):
+                            uses[id(op)].append(inst)
+                        else:
+                            escaped.add(id(op))
+        return [
+            (allocas[key], stores)
+            for key, stores in uses.items()
+            if key not in escaped
+        ]

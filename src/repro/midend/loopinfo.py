@@ -1,0 +1,123 @@
+"""Natural loop detection from back edges."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import BasicBlock, Function
+from repro.midend.cfg import predecessor_map
+from repro.midend.dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """One natural loop: all blocks whose paths to the back edge's source
+    stay inside the loop."""
+
+    header: BasicBlock
+    blocks: list[BasicBlock] = field(default_factory=list)
+    latches: list[BasicBlock] = field(default_factory=list)
+
+    def contains(self, block: BasicBlock) -> bool:
+        return any(b is block for b in self.blocks)
+
+    @property
+    def single_latch(self) -> BasicBlock | None:
+        return self.latches[0] if len(self.latches) == 1 else None
+
+    def preheader(self) -> BasicBlock | None:
+        """The unique out-of-loop predecessor of the header, if any."""
+        outside = [
+            p
+            for p in self.header.predecessors()
+            if not self.contains(p)
+        ]
+        return outside[0] if len(outside) == 1 else None
+
+    def exiting_blocks(self) -> list[BasicBlock]:
+        return [
+            b
+            for b in self.blocks
+            if any(not self.contains(s) for s in b.successors())
+        ]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        seen: list[BasicBlock] = []
+        for b in self.blocks:
+            for s in b.successors():
+                if not self.contains(s) and all(
+                    s is not x for x in seen
+                ):
+                    seen.append(s)
+        return seen
+
+    def depth_first_body(self) -> list[BasicBlock]:
+        """Loop blocks in an order starting at the header."""
+        order = [self.header]
+        seen = {id(self.header)}
+        stack = [self.header]
+        while stack:
+            block = stack.pop()
+            for succ in block.successors():
+                if self.contains(succ) and id(succ) not in seen:
+                    seen.add(id(succ))
+                    order.append(succ)
+                    stack.append(succ)
+        return order
+
+
+class LoopInfo:
+    """All natural loops of a function (flat list; nesting derivable via
+    block containment)."""
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        self.loops: list[Loop] = []
+        self._compute()
+
+    def _compute(self) -> None:
+        fn = self.fn
+        if not fn.blocks:
+            return
+        domtree = DominatorTree(fn)
+        preds = predecessor_map(fn)
+        by_header: dict[int, Loop] = {}
+        for block in fn.blocks:
+            if not domtree.is_reachable(block):
+                continue
+            for succ in block.successors():
+                if domtree.dominates(succ, block):
+                    # back edge block -> succ (succ is the header)
+                    loop = by_header.get(id(succ))
+                    if loop is None:
+                        loop = Loop(header=succ, blocks=[succ])
+                        by_header[id(succ)] = loop
+                        self.loops.append(loop)
+                    loop.latches.append(block)
+                    self._grow(loop, block, preds)
+
+    @staticmethod
+    def _grow(loop: Loop, latch: BasicBlock, preds) -> None:
+        """Add all blocks that reach *latch* without passing the header."""
+        if loop.contains(latch):
+            pass
+        stack = [latch]
+        while stack:
+            block = stack.pop()
+            if loop.contains(block):
+                continue
+            loop.blocks.append(block)
+            for pred in preds[id(block)]:
+                if not loop.contains(pred):
+                    stack.append(pred)
+
+    def loop_for_header(self, header: BasicBlock) -> Loop | None:
+        for loop in self.loops:
+            if loop.header is header:
+                return loop
+        return None
+
+    def innermost_first(self) -> list[Loop]:
+        """Loops sorted by block count ascending (inner loops have fewer
+        blocks than the loops containing them)."""
+        return sorted(self.loops, key=lambda l: len(l.blocks))

@@ -1,0 +1,244 @@
+"""PromoteMemoryToRegister (mem2reg): alloca slots -> SSA values.
+
+The standard SSA-construction pass (Cytron et al.): for every promotable
+alloca — one whose address is only ever used as the direct pointer of
+loads and stores — phi nodes are placed at the iterated dominance
+frontier of its stores, and a dominator-tree walk renames loads to the
+reaching definition.
+
+In this reproduction its job is to erase the memory traffic the
+front-end's alloca-based codegen produces (paper-relevant: the shadow
+transformed AST's strip-mine bookkeeping becomes nearly free once
+promoted, which is why real Clang can afford the representation).
+It runs *after* LoopUnroll in the default pipeline so that pass can keep
+pattern-matching the memory-form induction variables.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    AllocaInst,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import IRType
+from repro.ir.values import UndefValue, Value
+from repro.midend.dominators import DominatorTree
+from repro.midend.pass_manager import FunctionPass
+
+
+class Mem2RegPass(FunctionPass):
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if not fn.blocks:
+            return False
+        from repro.ir.utils import remove_unreachable_blocks
+
+        # Phi insertion assumes every predecessor is reachable (the
+        # renaming walk only visits the dominator tree).
+        remove_unreachable_blocks(fn)
+        promotable = self._find_promotable(fn)
+        if not promotable:
+            return False
+        domtree = DominatorTree(fn)
+        frontiers = domtree.dominance_frontiers()
+        children = domtree.children()
+
+        #: inserted phi -> its alloca
+        phi_owner: dict[int, AllocaInst] = {}
+        for alloca, ty in promotable.items():
+            self._insert_phis(
+                fn, alloca, ty, frontiers, phi_owner
+            )
+        self._rename(
+            fn, domtree, children, promotable, phi_owner
+        )
+        # Delete the now-dead allocas, stores and loads.
+        removed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, AllocaInst) and id(inst) in {
+                    id(a) for a in promotable
+                }:
+                    inst.erase()
+                    removed = True
+                elif isinstance(inst, StoreInst) and any(
+                    inst.pointer is a for a in promotable
+                ):
+                    inst.erase()
+                    removed = True
+                elif isinstance(inst, LoadInst) and any(
+                    inst.pointer is a for a in promotable
+                ):
+                    inst.erase()
+                    removed = True
+        return removed or bool(promotable)
+
+    # ------------------------------------------------------------------
+    def _find_promotable(
+        self, fn: Function
+    ) -> dict[AllocaInst, IRType]:
+        """Allocas whose only uses are direct loads and stores-to."""
+        allocas: dict[int, AllocaInst] = {}
+        for inst in fn.instructions():
+            if isinstance(inst, AllocaInst) and inst.array_size is None:
+                ty = inst.allocated_type
+                # Only scalar slots promote (aggregates need SROA).
+                if ty.is_int or ty.is_float or ty.is_pointer:
+                    allocas[id(inst)] = inst
+        escaped: set[int] = set()
+        loaded_type: dict[int, IRType] = {}
+        for inst in fn.instructions():
+            for op in inst.operands():
+                if id(op) not in allocas:
+                    continue
+                if isinstance(inst, StoreInst) and inst.pointer is op:
+                    if inst.value is op:
+                        escaped.add(id(op))
+                    continue
+                if isinstance(inst, LoadInst) and inst.pointer is op:
+                    prev = loaded_type.setdefault(id(op), inst.type)
+                    if prev is not inst.type:
+                        escaped.add(id(op))  # type-punned slot
+                    continue
+                escaped.add(id(op))
+        result: dict[AllocaInst, IRType] = {}
+        for key, alloca in allocas.items():
+            if key in escaped:
+                continue
+            ty = loaded_type.get(key, alloca.allocated_type)
+            if ty is not alloca.allocated_type:
+                continue  # punned via differing load type
+            result[alloca] = ty
+        return result
+
+    # ------------------------------------------------------------------
+    def _insert_phis(
+        self,
+        fn: Function,
+        alloca: AllocaInst,
+        ty: IRType,
+        frontiers: dict[int, list[BasicBlock]],
+        phi_owner: dict[int, AllocaInst],
+    ) -> None:
+        defining_blocks: list[BasicBlock] = []
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if (
+                    isinstance(inst, StoreInst)
+                    and inst.pointer is alloca
+                ):
+                    defining_blocks.append(block)
+                    break
+        worklist = list(defining_blocks)
+        has_phi: set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for join in frontiers.get(id(block), []):
+                if id(join) in has_phi:
+                    continue
+                has_phi.add(id(join))
+                phi = PhiInst(
+                    ty, fn.unique_name(f"{alloca.name}.phi")
+                )
+                join.insert(0, phi)
+                phi_owner[id(phi)] = alloca
+                worklist.append(join)
+
+    # ------------------------------------------------------------------
+    def _rename(
+        self,
+        fn: Function,
+        domtree: DominatorTree,
+        children: dict[int, list[BasicBlock]],
+        promotable: dict[AllocaInst, IRType],
+        phi_owner: dict[int, AllocaInst],
+    ) -> None:
+        from repro.ir.utils import replace_all_uses
+
+        stacks: dict[int, list[Value]] = {
+            id(a): [] for a in promotable
+        }
+        undefs: dict[int, Value] = {
+            id(a): UndefValue(ty) for a, ty in promotable.items()
+        }
+        alloca_ids = set(stacks)
+        #: load instruction -> replacement value (applied at the end,
+        #: so in-block operand rewriting stays simple)
+        load_replacements: dict[int, tuple[Instruction, Value]] = {}
+
+        def current(aid: int) -> Value:
+            stack = stacks[aid]
+            return stack[-1] if stack else undefs[aid]
+
+        def process_block(block: BasicBlock) -> list[int]:
+            """Record defs/uses of one block; returns the push log for
+            later unwinding."""
+            pushed: list[int] = []
+            for inst in block.instructions:
+                if isinstance(inst, PhiInst) and id(inst) in phi_owner:
+                    aid = id(phi_owner[id(inst)])
+                    stacks[aid].append(inst)
+                    pushed.append(aid)
+                elif isinstance(inst, LoadInst) and id(
+                    inst.pointer
+                ) in alloca_ids:
+                    load_replacements[id(inst)] = (
+                        inst,
+                        current(id(inst.pointer)),
+                    )
+                elif isinstance(inst, StoreInst) and id(
+                    inst.pointer
+                ) in alloca_ids:
+                    aid = id(inst.pointer)
+                    value = inst.value
+                    # The stored value may itself be a load we are about
+                    # to replace.
+                    if id(value) in load_replacements:
+                        value = load_replacements[id(value)][1]
+                    stacks[aid].append(value)
+                    pushed.append(aid)
+            for succ in block.successors():
+                for phi in succ.phis():
+                    owner = phi_owner.get(id(phi))
+                    if owner is None:
+                        continue
+                    incoming = current(id(owner))
+                    if id(incoming) in load_replacements:
+                        incoming = load_replacements[id(incoming)][1]
+                    phi.add_incoming(incoming, block)
+            return pushed
+
+        # Iterative dominator-tree preorder (long unrolled chains would
+        # overflow Python's recursion limit).
+        work: list[tuple[str, object]] = [("enter", fn.entry_block)]
+        while work:
+            action, payload = work.pop()
+            if action == "enter":
+                block = payload  # type: ignore[assignment]
+                pushed = process_block(block)
+                work.append(("exit", pushed))
+                for child in reversed(children.get(id(block), [])):
+                    work.append(("enter", child))
+            else:
+                for aid in reversed(payload):  # type: ignore[arg-type]
+                    stacks[aid].pop()
+
+        # Apply load replacements everywhere (chasing chains of loads
+        # replaced by other loads).
+        def resolve(value: Value) -> Value:
+            seen = set()
+            while id(value) in load_replacements and id(value) not in seen:
+                seen.add(id(value))
+                value = load_replacements[id(value)][1]
+            return value
+
+        for load_id, (load, _) in load_replacements.items():
+            replace_all_uses(fn, load, resolve(load))
+        # Phi incomings added before a replacement existed are handled by
+        # the resolve-chasing above via replace_all_uses (phis are
+        # instructions too).

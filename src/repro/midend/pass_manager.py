@@ -1,0 +1,62 @@
+"""Pass manager: ordered function-pass pipeline over a module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.module import Function, Module
+
+
+class FunctionPass:
+    """Base class; subclasses set ``name`` and implement
+    ``run_on_function`` returning whether anything changed."""
+
+    name = "<pass>"
+
+    def run_on_function(self, fn: Function) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+@dataclass
+class PassManager:
+    passes: list[FunctionPass] = field(default_factory=list)
+    #: per-pass change counts from the last run (for tests/benchmarks)
+    last_run_changes: dict[str, int] = field(default_factory=dict)
+
+    def add(self, pass_: FunctionPass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, module: Module) -> bool:
+        changed_any = False
+        self.last_run_changes = {p.name: 0 for p in self.passes}
+        for fn in list(module.functions.values()):
+            if fn.is_declaration or not fn.blocks:
+                continue
+            for pass_ in self.passes:
+                if pass_.run_on_function(fn):
+                    changed_any = True
+                    self.last_run_changes[pass_.name] += 1
+        return changed_any
+
+
+def default_pass_pipeline() -> PassManager:
+    """The -O pipeline the driver uses: unroll annotated loops, then
+    clean up (fold the per-copy checks full unrolling leaves behind,
+    delete dead code, merge straight-line blocks)."""
+    from repro.midend.constant_fold import ConstantFoldPass
+    from repro.midend.dce import DeadCodeEliminationPass
+    from repro.midend.loop_unroll import LoopUnrollPass
+    from repro.midend.mem2reg import Mem2RegPass
+    from repro.midend.simplify_cfg import SimplifyCFGPass
+
+    # LoopUnroll runs first: it pattern-matches the memory-form induction
+    # variables the front-end emits; mem2reg then promotes what remains.
+    return (
+        PassManager()
+        .add(LoopUnrollPass())
+        .add(Mem2RegPass())
+        .add(ConstantFoldPass())
+        .add(SimplifyCFGPass())
+        .add(DeadCodeEliminationPass())
+    )

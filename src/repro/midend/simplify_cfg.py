@@ -1,0 +1,89 @@
+"""CFG simplification: remove unreachable blocks, thread trivial jumps,
+merge straight-line block pairs."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BranchInst, PhiInst
+from repro.ir.module import BasicBlock, Function
+from repro.ir.utils import remove_unreachable_blocks
+from repro.midend.pass_manager import FunctionPass
+
+
+class SimplifyCFGPass(FunctionPass):
+    name = "simplify-cfg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(64):
+            local = False
+            if remove_unreachable_blocks(fn):
+                local = True
+            if self._merge_straight_line(fn):
+                local = True
+            if self._skip_empty_blocks(fn):
+                local = True
+            if not local:
+                break
+            changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    def _merge_straight_line(self, fn: Function) -> bool:
+        """Merge B into A when A ends `br B` and B has only A as pred."""
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, BranchInst):
+                continue
+            succ = term.target
+            if succ is block or succ is fn.entry_block:
+                continue
+            preds = succ.predecessors()
+            if len(preds) != 1 or preds[0] is not block:
+                continue
+            if succ.phis():
+                # Single-pred phis are resolvable: replace with the value.
+                from repro.ir.utils import replace_all_uses
+
+                for phi in list(succ.phis()):
+                    incoming = phi.incoming_for(block)
+                    if incoming is None:
+                        break
+                    replace_all_uses(fn, phi, incoming)
+                    phi.erase()
+                if succ.phis():
+                    continue
+            term.erase()
+            for inst in list(succ.instructions):
+                succ.instructions.remove(inst)
+                block.append(inst)
+            # Phis in the successors of the merged block must point at
+            # the merged-into block now.
+            for nxt in block.successors():
+                for phi in nxt.phis():
+                    phi.replace_incoming_block(succ, block)
+            fn.remove_block(succ)
+            changed = True
+        return changed
+
+    def _skip_empty_blocks(self, fn: Function) -> bool:
+        """Retarget edges through blocks containing only `br X` (when the
+        final target has no phis referencing them)."""
+        changed = False
+        for block in list(fn.blocks):
+            if block is fn.entry_block:
+                continue
+            if len(block.instructions) != 1:
+                continue
+            term = block.terminator
+            if not isinstance(term, BranchInst):
+                continue
+            target = term.target
+            if target is block or target.phis():
+                continue
+            from repro.ir.utils import redirect_branch
+
+            for pred in block.predecessors():
+                if redirect_branch(pred, block, target):
+                    changed = True
+        return changed

@@ -1,0 +1,803 @@
+"""The OpenMPIRBuilder methods (paper §3.2).
+
+Design contract with CodeGen (matching clang's use of the real
+OpenMPIRBuilder):
+
+* Trip counts of a loop nest destined for ``tile_loops`` /
+  ``collapse_loops`` are evaluated *before* the outermost skeleton is
+  created (rectangular nests only), so every trip-count value dominates
+  the outermost preheader.
+* In a nest, an intermediate loop's body block is exactly the inner
+  loop's preheader; the innermost body region contains all user code
+  (including the logical-iteration-number -> user-variable conversions).
+* Transformations may modify and return the input canonical loops or
+  abandon the old handles and create new loops; old handles are
+  invalidated (paper §3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Sequence
+
+from repro.ir.instructions import (
+    BinOp,
+    BranchInst,
+    ICmpPred,
+)
+from repro.ir.irbuilder import IRBuilder
+from repro.ir.metadata import loop_metadata
+from repro.ir.module import BasicBlock, Function, Module
+from repro.ir.types import (
+    FunctionType,
+    IntType,
+    i32,
+    i64,
+    ptr,
+    void_t,
+)
+from repro.ir.utils import (
+    remove_unreachable_blocks,
+    replace_all_uses,
+)
+from repro.ir.values import ConstantInt, ConstantPointerNull, Value
+from repro.ompirbuilder.canonical_loop_info import (
+    CanonicalLoopInfo,
+    SkeletonError,
+    create_loop_skeleton,
+)
+
+
+class WorksharedSchedule(enum.Enum):
+    """OpenMP worksharing-loop schedules (libomp ``kmp_sched`` values)."""
+
+    STATIC_CHUNKED = 33
+    STATIC = 34
+    DYNAMIC_CHUNKED = 35
+    GUIDED_CHUNKED = 36
+
+
+#: Runtime entry points (libomp-compatible subset); the interpreter's
+#: simulated runtime implements these natively.
+RUNTIME_SIGNATURES: dict[str, tuple] = {
+    "__kmpc_global_thread_num": (i32, [ptr]),
+    "__kmpc_fork_call": (void_t, [ptr, i32, ptr, ptr]),
+    "__kmpc_push_num_threads": (void_t, [ptr, i32, i32]),
+    "__kmpc_barrier": (void_t, [ptr, i32]),
+    "__kmpc_for_static_init_4u": (
+        void_t,
+        [ptr, i32, i32, ptr, ptr, ptr, ptr, i32, i32],
+    ),
+    "__kmpc_for_static_init_8u": (
+        void_t,
+        [ptr, i32, i32, ptr, ptr, ptr, ptr, i64, i64],
+    ),
+    "__kmpc_for_static_fini": (void_t, [ptr, i32]),
+    "__kmpc_dispatch_init_4u": (
+        void_t,
+        [ptr, i32, i32, i32, i32, i32, i32],
+    ),
+    "__kmpc_dispatch_init_8u": (
+        void_t,
+        [ptr, i32, i32, i64, i64, i64, i64],
+    ),
+    "__kmpc_dispatch_next_4u": (i32, [ptr, i32, ptr, ptr, ptr, ptr]),
+    "__kmpc_dispatch_next_8u": (i32, [ptr, i32, ptr, ptr, ptr, ptr]),
+    "__kmpc_critical": (void_t, [ptr, i32, ptr]),
+    "__kmpc_end_critical": (void_t, [ptr, i32, ptr]),
+    "__kmpc_master": (i32, [ptr, i32]),
+    "__kmpc_end_master": (void_t, [ptr, i32]),
+    "__kmpc_single": (i32, [ptr, i32]),
+    "__kmpc_end_single": (void_t, [ptr, i32]),
+    "__kmpc_reduce_combine": (void_t, [ptr, i32, ptr, ptr, i64, i32]),
+}
+
+
+class OpenMPIRBuilder:
+    """Base-language-independent OpenMP lowering over a module."""
+
+    def __init__(self, module: Module) -> None:
+        self.module = module
+
+    # ==================================================================
+    # Runtime declarations
+    # ==================================================================
+    def get_runtime_function(self, name: str) -> Function:
+        sig = RUNTIME_SIGNATURES.get(name)
+        if sig is None:
+            raise KeyError(f"unknown OpenMP runtime function {name}")
+        ret, params = sig
+        return self.module.add_function(
+            name, FunctionType(ret, params)
+        )
+
+    def default_loc(self, builder: IRBuilder) -> Value:
+        """The `ident_t *` source-location argument; we pass null (the
+        simulated runtime ignores it, as libomp does for most purposes)."""
+        return ConstantPointerNull()
+
+    def get_global_thread_num(self, builder: IRBuilder) -> Value:
+        fn = self.get_runtime_function("__kmpc_global_thread_num")
+        return builder.call(fn, [self.default_loc(builder)], "gtid")
+
+    # ==================================================================
+    # create_canonical_loop (paper Fig. 7; patch D71226)
+    # ==================================================================
+    def create_canonical_loop(
+        self,
+        builder: IRBuilder,
+        trip_count: Value,
+        body_gen: Optional[
+            Callable[[IRBuilder, Value], None]
+        ] = None,
+        name: str = "omp_loop",
+    ) -> CanonicalLoopInfo:
+        """Create the loop skeleton; ``body_gen(builder, indvar)`` is
+        called with the insertion point inside the body ("for re-entry
+        into callback-ception", paper footnote 3).  On return the builder
+        points at the after block."""
+        cli = create_loop_skeleton(builder, trip_count, name)
+        if body_gen is not None:
+            body_gen(builder, cli.indvar)
+        builder.set_insert_point(cli.after, 0)
+        return cli
+
+    # ==================================================================
+    # Unrolling (paper §2.2 semantics, IRBuilder variant)
+    # ==================================================================
+    def unroll_loop_heuristic(self, cli: CanonicalLoopInfo) -> None:
+        """Let the mid-end decide (``llvm.loop.unroll.enable``)."""
+        term = cli.latch.terminator
+        assert term is not None
+        term.metadata["llvm.loop"] = loop_metadata(unroll_enable=True)
+
+    def unroll_loop_full(self, cli: CanonicalLoopInfo) -> None:
+        """Request full expansion by the mid-end ``LoopUnroll`` pass.
+
+        No duplication happens here — exactly the paper's point that the
+        front-end only annotates.
+        """
+        term = cli.latch.terminator
+        assert term is not None
+        term.metadata["llvm.loop"] = loop_metadata(unroll_full=True)
+
+    def unroll_loop_partial(
+        self,
+        builder: IRBuilder,
+        cli: CanonicalLoopInfo,
+        factor: int,
+    ) -> CanonicalLoopInfo:
+        """Partial unroll: strip-mine by *factor* via :meth:`tile_loops`,
+        mark the intra-tile loop for complete unrolling by the mid-end,
+        and return the (consumable) outer tile-count loop.
+
+        This mirrors LLVM's ``unrollLoopPartial``: "Partial unrolling can
+        be understood as first tiling the loop by an unroll-factor, then
+        fully unrolling the inner loop" (paper §1.1).
+        """
+        assert factor >= 1
+        floor_cli, tile_cli = self.tile_loops(
+            builder, [cli], [factor]
+        )
+        term = tile_cli.latch.terminator
+        assert term is not None
+        term.metadata["llvm.loop"] = loop_metadata(
+            unroll_count=factor, unroll_enable=True
+        )
+        return floor_cli
+
+    # ==================================================================
+    # tile_loops (patch D76342)
+    # ==================================================================
+    def tile_loops(
+        self,
+        builder: IRBuilder,
+        loops: Sequence[CanonicalLoopInfo],
+        sizes: Sequence[int | Value],
+    ) -> list[CanonicalLoopInfo]:
+        """Tile a perfect rectangular nest; returns 2n new canonical
+        loops (n floor loops iterating tile origins, then n intra-tile
+        loops).  The old handles are invalidated."""
+        assert loops and len(loops) == len(sizes)
+        n = len(loops)
+        for cli in loops:
+            cli.assert_ok()
+        fn = loops[0].function
+
+        outer = loops[0]
+        inner = loops[-1]
+        entry_preheader = outer.preheader
+        final_after = outer.after
+        body_entry = inner.body
+        old_inner_latch = inner.latch
+
+        trip_counts = [cli.trip_count for cli in loops]
+        iv_types: list[IntType] = [cli.indvar_type for cli in loops]
+        size_values: list[Value] = [
+            ConstantInt(iv_types[k], s) if isinstance(s, int) else s
+            for k, s in enumerate(sizes)
+        ]
+        old_indvars = [cli.indvar for cli in loops]
+
+        # The innermost body region keeps its own terminator to the old
+        # latch; detach the nest by removing the old preheader's branch.
+        old_term = entry_preheader.terminator
+        assert old_term is not None
+        old_term.erase()
+
+        # --- floor trip counts: ceil(tc / size), unsigned --------------
+        builder.set_insert_point(entry_preheader)
+        floor_trips: list[Value] = []
+        for k in range(n):
+            ty = iv_types[k]
+            tc, size = trip_counts[k], size_values[k]
+            num = builder.add(
+                tc,
+                builder.sub(size, builder.const_int(ty, 1), "szm1"),
+                "tile.num",
+            )
+            floor_trips.append(builder.udiv(num, size, "floor.tc"))
+
+        # --- floor loops ------------------------------------------------
+        floor_clis: list[CanonicalLoopInfo] = []
+        for k in range(n):
+            cli = create_loop_skeleton(
+                builder, floor_trips[k], f"floor.{k}"
+            )
+            floor_clis.append(cli)
+            builder.set_insert_point(cli.body, 0)
+
+        # --- tile loops ---------------------------------------------------
+        # In each tile-loop preheader compute: origin = floor_iv * size,
+        # remaining = tc - origin, tile_tc = min(size, remaining).
+        tile_clis: list[CanonicalLoopInfo] = []
+        origins: list[Value] = []
+        for k in range(n):
+            ty = iv_types[k]
+            origin = builder.mul(
+                floor_clis[k].indvar, size_values[k], f"origin.{k}"
+            )
+            remaining = builder.sub(
+                trip_counts[k], origin, f"remaining.{k}"
+            )
+            is_partial = builder.icmp(
+                ICmpPred.ULT, remaining, size_values[k], "is.partial"
+            )
+            tile_tc = builder.select(
+                is_partial, remaining, size_values[k], f"tile.tc.{k}"
+            )
+            origins.append(origin)
+            cli = create_loop_skeleton(builder, tile_tc, f"tile.{k}")
+            tile_clis.append(cli)
+            builder.set_insert_point(cli.body, 0)
+
+        # --- new logical ivs and body splice ----------------------------
+        innermost = tile_clis[-1]
+        new_ivs: list[Value] = []
+        for k in range(n):
+            new_ivs.append(
+                builder.add(
+                    origins[k], tile_clis[k].indvar, f"tiled.iv.{k}"
+                )
+            )
+        # Replace the innermost tile body's `br latch` with a branch into
+        # the original body region.
+        body_term = innermost.body.terminator
+        assert isinstance(body_term, BranchInst)
+        body_term.target = body_entry
+        # The original body region's exits targeted the old inner latch;
+        # retarget them to the innermost tile latch.
+        for block in fn.blocks:
+            term = block.terminator
+            if term is None or block is innermost.latch:
+                continue
+            for succ in list(term.successors()):
+                if succ is old_inner_latch and block is not old_inner_latch:
+                    from repro.ir.utils import redirect_branch
+
+                    redirect_branch(block, old_inner_latch, innermost.latch)
+
+        # Old induction variables now come from the tiled ivs.
+        for old_iv, new_iv in zip(old_indvars, new_ivs):
+            replace_all_uses(fn, old_iv, new_iv)
+
+        # Chain the outermost after to the code following the old nest.
+        builder.set_insert_point(floor_clis[0].after)
+        builder.br(final_after)
+
+        for cli in loops:
+            cli.invalidate()
+        remove_unreachable_blocks(fn)
+
+        result = [*floor_clis, *tile_clis]
+        for cli in result:
+            cli.assert_ok()
+        return result
+
+    # ==================================================================
+    # collapse_loops (patch D83261)
+    # ==================================================================
+    def collapse_loops(
+        self,
+        builder: IRBuilder,
+        loops: Sequence[CanonicalLoopInfo],
+    ) -> CanonicalLoopInfo:
+        """Merge a perfect rectangular nest into a single canonical loop
+        whose trip count is the product of the nest's trip counts; the
+        original logical indvars are recomputed by div/rem chains."""
+        assert loops
+        if len(loops) == 1:
+            return loops[0]  # nothing to do
+        for cli in loops:
+            cli.assert_ok()
+        n = len(loops)
+        fn = loops[0].function
+        outer, inner = loops[0], loops[-1]
+        entry_preheader = outer.preheader
+        final_after = outer.after
+        body_entry = inner.body
+        old_inner_latch = inner.latch
+
+        trip_counts = [cli.trip_count for cli in loops]
+        # Widest indvar type wins.
+        ty = max(
+            (cli.indvar_type for cli in loops), key=lambda t: t.bits
+        )
+        old_indvars = [cli.indvar for cli in loops]
+
+        old_term = entry_preheader.terminator
+        assert old_term is not None
+        old_term.erase()
+
+        builder.set_insert_point(entry_preheader)
+        widened = [
+            builder.cast(
+                __import__(
+                    "repro.ir.instructions", fromlist=["CastOp"]
+                ).CastOp.ZEXT,
+                tc,
+                ty,
+                "wide.tc",
+            )
+            if isinstance(tc.type, IntType) and tc.type.bits < ty.bits
+            else tc
+            for tc in trip_counts
+        ]
+        total: Value = widened[0]
+        for tc in widened[1:]:
+            total = builder.mul(total, tc, "collapsed.tc")
+
+        cli = create_loop_skeleton(builder, total, "collapsed")
+        builder.set_insert_point(cli.body, 0)
+
+        # iv_k = (iv / prod_{j>k} tc_j) % tc_k
+        new_ivs: list[Value] = []
+        for k in range(n):
+            value: Value = cli.indvar
+            inner_product: Value | None = None
+            for j in range(k + 1, n):
+                inner_product = (
+                    widened[j]
+                    if inner_product is None
+                    else builder.mul(inner_product, widened[j], "prod")
+                )
+            if inner_product is not None:
+                value = builder.udiv(value, inner_product, f"unpack.{k}")
+            value = builder.binop(
+                BinOp.UREM, value, widened[k], f"iv.{k}"
+            )
+            if loops[k].indvar_type.bits < ty.bits:
+                from repro.ir.instructions import CastOp
+
+                value = builder.cast(
+                    CastOp.TRUNC, value, loops[k].indvar_type, "narrow"
+                )
+            new_ivs.append(value)
+
+        body_term = cli.body.terminator
+        assert isinstance(body_term, BranchInst)
+        body_term.target = body_entry
+        from repro.ir.utils import redirect_branch
+
+        for block in fn.blocks:
+            if block is cli.latch:
+                continue
+            term = block.terminator
+            if term is None:
+                continue
+            if old_inner_latch in term.successors():
+                redirect_branch(block, old_inner_latch, cli.latch)
+
+        for old_iv, new_iv in zip(old_indvars, new_ivs):
+            replace_all_uses(fn, old_iv, new_iv)
+
+        builder.set_insert_point(cli.after)
+        builder.br(final_after)
+
+        for old in loops:
+            old.invalidate()
+        remove_unreachable_blocks(fn)
+        cli.assert_ok()
+        return cli
+
+    # ==================================================================
+    # OpenMP 6.0 extensions (paper §4: "The additional abstractions
+    # provided by the OMPCanonicalLoop AST node and the OpenMPIRBuilder
+    # build the foundation for implementing these extensions")
+    # ==================================================================
+    def reverse_loop(
+        self, builder: IRBuilder, cli: CanonicalLoopInfo
+    ) -> CanonicalLoopInfo:
+        """``omp reverse``: mirror the logical iteration order by
+        replacing body uses of the induction variable with
+        ``trip - 1 - indvar``.  The skeleton is untouched, so the same
+        handle remains valid and consumable."""
+        cli.assert_ok()
+        builder.set_insert_point(cli.body, 0)
+        ty = cli.indvar_type
+        mirrored = builder.sub(
+            builder.sub(
+                cli.trip_count,
+                ConstantInt(ty, 1),
+                "rev.last",
+            ),
+            cli.indvar,
+            "rev.iv",
+        )
+        fn = cli.function
+        indvar = cli.indvar
+        latch_inc = indvar.incoming_for(cli.latch)
+        cmp = cli.compare
+        for inst in fn.instructions():
+            if inst is mirrored or inst is latch_inc or inst is cmp:
+                continue
+            # `rev.last` feeds `rev.iv`; don't rewrite its operand.
+            if (
+                inst.opcode == "binop"
+                and getattr(inst, "name", "").startswith("rev.")
+            ):
+                continue
+            if any(op is indvar for op in inst.operands()):
+                inst.replace_operand(indvar, mirrored)
+        cli.assert_ok()
+        return cli
+
+    def interchange_loops(
+        self,
+        builder: IRBuilder,
+        loops: Sequence[CanonicalLoopInfo],
+        permutation: Sequence[int],
+    ) -> list[CanonicalLoopInfo]:
+        """``omp interchange``: permute a perfect rectangular nest.
+
+        Builds a fresh nest of skeletons iterating the original logical
+        spaces in permuted order, splices the original innermost body,
+        and maps each original induction variable onto the corresponding
+        new loop's.  Old handles are abandoned.
+        """
+        assert sorted(permutation) == list(range(len(loops)))
+        for cli in loops:
+            cli.assert_ok()
+        fn = loops[0].function
+        outer, inner = loops[0], loops[-1]
+        entry_preheader = outer.preheader
+        final_after = outer.after
+        body_entry = inner.body
+        old_inner_latch = inner.latch
+        trip_counts = [cli.trip_count for cli in loops]
+        old_indvars = [cli.indvar for cli in loops]
+
+        old_term = entry_preheader.terminator
+        assert old_term is not None
+        old_term.erase()
+
+        builder.set_insert_point(entry_preheader)
+        new_by_level: dict[int, CanonicalLoopInfo] = {}
+        for position, original_index in enumerate(permutation):
+            cli = create_loop_skeleton(
+                builder,
+                trip_counts[original_index],
+                f"interchange.{position}",
+            )
+            new_by_level[original_index] = cli
+            builder.set_insert_point(cli.body, 0)
+
+        innermost = new_by_level[permutation[-1]]
+        body_term = innermost.body.terminator
+        assert isinstance(body_term, BranchInst)
+        body_term.target = body_entry
+        from repro.ir.utils import redirect_branch
+
+        for block in list(fn.blocks):
+            if block is innermost.latch:
+                continue
+            term = block.terminator
+            if term is not None and old_inner_latch in term.successors():
+                redirect_branch(block, old_inner_latch, innermost.latch)
+
+        for k, old_iv in enumerate(old_indvars):
+            replace_all_uses(fn, old_iv, new_by_level[k].indvar)
+
+        outermost = new_by_level[permutation[0]]
+        builder.set_insert_point(outermost.after)
+        builder.br(final_after)
+
+        for cli in loops:
+            cli.invalidate()
+        remove_unreachable_blocks(fn)
+        result = [new_by_level[i] for i in permutation]
+        for cli in result:
+            cli.assert_ok()
+        return result
+
+    # ==================================================================
+    # create_workshare_loop (patch D73111)
+    # ==================================================================
+    def create_workshare_loop(
+        self,
+        builder: IRBuilder,
+        cli: CanonicalLoopInfo,
+        schedule: WorksharedSchedule = WorksharedSchedule.STATIC,
+        chunk: Value | int | None = None,
+        nowait: bool = False,
+    ) -> CanonicalLoopInfo:
+        """Apply a worksharing schedule to a canonical loop.
+
+        Static: one ``__kmpc_for_static_init`` call in the preheader
+        computes this thread's [lower, upper] slice; the loop's trip
+        count becomes the slice span and body uses of the indvar are
+        shifted by the slice start (LLVM's ``applyStaticWorkshareLoop``).
+        Dynamic/guided: a dispatch loop around the canonical loop pulls
+        chunks from the runtime until exhausted.
+        """
+        cli.assert_ok()
+        if schedule == WorksharedSchedule.STATIC:
+            self._apply_static_workshare(
+                builder, cli, schedule, chunk, nowait
+            )
+            cli.assert_ok()
+        else:
+            # Chunked/dynamic/guided wrap the canonical loop in a
+            # dispatch loop; the skeleton invariants no longer hold, so
+            # the handle is consumed ("abandon the old handles",
+            # paper §3.2).
+            self._apply_dynamic_workshare(
+                builder, cli, schedule, chunk, nowait
+            )
+            cli.invalidate()
+        return cli
+
+    # ------------------------------------------------------------------
+    def _runtime_suffix(self, ty: IntType) -> str:
+        return "4u" if ty.bits <= 32 else "8u"
+
+    def _shift_indvar_uses(
+        self,
+        builder: IRBuilder,
+        cli: CanonicalLoopInfo,
+        offset: Value,
+    ) -> None:
+        """Insert ``shifted = indvar + offset`` at the body entry and
+        replace all non-skeleton uses of the indvar with it."""
+        fn = cli.function
+        indvar = cli.indvar
+        builder.set_insert_point(cli.body, 0)
+        shifted = builder.add(indvar, offset, "omp.shifted.iv")
+        skeleton_insts = set()
+        # Keep the skeleton's own uses: the latch increment, the cond
+        # compare, and the shift itself.
+        term_cmp = cli.compare
+        latch_inc = cli.indvar.incoming_for(cli.latch)
+        for inst in fn.instructions():
+            if inst is shifted or inst is term_cmp or inst is latch_inc:
+                continue
+            if any(op is indvar for op in inst.operands()):
+                inst.replace_operand(indvar, shifted)
+
+    def _apply_static_workshare(
+        self,
+        builder: IRBuilder,
+        cli: CanonicalLoopInfo,
+        schedule: WorksharedSchedule,
+        chunk: Value | int | None,
+        nowait: bool,
+    ) -> None:
+        ty = cli.indvar_type
+        suffix = self._runtime_suffix(ty)
+        init_fn = self.get_runtime_function(
+            f"__kmpc_for_static_init_{suffix}"
+        )
+        fini_fn = self.get_runtime_function("__kmpc_for_static_fini")
+        loc = self.default_loc(builder)
+
+        builder.set_insert_point_before(cli.preheader.terminator)
+        gtid = self.get_global_thread_num(builder)
+        p_last = builder.alloca(i32, name="p.lastiter")
+        p_lower = builder.alloca(ty, name="p.lowerbound")
+        p_upper = builder.alloca(ty, name="p.upperbound")
+        p_stride = builder.alloca(ty, name="p.stride")
+        zero = builder.const_int(ty, 0)
+        one = builder.const_int(ty, 1)
+        trip = cli.trip_count
+        builder.store(builder.const_int(i32, 0), p_last)
+        builder.store(zero, p_lower)
+        builder.store(builder.sub(trip, one, "omp.ub"), p_upper)
+        builder.store(one, p_stride)
+        chunk_val = (
+            builder.const_int(ty, chunk)
+            if isinstance(chunk, int)
+            else chunk
+            if chunk is not None
+            else one
+        )
+        builder.call(
+            init_fn,
+            [
+                loc,
+                gtid,
+                builder.const_int(i32, schedule.value),
+                p_last,
+                p_lower,
+                p_upper,
+                p_stride,
+                one,
+                chunk_val,
+            ],
+        )
+        lower = builder.load(ty, p_lower, "omp.lb.new")
+        upper = builder.load(ty, p_upper, "omp.ub.new")
+        span = builder.add(
+            builder.sub(upper, lower, "omp.range"), one, "omp.span"
+        )
+        # A thread with an empty slice gets upper < lower; the unsigned
+        # wrap would produce a huge span, so clamp: span = (upper >= lower)
+        # ? span : 0.
+        nonempty = builder.icmp(
+            ICmpPred.UGE, upper, lower, "omp.nonempty"
+        )
+        span = builder.select(nonempty, span, zero, "omp.tc.thread")
+        cli.set_trip_count(span)
+        self._shift_indvar_uses(builder, cli, lower)
+
+        # Finalization + implicit barrier in the after block.
+        builder.set_insert_point(cli.after, 0)
+        builder.call(fini_fn, [loc, gtid])
+        if not nowait:
+            self.create_barrier(builder, gtid)
+
+    def _apply_dynamic_workshare(
+        self,
+        builder: IRBuilder,
+        cli: CanonicalLoopInfo,
+        schedule: WorksharedSchedule,
+        chunk: Value | int | None,
+        nowait: bool,
+    ) -> None:
+        ty = cli.indvar_type
+        suffix = self._runtime_suffix(ty)
+        init_fn = self.get_runtime_function(
+            f"__kmpc_dispatch_init_{suffix}"
+        )
+        next_fn = self.get_runtime_function(
+            f"__kmpc_dispatch_next_{suffix}"
+        )
+        loc = self.default_loc(builder)
+        fn = cli.function
+
+        builder.set_insert_point_before(cli.preheader.terminator)
+        gtid = self.get_global_thread_num(builder)
+        p_last = builder.alloca(i32, name="p.lastiter")
+        p_lower = builder.alloca(ty, name="p.lowerbound")
+        p_upper = builder.alloca(ty, name="p.upperbound")
+        p_stride = builder.alloca(ty, name="p.stride")
+        zero = builder.const_int(ty, 0)
+        one = builder.const_int(ty, 1)
+        trip = cli.trip_count
+        chunk_val = (
+            builder.const_int(ty, chunk)
+            if isinstance(chunk, int)
+            else chunk
+            if chunk is not None
+            else one
+        )
+        builder.call(
+            init_fn,
+            [
+                loc,
+                gtid,
+                builder.const_int(i32, schedule.value),
+                zero,
+                builder.sub(trip, one, "omp.ub"),
+                one,
+                chunk_val,
+            ],
+        )
+
+        dispatch_cond = fn.append_block("omp.dispatch.cond", after=cli.preheader)
+        dispatch_body = fn.append_block("omp.dispatch.body", after=dispatch_cond)
+
+        # preheader now enters the dispatch loop.
+        pre_term = cli.preheader.terminator
+        assert isinstance(pre_term, BranchInst)
+        pre_term.target = dispatch_cond
+
+        builder.set_insert_point(dispatch_cond)
+        more = builder.call(
+            next_fn,
+            [loc, gtid, p_last, p_lower, p_upper, p_stride],
+            "omp.more",
+        )
+        has_chunk = builder.icmp(
+            ICmpPred.NE, more, builder.const_int(i32, 0), "omp.haschunk"
+        )
+        builder.cond_br(has_chunk, dispatch_body, cli.after)
+
+        builder.set_insert_point(dispatch_body)
+        lower = builder.load(ty, p_lower, "omp.lb.chunk")
+        upper = builder.load(ty, p_upper, "omp.ub.chunk")
+        span = builder.add(
+            builder.sub(upper, lower, "omp.range"), one, "omp.span"
+        )
+        builder.br(cli.header)
+        cli.indvar.replace_incoming_block(cli.preheader, dispatch_body)
+
+        cli.set_trip_count(span)
+        self._shift_indvar_uses(builder, cli, lower)
+
+        # The canonical loop's exit returns to the dispatcher.
+        exit_term = cli.exit.terminator
+        assert isinstance(exit_term, BranchInst)
+        exit_term.target = dispatch_cond
+
+        builder.set_insert_point(cli.after, 0)
+        if not nowait:
+            self.create_barrier(builder, gtid)
+
+    # ==================================================================
+    # Parallel regions / synchronization
+    # ==================================================================
+    def create_parallel(
+        self,
+        builder: IRBuilder,
+        outlined_fn: Function,
+        context_ptr: Value,
+        num_threads: Value | None = None,
+    ) -> None:
+        """Emit a parallel region: optional num_threads push, then
+        ``__kmpc_fork_call(loc, 1, outlined_fn, context)``."""
+        loc = self.default_loc(builder)
+        if num_threads is not None:
+            push = self.get_runtime_function("__kmpc_push_num_threads")
+            gtid = self.get_global_thread_num(builder)
+            builder.call(push, [loc, gtid, num_threads])
+        fork = self.get_runtime_function("__kmpc_fork_call")
+        builder.call(
+            fork,
+            [loc, builder.const_int(i32, 1), outlined_fn, context_ptr],
+        )
+
+    def create_barrier(
+        self, builder: IRBuilder, gtid: Value | None = None
+    ) -> None:
+        barrier = self.get_runtime_function("__kmpc_barrier")
+        if gtid is None:
+            gtid = self.get_global_thread_num(builder)
+        builder.call(barrier, [self.default_loc(builder), gtid])
+
+    def create_critical(
+        self,
+        builder: IRBuilder,
+        body_gen: Callable[[IRBuilder], None],
+        name: str = "unnamed",
+    ) -> None:
+        enter = self.get_runtime_function("__kmpc_critical")
+        leave = self.get_runtime_function("__kmpc_end_critical")
+        loc = self.default_loc(builder)
+        gtid = self.get_global_thread_num(builder)
+        lock = self.module.add_global(
+            self.module.unique_global_name(f".gomp_critical_{name}"),
+            i32,
+        )
+        builder.call(enter, [loc, gtid, lock])
+        body_gen(builder)
+        builder.call(leave, [loc, gtid, lock])

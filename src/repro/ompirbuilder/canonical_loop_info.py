@@ -1,0 +1,310 @@
+"""``CanonicalLoopInfo``: the loop-skeleton handle (paper §3.2, Fig. 7).
+
+The skeleton created by ``create_canonical_loop``::
+
+      preheader:
+          br label %header
+      header:
+          %iv = phi [0, %preheader], [%iv.next, %latch]
+          br label %cond
+      cond:
+          %cmp = icmp ult %iv, %tripcount
+          br i1 %cmp, label %body, label %exit
+      body:
+          ; ... user code ...
+          br label %latch
+      latch:
+          %iv.next = add %iv, 1
+          br label %header
+      exit:
+          br label %after
+      after:
+
+Invariants (checked by :meth:`CanonicalLoopInfo.assert_ok`):
+
+* explicit basic blocks for preheader, header, condition check, body
+  entry, latch, exit and after,
+* an identifiable logical induction variable (the header phi, starting at
+  0 and incremented by 1 in the latch),
+* an identifiable trip count (the ``icmp ult`` bound in the condition
+  block) "without requiring analysis by ScalarEvolution".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.ir.instructions import (
+    BinaryInst,
+    BinOp,
+    BranchInst,
+    CondBranchInst,
+    ICmpInst,
+    ICmpPred,
+    PhiInst,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import IntType
+from repro.ir.values import ConstantInt, Value
+
+if TYPE_CHECKING:
+    from repro.ir.irbuilder import IRBuilder
+
+
+class SkeletonError(Exception):
+    """A CanonicalLoopInfo invariant does not hold."""
+
+
+@dataclass
+class CanonicalLoopInfo:
+    """Handle to one canonical loop in the IR.
+
+    Returned by ``create_canonical_loop`` and by every loop transformation
+    (which "may either modify and return the input canonical loops, or
+    abandon the old handles and create new loops using the skeleton" —
+    paper §3.2).  After a transformation consumed a handle it must not be
+    used again (``invalidate``).
+    """
+
+    preheader: BasicBlock
+    header: BasicBlock
+    cond: BasicBlock
+    body: BasicBlock
+    latch: BasicBlock
+    exit: BasicBlock
+    after: BasicBlock
+
+    _valid: bool = True
+
+    # ------------------------------------------------------------------
+    # Identifiable components (no ScalarEvolution needed)
+    # ------------------------------------------------------------------
+    @property
+    def indvar(self) -> PhiInst:
+        """The logical iteration counter: the header's (only) phi."""
+        phis = self.header.phis()
+        if len(phis) != 1:
+            raise SkeletonError(
+                f"header {self.header.name} must have exactly one phi, "
+                f"found {len(phis)}"
+            )
+        return phis[0]
+
+    @property
+    def compare(self) -> ICmpInst:
+        for inst in self.cond.instructions:
+            if isinstance(inst, ICmpInst):
+                return inst
+        raise SkeletonError(
+            f"condition block {self.cond.name} has no compare"
+        )
+
+    @property
+    def trip_count(self) -> Value:
+        """The loop's trip count operand (rhs of the ``icmp ult``)."""
+        return self.compare.rhs
+
+    def set_trip_count(self, value: Value) -> None:
+        self.compare.rhs = value
+
+    @property
+    def function(self) -> Function:
+        assert self.header.parent is not None
+        return self.header.parent
+
+    @property
+    def indvar_type(self) -> IntType:
+        ty = self.indvar.type
+        assert isinstance(ty, IntType)
+        return ty
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        self._valid = False
+
+    @property
+    def is_valid(self) -> bool:
+        return self._valid
+
+    # ------------------------------------------------------------------
+    # Invariant checking
+    # ------------------------------------------------------------------
+    def assert_ok(self) -> None:
+        if not self._valid:
+            raise SkeletonError("using an invalidated CanonicalLoopInfo")
+        blocks = {
+            "preheader": self.preheader,
+            "header": self.header,
+            "cond": self.cond,
+            "body": self.body,
+            "latch": self.latch,
+            "exit": self.exit,
+            "after": self.after,
+        }
+        fn = self.function
+        for label, block in blocks.items():
+            if block.parent is not fn:
+                raise SkeletonError(
+                    f"{label} block {block.name} is not in function "
+                    f"@{fn.name}"
+                )
+            if block.terminator is None and label != "after":
+                # The after block belongs to the code following the loop
+                # and may still be under construction.
+                raise SkeletonError(
+                    f"{label} block {block.name} lacks a terminator"
+                )
+        # Edges.
+        self._expect_branch("preheader", self.preheader, self.header)
+        self._expect_branch("header", self.header, self.cond)
+        term = self.cond.terminator
+        if not (
+            isinstance(term, CondBranchInst)
+            and term.true_block is self.body
+            and term.false_block is self.exit
+        ):
+            raise SkeletonError(
+                "condition block must conditionally branch to body/exit"
+            )
+        self._expect_branch("latch", self.latch, self.header)
+        self._expect_branch("exit", self.exit, self.after)
+        # Induction variable.
+        indvar = self.indvar
+        start = indvar.incoming_for(self.preheader)
+        if not (isinstance(start, ConstantInt) and start.value == 0):
+            raise SkeletonError(
+                "induction variable must start at 0 from the preheader"
+            )
+        step_val = indvar.incoming_for(self.latch)
+        if not (
+            isinstance(step_val, BinaryInst)
+            and step_val.op == BinOp.ADD
+            and step_val.parent is self.latch
+            and (
+                (step_val.lhs is indvar
+                 and isinstance(step_val.rhs, ConstantInt)
+                 and step_val.rhs.value == 1)
+                or (step_val.rhs is indvar
+                    and isinstance(step_val.lhs, ConstantInt)
+                    and step_val.lhs.value == 1)
+            )
+        ):
+            raise SkeletonError(
+                "induction variable must be incremented by 1 in the latch"
+            )
+        # Compare.
+        cmp = self.compare
+        if cmp.pred != ICmpPred.ULT or cmp.lhs is not indvar:
+            raise SkeletonError(
+                "condition must be `icmp ult indvar, tripcount` "
+                "(the logical iteration counter is unsigned)"
+            )
+
+    @staticmethod
+    def _expect_branch(
+        label: str, block: BasicBlock, target: BasicBlock
+    ) -> None:
+        term = block.terminator
+        if not (isinstance(term, BranchInst) and term.target is target):
+            raise SkeletonError(
+                f"{label} block {block.name} must branch directly to "
+                f"{target.name}"
+            )
+
+    def block_names(self) -> dict[str, str]:
+        """Role -> block-name mapping (used by the Fig. 7 test/bench)."""
+        return {
+            "preheader": self.preheader.name,
+            "header": self.header.name,
+            "cond": self.cond.name,
+            "body": self.body.name,
+            "latch": self.latch.name,
+            "exit": self.exit.name,
+            "after": self.after.name,
+        }
+
+
+def create_loop_skeleton(
+    builder: "IRBuilder",
+    trip_count: Value,
+    name: str = "omp_loop",
+) -> CanonicalLoopInfo:
+    """Emit the Fig. 7 skeleton at the builder's insertion point.
+
+    The current block becomes the preheader (its existing terminator, if
+    any, is preserved by splitting); after return the builder points into
+    the body block, and the code that followed the insertion point is
+    reachable from the after block.
+    """
+    from repro.ir.instructions import BranchInst
+
+    assert builder.insert_block is not None
+    fn = builder.insert_block.parent
+    assert fn is not None
+    ip_block = builder.insert_block
+    ip_index = builder.save_ip().index
+
+    # Move any trailing instructions of the insertion block into the
+    # 'after' block so that the skeleton is inserted "in the middle".
+    after = fn.append_block(f"{name}.after", after=ip_block)
+    trailing = ip_block.instructions[ip_index:]
+    del ip_block.instructions[ip_index:]
+    for inst in trailing:
+        after.append(inst)
+    for succ in after.successors():
+        for phi in succ.phis():
+            phi.replace_incoming_block(ip_block, after)
+
+    preheader = ip_block
+    header = fn.append_block(f"{name}.header", after=preheader)
+    cond = fn.append_block(f"{name}.cond", after=header)
+    body = fn.append_block(f"{name}.body", after=cond)
+    latch = fn.append_block(f"{name}.inc", after=body)
+    exit_block = fn.append_block(f"{name}.exit", after=latch)
+
+    iv_type = trip_count.type
+    assert isinstance(iv_type, IntType)
+
+    builder.set_insert_point(preheader)
+    builder.br(header)
+
+    builder.set_insert_point(header)
+    indvar = builder.phi(iv_type, f"{name}.iv")
+    builder.br(cond)
+
+    builder.set_insert_point(cond)
+    # Unsigned compare: the logical iteration counter is always unsigned
+    # (paper §3.1).
+    cmp = builder.icmp(ICmpPred.ULT, indvar, trip_count, f"{name}.cmp")
+    builder.cond_br(cmp, body, exit_block)
+
+    builder.set_insert_point(body)
+    builder.br(latch)
+
+    builder.set_insert_point(latch)
+    next_iv = builder.add(
+        indvar, builder.const_int(iv_type, 1), f"{name}.next"
+    )
+    builder.br(header)
+
+    indvar.add_incoming(builder.const_int(iv_type, 0), preheader)
+    indvar.add_incoming(next_iv, latch)
+
+    builder.set_insert_point(exit_block)
+    builder.br(after)
+
+    # Leave the builder at the body insertion point (before its branch to
+    # the latch) so callers can fill in user code.
+    builder.set_insert_point(body, 0)
+    return CanonicalLoopInfo(
+        preheader=preheader,
+        header=header,
+        cond=cond,
+        body=body,
+        latch=latch,
+        exit=exit_block,
+        after=after,
+    )

@@ -1,0 +1,16 @@
+"""Parser layer (paper Fig. 1).
+
+The parser steers general control flow: ``parse_translation_unit`` pulls
+tokens from the preprocessor and pushes recognized syntax to Sema through
+``act_on_*`` actions, which build the typed AST.
+
+OpenMP directives arrive as ``ANNOT_PRAGMA_OPENMP`` annotation tokens whose
+payload is the directive's token list; :mod:`repro.parse.parse_omp` parses
+the directive name and clauses and hands the associated statement plus
+clauses to :class:`repro.sema.omp_sema.OpenMPSema`.
+"""
+
+from repro.parse.parser import Parser
+from repro.parse.parse_omp import OpenMPDirectiveParser
+
+__all__ = ["OpenMPDirectiveParser", "Parser"]

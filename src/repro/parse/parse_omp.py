@@ -1,0 +1,462 @@
+"""Parsing of OpenMP directives from annotation tokens.
+
+The preprocessor delivers ``#pragma omp ...`` as one
+``ANNOT_PRAGMA_OPENMP`` token whose payload is the directive's token list,
+followed by ``ANNOT_PRAGMA_OPENMP_END`` — clang's exact scheme.  This
+module parses the directive name (greedy multi-word match, so
+``parallel for simd`` wins over ``parallel``) and its clauses, then parses
+the associated statement from the main token stream and hands everything
+to :class:`repro.sema.omp_sema.OpenMPSema`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.astlib import clauses as cl
+from repro.astlib import exprs as e
+from repro.astlib import stmts as s
+from repro.diagnostics import Severity
+from repro.lex.tokens import Token, TokenKind
+from repro.sema.scope import ScopeKind
+from repro.sourcemgr.location import SourceLocation
+
+if TYPE_CHECKING:
+    from repro.parse.parser import Parser
+
+K = TokenKind
+
+#: Longest-first so combined directives match greedily.
+_DIRECTIVE_NAMES = [
+    "parallel for simd",
+    "parallel for",
+    "for simd",
+    "parallel",
+    "for",
+    "simd",
+    "taskloop",
+    "unroll",
+    "tile",
+    "reverse",
+    "interchange",
+    "fuse",
+    "barrier",
+    "master",
+    "single",
+    "critical",
+]
+
+_STANDALONE = {"barrier"}
+
+_SCHEDULE_KINDS = {k.value: k for k in cl.ScheduleKind}
+_DEFAULT_KINDS = {k.value: k for k in cl.DefaultKind}
+_REDUCTION_OPS = {
+    "+": cl.ReductionOperator.ADD,
+    "-": cl.ReductionOperator.SUB,
+    "*": cl.ReductionOperator.MUL,
+    "&": cl.ReductionOperator.AND,
+    "|": cl.ReductionOperator.OR,
+    "^": cl.ReductionOperator.XOR,
+    "&&": cl.ReductionOperator.LAND,
+    "||": cl.ReductionOperator.LOR,
+    "min": cl.ReductionOperator.MIN,
+    "max": cl.ReductionOperator.MAX,
+}
+
+
+class _DirectiveTokens:
+    """Cursor over a directive's token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self, ahead: int = 0) -> Token:
+        idx = self.pos + ahead
+        if idx < len(self.tokens):
+            return self.tokens[idx]
+        return Token(K.EOD, "")
+
+    def next(self) -> Token:
+        tok = self.peek()
+        if tok.kind != K.EOD:
+            self.pos += 1
+        return tok
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def word(self, tok: Token) -> str:
+        """Identifier-like spelling; keywords like ``for``/``if`` count."""
+        if tok.kind == K.IDENTIFIER or tok.kind.is_keyword():
+            return tok.spelling
+        return ""
+
+    def collect_paren_group(self) -> list[Token] | None:
+        """Consume ``( ... )`` and return the inner tokens."""
+        if self.peek().kind != K.L_PAREN:
+            return None
+        self.next()
+        depth = 1
+        inner: list[Token] = []
+        while not self.at_end():
+            tok = self.next()
+            if tok.kind == K.L_PAREN:
+                depth += 1
+            elif tok.kind == K.R_PAREN:
+                depth -= 1
+                if depth == 0:
+                    return inner
+            inner.append(tok)
+        return inner  # unterminated; caller diagnoses
+
+
+class OpenMPDirectiveParser:
+    def __init__(self, parser: "Parser") -> None:
+        self.parser = parser
+
+    @property
+    def sema(self):
+        return self.parser.sema
+
+    @property
+    def diags(self):
+        return self.parser.diags
+
+    # ------------------------------------------------------------------
+    def parse_directive(self) -> s.Stmt:
+        annot = self.parser.expect(K.ANNOT_PRAGMA_OPENMP)
+        tokens: list[Token] = list(annot.annotation_value or [])
+        self.parser.expect(K.ANNOT_PRAGMA_OPENMP_END)
+        cursor = _DirectiveTokens(tokens)
+
+        name = self._parse_directive_name(cursor, annot.location)
+        if name is None:
+            return s.NullStmt(annot.location)
+
+        # `critical` takes an optional (name) before clauses.
+        critical_name = ""
+        if name == "critical" and cursor.peek().kind == K.L_PAREN:
+            group = cursor.collect_paren_group() or []
+            if group:
+                critical_name = group[0].spelling
+
+        clauses = self._parse_clauses(cursor, name, annot.location)
+
+        if name in _STANDALONE:
+            result = self.sema.openmp.act_on_directive(
+                name, clauses, None, annot.location
+            )
+            return result or s.NullStmt(annot.location)
+
+        with self.sema.scoped(ScopeKind.OPENMP_DIRECTIVE):
+            associated = self.parser.parse_statement()
+        result = self.sema.openmp.act_on_directive(
+            name, clauses, associated, annot.location
+        )
+        if name == "critical" and isinstance(
+            result, __import__("repro.astlib.omp", fromlist=["omp"]).OMPCriticalDirective
+        ):
+            result.name = critical_name
+        return result if result is not None else associated
+
+    # ------------------------------------------------------------------
+    def _parse_directive_name(
+        self, cursor: _DirectiveTokens, loc: SourceLocation
+    ) -> str | None:
+        words: list[str] = []
+        i = 0
+        while True:
+            w = cursor.word(cursor.peek(i))
+            if not w:
+                break
+            words.append(w)
+            i += 1
+        if not words:
+            self.diags.report(
+                Severity.ERROR,
+                "expected an OpenMP directive name after '#pragma omp'",
+                loc,
+            )
+            return None
+        for candidate in _DIRECTIVE_NAMES:
+            parts = candidate.split(" ")
+            if words[: len(parts)] == parts:
+                for _ in parts:
+                    cursor.next()
+                return candidate
+        self.diags.report(
+            Severity.ERROR,
+            f"unknown OpenMP directive '#pragma omp {words[0]}'",
+            loc,
+        )
+        return None
+
+    # ------------------------------------------------------------------
+    def _parse_clauses(
+        self,
+        cursor: _DirectiveTokens,
+        directive: str,
+        loc: SourceLocation,
+    ) -> list[cl.OMPClause]:
+        clauses: list[cl.OMPClause] = []
+        while not cursor.at_end():
+            tok = cursor.peek()
+            if tok.kind == K.COMMA:
+                cursor.next()
+                continue
+            name = cursor.word(tok)
+            if not name:
+                self.diags.report(
+                    Severity.ERROR,
+                    f"expected a clause name, got "
+                    f"'{tok.spelling or tok.kind.value}'",
+                    tok.location or loc,
+                )
+                cursor.next()
+                continue
+            cursor.next()
+            clause = self._parse_one_clause(
+                name, cursor, tok.location or loc
+            )
+            if clause is not None:
+                clauses.append(clause)
+        return clauses
+
+    def _parse_expr_tokens(
+        self, tokens: list[Token], loc: SourceLocation
+    ) -> e.Expr | None:
+        from repro.parse.parser import Parser, ParseError
+
+        if not tokens:
+            return None
+        sub = Parser(tokens, self.sema, self.diags)
+        try:
+            return sub.parse_assignment_expression()
+        except ParseError:
+            return None
+
+    def _split_on_commas(
+        self, tokens: list[Token]
+    ) -> list[list[Token]]:
+        groups: list[list[Token]] = [[]]
+        depth = 0
+        for tok in tokens:
+            if tok.kind == K.L_PAREN:
+                depth += 1
+            elif tok.kind == K.R_PAREN:
+                depth -= 1
+            if tok.kind == K.COMMA and depth == 0:
+                groups.append([])
+            else:
+                groups[-1].append(tok)
+        return [g for g in groups if g]
+
+    def _parse_var_list(
+        self, tokens: list[Token], loc: SourceLocation
+    ) -> list[e.DeclRefExpr]:
+        refs: list[e.DeclRefExpr] = []
+        for group in self._split_on_commas(tokens):
+            expr = self._parse_expr_tokens(group, loc)
+            if expr is None:
+                continue
+            stripped = expr.ignore_implicit_casts()
+            if isinstance(stripped, e.DeclRefExpr):
+                refs.append(stripped)
+            else:
+                self.diags.report(
+                    Severity.ERROR,
+                    "expected a variable name in clause variable list",
+                    group[0].location,
+                )
+        return refs
+
+    def _parse_one_clause(
+        self,
+        name: str,
+        cursor: _DirectiveTokens,
+        loc: SourceLocation,
+    ) -> cl.OMPClause | None:
+        group = cursor.collect_paren_group()
+
+        def require_group() -> list[Token] | None:
+            if group is None:
+                self.diags.report(
+                    Severity.ERROR,
+                    f"expected '(' after '{name}' clause",
+                    loc,
+                )
+                return None
+            return group
+
+        if name == "full":
+            return cl.OMPFullClause(loc)
+        if name == "partial":
+            factor = None
+            if group:
+                factor = self._parse_expr_tokens(group, loc)
+                if factor is not None:
+                    factor = self._wrap_constant(factor)
+            return cl.OMPPartialClause(factor, loc)
+        if name == "permutation":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            indices: list[e.Expr] = []
+            for sub_tokens in self._split_on_commas(tokens):
+                expr = self._parse_expr_tokens(sub_tokens, loc)
+                if expr is not None:
+                    indices.append(self._wrap_constant(expr))
+            if not indices:
+                self.diags.report(
+                    Severity.ERROR,
+                    "'permutation' clause requires at least one index",
+                    loc,
+                )
+                return None
+            return cl.OMPPermutationClause(indices, loc)
+        if name == "sizes":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            sizes: list[e.Expr] = []
+            for sub_tokens in self._split_on_commas(tokens):
+                expr = self._parse_expr_tokens(sub_tokens, loc)
+                if expr is not None:
+                    sizes.append(self._wrap_constant(expr))
+            if not sizes:
+                self.diags.report(
+                    Severity.ERROR,
+                    "'sizes' clause requires at least one size",
+                    loc,
+                )
+                return None
+            return cl.OMPSizesClause(sizes, loc)
+        if name == "schedule":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            groups = self._split_on_commas(tokens)
+            kind_name = groups[0][0].spelling if groups and groups[0] else ""
+            kind = _SCHEDULE_KINDS.get(kind_name)
+            if kind is None:
+                self.diags.report(
+                    Severity.ERROR,
+                    f"unknown schedule kind '{kind_name}'",
+                    loc,
+                )
+                return None
+            chunk = None
+            if len(groups) > 1:
+                chunk = self._parse_expr_tokens(groups[1], loc)
+            return cl.OMPScheduleClause(kind, chunk, loc)
+        if name == "num_threads":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            expr = self._parse_expr_tokens(tokens, loc)
+            if expr is None:
+                return None
+            return cl.OMPNumThreadsClause(expr, loc)
+        if name == "collapse":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            expr = self._parse_expr_tokens(tokens, loc)
+            if expr is None:
+                return None
+            return cl.OMPCollapseClause(self._wrap_constant(expr), loc)
+        if name == "simdlen":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            expr = self._parse_expr_tokens(tokens, loc)
+            if expr is None:
+                return None
+            return cl.OMPSimdlenClause(self._wrap_constant(expr), loc)
+        if name == "if":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            expr = self._parse_expr_tokens(tokens, loc)
+            if expr is None:
+                return None
+            return cl.OMPIfClause(expr, loc)
+        if name == "nowait":
+            return cl.OMPNowaitClause(loc)
+        if name == "ordered":
+            return cl.OMPOrderedClause(loc)
+        if name == "default":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            kind_name = tokens[0].spelling if tokens else ""
+            kind = _DEFAULT_KINDS.get(kind_name)
+            if kind is None:
+                self.diags.report(
+                    Severity.ERROR,
+                    f"unknown default kind '{kind_name}'",
+                    loc,
+                )
+                return None
+            return cl.OMPDefaultClause(kind, loc)
+        if name in ("private", "firstprivate", "lastprivate", "shared"):
+            tokens = require_group()
+            if tokens is None:
+                return None
+            refs = self._parse_var_list(tokens, loc)
+            clause_cls = {
+                "private": cl.OMPPrivateClause,
+                "firstprivate": cl.OMPFirstprivateClause,
+                "lastprivate": cl.OMPLastprivateClause,
+                "shared": cl.OMPSharedClause,
+            }[name]
+            return clause_cls(refs, loc)
+        if name == "reduction":
+            tokens = require_group()
+            if tokens is None:
+                return None
+            # reduction(op : var-list)
+            colon_idx = next(
+                (
+                    i
+                    for i, t in enumerate(tokens)
+                    if t.kind == K.COLON
+                ),
+                None,
+            )
+            if colon_idx is None:
+                self.diags.report(
+                    Severity.ERROR,
+                    "expected ':' in 'reduction' clause",
+                    loc,
+                )
+                return None
+            op_spelling = "".join(
+                t.spelling for t in tokens[:colon_idx]
+            )
+            op = _REDUCTION_OPS.get(op_spelling)
+            if op is None:
+                self.diags.report(
+                    Severity.ERROR,
+                    f"unknown reduction operator '{op_spelling}'",
+                    loc,
+                )
+                return None
+            refs = self._parse_var_list(tokens[colon_idx + 1 :], loc)
+            return cl.OMPReductionClause(op, refs, loc)
+        self.diags.report(
+            Severity.ERROR,
+            f"unknown OpenMP clause '{name}'",
+            loc,
+        )
+        return None
+
+    def _wrap_constant(self, expr: e.Expr) -> e.Expr:
+        """Wrap clause arguments that must be constants in a
+        ``ConstantExpr`` with the folded value (as the paper's AST dump of
+        ``partial(2)`` shows)."""
+        value = self.sema.evaluator.try_evaluate(expr)
+        if value is None:
+            return expr
+        return e.ConstantExpr(expr, value, expr.location)

@@ -1,0 +1,237 @@
+"""High-level compilation pipeline (the public library API).
+
+Chains the layers of paper Fig. 1 — FileManager, SourceManager, Lexer,
+Preprocessor, Parser, Sema, CodeGen — into one call.  This is what the
+examples, tests and benchmarks use; the CLI driver
+(:mod:`repro.driver.cli`) is a thin argument-parsing wrapper around it.
+
+Typical use::
+
+    from repro.pipeline import compile_source, run_source
+
+    result = compile_source(C_CODE, openmp=True)
+    print(result.ast_dump())          # clang-style -ast-dump
+    print(result.ir_text())           # .ll-style IR
+
+    outcome = run_source(C_CODE, num_threads=4)
+    print(outcome.stdout)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import FunctionDecl, TranslationUnitDecl
+from repro.astlib.dump import dump_ast
+from repro.codegen import CodeGenModule, CodeGenOptions
+from repro.diagnostics import DiagnosticsEngine, FatalErrorOccurred
+from repro.interp import Interpreter
+from repro.ir.module import Module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.parse import Parser
+from repro.preprocessor import Preprocessor, PreprocessorOptions
+from repro.sema import Sema
+from repro.sourcemgr import FileManager, SourceManager
+
+
+class CompilationError(Exception):
+    """Raised when compilation produced errors; carries the rendered
+    diagnostics."""
+
+    def __init__(self, diagnostics_text: str):
+        super().__init__(diagnostics_text)
+        self.diagnostics_text = diagnostics_text
+
+
+@dataclass
+class CompileResult:
+    """Everything produced by one compilation."""
+
+    source_manager: SourceManager
+    diagnostics: DiagnosticsEngine
+    ast_context: ASTContext
+    translation_unit: TranslationUnitDecl
+    sema: Sema
+    module: Optional[Module] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics.has_errors()
+
+    def function(self, name: str) -> FunctionDecl:
+        for fn in self.translation_unit.functions():
+            if fn.name == name:
+                return fn
+        raise KeyError(f"no function '{name}'")
+
+    def ast_dump(
+        self,
+        function: str | None = None,
+        dump_shadow: bool = False,
+    ) -> str:
+        """clang-style ``-ast-dump`` of one function body or the TU."""
+        if function is not None:
+            fn = self.function(function)
+            target = fn.body if fn.body is not None else fn
+            return dump_ast(target, dump_shadow=dump_shadow)
+        parts = []
+        for fn in self.translation_unit.functions():
+            if fn.body is not None:
+                parts.append(dump_ast(fn.body, dump_shadow=dump_shadow))
+        return "\n".join(parts)
+
+    def ir_text(self) -> str:
+        assert self.module is not None, "compiled with -syntax-only?"
+        return print_module(self.module)
+
+    def diagnostics_text(self) -> str:
+        return self.diagnostics.render_all()
+
+
+@dataclass
+class RunResult:
+    """Result of executing a compiled program."""
+
+    exit_code: Any
+    stdout: str
+    instruction_count: int
+    interpreter: Interpreter
+    compile_result: CompileResult
+
+
+def _front_end(
+    source: str,
+    filename: str,
+    openmp: bool,
+    enable_irbuilder: bool,
+    defines: dict[str, str] | None,
+    include_paths: list[str] | None,
+    virtual_files: dict[str, str] | None,
+) -> CompileResult:
+    sm = SourceManager()
+    fm = FileManager(include_paths or [])
+    if virtual_files:
+        for name, text in virtual_files.items():
+            fm.register_virtual_file(name, text)
+    diags = DiagnosticsEngine(sm)
+    pp = Preprocessor(
+        sm,
+        fm,
+        diags,
+        PreprocessorOptions(
+            defines=dict(defines or {}), openmp=openmp
+        ),
+    )
+    pp.enter_source(source, filename)
+    try:
+        tokens = pp.lex_all()
+    except FatalErrorOccurred:
+        tokens = []
+    ctx = ASTContext()
+    sema = Sema(ctx, diags)
+    sema.openmp.use_irbuilder = enable_irbuilder
+    parser = Parser(tokens, sema, diags)
+    tu = parser.parse_translation_unit()
+    return CompileResult(
+        source_manager=sm,
+        diagnostics=diags,
+        ast_context=ctx,
+        translation_unit=tu,
+        sema=sema,
+    )
+
+
+def compile_source(
+    source: str,
+    filename: str = "<input>",
+    openmp: bool = True,
+    enable_irbuilder: bool = False,
+    syntax_only: bool = False,
+    defines: dict[str, str] | None = None,
+    include_paths: list[str] | None = None,
+    virtual_files: dict[str, str] | None = None,
+    verify: bool = True,
+    strict: bool = True,
+) -> CompileResult:
+    """Compile C source to IR.
+
+    Parameters mirror the clang flags the paper's workflow uses:
+    ``openmp`` = ``-fopenmp``, ``enable_irbuilder`` =
+    ``-fopenmp-enable-irbuilder``, ``syntax_only`` = ``-fsyntax-only``.
+    With ``strict=True`` a :class:`CompilationError` is raised when any
+    error diagnostic was produced.
+    """
+    result = _front_end(
+        source,
+        filename,
+        openmp,
+        enable_irbuilder,
+        defines,
+        include_paths,
+        virtual_files,
+    )
+    if result.diagnostics.has_errors():
+        if strict:
+            raise CompilationError(result.diagnostics_text())
+        return result
+    if syntax_only:
+        return result
+    cgm = CodeGenModule(
+        result.ast_context,
+        result.diagnostics,
+        CodeGenOptions(
+            enable_irbuilder=enable_irbuilder,
+            module_name=filename,
+        ),
+    )
+    result.module = cgm.emit_translation_unit(result.translation_unit)
+    if result.diagnostics.has_errors() and strict:
+        raise CompilationError(result.diagnostics_text())
+    if verify and result.module is not None:
+        verify_module(result.module)
+    return result
+
+
+def run_source(
+    source: str,
+    entry: str = "main",
+    args: list | None = None,
+    num_threads: int = 4,
+    filename: str = "<input>",
+    openmp: bool = True,
+    enable_irbuilder: bool = False,
+    defines: dict[str, str] | None = None,
+    optimize: bool = False,
+    fuel: int | None = None,
+) -> RunResult:
+    """Compile and execute *source*; returns exit code and captured
+    stdout.  ``optimize=True`` additionally runs the mid-end pass
+    pipeline (incl. the LoopUnroll pass that consumes the
+    ``llvm.loop.unroll.*`` metadata emitted for the paper's unroll
+    directive)."""
+    result = compile_source(
+        source,
+        filename=filename,
+        openmp=openmp,
+        enable_irbuilder=enable_irbuilder,
+        defines=defines,
+    )
+    assert result.module is not None
+    if optimize:
+        from repro.midend import default_pass_pipeline
+
+        default_pass_pipeline().run(result.module)
+        verify_module(result.module)
+    interp = Interpreter(result.module)
+    interp.omp.num_threads = num_threads
+    exit_code = interp.run(entry, args or [], fuel=fuel)
+    return RunResult(
+        exit_code=exit_code,
+        stdout=interp.output(),
+        instruction_count=interp.instruction_count,
+        interpreter=interp,
+        compile_result=result,
+    )

@@ -1,0 +1,80 @@
+"""Macro definitions and substitution (clang's ``MacroInfo``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lex.tokens import Token, TokenKind
+
+
+@dataclass
+class MacroInfo:
+    """One ``#define``.
+
+    ``params is None`` distinguishes an object-like macro from a
+    function-like macro with zero parameters (``#define F()``), exactly as
+    in clang.
+    """
+
+    name: str
+    replacement: list[Token] = field(default_factory=list)
+    params: list[str] | None = None
+    is_variadic: bool = False
+    is_builtin: bool = False
+
+    @property
+    def is_function_like(self) -> bool:
+        return self.params is not None
+
+    def param_index(self, name: str) -> int:
+        if self.params is None:
+            return -1
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return -1
+
+    def definition_equals(self, other: "MacroInfo") -> bool:
+        """C11 6.10.3p2 compatible-redefinition check (token-wise)."""
+        if (self.params is None) != (other.params is None):
+            return False
+        if self.params is not None and self.params != other.params:
+            return False
+        if len(self.replacement) != len(other.replacement):
+            return False
+        return all(
+            a.kind == b.kind and a.spelling == b.spelling
+            for a, b in zip(self.replacement, other.replacement)
+        )
+
+
+def stringify_tokens(tokens: list[Token]) -> Token:
+    """Implement the ``#`` operator: produce a string-literal token."""
+    parts: list[str] = []
+    for i, tok in enumerate(tokens):
+        if i > 0 and tok.has_leading_space:
+            parts.append(" ")
+        spelling = tok.spelling
+        if tok.kind in (TokenKind.STRING_LITERAL, TokenKind.CHAR_CONSTANT):
+            spelling = spelling.replace("\\", "\\\\").replace('"', '\\"')
+        parts.append(spelling)
+    return Token(TokenKind.STRING_LITERAL, '"' + "".join(parts) + '"')
+
+
+def paste_tokens(left: Token, right: Token) -> Token | None:
+    """Implement the ``##`` operator by re-lexing the concatenation.
+
+    Returns ``None`` when the concatenation does not form a single valid
+    token (which is UB in C; the caller reports a diagnostic).
+    """
+    from repro.lex.lexer import tokenize_string
+
+    combined = left.spelling + right.spelling
+    if not combined:
+        return Token(TokenKind.UNKNOWN, "")
+    toks = tokenize_string(combined)
+    # lex_all appends EOF; a valid paste yields exactly [token, EOF].
+    if len(toks) != 2 or toks[0].kind == TokenKind.UNKNOWN:
+        return None
+    result = toks[0]
+    return Token(result.kind, result.spelling, left.location)

@@ -1,0 +1,236 @@
+"""``#if`` constant-expression evaluation.
+
+A precedence-climbing evaluator over preprocessor tokens.  Per C semantics:
+
+* arithmetic is performed in (here unbounded, then wrapped) ``intmax_t``,
+* ``defined NAME`` / ``defined(NAME)`` must be resolved *before* macro
+  expansion — the caller is responsible for that ordering,
+* any remaining identifier evaluates to 0,
+* division by zero is a diagnosable error.
+"""
+
+from __future__ import annotations
+
+from repro.diagnostics import DiagnosticsEngine, Severity
+from repro.lex.tokens import Token, TokenKind
+
+_UINT64_MASK = (1 << 64) - 1
+
+
+def _wrap64(value: int) -> int:
+    """Wrap to signed 64-bit (intmax_t in our model)."""
+    value &= _UINT64_MASK
+    if value >= 1 << 63:
+        value -= 1 << 64
+    return value
+
+
+class _EvalError(Exception):
+    pass
+
+
+_BINOP_PRECEDENCE: dict[TokenKind, int] = {
+    TokenKind.PIPEPIPE: 1,
+    TokenKind.AMPAMP: 2,
+    TokenKind.PIPE: 3,
+    TokenKind.CARET: 4,
+    TokenKind.AMP: 5,
+    TokenKind.EQUALEQUAL: 6,
+    TokenKind.EXCLAIMEQUAL: 6,
+    TokenKind.LESS: 7,
+    TokenKind.LESSEQUAL: 7,
+    TokenKind.GREATER: 7,
+    TokenKind.GREATEREQUAL: 7,
+    TokenKind.LESSLESS: 8,
+    TokenKind.GREATERGREATER: 8,
+    TokenKind.PLUS: 9,
+    TokenKind.MINUS: 9,
+    TokenKind.STAR: 10,
+    TokenKind.SLASH: 10,
+    TokenKind.PERCENT: 10,
+}
+
+
+def parse_integer_literal(spelling: str) -> int | None:
+    """Parse a C integer literal spelling (with suffixes); None on failure."""
+    text = spelling.rstrip("uUlL")
+    if not text:
+        return None
+    try:
+        if text.lower().startswith("0x"):
+            return int(text, 16)
+        if text.lower().startswith("0b"):
+            return int(text, 2)
+        if text.startswith("0") and len(text) > 1:
+            return int(text, 8)
+        return int(text, 10)
+    except ValueError:
+        return None
+
+
+class PPExpressionEvaluator:
+    """Evaluates a fully macro-expanded token list to an integer."""
+
+    def __init__(
+        self, tokens: list[Token], diags: DiagnosticsEngine
+    ) -> None:
+        self.tokens = [t for t in tokens if t.kind != TokenKind.EOF]
+        self.pos = 0
+        self.diags = diags
+        #: >0 while evaluating an operand that short-circuiting made
+        #: dead (`0 && X`, `1 || X`): still parsed, but division by zero
+        #: there is not an error (C11 6.10.1).
+        self._dead = 0
+
+    def _peek(self) -> Token:
+        if self.pos < len(self.tokens):
+            return self.tokens[self.pos]
+        return Token(TokenKind.EOD, "")
+
+    def _next(self) -> Token:
+        tok = self._peek()
+        self.pos += 1
+        return tok
+
+    def evaluate(self) -> int:
+        """Evaluate; on malformed input report a diagnostic and return 0."""
+        if not self.tokens:
+            self.diags.report(
+                Severity.ERROR, "expected value in #if expression"
+            )
+            return 0
+        try:
+            value = self._parse_expression(0)
+            if self.pos < len(self.tokens):
+                raise _EvalError(
+                    f"unexpected token {self._peek().spelling!r} "
+                    "in #if expression"
+                )
+            return value
+        except _EvalError as err:
+            self.diags.report(
+                Severity.ERROR, str(err), self.tokens[0].location
+            )
+            return 0
+
+    # Precedence climbing ------------------------------------------------
+    def _parse_expression(self, min_prec: int) -> int:
+        lhs = self._parse_unary()
+        while True:
+            tok = self._peek()
+            # Conditional operator binds loosest.
+            if tok.kind == TokenKind.QUESTION and min_prec == 0:
+                self._next()
+                then_val = self._parse_expression(0)
+                if self._next().kind != TokenKind.COLON:
+                    raise _EvalError("expected ':' in #if expression")
+                else_val = self._parse_expression(0)
+                lhs = then_val if lhs else else_val
+                continue
+            prec = _BINOP_PRECEDENCE.get(tok.kind)
+            if prec is None or prec < min_prec:
+                return lhs
+            self._next()
+            if tok.kind in (TokenKind.AMPAMP, TokenKind.PIPEPIPE):
+                # Short-circuit: parse the rhs either way (syntax must be
+                # checked), but mark it dead when the lhs decides.
+                dead = (
+                    tok.kind == TokenKind.AMPAMP and not lhs
+                ) or (tok.kind == TokenKind.PIPEPIPE and bool(lhs))
+                if dead:
+                    self._dead += 1
+                try:
+                    rhs = self._parse_expression(prec + 1)
+                finally:
+                    if dead:
+                        self._dead -= 1
+            else:
+                rhs = self._parse_expression(prec + 1)
+            lhs = self._apply(tok.kind, lhs, rhs)
+
+    def _apply(self, kind: TokenKind, lhs: int, rhs: int) -> int:
+        if kind == TokenKind.PIPEPIPE:
+            return 1 if (lhs or rhs) else 0
+        if kind == TokenKind.AMPAMP:
+            return 1 if (lhs and rhs) else 0
+        if kind == TokenKind.PIPE:
+            return _wrap64(lhs | rhs)
+        if kind == TokenKind.CARET:
+            return _wrap64(lhs ^ rhs)
+        if kind == TokenKind.AMP:
+            return _wrap64(lhs & rhs)
+        if kind == TokenKind.EQUALEQUAL:
+            return 1 if lhs == rhs else 0
+        if kind == TokenKind.EXCLAIMEQUAL:
+            return 1 if lhs != rhs else 0
+        if kind == TokenKind.LESS:
+            return 1 if lhs < rhs else 0
+        if kind == TokenKind.LESSEQUAL:
+            return 1 if lhs <= rhs else 0
+        if kind == TokenKind.GREATER:
+            return 1 if lhs > rhs else 0
+        if kind == TokenKind.GREATEREQUAL:
+            return 1 if lhs >= rhs else 0
+        if kind == TokenKind.LESSLESS:
+            return _wrap64(lhs << (rhs & 63))
+        if kind == TokenKind.GREATERGREATER:
+            return _wrap64(lhs >> (rhs & 63))
+        if kind == TokenKind.PLUS:
+            return _wrap64(lhs + rhs)
+        if kind == TokenKind.MINUS:
+            return _wrap64(lhs - rhs)
+        if kind == TokenKind.STAR:
+            return _wrap64(lhs * rhs)
+        if kind in (TokenKind.SLASH, TokenKind.PERCENT):
+            if rhs == 0:
+                if self._dead:
+                    return 0  # short-circuited operand: never evaluated
+                raise _EvalError("division by zero in #if expression")
+            quotient = abs(lhs) // abs(rhs)
+            if (lhs < 0) != (rhs < 0):
+                quotient = -quotient
+            if kind == TokenKind.SLASH:
+                return _wrap64(quotient)
+            return _wrap64(lhs - quotient * rhs)
+        raise _EvalError(f"unsupported operator in #if expression")
+
+    def _parse_unary(self) -> int:
+        tok = self._next()
+        if tok.kind == TokenKind.MINUS:
+            return _wrap64(-self._parse_unary())
+        if tok.kind == TokenKind.PLUS:
+            return self._parse_unary()
+        if tok.kind == TokenKind.EXCLAIM:
+            return 0 if self._parse_unary() else 1
+        if tok.kind == TokenKind.TILDE:
+            return _wrap64(~self._parse_unary())
+        if tok.kind == TokenKind.L_PAREN:
+            value = self._parse_expression(0)
+            if self._next().kind != TokenKind.R_PAREN:
+                raise _EvalError("expected ')' in #if expression")
+            return value
+        if tok.kind == TokenKind.NUMERIC_CONSTANT:
+            value = parse_integer_literal(tok.spelling)
+            if value is None:
+                raise _EvalError(
+                    f"invalid integer constant {tok.spelling!r} in "
+                    "#if expression"
+                )
+            return _wrap64(value)
+        if tok.kind == TokenKind.CHAR_CONSTANT:
+            body = tok.spelling[1:-1]
+            if body.startswith("\\"):
+                escapes = {
+                    "n": 10, "t": 9, "r": 13, "0": 0,
+                    "\\": 92, "'": 39, '"': 34,
+                }
+                return escapes.get(body[1:2], 0)
+            return ord(body[0]) if body else 0
+        if tok.kind == TokenKind.IDENTIFIER or tok.kind.is_keyword():
+            if tok.spelling in ("true",):
+                return 1
+            # C: any identifier surviving macro expansion evaluates to 0.
+            return 0
+        raise _EvalError(
+            f"unexpected token {tok.spelling!r} in #if expression"
+        )

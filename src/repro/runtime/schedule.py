@@ -1,0 +1,133 @@
+"""Worksharing schedule computations (libomp algorithms).
+
+Pure functions + the shared dispatch state for dynamic/guided/static-
+chunked schedules.  Iteration spaces are the *logical* 0-based spaces of
+the canonical loops; bounds are inclusive [lower, upper] like libomp's.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ScheduleKindRT(enum.IntEnum):
+    """libomp ``kmp_sched`` constants (subset)."""
+
+    STATIC_CHUNKED = 33
+    STATIC = 34
+    DYNAMIC_CHUNKED = 35
+    GUIDED_CHUNKED = 36
+
+
+def static_partition(
+    lower: int,
+    upper: int,
+    num_threads: int,
+    thread_id: int,
+) -> tuple[int, int, bool]:
+    """Unchunked static schedule: contiguous, nearly equal blocks.
+
+    Returns (my_lower, my_upper, is_last); an empty slice has
+    ``my_lower > my_upper``.  Matches libomp's ``__kmp_for_static_init``
+    with ``kmp_sch_static``: the first ``trip % T`` threads get one extra
+    iteration.
+    """
+    trip = upper - lower + 1
+    if trip <= 0:
+        # Degenerate space; like libomp, hand back an empty slice whose
+        # lower stays non-negative (callers use unsigned comparisons).
+        return lower + 1, lower, False
+    base, extra = divmod(trip, num_threads)
+    if thread_id < extra:
+        my_lower = lower + thread_id * (base + 1)
+        my_upper = my_lower + base
+    else:
+        my_lower = lower + extra * (base + 1) + (thread_id - extra) * base
+        my_upper = my_lower + base - 1
+    if my_upper < my_lower:
+        # Empty slice for this thread: lower = upper+1 keeps the bounds
+        # in range so the (unsigned) `iv <= ub` guard fails cleanly.
+        return upper + 1, upper, False
+    return my_lower, my_upper, my_upper == upper
+
+
+@dataclass
+class DispatchState:
+    """Shared chunk dispenser for one worksharing loop instance.
+
+    Created by the first ``__kmpc_dispatch_init`` of a team; destroyed
+    when all chunks are consumed.  Because every native call is one atomic
+    interpreter step, no lock is needed for its mutation.
+    """
+
+    kind: ScheduleKindRT
+    lower: int
+    upper: int
+    stride: int
+    chunk: int
+    num_threads: int
+    #: next unassigned iteration (dynamic/guided)
+    position: int = 0
+    #: per-thread chunk counters (static chunked)
+    per_thread_index: dict[int, int] = field(default_factory=dict)
+    #: number of threads that called dispatch_init for this instance
+    initialized: int = 0
+
+    def __post_init__(self) -> None:
+        self.position = self.lower
+        self.chunk = max(1, self.chunk)
+
+    @property
+    def trip(self) -> int:
+        return self.upper - self.lower + 1
+
+    # ------------------------------------------------------------------
+    def next_chunk(
+        self, thread_id: int
+    ) -> tuple[int, int, bool] | None:
+        """The next [lb, ub] slice for *thread_id*, or None when done.
+        The bool is the last-iteration flag."""
+        if self.kind == ScheduleKindRT.STATIC_CHUNKED:
+            return self._next_static_chunk(thread_id)
+        if self.kind == ScheduleKindRT.DYNAMIC_CHUNKED:
+            return self._next_dynamic_chunk()
+        if self.kind == ScheduleKindRT.GUIDED_CHUNKED:
+            return self._next_guided_chunk()
+        raise ValueError(f"dispatch on non-dispatch schedule {self.kind}")
+
+    def _next_static_chunk(
+        self, thread_id: int
+    ) -> tuple[int, int, bool] | None:
+        """Static chunked: chunk k goes to thread ``k % T`` (round robin),
+        which is the OpenMP-specified mapping."""
+        index = self.per_thread_index.get(thread_id, 0)
+        start = self.lower + (thread_id + index * self.num_threads) * self.chunk
+        if start > self.upper:
+            return None
+        self.per_thread_index[thread_id] = index + 1
+        end = min(start + self.chunk - 1, self.upper)
+        return start, end, end == self.upper
+
+    def _next_dynamic_chunk(self) -> tuple[int, int, bool] | None:
+        if self.position > self.upper:
+            return None
+        start = self.position
+        end = min(start + self.chunk - 1, self.upper)
+        self.position = end + 1
+        return start, end, end == self.upper
+
+    def _next_guided_chunk(self) -> tuple[int, int, bool] | None:
+        if self.position > self.upper:
+            return None
+        remaining = self.upper - self.position + 1
+        # libomp guided: size ~ remaining / (2 * nthreads), at least chunk.
+        size = max(
+            self.chunk,
+            (remaining + 2 * self.num_threads - 1)
+            // (2 * self.num_threads),
+        )
+        start = self.position
+        end = min(start + size - 1, self.upper)
+        self.position = end + 1
+        return start, end, end == self.upper

@@ -1,0 +1,90 @@
+"""Thread team execution: deterministic round-robin stepping.
+
+A :class:`Team` owns one :class:`ExecutionContext` per simulated thread
+and steps them one instruction at a time in thread order.  Barriers block
+a context (``ThreadState.BARRIER``) until every team member is blocked or
+finished, then release all of them — real barrier semantics without OS
+threads.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.interp.interpreter import (
+    ExecutionContext,
+    InterpreterError,
+    ThreadState,
+)
+
+if TYPE_CHECKING:
+    from repro.runtime.kmp import OpenMPRuntime
+
+
+class TeamError(Exception):
+    pass
+
+
+class Team:
+    def __init__(
+        self,
+        runtime: "OpenMPRuntime",
+        contexts: list[ExecutionContext],
+    ) -> None:
+        self.runtime = runtime
+        self.contexts = contexts
+        for ctx in contexts:
+            ctx.team = self
+        #: shared dispatch state (dynamic/guided/static-chunked loops)
+        self.dispatch = None
+        #: counts completed barrier episodes (for debugging/tests)
+        self.barrier_generation = 0
+        #: `single` construct arrival bookkeeping, keyed by call site id
+        self.single_done: set[int] = set()
+
+    @property
+    def size(self) -> int:
+        return len(self.contexts)
+
+    # ------------------------------------------------------------------
+    def run(self, fuel: int) -> None:
+        """Step the team to completion (deterministic interleaving)."""
+        budget = fuel
+        while True:
+            all_done = True
+            any_runnable = False
+            for ctx in self.contexts:
+                if ctx.state == ThreadState.RUNNABLE:
+                    any_runnable = True
+                    ctx.step()
+                    budget -= 1
+                    if budget <= 0:
+                        raise InterpreterError(
+                            "team execution fuel exhausted"
+                        )
+                if not ctx.done:
+                    all_done = False
+            if all_done:
+                return
+            if not any_runnable:
+                # Everyone is blocked at a barrier (or done): release.
+                waiting = [
+                    ctx
+                    for ctx in self.contexts
+                    if ctx.state == ThreadState.BARRIER
+                ]
+                if not waiting:
+                    raise TeamError(
+                        "team deadlock: no runnable thread and no "
+                        "barrier to release"
+                    )
+                for ctx in waiting:
+                    ctx.state = ThreadState.RUNNABLE
+                self.barrier_generation += 1
+
+    # ------------------------------------------------------------------
+    def context_for_gtid(self, gtid: int) -> ExecutionContext:
+        for ctx in self.contexts:
+            if ctx.gtid == gtid:
+                return ctx
+        raise TeamError(f"no team member with gtid {gtid}")

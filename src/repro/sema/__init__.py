@@ -1,0 +1,34 @@
+"""Semantic analysis layer (paper Fig. 1: Sema).
+
+The Parser steers control flow and pushes syntactic elements to Sema, which
+performs type checking, creates implicit AST nodes (casts, captures), and —
+for the shadow-AST representation — already performs a significant part of
+code generation while building the AST (paper §1.2/§2).
+
+Submodules:
+
+* :mod:`repro.sema.scope` — lexical scopes and name lookup,
+* :mod:`repro.sema.expr_eval` — constant expression evaluation,
+* :mod:`repro.sema.sema` — the Sema facade with clang-style ``act_on_*``
+  parser actions,
+* :mod:`repro.sema.canonical_loop` — OpenMP canonical loop form analysis,
+* :mod:`repro.sema.omp_sema` — OpenMP directive/clauses semantic checking
+  and AST construction for both representations.
+"""
+
+from repro.sema.scope import Scope, ScopeKind
+from repro.sema.sema import Sema
+from repro.sema.canonical_loop import (
+    CanonicalLoopAnalysis,
+    LoopDirection,
+    analyze_canonical_loop,
+)
+
+__all__ = [
+    "CanonicalLoopAnalysis",
+    "LoopDirection",
+    "Scope",
+    "ScopeKind",
+    "Sema",
+    "analyze_canonical_loop",
+]

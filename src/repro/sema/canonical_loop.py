@@ -1,0 +1,509 @@
+"""OpenMP canonical loop form analysis (Sema layer).
+
+OpenMP requires loops associated with loop-associated directives to have
+the *canonical loop nest form*::
+
+    for (init-expr; var relational-op b; incr-expr)
+
+where ``init-expr`` initializes the loop iteration variable, the condition
+compares it against a loop-invariant bound, and ``incr-expr`` advances it
+by a loop-invariant step.  Sema must verify this to diagnose malformed
+loops (the paper: "We still want to diagnose malformed loops in Sema"),
+and extracts:
+
+* the **loop iteration variable** (paper §3 terminology),
+* lower bound, upper bound, step and direction,
+* the **distance function** — the expression computing the trip count,
+  evaluable before entering the loop,
+* the **logical iteration counter** type: always an *unsigned* integer,
+  because e.g. ``for (int32_t i = INT32_MIN; i < INT32_MAX; ++i)`` has
+  0xfffffffe iterations which do not fit a signed 32-bit integer
+  (paper §3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.astlib import exprs as e
+from repro.astlib import stmts as s
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import VarDecl
+from repro.astlib.types import QualType, desugar
+from repro.diagnostics import DiagnosticsEngine
+from repro.sema.expr_eval import IntExprEvaluator
+
+
+class LoopDirection(enum.Enum):
+    UP = "up"      # step > 0, condition < or <= or !=
+    DOWN = "down"  # step < 0, condition > or >=
+
+
+class NotCanonical(Exception):
+    """Raised (internally) when the loop is not in canonical form; the
+    public API reports a diagnostic and returns None instead."""
+
+
+@dataclass
+class CanonicalLoopAnalysis:
+    """Everything Sema learns about one canonical loop."""
+
+    loop_stmt: s.Stmt
+    iter_var: VarDecl
+    #: expression for the iteration variable's start value (paper: the
+    #: loop iteration variable's value after the init statement)
+    lower_bound: e.Expr
+    #: loop-invariant bound from the condition
+    upper_bound: e.Expr
+    #: the (signed) step; positive for UP loops, negative for DOWN
+    step: e.Expr
+    step_value: int | None
+    direction: LoopDirection
+    #: condition includes equality (<= / >=)
+    inclusive: bool
+    #: condition was `!=` (allowed since OpenMP 5.0)
+    is_inequality: bool
+    #: the unsigned logical iteration counter type (paper §3.1)
+    logical_type: QualType
+    #: whether the iteration variable was declared in the init statement
+    var_declared_in_init: bool
+    body: s.Stmt = field(default=None)  # type: ignore[assignment]
+
+    def trip_count_if_constant(
+        self, ctx: ASTContext
+    ) -> Optional[int]:
+        """Constant trip count when lb/ub/step all fold, else None."""
+        ev = IntExprEvaluator(ctx)
+        lb = ev.try_evaluate(self.lower_bound)
+        ub = ev.try_evaluate(self.upper_bound)
+        step = (
+            self.step_value
+            if self.step_value is not None
+            else ev.try_evaluate(self.step)
+        )
+        if lb is None or ub is None or step is None or step == 0:
+            return None
+        return compute_trip_count(
+            lb, ub, step, self.inclusive, self.is_inequality
+        )
+
+
+def compute_trip_count(
+    lb: int, ub: int, step: int, inclusive: bool, is_inequality: bool
+) -> int:
+    """The OpenMP logical iteration space size for given constant bounds."""
+    if is_inequality:
+        distance = ub - lb
+        if step == 0 or distance % step != 0 or distance * step < 0:
+            # Non-terminating or UB; model as the C semantics would loop.
+            return max(0, distance // step if step else 0)
+        return distance // step
+    if step > 0:
+        distance = ub - lb + (1 if inclusive else 0)
+        if distance <= 0:
+            return 0
+        return (distance + step - 1) // step
+    else:
+        distance = lb - ub + (1 if inclusive else 0)
+        if distance <= 0:
+            return 0
+        return (distance + (-step) - 1) // (-step)
+
+
+# ---------------------------------------------------------------------------
+# Analysis
+# ---------------------------------------------------------------------------
+def _strip(expr: e.Expr) -> e.Expr:
+    return expr.ignore_implicit_casts()
+
+
+def _as_var_ref(expr: e.Expr) -> VarDecl | None:
+    stripped = _strip(expr)
+    if isinstance(stripped, e.DeclRefExpr) and isinstance(
+        stripped.decl, VarDecl
+    ):
+        return stripped.decl
+    return None
+
+
+def _references_var(expr: e.Expr | None, var: VarDecl) -> bool:
+    if expr is None:
+        return False
+    for node in expr.walk():
+        if isinstance(node, e.DeclRefExpr) and node.decl is var:
+            return True
+    return False
+
+
+def analyze_canonical_loop(
+    ctx: ASTContext,
+    diags: DiagnosticsEngine,
+    loop: s.Stmt,
+    directive_name: str = "for",
+) -> CanonicalLoopAnalysis | None:
+    """Analyze one loop; emits diagnostics and returns None when the loop
+    violates the OpenMP canonical form."""
+    if isinstance(loop, s.CXXForRangeStmt):
+        return _analyze_range_for(ctx, diags, loop, directive_name)
+    if not isinstance(loop, s.ForStmt):
+        diags.error(
+            f"statement after '#pragma omp {directive_name}' must be a "
+            "for loop",
+            loop.location,
+        )
+        return None
+    try:
+        return _analyze_for(ctx, diags, loop, directive_name)
+    except NotCanonical:
+        return None
+
+
+def _analyze_for(
+    ctx: ASTContext,
+    diags: DiagnosticsEngine,
+    loop: s.ForStmt,
+    directive_name: str,
+) -> CanonicalLoopAnalysis:
+    # ---- init ----
+    iter_var: VarDecl | None = None
+    lower_bound: e.Expr | None = None
+    var_declared = False
+    init = loop.init
+    if isinstance(init, s.DeclStmt) and len(init.decls) == 1:
+        decl = init.decls[0]
+        if isinstance(decl, VarDecl) and decl.init is not None:
+            iter_var = decl
+            lower_bound = decl.init
+            var_declared = True
+    elif isinstance(init, e.Expr):
+        assign = _strip(init)
+        if (
+            isinstance(assign, e.BinaryOperator)
+            and assign.opcode == e.BinaryOperatorKind.ASSIGN
+        ):
+            iter_var = _as_var_ref(assign.lhs)
+            lower_bound = assign.rhs
+    if iter_var is None or lower_bound is None:
+        diags.error(
+            "initialization clause of OpenMP for loop is not in "
+            "canonical form ('var = init' or 'T var = init')",
+            (init.location if init is not None else loop.location),
+        )
+        raise NotCanonical
+    var_ty = desugar(iter_var.type)
+    if not (var_ty.is_integer() or var_ty.is_pointer()):
+        diags.error(
+            f"variable '{iter_var.name}' must be of integer or pointer "
+            "type in OpenMP for loop",
+            iter_var.location,
+        )
+        raise NotCanonical
+
+    # ---- condition ----
+    cond = loop.cond
+    if cond is None:
+        diags.error(
+            "condition of OpenMP for loop is missing",
+            loop.location,
+        )
+        raise NotCanonical
+    comparison = _strip(cond)
+    # convert_to_bool may have wrapped the comparison.
+    if (
+        isinstance(comparison, e.ImplicitCastExpr)
+    ):  # pragma: no cover - ignore_implicit_casts handles this
+        comparison = _strip(comparison.sub_expr)
+    if not (
+        isinstance(comparison, e.BinaryOperator)
+        and (
+            comparison.opcode.is_relational()
+            or comparison.opcode == e.BinaryOperatorKind.NE
+        )
+    ):
+        diags.error(
+            f"condition of OpenMP for loop must be a relational "
+            f"comparison ('<', '<=', '>', '>=', or '!=') of loop "
+            f"variable '{iter_var.name}'",
+            cond.location,
+        )
+        raise NotCanonical
+    op = comparison.opcode
+    B = e.BinaryOperatorKind
+    if _as_var_ref(comparison.lhs) is iter_var:
+        upper_bound = comparison.rhs
+        var_on_left = True
+    elif _as_var_ref(comparison.rhs) is iter_var:
+        upper_bound = comparison.lhs
+        var_on_left = False
+        flip = {B.LT: B.GT, B.GT: B.LT, B.LE: B.GE, B.GE: B.LE, B.NE: B.NE}
+        op = flip[op]
+    else:
+        diags.error(
+            f"condition of OpenMP for loop must involve loop variable "
+            f"'{iter_var.name}'",
+            cond.location,
+        )
+        raise NotCanonical
+    if _references_var(upper_bound, iter_var):
+        diags.error(
+            "loop bound of OpenMP for loop must be loop-invariant",
+            upper_bound.location,
+        )
+        raise NotCanonical
+    is_inequality = op == B.NE
+    inclusive = op in (B.LE, B.GE)
+    cond_direction = (
+        None
+        if is_inequality
+        else (LoopDirection.UP if op in (B.LT, B.LE) else LoopDirection.DOWN)
+    )
+
+    # ---- increment ----
+    inc = loop.inc
+    if inc is None:
+        diags.error(
+            "increment clause of OpenMP for loop is missing",
+            loop.location,
+        )
+        raise NotCanonical
+    step_expr, step_value = _analyze_increment(
+        ctx, diags, inc, iter_var
+    )
+    if step_expr is None:
+        raise NotCanonical
+    if step_value is not None:
+        inc_direction = (
+            LoopDirection.UP if step_value > 0 else LoopDirection.DOWN
+        )
+        if step_value == 0:
+            diags.error(
+                "increment of OpenMP for loop must not be zero",
+                inc.location,
+            )
+            raise NotCanonical
+        if cond_direction is not None and inc_direction != cond_direction:
+            diags.error(
+                f"increment expression must "
+                f"{'decrease' if cond_direction == LoopDirection.DOWN else 'increase'} "
+                f"'{iter_var.name}' to match the loop condition",
+                inc.location,
+            )
+            raise NotCanonical
+        direction = inc_direction
+    else:
+        direction = cond_direction or LoopDirection.UP
+
+    logical_type = _logical_counter_type(ctx, iter_var.type)
+    return CanonicalLoopAnalysis(
+        loop_stmt=loop,
+        iter_var=iter_var,
+        lower_bound=lower_bound,
+        upper_bound=upper_bound,
+        step=step_expr,
+        step_value=step_value,
+        direction=direction,
+        inclusive=inclusive,
+        is_inequality=is_inequality,
+        logical_type=logical_type,
+        var_declared_in_init=var_declared,
+        body=loop.body,
+    )
+
+
+def _analyze_increment(
+    ctx: ASTContext,
+    diags: DiagnosticsEngine,
+    inc: e.Expr,
+    iter_var: VarDecl,
+) -> tuple[e.Expr | None, int | None]:
+    """Extract the (signed) step expression from the increment clause.
+
+    Accepted forms: ``++v  v++  --v  v--  v += s  v -= s  v = v + s
+    v = s + v  v = v - s``.
+    """
+    ev = IntExprEvaluator(ctx)
+    stripped = _strip(inc)
+    one = e.IntegerLiteral(1, ctx.int_type)
+    if isinstance(stripped, e.UnaryOperator) and (
+        stripped.opcode.is_increment_decrement()
+    ):
+        if _as_var_ref(stripped.sub_expr) is not iter_var:
+            diags.error(
+                f"increment clause must operate on loop variable "
+                f"'{iter_var.name}'",
+                inc.location,
+            )
+            return None, None
+        if stripped.opcode.is_increment():
+            return one, 1
+        return e.IntegerLiteral(-1, ctx.int_type), -1
+    if isinstance(stripped, e.CompoundAssignOperator):
+        if _as_var_ref(stripped.lhs) is not iter_var:
+            diags.error(
+                f"increment clause must operate on loop variable "
+                f"'{iter_var.name}'",
+                inc.location,
+            )
+            return None, None
+        if stripped.opcode == e.BinaryOperatorKind.ADD_ASSIGN:
+            step = stripped.rhs
+            value = ev.try_evaluate(step)
+            return step, value
+        if stripped.opcode == e.BinaryOperatorKind.SUB_ASSIGN:
+            value = ev.try_evaluate(stripped.rhs)
+            neg = e.UnaryOperator(
+                e.UnaryOperatorKind.MINUS,
+                stripped.rhs,
+                stripped.rhs.type,
+            )
+            return neg, (-value if value is not None else None)
+        diags.error(
+            "increment clause of OpenMP for loop must perform simple "
+            "addition or subtraction",
+            inc.location,
+        )
+        return None, None
+    if (
+        isinstance(stripped, e.BinaryOperator)
+        and stripped.opcode == e.BinaryOperatorKind.ASSIGN
+        and _as_var_ref(stripped.lhs) is iter_var
+    ):
+        rhs = _strip(stripped.rhs)
+        if isinstance(rhs, e.BinaryOperator) and rhs.opcode in (
+            e.BinaryOperatorKind.ADD,
+            e.BinaryOperatorKind.SUB,
+        ):
+            if _as_var_ref(rhs.lhs) is iter_var:
+                step = rhs.rhs
+            elif (
+                rhs.opcode == e.BinaryOperatorKind.ADD
+                and _as_var_ref(rhs.rhs) is iter_var
+            ):
+                step = rhs.lhs
+            else:
+                step = None
+            if step is not None:
+                value = ev.try_evaluate(step)
+                if rhs.opcode == e.BinaryOperatorKind.SUB:
+                    return (
+                        e.UnaryOperator(
+                            e.UnaryOperatorKind.MINUS, step, step.type
+                        ),
+                        -value if value is not None else None,
+                    )
+                return step, value
+    diags.error(
+        "increment clause of OpenMP for loop must perform simple "
+        "addition or subtraction of the loop variable",
+        inc.location,
+    )
+    return None, None
+
+
+def _logical_counter_type(ctx: ASTContext, var_type: QualType) -> QualType:
+    """The unsigned logical iteration counter type (paper §3.1).
+
+    Unsigned with the width of the iteration variable (pointers use the
+    pointer width): the trip count "will never be equal to or exceed the
+    range of an unsigned integer of the same bitwidth".
+    """
+    canonical = desugar(var_type)
+    if canonical.is_pointer():
+        width = ctx.target.pointer_width
+    else:
+        width = max(32, ctx.type_width(canonical))
+    return ctx.int_type_of_width(width, signed=False)
+
+
+def _analyze_range_for(
+    ctx: ASTContext,
+    diags: DiagnosticsEngine,
+    loop: s.CXXForRangeStmt,
+    directive_name: str,
+) -> CanonicalLoopAnalysis | None:
+    """A de-sugared range-for is always canonical: iterate __begin
+    (pointer) from begin to end by 1; the *loop user variable* is the
+    dereferenced iterator (paper §3, Listing "rangeloop")."""
+    begin_decl = loop.begin_stmt.single_decl
+    end_decl = loop.end_stmt.single_decl
+    assert isinstance(begin_decl, VarDecl) and isinstance(end_decl, VarDecl)
+    lower = begin_decl.init
+    upper = e.DeclRefExpr(
+        end_decl, end_decl.type, e.ValueCategory.LVALUE, loop.location
+    )
+    assert lower is not None
+    return CanonicalLoopAnalysis(
+        loop_stmt=loop,
+        iter_var=begin_decl,
+        lower_bound=lower,
+        upper_bound=upper,
+        step=e.IntegerLiteral(1, ctx.int_type),
+        step_value=1,
+        direction=LoopDirection.UP,
+        inclusive=False,
+        is_inequality=True,
+        logical_type=_logical_counter_type(ctx, begin_decl.type),
+        var_declared_in_init=True,
+        body=loop.body,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Loop nests
+# ---------------------------------------------------------------------------
+def collect_loop_nest(
+    ctx: ASTContext,
+    diags: DiagnosticsEngine,
+    root: s.Stmt,
+    depth: int,
+    directive_name: str,
+) -> list[CanonicalLoopAnalysis] | None:
+    """Analyze a perfectly nested canonical loop nest of *depth* loops.
+
+    For ``tile sizes(a, b)`` the two associated loops must be perfectly
+    nested; between loop levels only a single compound statement wrapper
+    is tolerated.
+    """
+    analyses: list[CanonicalLoopAnalysis] = []
+    current: s.Stmt | None = root
+    for level in range(depth):
+        while isinstance(current, s.CompoundStmt):
+            non_null = [
+                st
+                for st in current.statements
+                if not isinstance(st, s.NullStmt)
+            ]
+            if len(non_null) != 1:
+                diags.error(
+                    f"'#pragma omp {directive_name}' requires a "
+                    f"perfectly nested loop nest of depth {depth}; "
+                    f"level {level + 1} contains extra statements",
+                    current.location,
+                )
+                return None
+            current = non_null[0]
+        # Transparent canonical-loop wrappers may be removed losslessly.
+        from repro.astlib.omp import OMPCanonicalLoop
+
+        if isinstance(current, OMPCanonicalLoop):
+            current = current.unwrap()
+        if current is None or not isinstance(
+            current, (s.ForStmt, s.CXXForRangeStmt)
+        ):
+            diags.error(
+                f"expected {depth} nested for loop(s) after "
+                f"'#pragma omp {directive_name}', found "
+                f"{level} loop(s)",
+                root.location if current is None else current.location,
+            )
+            return None
+        analysis = analyze_canonical_loop(
+            ctx, diags, current, directive_name
+        )
+        if analysis is None:
+            return None
+        analyses.append(analysis)
+        current = analysis.body
+    return analyses

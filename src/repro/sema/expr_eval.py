@@ -1,0 +1,183 @@
+"""Constant-expression evaluation over the AST (clang's ``ExprConstant``).
+
+Used for: OpenMP clause arguments (``partial(N)``, ``sizes(...)`` must be
+constant positive integers), array bounds, case labels, and the on-the-fly
+folding done by Sema and the IRBuilder.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.astlib import exprs as e
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import EnumConstantDecl, VarDecl
+from repro.astlib.types import QualType, desugar
+
+
+class NotConstant(Exception):
+    """The expression is not an integer constant expression."""
+
+
+def _wrap_to_type(ctx: ASTContext, value: int, qt: QualType) -> int:
+    """Wrap *value* to the representable range of integer type *qt*."""
+    ty = desugar(qt)
+    if not ty.is_integer():
+        return value
+    width = ctx.type_width(ty)
+    mask = (1 << width) - 1
+    value &= mask
+    if ty.is_signed_integer() and value >= 1 << (width - 1):
+        value -= 1 << width
+    return value
+
+
+class IntExprEvaluator:
+    """Evaluates integer constant expressions; raises :class:`NotConstant`
+    when the expression is not one."""
+
+    def __init__(self, ctx: ASTContext) -> None:
+        self.ctx = ctx
+
+    def evaluate(self, expr: e.Expr) -> int:
+        value = self._eval(expr)
+        return _wrap_to_type(self.ctx, value, expr.type)
+
+    def try_evaluate(self, expr: Optional[e.Expr]) -> int | None:
+        if expr is None:
+            return None
+        try:
+            return self.evaluate(expr)
+        except NotConstant:
+            return None
+
+    # ------------------------------------------------------------------
+    def _eval(self, expr: e.Expr) -> int:
+        if isinstance(expr, e.IntegerLiteral):
+            return expr.value
+        if isinstance(expr, e.CharacterLiteral):
+            return expr.value
+        if isinstance(expr, e.BoolLiteralExpr):
+            return 1 if expr.value else 0
+        if isinstance(expr, e.ParenExpr):
+            return self._eval(expr.sub_expr)
+        if isinstance(expr, e.ConstantExpr):
+            return expr.value
+        if isinstance(expr, (e.ImplicitCastExpr, e.CStyleCastExpr)):
+            inner = self._eval(expr.sub_expr)
+            return _wrap_to_type(self.ctx, inner, expr.type)
+        if isinstance(expr, e.DeclRefExpr):
+            decl = expr.decl
+            if isinstance(decl, EnumConstantDecl):
+                return decl.value
+            if (
+                isinstance(decl, VarDecl)
+                and decl.type.is_const
+                and decl.init is not None
+            ):
+                # const int N = 16;  -- usable in constant contexts in our
+                # C dialect (C++ semantics; convenient for examples).
+                return self._eval(decl.init)
+            raise NotConstant(
+                f"read of non-const variable '{decl.name}' is not "
+                "allowed in a constant expression"
+            )
+        if isinstance(expr, e.UnaryExprOrTypeTraitExpr):
+            if expr.trait == "sizeof":
+                target = (
+                    expr.argument_type
+                    if expr.argument_type is not None
+                    else expr.argument_expr.type
+                )
+                return self.ctx.type_size_bytes(target)
+            raise NotConstant(f"trait {expr.trait} is not constant")
+        if isinstance(expr, e.UnaryOperator):
+            sub = self._eval(expr.sub_expr)
+            op = expr.opcode
+            if op == e.UnaryOperatorKind.MINUS:
+                return -sub
+            if op == e.UnaryOperatorKind.PLUS:
+                return sub
+            if op == e.UnaryOperatorKind.NOT:
+                return ~sub
+            if op == e.UnaryOperatorKind.LNOT:
+                return 0 if sub else 1
+            raise NotConstant(f"operator {op.value} is not constant")
+        if isinstance(expr, e.ConditionalOperator):
+            return (
+                self._eval(expr.true_expr)
+                if self._eval(expr.cond)
+                else self._eval(expr.false_expr)
+            )
+        if isinstance(expr, e.BinaryOperator):
+            op = expr.opcode
+            if op == e.BinaryOperatorKind.LAND:
+                return (
+                    1
+                    if self._eval(expr.lhs) and self._eval(expr.rhs)
+                    else 0
+                )
+            if op == e.BinaryOperatorKind.LOR:
+                return (
+                    1
+                    if self._eval(expr.lhs) or self._eval(expr.rhs)
+                    else 0
+                )
+            if op == e.BinaryOperatorKind.COMMA:
+                raise NotConstant("comma operator in constant expression")
+            if op.is_assignment():
+                raise NotConstant(
+                    "assignment in constant expression"
+                )
+            lhs = self._eval(expr.lhs)
+            rhs = self._eval(expr.rhs)
+            return self._apply_binop(op, lhs, rhs, expr.type)
+        raise NotConstant(
+            f"{type(expr).__name__} is not an integer constant expression"
+        )
+
+    def _apply_binop(
+        self,
+        op: e.BinaryOperatorKind,
+        lhs: int,
+        rhs: int,
+        result_type: QualType,
+    ) -> int:
+        B = e.BinaryOperatorKind
+        if op == B.ADD:
+            return lhs + rhs
+        if op == B.SUB:
+            return lhs - rhs
+        if op == B.MUL:
+            return lhs * rhs
+        if op in (B.DIV, B.REM):
+            if rhs == 0:
+                raise NotConstant("division by zero")
+            q = abs(lhs) // abs(rhs)
+            if (lhs < 0) != (rhs < 0):
+                q = -q
+            return q if op == B.DIV else lhs - q * rhs
+        if op == B.SHL:
+            return lhs << (rhs & 63)
+        if op == B.SHR:
+            # Arithmetic shift for signed, logical via wrapping otherwise.
+            return lhs >> (rhs & 63)
+        if op == B.AND:
+            return lhs & rhs
+        if op == B.OR:
+            return lhs | rhs
+        if op == B.XOR:
+            return lhs ^ rhs
+        if op == B.LT:
+            return 1 if lhs < rhs else 0
+        if op == B.GT:
+            return 1 if lhs > rhs else 0
+        if op == B.LE:
+            return 1 if lhs <= rhs else 0
+        if op == B.GE:
+            return 1 if lhs >= rhs else 0
+        if op == B.EQ:
+            return 1 if lhs == rhs else 0
+        if op == B.NE:
+            return 1 if lhs != rhs else 0
+        raise NotConstant(f"operator {op.value} not constant-evaluable")

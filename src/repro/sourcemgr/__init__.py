@@ -1,0 +1,29 @@
+"""Source management layer (paper Fig. 1: FileManager + SourceManager).
+
+This package mirrors the bottom two layers of Clang's component stack:
+
+* :class:`~repro.sourcemgr.file_manager.FileManager` resolves file names
+  (including an in-memory virtual file system used heavily by the tests) and
+  hands out :class:`~repro.sourcemgr.memory_buffer.MemoryBuffer` objects.
+* :class:`~repro.sourcemgr.source_manager.SourceManager` assigns each buffer
+  a contiguous range of global offsets so that a single integer — a
+  :class:`~repro.sourcemgr.location.SourceLocation` — identifies any
+  character of any file of the translation unit, exactly like Clang's
+  ``SourceLocation`` encoding.
+"""
+
+from repro.sourcemgr.location import PresumedLoc, SourceLocation, SourceRange
+from repro.sourcemgr.memory_buffer import MemoryBuffer
+from repro.sourcemgr.file_manager import FileEntry, FileManager
+from repro.sourcemgr.source_manager import FileID, SourceManager
+
+__all__ = [
+    "FileEntry",
+    "FileID",
+    "FileManager",
+    "MemoryBuffer",
+    "PresumedLoc",
+    "SourceLocation",
+    "SourceManager",
+    "SourceRange",
+]

@@ -1,0 +1,63 @@
+"""In-memory source buffers (clang's ``llvm::MemoryBuffer``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryBuffer:
+    """An immutable chunk of source text plus its identifying name.
+
+    Line-start offsets are computed lazily and cached; this is the same
+    strategy Clang's ``SourceManager`` uses (the ``SourceLineCache``).
+    """
+
+    name: str
+    text: str
+    _line_offsets: list[int] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def size(self) -> int:
+        return len(self.text)
+
+    def line_offsets(self) -> list[int]:
+        """Offsets (0-based) at which each line begins; computed lazily."""
+        if self._line_offsets is None:
+            offsets = [0]
+            find = self.text.find
+            pos = find("\n")
+            while pos != -1:
+                offsets.append(pos + 1)
+                pos = find("\n", pos + 1)
+            self._line_offsets = offsets
+        return self._line_offsets
+
+    def line_column(self, offset: int) -> tuple[int, int]:
+        """Decode a 0-based buffer offset to (1-based line, 1-based column)."""
+        offsets = self.line_offsets()
+        # Binary search for the greatest line start <= offset.
+        lo, hi = 0, len(offsets) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if offsets[mid] <= offset:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1, offset - offsets[lo] + 1
+
+    def line_text(self, line: int) -> str | None:
+        """The text of 1-based *line* without its trailing newline."""
+        offsets = self.line_offsets()
+        if not 1 <= line <= len(offsets):
+            return None
+        start = offsets[line - 1]
+        end = (
+            offsets[line] - 1 if line < len(offsets) else len(self.text)
+        )
+        return self.text[start:end].rstrip("\r")
+
+    def num_lines(self) -> int:
+        return len(self.line_offsets())

@@ -1,0 +1,51 @@
+"""Shared test helpers.
+
+``compile_c`` / ``run_c`` wrap the pipeline with test-friendly defaults;
+``run_both`` executes a program under both OpenMP representations (shadow
+AST and OMPCanonicalLoop/OpenMPIRBuilder) and asserts identical output —
+the paper's central semantic-equivalence property.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline import CompileResult, RunResult, compile_source, run_source
+
+
+def compile_c(source: str, **kwargs) -> CompileResult:
+    kwargs.setdefault("openmp", True)
+    return compile_source(source, **kwargs)
+
+
+def run_c(source: str, **kwargs) -> RunResult:
+    kwargs.setdefault("openmp", True)
+    kwargs.setdefault("num_threads", 4)
+    return run_source(source, **kwargs)
+
+
+def run_both(source: str, **kwargs) -> tuple[RunResult, RunResult]:
+    """Run under the shadow-AST path and the IRBuilder path; assert the
+    observable output matches."""
+    legacy = run_c(source, enable_irbuilder=False, **kwargs)
+    irbuilder = run_c(source, enable_irbuilder=True, **kwargs)
+    assert legacy.stdout == irbuilder.stdout, (
+        "representations disagree:\n"
+        f"shadow AST: {legacy.stdout!r}\n"
+        f"irbuilder:  {irbuilder.stdout!r}"
+    )
+    return legacy, irbuilder
+
+
+@pytest.fixture
+def fresh_context():
+    from repro.astlib.context import ASTContext
+
+    return ASTContext()
+
+
+@pytest.fixture
+def diag_engine():
+    from repro.diagnostics import DiagnosticsEngine
+
+    return DiagnosticsEngine()

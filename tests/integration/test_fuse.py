@@ -1,0 +1,203 @@
+"""Paper §4: loop fusion over a *sequence* of loops (`#pragma omp fuse`,
+OpenMP 6.0) — "loop fusion and fission that handle sequences of loops in
+addition to loop nests"."""
+
+import pytest
+
+from repro.astlib import omp
+from repro.pipeline import CompilationError
+
+from tests.conftest import compile_c, run_c
+
+
+class TestFuseSemantics:
+    def test_equal_trip_counts(self):
+        src = r"""
+        int main(void) {
+          int a[8]; int b[8];
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 8; i += 1) a[i] = i;
+            for (int j = 0; j < 8; j += 1) b[j] = j * j;
+          }
+          int s = 0;
+          for (int k = 0; k < 8; k += 1) s += a[k] + b[k];
+          printf("%d\n", s);
+          return 0;
+        }
+        """
+        expected = sum(i + i * i for i in range(8))
+        assert int(run_c(src).stdout) == expected
+
+    def test_unequal_trip_counts_guarded(self):
+        """The generated loop runs max(tc) iterations; shorter bodies are
+        guarded by their own trip count."""
+        src = r"""
+        int main(void) {
+          int hits_a = 0; int hits_b = 0;
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 10; i += 1) hits_a += 1;
+            for (int j = 0; j < 3; j += 1) hits_b += 1;
+          }
+          printf("%d %d\n", hits_a, hits_b);
+          return 0;
+        }
+        """
+        assert run_c(src).stdout == "10 3\n"
+
+    def test_interleaved_execution_order(self):
+        """Fusion interleaves the bodies iteration by iteration."""
+        src = r"""
+        int main(void) {
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 3; i += 1) printf("a%d ", i);
+            for (int j = 0; j < 3; j += 1) printf("b%d ", j);
+          }
+          printf("\n");
+          return 0;
+        }
+        """
+        assert run_c(src).stdout.split() == [
+            "a0", "b0", "a1", "b1", "a2", "b2"
+        ]
+
+    def test_three_loops(self):
+        src = r"""
+        int main(void) {
+          int s = 0;
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 4; i += 1) s += 1;
+            for (int j = 0; j < 5; j += 1) s += 10;
+            for (int k = 0; k < 2; k += 1) s += 100;
+          }
+          printf("%d\n", s);
+          return 0;
+        }
+        """
+        assert int(run_c(src).stdout) == 4 + 50 + 200
+
+    def test_different_iteration_variable_types(self):
+        src = r"""
+        int main(void) {
+          long total = 0;
+          #pragma omp fuse
+          {
+            for (long i = 0; i < 6; i += 2) total += i;
+            for (int j = 10; j > 4; j -= 1) total += j;
+          }
+          printf("%d\n", (int)total);
+          return 0;
+        }
+        """
+        expected = sum(range(0, 6, 2)) + sum(range(10, 4, -1))
+        assert int(run_c(src).stdout) == expected
+
+    def test_parallel_for_consumes_fused_loop(self):
+        """The fused loop is a generated canonical loop; a worksharing
+        directive distributes its iterations."""
+        src = r"""
+        int main(void) {
+          double x[16]; double sx = 0.0; double sy = 0.0;
+          #pragma omp parallel for reduction(+: sx) reduction(+: sy)
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 16; i += 1) { x[i] = i * 0.5; sx += x[i]; }
+            for (int j = 0; j < 12; j += 1) { sy += j * 2.0; }
+          }
+          printf("%g %g\n", sx, sy);
+          return 0;
+        }
+        """
+        result = run_c(src)
+        sx, sy = result.stdout.split()
+        assert float(sx) == sum(i * 0.5 for i in range(16))
+        assert float(sy) == sum(j * 2.0 for j in range(12))
+
+
+class TestFuseDiagnostics:
+    def test_requires_compound(self):
+        src = r"""
+        int main(void) {
+          #pragma omp fuse
+          for (int i = 0; i < 4; i += 1) ;
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError) as err:
+            run_c(src)
+        assert "compound statement" in str(err.value)
+
+    def test_requires_two_loops(self):
+        src = r"""
+        int main(void) {
+          #pragma omp fuse
+          { for (int i = 0; i < 4; i += 1) ; }
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError) as err:
+            run_c(src)
+        assert "at least two loops" in str(err.value)
+
+    def test_non_loop_member_rejected(self):
+        src = r"""
+        int main(void) {
+          int x = 0;
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 4; i += 1) ;
+            x += 1;
+          }
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError) as err:
+            run_c(src)
+        assert "canonical for loop" in str(err.value)
+
+    def test_irbuilder_mode_not_implemented(self):
+        """Matching the paper-era status: the OpenMPIRBuilder has the
+        abstractions but fuse is not wired there."""
+        src = r"""
+        int main(void) {
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 4; i += 1) ;
+            for (int j = 0; j < 4; j += 1) ;
+          }
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError) as err:
+            run_c(src, enable_irbuilder=True)
+        assert "-fopenmp-enable-irbuilder" in str(err.value)
+
+
+class TestFuseAST:
+    def test_directive_class_and_shadow(self):
+        src = r"""
+        void f(void) {
+          #pragma omp fuse
+          {
+            for (int i = 0; i < 4; i += 1) ;
+            for (int j = 0; j < 4; j += 1) ;
+          }
+        }
+        """
+        result = compile_c(src, syntax_only=True)
+        directive = result.function("f").body.statements[0]
+        assert isinstance(directive, omp.OMPFuseDirective)
+        assert isinstance(
+            directive, omp.OMPLoopTransformationDirective
+        )
+        transformed = directive.get_transformed_stmt()
+        assert transformed is not None
+        from repro.astlib.dump import dump_ast
+
+        shadow = dump_ast(transformed)
+        assert "fused.iv" in shadow
+        # Two guarded bodies.
+        assert shadow.count("IfStmt") == 2

@@ -1,0 +1,271 @@
+"""Paper §4 extensions: the OpenMP 6.0 loop transformations the paper
+anticipates ("OpenMP 6.0 is expected to introduce additional loop
+transformations"), implemented on both representations to demonstrate
+that the OMPCanonicalLoop / OpenMPIRBuilder abstractions "build the
+foundation for implementing these extensions"."""
+
+import pytest
+
+from repro.astlib import omp
+from repro.pipeline import CompilationError
+
+from tests.conftest import compile_c, run_both, run_c
+
+
+class TestReverse:
+    def test_reverses_iteration_order(self):
+        src = r"""
+        int main(void) {
+          int order[8]; int pos = 0;
+          #pragma omp reverse
+          for (int i = 0; i < 8; i += 1) { order[pos] = i; pos += 1; }
+          for (int k = 0; k < pos; k += 1) printf("%d ", order[k]);
+          printf("\n");
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout.split() == [str(i) for i in range(7, -1, -1)]
+
+    def test_reverse_strided_loop(self):
+        src = r"""
+        int main(void) {
+          #pragma omp reverse
+          for (int i = 3; i < 20; i += 4) printf("%d ", i);
+          printf("\n");
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout.split() == [
+            str(i) for i in reversed(range(3, 20, 4))
+        ]
+
+    def test_reverse_of_reverse_is_identity(self):
+        src = r"""
+        int main(void) {
+          #pragma omp reverse
+          #pragma omp reverse
+          for (int i = 0; i < 6; i += 1) printf("%d ", i);
+          printf("\n");
+          return 0;
+        }
+        """
+        # Composition goes through get_transformed_stmt (shadow path).
+        result = run_c(src)
+        assert result.stdout.split() == [str(i) for i in range(6)]
+
+    def test_worksharing_consumes_reverse(self):
+        src = r"""
+        int main(void) {
+          int sum = 0;
+          #pragma omp parallel for reduction(+: sum)
+          #pragma omp reverse
+          for (int i = 0; i < 30; i += 1) sum += i * i;
+          printf("%d\n", sum);
+          return 0;
+        }
+        """
+        legacy, irb = run_both(src)
+        assert int(legacy.stdout) == sum(i * i for i in range(30))
+
+    def test_reverse_directive_class(self):
+        src = r"""
+        void f(void) {
+          #pragma omp reverse
+          for (int i = 0; i < 4; i += 1) ;
+        }
+        """
+        result = compile_c(src, syntax_only=True)
+        directive = result.function("f").body.statements[0]
+        assert isinstance(directive, omp.OMPReverseDirective)
+        assert isinstance(
+            directive, omp.OMPLoopTransformationDirective
+        )
+        assert directive.get_transformed_stmt() is not None
+
+    def test_reverse_zero_trip(self):
+        src = r"""
+        int main(void) {
+          int count = 0;
+          #pragma omp reverse
+          for (int i = 5; i < 5; i += 1) count += 1;
+          printf("%d\n", count);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout == "0\n"
+
+
+class TestInterchange:
+    def test_default_swaps_two_loops(self):
+        src = r"""
+        int main(void) {
+          #pragma omp interchange
+          for (int i = 0; i < 3; i += 1)
+            for (int j = 0; j < 2; j += 1)
+              printf("%d%d ", i, j);
+          printf("\n");
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout.split() == [
+            "00", "10", "20", "01", "11", "21"
+        ]
+
+    def test_permutation_clause_three_loops(self):
+        src = r"""
+        int main(void) {
+          #pragma omp interchange permutation(3, 1, 2)
+          for (int i = 0; i < 2; i += 1)
+            for (int j = 0; j < 2; j += 1)
+              for (int k = 0; k < 2; k += 1)
+                printf("%d%d%d ", i, j, k);
+          printf("\n");
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        expected = [
+            f"{i}{j}{k}"
+            for k in range(2)
+            for i in range(2)
+            for j in range(2)
+        ]
+        assert legacy.stdout.split() == expected
+
+    def test_identity_permutation(self):
+        src = r"""
+        int main(void) {
+          #pragma omp interchange permutation(1, 2)
+          for (int i = 0; i < 2; i += 1)
+            for (int j = 0; j < 3; j += 1)
+              printf("%d%d ", i, j);
+          printf("\n");
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout.split() == [
+            "00", "01", "02", "10", "11", "12"
+        ]
+
+    def test_invalid_permutation_rejected(self):
+        src = r"""
+        int main(void) {
+          #pragma omp interchange permutation(1, 1)
+          for (int i = 0; i < 2; i += 1)
+            for (int j = 0; j < 2; j += 1) ;
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError) as err:
+            run_c(src)
+        assert "exactly once" in str(err.value)
+
+    def test_interchange_requires_perfect_nest(self):
+        src = r"""
+        int main(void) {
+          #pragma omp interchange
+          for (int i = 0; i < 2; i += 1) ;
+          return 0;
+        }
+        """
+        with pytest.raises(CompilationError):
+            run_c(src)
+
+    def test_tile_after_interchange_composition(self):
+        """Transformations compose: tile the interchanged nest."""
+        src = r"""
+        int main(void) {
+          int checksum = 0; int pos = 0;
+          #pragma omp tile sizes(2, 2)
+          #pragma omp interchange
+          for (int i = 0; i < 4; i += 1)
+            for (int j = 0; j < 4; j += 1) {
+              checksum += (i * 4 + j) * (pos + 1);
+              pos += 1;
+            }
+          printf("%d %d\n", checksum, pos);
+          return 0;
+        }
+        """
+        result = run_c(src)
+        _, pos = result.stdout.split()
+        assert pos == "16"
+
+    def test_worksharing_consumes_interchange(self):
+        src = r"""
+        int main(void) {
+          int hits[24];
+          for (int k = 0; k < 24; k += 1) hits[k] = 0;
+          #pragma omp parallel for
+          #pragma omp interchange
+          for (int i = 0; i < 4; i += 1)
+            for (int j = 0; j < 6; j += 1)
+              hits[i * 6 + j] += 1;
+          int bad = 0;
+          for (int k = 0; k < 24; k += 1) if (hits[k] != 1) bad += 1;
+          printf("%d\n", bad);
+          return 0;
+        }
+        """
+        legacy, irb = run_both(src)
+        assert legacy.stdout == "0\n"
+
+    def test_interchange_balances_outer_parallelism(self):
+        """The §4 motivation: after interchange, worksharing distributes
+        the (previously inner, larger) loop."""
+        src = r"""
+        int main(void) {
+          int owners[32];
+          #pragma omp parallel for
+          #pragma omp interchange
+          for (int i = 0; i < 2; i += 1)
+            for (int j = 0; j < 16; j += 1)
+              owners[i * 16 + j] = omp_get_thread_num();
+          int distinct = 0;
+          int seen[4] = {0, 0, 0, 0};
+          for (int k = 0; k < 32; k += 1) seen[owners[k]] = 1;
+          for (int t = 0; t < 4; t += 1) distinct += seen[t];
+          printf("%d\n", distinct);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        # Without interchange, only 2 outer iterations exist -> at most
+        # 2 threads get work; after interchange all 4 participate.
+        assert int(legacy.stdout) == 4
+
+
+class TestExtensionDumps:
+    def test_reverse_shadow_dump(self):
+        src = r"""
+        void f(int N) {
+          #pragma omp reverse
+          for (int i = 0; i < N; i += 1) ;
+        }
+        """
+        result = compile_c(src, syntax_only=True)
+        directive = result.function("f").body.statements[0]
+        from repro.astlib.dump import dump_ast
+
+        shadow = dump_ast(directive, dump_shadow=True)
+        assert "reversed.iv.i" in shadow
+
+    def test_interchange_canonical_wrappers(self):
+        src = r"""
+        void f(void) {
+          #pragma omp interchange
+          for (int i = 0; i < 4; i += 1)
+            for (int j = 0; j < 4; j += 1) ;
+        }
+        """
+        result = compile_c(
+            src, syntax_only=True, enable_irbuilder=True
+        )
+        directive = result.function("f").body.statements[0]
+        assert len(getattr(directive, "canonical_loops")) == 2
+        assert getattr(directive, "permutation") == [1, 0]

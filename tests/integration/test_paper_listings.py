@@ -1,0 +1,256 @@
+"""E2/E4/E5/E8: the paper's AST listings, regenerated.
+
+Each test compiles the exact source of a paper listing and checks the
+structural properties its AST dump shows.
+"""
+
+import pytest
+
+from repro.astlib import omp
+from repro.astlib import stmts as s
+from repro.astlib.dump import dump_ast
+
+from tests.conftest import compile_c
+
+# --- Paper Listing 3: #pragma omp parallel for schedule(static) -------
+PARALLEL_FOR_SRC = """
+void body(int i);
+void f(void) {
+  #pragma omp parallel for schedule(static)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+"""
+
+
+class TestListing3ParallelForDump:
+    @pytest.fixture(scope="class")
+    def dump(self):
+        result = compile_c(PARALLEL_FOR_SRC, syntax_only=True)
+        return dump_ast(result.function("f").body.statements[0])
+
+    def test_root_is_directive(self, dump):
+        assert dump.splitlines()[0] == "OMPParallelForDirective"
+
+    def test_schedule_clause_first_child(self, dump):
+        assert dump.splitlines()[1] == "|-OMPScheduleClause static"
+
+    def test_captured_stmt_wraps_code(self, dump):
+        assert "`-CapturedStmt" in dump
+        assert "CapturedDecl nothrow" in dump
+
+    def test_forstmt_components(self, dump):
+        assert "ForStmt" in dump
+        assert "VarDecl used i 'int' cinit" in dump
+        assert "IntegerLiteral 'int' 7" in dump
+        assert "IntegerLiteral 'int' 17" in dump
+        assert "CompoundAssignOperator 'int' '+='" in dump
+        assert "CallExpr 'void'" in dump
+
+    def test_implicit_params(self, dump):
+        """The three implicit parameters of the outlined function."""
+        assert (
+            "ImplicitParamDecl implicit .global_tid. "
+            "'const int *const __restrict'" in dump
+        )
+        assert (
+            "ImplicitParamDecl implicit .bound_tid. "
+            "'const int *const __restrict'" in dump
+        )
+        assert "ImplicitParamDecl implicit __context" in dump
+        assert "(unnamed struct) *const __restrict" in dump
+
+    def test_order_clauses_before_captured(self, dump):
+        lines = dump.splitlines()
+        clause_idx = next(
+            i for i, l in enumerate(lines) if "OMPScheduleClause" in l
+        )
+        captured_idx = next(
+            i for i, l in enumerate(lines) if "CapturedStmt" in l
+        )
+        assert clause_idx < captured_idx
+
+
+# --- Paper Listing 5: composed unroll directives ------------------------
+COMPOSED_SRC = """
+void body(int i);
+void f(void) {
+  #pragma omp unroll full
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+"""
+
+
+class TestListing5ComposedUnroll:
+    @pytest.fixture(scope="class")
+    def directive(self):
+        result = compile_c(COMPOSED_SRC, syntax_only=True)
+        return result.function("f").body.statements[0]
+
+    def test_outer_is_unroll_with_full(self, directive):
+        assert isinstance(directive, omp.OMPUnrollDirective)
+        from repro.astlib import clauses as cl
+
+        assert directive.has_clause(cl.OMPFullClause)
+
+    def test_syntactic_child_is_inner_directive(self, directive):
+        """The syntactic AST nests the directives (paper Listing 5) —
+        the transformed code is shadow, not the visible child."""
+        inner = directive.associated_stmt
+        assert isinstance(inner, omp.OMPUnrollDirective)
+        from repro.astlib import clauses as cl
+
+        partial = inner.get_clause(cl.OMPPartialClause)
+        assert partial is not None
+
+    def test_inner_child_is_literal_for(self, directive):
+        inner = directive.associated_stmt
+        assert isinstance(inner.associated_stmt, s.ForStmt)
+
+    def test_no_captured_stmt_in_transform_chain(self, directive):
+        """Paper §2.1: 'the loop body code is not wrapped inside a
+        CapturedStmt' for loop transformations."""
+        dump = dump_ast(directive)
+        assert "CapturedStmt" not in dump
+
+    def test_dump_matches_paper_shape(self, directive):
+        dump = dump_ast(directive)
+        lines = dump.splitlines()
+        assert lines[0] == "OMPUnrollDirective"
+        assert lines[1] == "|-OMPFullClause"
+        assert lines[2] == "`-OMPUnrollDirective"
+        assert lines[3] == "  |-OMPPartialClause"
+        assert "ConstantExpr 'int'" in dump
+        assert "value: Int 2" in dump
+
+    def test_inner_has_transformed_stmt(self, directive):
+        inner = directive.associated_stmt
+        assert inner.get_transformed_stmt() is not None
+
+    def test_outer_full_has_no_transformed_stmt(self, directive):
+        """A full unroll leaves no generated loop (paper §2.2: codegen
+        emits it directly)."""
+        assert directive.get_transformed_stmt() is None
+
+
+# --- Paper Listing 6 ('transformedast'): shadow AST of partial unroll --
+class TestListing6TransformedAST:
+    @pytest.fixture(scope="class")
+    def transformed(self):
+        result = compile_c(COMPOSED_SRC, syntax_only=True)
+        outer = result.function("f").body.statements[0]
+        return outer.associated_stmt.get_transformed_stmt()
+
+    def test_strip_mined_structure(self, transformed):
+        assert isinstance(transformed, s.ForStmt)
+        assert (
+            transformed.init.single_decl.name == "unrolled.iv.i"
+        )
+        annotated = transformed.body
+        assert isinstance(annotated, s.AttributedStmt)
+        inner = annotated.sub_stmt
+        assert isinstance(inner, s.ForStmt)
+        assert inner.init.single_decl.name == "unroll_inner.iv.i"
+
+    def test_loop_hint_attr(self, transformed):
+        dump = dump_ast(transformed)
+        assert "AttributedStmt" in dump
+        assert (
+            "LoopHintAttr Implicit loop UnrollCount Numeric" in dump
+        )
+        assert "IntegerLiteral 'int' 2" in dump
+
+    def test_outer_increment_by_factor(self, transformed):
+        from repro.astlib import exprs as e
+
+        inc = transformed.inc
+        assert isinstance(inc, e.CompoundAssignOperator)
+        assert inc.rhs.ignore_implicit_casts().value == 2
+
+    def test_shadow_hidden_from_normal_dump(self):
+        result = compile_c(COMPOSED_SRC, syntax_only=True)
+        outer = result.function("f").body.statements[0]
+        normal = dump_ast(outer)
+        shadow = dump_ast(outer, dump_shadow=True)
+        assert "unrolled.iv.i" not in normal
+        assert "unrolled.iv.i" in shadow
+
+
+# --- Paper Listing 7: OMPCanonicalLoop ------------------------------------
+CANONICAL_SRC = """
+void body(int i);
+void f(int N) {
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < N; i += 1)
+    body(i);
+}
+"""
+
+
+class TestListing7OMPCanonicalLoop:
+    @pytest.fixture(scope="class")
+    def directive(self):
+        result = compile_c(
+            CANONICAL_SRC, syntax_only=True, enable_irbuilder=True
+        )
+        return result.function("f").body.statements[0]
+
+    def test_wrapper_present(self, directive):
+        assert isinstance(directive, omp.OMPUnrollDirective)
+        wrapper = directive.associated_stmt
+        assert isinstance(wrapper, omp.OMPCanonicalLoop)
+
+    def test_four_children_in_paper_order(self, directive):
+        wrapper = directive.associated_stmt
+        children = list(wrapper.children())
+        assert isinstance(children[0], s.ForStmt)
+        assert isinstance(children[1], s.CapturedStmt)  # distance fn
+        assert isinstance(children[2], s.CapturedStmt)  # loop value fn
+        from repro.astlib import exprs as e
+
+        assert isinstance(children[3], e.DeclRefExpr)
+        assert children[3].decl.name == "i"
+
+    def test_distance_fn_signature(self, directive):
+        """[&](logical &Result) { Result = ...; } — one by-reference
+        Result parameter of the unsigned logical type."""
+        wrapper = directive.associated_stmt
+        params = wrapper.distance_func.captured_decl.params
+        assert [p.name for p in params] == ["Result"]
+        assert params[0].type.spelling() == "unsigned int &"
+
+    def test_value_fn_signature(self, directive):
+        """[&,__begin](auto &Result, size_t __i)."""
+        wrapper = directive.associated_stmt
+        params = wrapper.loop_var_func.captured_decl.params
+        assert [p.name for p in params] == ["Result", "__i"]
+        assert params[0].type.spelling() == "int &"
+        assert params[1].type.spelling() == "unsigned int"
+
+    def test_begin_captured_by_value(self, directive):
+        """Paper §3.1: __begin is captured by value so it retains the
+        start value even though it is modified inside the loop."""
+        wrapper = directive.associated_stmt
+        assert "i" in wrapper.loop_var_func.by_value
+
+    def test_lossless_unwrap(self, directive):
+        """The wrapper 'can be losslessly removed again' (paper §3.1)."""
+        wrapper = directive.associated_stmt
+        unwrapped = wrapper.unwrap()
+        assert isinstance(unwrapped, s.ForStmt)
+        assert unwrapped is wrapper.loop_stmt
+
+    def test_dump_shape(self, directive):
+        dump = dump_ast(directive)
+        lines = dump.splitlines()
+        assert lines[0] == "OMPUnrollDirective"
+        assert any(l.startswith("`-OMPCanonicalLoop") for l in lines)
+        assert dump.count("CapturedStmt") == 2
+        assert "DeclRefExpr 'int' lvalue Var 'i' 'int'" in dump
+
+    def test_no_transformed_stmt_in_irbuilder_mode(self, directive):
+        """Code generation moved to the OpenMPIRBuilder: no shadow
+        transformed AST is built (paper §3)."""
+        assert directive.get_transformed_stmt() is None

@@ -1,0 +1,198 @@
+"""Runtime sequencing: multiple worksharing regions per parallel region,
+dispatch-state reset, barrier phases, and team reuse."""
+
+import pytest
+
+from tests.conftest import run_both, run_c
+
+
+class TestConsecutiveWorksharing:
+    def test_two_dynamic_loops_reset_dispatch(self):
+        src = r"""
+        int main(void) {
+          int first[12]; int second[12];
+          #pragma omp parallel num_threads(3)
+          {
+            #pragma omp for schedule(dynamic, 2)
+            for (int i = 0; i < 12; i += 1) first[i] = 1;
+            #pragma omp for schedule(dynamic, 3)
+            for (int i = 0; i < 12; i += 1) second[i] = 1;
+          }
+          int a = 0; int b = 0;
+          for (int i = 0; i < 12; i += 1) { a += first[i]; b += second[i]; }
+          printf("%d %d\n", a, b);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src, num_threads=3)
+        assert legacy.stdout == "12 12\n"
+
+    def test_static_then_dynamic(self):
+        src = r"""
+        int main(void) {
+          int count = 0;
+          #pragma omp parallel num_threads(4)
+          {
+            #pragma omp for
+            for (int i = 0; i < 8; i += 1) {
+              #pragma omp critical
+              { count += 1; }
+            }
+            #pragma omp for schedule(guided)
+            for (int i = 0; i < 8; i += 1) {
+              #pragma omp critical
+              { count += 10; }
+            }
+          }
+          printf("%d\n", count);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout == "88\n"
+
+    def test_loop_then_single_then_loop(self):
+        src = r"""
+        int main(void) {
+          int phase[3] = {0, 0, 0};
+          #pragma omp parallel num_threads(4)
+          {
+            #pragma omp for
+            for (int i = 0; i < 4; i += 1) {
+              #pragma omp critical
+              { phase[0] += 1; }
+            }
+            #pragma omp single
+            { phase[1] += 1; }
+            #pragma omp for
+            for (int i = 0; i < 4; i += 1) {
+              #pragma omp critical
+              { phase[2] += 1; }
+            }
+          }
+          printf("%d %d %d\n", phase[0], phase[1], phase[2]);
+          return 0;
+        }
+        """
+        result = run_c(src)
+        assert result.stdout == "4 1 4\n"
+
+    def test_sequential_parallel_regions_fresh_teams(self):
+        src = r"""
+        int main(void) {
+          int sizes[3];
+          for (int r = 0; r < 3; r += 1) {
+            #pragma omp parallel num_threads(2 + r)
+            {
+              #pragma omp master
+              { sizes[r] = omp_get_num_threads(); }
+            }
+          }
+          printf("%d %d %d\n", sizes[0], sizes[1], sizes[2]);
+          return 0;
+        }
+        """
+        assert run_c(src).stdout == "2 3 4\n"
+
+    def test_fork_count_statistics(self):
+        src = r"""
+        int main(void) {
+          #pragma omp parallel
+          { }
+          #pragma omp parallel for
+          for (int i = 0; i < 4; i += 1) ;
+          return 0;
+        }
+        """
+        result = run_c(src)
+        assert result.interpreter.omp.fork_count == 2
+
+    def test_worksharing_in_loop_over_regions(self):
+        """A worksharing loop executed repeatedly inside one region:
+        dispatch state must reset each trip."""
+        src = r"""
+        int main(void) {
+          int total = 0;
+          #pragma omp parallel num_threads(2)
+          {
+            for (int round = 0; round < 3; round += 1) {
+              #pragma omp for schedule(dynamic)
+              for (int i = 0; i < 5; i += 1) {
+                #pragma omp critical
+                { total += 1; }
+              }
+            }
+          }
+          printf("%d\n", total);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src, num_threads=2)
+        assert legacy.stdout == "15\n"
+
+
+class TestBarrierPhases:
+    def test_ping_pong_buffers(self):
+        src = r"""
+        int main(void) {
+          int a[8]; int b[8];
+          for (int k = 0; k < 8; k += 1) a[k] = k;
+          #pragma omp parallel num_threads(4)
+          {
+            for (int step = 0; step < 4; step += 1) {
+              #pragma omp for
+              for (int i = 0; i < 8; i += 1)
+                b[i] = a[i] + 1;
+              #pragma omp for
+              for (int i = 0; i < 8; i += 1)
+                a[i] = b[i];
+            }
+          }
+          int sum = 0;
+          for (int k = 0; k < 8; k += 1) sum += a[k];
+          printf("%d\n", sum);
+          return 0;
+        }
+        """
+        expected = sum(k + 4 for k in range(8))
+        legacy, _ = run_both(src)
+        assert int(legacy.stdout) == expected
+
+    def test_explicit_barrier_between_phases(self):
+        src = r"""
+        int main(void) {
+          int stage[8];
+          int ok = 1;
+          #pragma omp parallel num_threads(4)
+          {
+            int me = omp_get_thread_num();
+            stage[me] = me * me;
+            stage[me + 4] = -1;
+            #pragma omp barrier
+            /* every thread checks a DIFFERENT thread's write */
+            int other = (me + 1) % 4;
+            if (stage[other] != other * other) {
+              #pragma omp critical
+              { ok = 0; }
+            }
+          }
+          printf("%d\n", ok);
+          return 0;
+        }
+        """
+        legacy, _ = run_both(src)
+        assert legacy.stdout == "1\n"
+
+    def test_barrier_generation_counter(self):
+        src = r"""
+        int main(void) {
+          #pragma omp parallel num_threads(4)
+          {
+            #pragma omp barrier
+            #pragma omp barrier
+          }
+          return 0;
+        }
+        """
+        result = run_c(src)
+        assert result.interpreter.omp.barrier_count >= 8  # 2 x 4 threads

@@ -1,0 +1,306 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The central property is the paper's: **loop transformations preserve
+semantics** — for arbitrary canonical loops and transformation parameters,
+the transformed program computes the same result, under both AST
+representations and with/without the mid-end.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import run_source
+from repro.sema.canonical_loop import compute_trip_count
+
+# Compilation through the whole pipeline is not cheap; keep example
+# counts moderate but meaningful.
+FAST = settings(max_examples=25, deadline=None)
+SLOW = settings(max_examples=12, deadline=None)
+
+bounds = st.integers(min_value=-30, max_value=30)
+steps = st.integers(min_value=1, max_value=7)
+factors = st.integers(min_value=1, max_value=9)
+tile_sizes = st.integers(min_value=1, max_value=6)
+extents = st.integers(min_value=0, max_value=10)
+
+
+class TestTripCountProperties:
+    @FAST
+    @given(lb=bounds, ub=bounds, step=steps)
+    def test_trip_count_matches_python_range(self, lb, ub, step):
+        expected = len(range(lb, ub, step))
+        assert (
+            compute_trip_count(lb, ub, step, inclusive=False,
+                               is_inequality=False)
+            == expected
+        )
+
+    @FAST
+    @given(lb=bounds, ub=bounds, step=steps)
+    def test_inclusive_trip_count(self, lb, ub, step):
+        expected = len(range(lb, ub + 1, step))
+        assert (
+            compute_trip_count(lb, ub, step, inclusive=True,
+                               is_inequality=False)
+            == expected
+        )
+
+    @FAST
+    @given(lb=bounds, ub=bounds, step=steps)
+    def test_down_trip_count(self, lb, ub, step):
+        expected = len(range(lb, ub, -step))
+        assert (
+            compute_trip_count(lb, ub, -step, inclusive=False,
+                               is_inequality=False)
+            == expected
+        )
+
+    @FAST
+    @given(lb=bounds, ub=bounds, step=steps)
+    def test_trip_count_non_negative(self, lb, ub, step):
+        assert (
+            compute_trip_count(lb, ub, step, False, False) >= 0
+        )
+
+
+def loop_checksum_source(lb, ub, step, pragma):
+    return rf"""
+int main(void) {{
+  long acc = 0;
+  int pos = 0;
+  {pragma}
+  for (int i = {lb}; i < {ub}; i += {step}) {{
+    acc += (long)i * 3 + 7;
+    acc ^= (long)pos;
+    pos += 1;
+  }}
+  printf("%d %d\n", (int)acc, pos);
+  return 0;
+}}
+"""
+
+
+def reference_checksum(lb, ub, step):
+    acc = 0
+    pos = 0
+    for i in range(lb, ub, step):
+        acc += i * 3 + 7
+        acc ^= pos
+        pos += 1
+    # wrap to int32 for the printed %d
+    acc &= (1 << 64) - 1
+    acc_i32 = acc & 0xFFFFFFFF
+    if acc_i32 >= 1 << 31:
+        acc_i32 -= 1 << 32
+    return acc_i32, pos
+
+
+class TestUnrollPreservesSemanticsProperty:
+    @SLOW
+    @given(lb=bounds, ub=bounds, step=steps, factor=factors)
+    def test_unroll_partial_equals_original(self, lb, ub, step, factor):
+        pragma = f"#pragma omp unroll partial({factor})"
+        src = loop_checksum_source(lb, ub, step, pragma)
+        expected_acc, expected_pos = reference_checksum(lb, ub, step)
+        result = run_source(src, openmp=True)
+        acc, pos = map(int, result.stdout.split())
+        assert (acc, pos) == (expected_acc, expected_pos)
+
+    @SLOW
+    @given(lb=bounds, ub=bounds, step=steps, factor=factors)
+    def test_unroll_irbuilder_agrees(self, lb, ub, step, factor):
+        pragma = f"#pragma omp unroll partial({factor})"
+        src = loop_checksum_source(lb, ub, step, pragma)
+        legacy = run_source(src, enable_irbuilder=False)
+        irb = run_source(src, enable_irbuilder=True)
+        assert legacy.stdout == irb.stdout
+
+    @SLOW
+    @given(lb=bounds, ub=bounds, step=steps, factor=factors)
+    def test_midend_unroll_agrees(self, lb, ub, step, factor):
+        pragma = f"#pragma omp unroll partial({factor})"
+        src = loop_checksum_source(lb, ub, step, pragma)
+        plain = run_source(src)
+        optimized = run_source(src, optimize=True)
+        assert plain.stdout == optimized.stdout
+
+
+class TestTilePreservesIterationSet:
+    @SLOW
+    @given(n=extents, m=extents, si=tile_sizes, sj=tile_sizes)
+    def test_tile_full_coverage_exactly_once(self, n, m, si, sj):
+        src = rf"""
+int main(void) {{
+  int hits[128];
+  for (int k = 0; k < 128; k += 1) hits[k] = 0;
+  #pragma omp tile sizes({si}, {sj})
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      hits[i * {max(m, 1)} + j] += 1;
+  int once = 0;
+  int wrong = 0;
+  for (int k = 0; k < 128; k += 1) {{
+    if (hits[k] == 1) once += 1;
+    if (hits[k] > 1) wrong += 1;
+  }}
+  printf("%d %d\n", once, wrong);
+  return 0;
+}}
+"""
+        result = run_source(src)
+        once, wrong = map(int, result.stdout.split())
+        assert once == n * m
+        assert wrong == 0
+
+    @SLOW
+    @given(n=extents, si=tile_sizes)
+    def test_1d_tile_preserves_order(self, n, si):
+        """With a single loop, tiling must preserve execution order."""
+        src = rf"""
+int main(void) {{
+  int order[32]; int pos = 0;
+  #pragma omp tile sizes({si})
+  for (int i = 0; i < {n}; i += 1) {{ order[pos] = i; pos += 1; }}
+  for (int k = 0; k < pos; k += 1) printf("%d ", order[k]);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        assert result.stdout.split() == [str(i) for i in range(n)]
+
+
+class TestWorksharingProperties:
+    @SLOW
+    @given(
+        n=st.integers(min_value=0, max_value=40),
+        threads=st.integers(min_value=1, max_value=6),
+        data=st.lists(
+            st.integers(min_value=-100, max_value=100),
+            min_size=40,
+            max_size=40,
+        ),
+    )
+    def test_static_covers_each_index_once(self, n, threads, data):
+        array_init = ", ".join(str(v) for v in data[:40])
+        src = rf"""
+int main(void) {{
+  int input[40] = {{{array_init}}};
+  long sum = 0;
+  #pragma omp parallel for reduction(+: sum)
+  for (int i = 0; i < {n}; i += 1)
+    sum += input[i];
+  printf("%d\n", (int)sum);
+  return 0;
+}}
+"""
+        result = run_source(src, num_threads=threads)
+        assert int(result.stdout) == sum(data[:n])
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=1, max_value=32),
+        chunk=st.integers(min_value=1, max_value=8),
+        threads=st.integers(min_value=1, max_value=5),
+    )
+    def test_dynamic_covers_all(self, n, chunk, threads):
+        src = rf"""
+int main(void) {{
+  int hits[32];
+  for (int k = 0; k < 32; k += 1) hits[k] = 0;
+  #pragma omp parallel for schedule(dynamic, {chunk})
+  for (int i = 0; i < {n}; i += 1)
+    hits[i] += 1;
+  int bad = 0;
+  for (int k = 0; k < {n}; k += 1) if (hits[k] != 1) bad += 1;
+  printf("%d\n", bad);
+  return 0;
+}}
+"""
+        result = run_source(src, num_threads=threads)
+        assert result.stdout == "0\n"
+
+
+class TestExpressionEvaluationProperty:
+    @FAST
+    @given(
+        a=st.integers(min_value=-1000, max_value=1000),
+        b=st.integers(min_value=-1000, max_value=1000),
+        c=st.integers(min_value=1, max_value=50),
+    )
+    def test_compiled_arithmetic_matches_python(self, a, b, c):
+        src = rf"""
+int main(void) {{
+  int a = {a}; int b = {b}; int c = {c};
+  int r = (a * 3 - b) / c + (a % c) * (b < a ? 2 : -2) + (a ^ b);
+  printf("%d\n", r);
+  return 0;
+}}
+"""
+        # C semantics: division truncates toward zero; % follows dividend.
+        def cdiv(x, y):
+            q = abs(x) // abs(y)
+            return -q if (x < 0) != (y < 0) else q
+
+        def cmod(x, y):
+            return x - cdiv(x, y) * y
+
+        expected = (
+            cdiv(a * 3 - b, c)
+            + cmod(a, c) * (2 if b < a else -2)
+            + (a ^ b)
+        )
+        expected &= 0xFFFFFFFF
+        if expected >= 1 << 31:
+            expected -= 1 << 32
+        result = run_source(src, openmp=False)
+        assert int(result.stdout) == expected
+
+    @FAST
+    @given(
+        values=st.lists(
+            st.integers(min_value=-50, max_value=50),
+            min_size=1,
+            max_size=16,
+        )
+    )
+    def test_array_reduction_roundtrip(self, values):
+        init = ", ".join(map(str, values))
+        src = rf"""
+int main(void) {{
+  int data[{len(values)}] = {{{init}}};
+  int mx = data[0];
+  for (int i = 0; i < {len(values)}; i += 1)
+    if (data[i] > mx) mx = data[i];
+  printf("%d\n", mx);
+  return 0;
+}}
+"""
+        assert int(run_source(src, openmp=False).stdout) == max(values)
+
+
+class TestLexerRoundTripProperty:
+    @FAST
+    @given(
+        idents=st.lists(
+            st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,8}", fullmatch=True),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    def test_identifier_stream_roundtrips(self, idents):
+        from repro.lex.lexer import tokenize_string
+        from repro.lex.tokens import KEYWORDS
+
+        text = " ".join(idents)
+        tokens = tokenize_string(text)[:-1]
+        assert [t.spelling for t in tokens] == idents
+        for tok in tokens:
+            if tok.spelling in KEYWORDS:
+                assert tok.kind == KEYWORDS[tok.spelling]
+
+    @FAST
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_integer_literal_roundtrip(self, value):
+        src = f'int main(void) {{ printf("%d\\n", {value}); return 0; }}'
+        assert int(run_source(src, openmp=False).stdout) == value

@@ -1,0 +1,200 @@
+"""Property-based tests for the OpenMP 6.0 extension transformations
+(reverse / interchange / fuse): semantic preservation over random
+iteration spaces."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pipeline import run_source
+
+SLOW = settings(max_examples=12, deadline=None)
+
+extents = st.integers(min_value=0, max_value=8)
+small_extents = st.integers(min_value=1, max_value=5)
+
+
+class TestReverseProperty:
+    @SLOW
+    @given(
+        lb=st.integers(min_value=-10, max_value=10),
+        ub=st.integers(min_value=-10, max_value=10),
+        step=st.integers(min_value=1, max_value=4),
+    )
+    def test_reverse_emits_mirrored_sequence(self, lb, ub, step):
+        src = rf"""
+int main(void) {{
+  #pragma omp reverse
+  for (int i = {lb}; i < {ub}; i += {step})
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        expected = [str(i) for i in reversed(range(lb, ub, step))]
+        assert result.stdout.split() == expected
+
+    @SLOW
+    @given(
+        n=st.integers(min_value=0, max_value=12),
+        step=st.integers(min_value=1, max_value=3),
+    )
+    def test_double_reverse_identity(self, n, step):
+        src = rf"""
+int main(void) {{
+  #pragma omp reverse
+  #pragma omp reverse
+  for (int i = 0; i < {n}; i += {step})
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        assert result.stdout.split() == [
+            str(i) for i in range(0, n, step)
+        ]
+
+
+class TestInterchangeProperty:
+    @SLOW
+    @given(n=extents, m=extents)
+    def test_interchange_is_transposed_order(self, n, m):
+        src = rf"""
+int main(void) {{
+  #pragma omp interchange
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      printf("%d,%d ", i, j);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        expected = [
+            f"{i},{j}" for j in range(m) for i in range(n)
+        ]
+        assert result.stdout.split() == expected
+
+    @SLOW
+    @given(n=small_extents, m=small_extents, k=small_extents)
+    def test_permutation_round_trip(self, n, m, k):
+        """Applying a permutation and its inverse restores the original
+        order."""
+        src = rf"""
+int main(void) {{
+  #pragma omp interchange permutation(2, 3, 1)
+  #pragma omp interchange permutation(3, 1, 2)
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      for (int l = 0; l < {k}; l += 1)
+        printf("%d%d%d ", i, j, l);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        expected = [
+            f"{i}{j}{l}"
+            for i in range(n)
+            for j in range(m)
+            for l in range(k)
+        ]
+        assert result.stdout.split() == expected
+
+
+class TestFuseProperty:
+    @SLOW
+    @given(n=extents, m=extents)
+    def test_fuse_runs_each_body_its_trip_count(self, n, m):
+        src = rf"""
+int main(void) {{
+  int a = 0; int b = 0;
+  #pragma omp fuse
+  {{
+    for (int i = 0; i < {n}; i += 1) a += 1;
+    for (int j = 0; j < {m}; j += 1) b += 1;
+  }}
+  printf("%d %d\n", a, b);
+  return 0;
+}}
+"""
+        # fuse requires >= 2 loops; both extents may be 0 (zero-trip).
+        result = run_source(src)
+        assert result.stdout.split() == [str(n), str(m)]
+
+    @SLOW
+    @given(
+        n=extents,
+        m=extents,
+        values=st.lists(
+            st.integers(min_value=-9, max_value=9),
+            min_size=8,
+            max_size=8,
+        ),
+    )
+    def test_fuse_preserves_values(self, n, m, values):
+        init = ", ".join(map(str, values))
+        src = rf"""
+int main(void) {{
+  int data[8] = {{{init}}};
+  long s1 = 0; long s2 = 0;
+  #pragma omp fuse
+  {{
+    for (int i = 0; i < {min(n, 8)}; i += 1) s1 += data[i];
+    for (int j = 0; j < {min(m, 8)}; j += 1) s2 += data[j] * 2;
+  }}
+  printf("%d %d\n", (int)s1, (int)s2);
+  return 0;
+}}
+"""
+        result = run_source(src)
+        s1 = sum(values[: min(n, 8)])
+        s2 = sum(v * 2 for v in values[: min(m, 8)])
+        assert result.stdout.split() == [str(s1), str(s2)]
+
+
+class TestTransformCompositionProperty:
+    @SLOW
+    @given(
+        n=st.integers(min_value=0, max_value=20),
+        factor=st.integers(min_value=1, max_value=5),
+    )
+    def test_reverse_then_unroll(self, n, factor):
+        src = rf"""
+int main(void) {{
+  #pragma omp unroll partial({factor})
+  #pragma omp reverse
+  for (int i = 0; i < {n}; i += 1)
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}}
+"""
+        result = run_source(src)
+        assert result.stdout.split() == [
+            str(i) for i in reversed(range(n))
+        ]
+
+    @SLOW
+    @given(n=small_extents, m=small_extents, size=st.integers(1, 4))
+    def test_tile_of_interchange_coverage(self, n, m, size):
+        src = rf"""
+int main(void) {{
+  int hits[64];
+  for (int k = 0; k < 64; k += 1) hits[k] = 0;
+  #pragma omp tile sizes({size}, {size})
+  #pragma omp interchange
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      hits[i * 8 + j] += 1;
+  int bad = 0;
+  for (int i = 0; i < {n}; i += 1)
+    for (int j = 0; j < {m}; j += 1)
+      if (hits[i * 8 + j] != 1) bad += 1;
+  printf("%d\n", bad);
+  return 0;
+}}
+"""
+        result = run_source(src)
+        assert result.stdout == "0\n"

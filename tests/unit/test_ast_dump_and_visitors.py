@@ -1,0 +1,222 @@
+"""Unit tests: the AST dumper format and the visitor infrastructure."""
+
+import pytest
+
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import VarDecl
+from repro.astlib.dump import dump_ast
+from repro.astlib import exprs as e
+from repro.astlib import stmts as s
+from repro.astlib.visitor import (
+    RecursiveASTVisitor,
+    StmtVisitorBase,
+    collect_stmts,
+    count_nodes,
+)
+
+
+@pytest.fixture
+def ctx():
+    return ASTContext()
+
+
+def make_loop(ctx):
+    """for (int i = 7; i < 17; i += 3) ;  -- paper Listing 3's loop."""
+    var = VarDecl("i", ctx.int_type, e.IntegerLiteral(7, ctx.int_type))
+    ref = e.DeclRefExpr(var, ctx.int_type)
+    loaded = e.ImplicitCastExpr(
+        e.CastKind.LVALUE_TO_RVALUE, ref, ctx.int_type
+    )
+    cond = e.BinaryOperator(
+        e.BinaryOperatorKind.LT,
+        loaded,
+        e.IntegerLiteral(17, ctx.int_type),
+        ctx.int_type,
+    )
+    inc = e.CompoundAssignOperator(
+        e.BinaryOperatorKind.ADD_ASSIGN,
+        e.DeclRefExpr(var, ctx.int_type),
+        e.IntegerLiteral(3, ctx.int_type),
+        ctx.int_type,
+        ctx.int_type,
+    )
+    return s.ForStmt(s.DeclStmt([var]), cond, inc, s.NullStmt()), var
+
+
+class TestDumpFormat:
+    def test_tree_connectors(self, ctx):
+        loop, _ = make_loop(ctx)
+        dump = dump_ast(loop)
+        lines = dump.splitlines()
+        assert lines[0] == "ForStmt"
+        assert lines[1].startswith("|-DeclStmt")
+        assert any(line.startswith("`-") for line in lines)
+        assert any(line.startswith("| `-") for line in lines)
+
+    def test_vardecl_line(self, ctx):
+        loop, _ = make_loop(ctx)
+        dump = dump_ast(loop)
+        assert "VarDecl used i 'int' cinit" in dump
+
+    def test_integer_literal_line(self, ctx):
+        loop, _ = make_loop(ctx)
+        assert "IntegerLiteral 'int' 7" in dump_ast(loop)
+        assert "IntegerLiteral 'int' 17" in dump_ast(loop)
+
+    def test_declref_line(self, ctx):
+        loop, _ = make_loop(ctx)
+        assert (
+            "DeclRefExpr 'int' lvalue Var 'i' 'int'" in dump_ast(loop)
+        )
+
+    def test_compound_assign_line(self, ctx):
+        loop, _ = make_loop(ctx)
+        assert "CompoundAssignOperator 'int' '+='" in dump_ast(loop)
+
+    def test_null_slot_marker(self, ctx):
+        loop = s.ForStmt(None, None, None, s.NullStmt())
+        dump = dump_ast(loop)
+        assert dump.count("<<<NULL>>>") == 3
+
+    def test_implicit_cast_line(self, ctx):
+        loop, _ = make_loop(ctx)
+        assert "ImplicitCastExpr 'int' <LValueToRValue>" in dump_ast(
+            loop
+        )
+
+    def test_constant_expr_with_value_line(self, ctx):
+        """Paper Listing 5: ConstantExpr dumps a 'value: Int N' line."""
+        inner = e.IntegerLiteral(2, ctx.int_type)
+        const = e.ConstantExpr(inner, 2)
+        dump = dump_ast(const)
+        assert "ConstantExpr 'int'" in dump
+        assert "value: Int 2" in dump
+
+    def test_addresses_optional(self, ctx):
+        loop, _ = make_loop(ctx)
+        plain = dump_ast(loop)
+        with_addr = dump_ast(loop, show_addresses=True)
+        assert "0x" not in plain
+        assert "0x" in with_addr
+
+    def test_attributed_stmt_with_loop_hint(self, ctx):
+        hint = s.LoopHintAttr(
+            s.LoopHintAttr.UNROLL_COUNT,
+            e.IntegerLiteral(2, ctx.int_type),
+        )
+        stmt = s.AttributedStmt([hint], s.NullStmt())
+        dump = dump_ast(stmt)
+        assert "AttributedStmt" in dump
+        assert "LoopHintAttr Implicit loop UnrollCount Numeric" in dump
+
+
+class TestStmtVisitor:
+    def test_dispatch_most_derived(self, ctx):
+        loop, _ = make_loop(ctx)
+        hits = []
+
+        class V(StmtVisitorBase):
+            def visit_ForStmt(self, stmt):
+                hits.append("for")
+
+            def visit_Stmt(self, stmt):
+                hits.append("stmt")
+
+        V().visit(loop)
+        assert hits == ["for"]
+
+    def test_dispatch_falls_back_to_base(self, ctx):
+        loop, _ = make_loop(ctx)
+
+        class V(StmtVisitorBase):
+            def visit_Stmt(self, stmt):
+                return "generic"
+
+        assert V().visit(loop) == "generic"
+
+    def test_compound_assign_dispatches_before_binary(self, ctx):
+        _, var = make_loop(ctx)
+        compound = e.CompoundAssignOperator(
+            e.BinaryOperatorKind.ADD_ASSIGN,
+            e.DeclRefExpr(var, ctx.int_type),
+            e.IntegerLiteral(1, ctx.int_type),
+            ctx.int_type,
+            ctx.int_type,
+        )
+
+        class V(StmtVisitorBase):
+            def visit_CompoundAssignOperator(self, stmt):
+                return "compound"
+
+            def visit_BinaryOperator(self, stmt):
+                return "binary"
+
+        assert V().visit(compound) == "compound"
+
+
+class TestRecursiveVisitor:
+    def test_counts_nodes(self, ctx):
+        loop, _ = make_loop(ctx)
+        n = count_nodes(loop)
+        assert n >= 8
+
+    def test_shadow_excluded_by_default(self, ctx):
+        from repro.astlib import omp
+
+        loop, _ = make_loop(ctx)
+        directive = omp.OMPUnrollDirective(
+            [], s.NullStmt(), 1, transformed_stmt=loop
+        )
+        without = count_nodes(directive)
+        with_shadow = count_nodes(directive, include_shadow=True)
+        assert with_shadow > without
+
+    def test_collect_with_predicate(self, ctx):
+        loop, _ = make_loop(ctx)
+        literals = collect_stmts(
+            loop, predicate=lambda st: isinstance(st, e.IntegerLiteral)
+        )
+        assert len(literals) == 3  # 7, 17, 3
+
+    def test_visits_decl_initializers(self, ctx):
+        loop, var = make_loop(ctx)
+        seen = []
+
+        class V(RecursiveASTVisitor):
+            def visit_decl(self, decl):
+                seen.append(decl)
+                return True
+
+        V().traverse_stmt(loop)
+        assert var in seen
+
+    def test_prune_subtree(self, ctx):
+        loop, _ = make_loop(ctx)
+        seen = []
+
+        class V(RecursiveASTVisitor):
+            def visit_stmt(self, stmt):
+                seen.append(type(stmt).__name__)
+                return not isinstance(stmt, s.ForStmt)
+
+        V().traverse_stmt(loop)
+        assert seen == ["ForStmt"]
+
+
+class TestWalk:
+    def test_preorder(self, ctx):
+        loop, _ = make_loop(ctx)
+        names = [type(n).__name__ for n in loop.walk()]
+        assert names[0] == "ForStmt"
+        assert "BinaryOperator" in names
+        assert "NullStmt" in names
+
+    def test_ignore_helpers(self, ctx):
+        inner = e.IntegerLiteral(1, ctx.int_type)
+        wrapped = e.ParenExpr(
+            e.ImplicitCastExpr(
+                e.CastKind.INTEGRAL_CAST, inner, ctx.long_type
+            )
+        )
+        assert wrapped.ignore_parens() is not inner
+        assert wrapped.ignore_implicit_casts() is inner

@@ -1,0 +1,197 @@
+"""Unit tests: the canonical-loop builder (repro.core.canonical) —
+the exact content of the distance / user-value lambdas."""
+
+import pytest
+
+from repro.astlib import exprs as e
+from repro.astlib import omp
+from repro.astlib import stmts as s
+from repro.core.canonical import build_canonical_loop
+from repro.sema.canonical_loop import analyze_canonical_loop
+
+from tests.conftest import compile_c
+
+
+def build(loop_src: str, params: str = "int N"):
+    src = f"void body(int); void f({params}) {{ {loop_src} }}"
+    result = compile_c(src, syntax_only=True)
+    body = result.function("f").body
+    loop = next(
+        st
+        for st in body.statements
+        if isinstance(st, (s.ForStmt, s.CXXForRangeStmt))
+    )
+    analysis = analyze_canonical_loop(
+        result.ast_context, result.diagnostics, loop
+    )
+    assert analysis is not None
+    wrapper = build_canonical_loop(result.ast_context, analysis)
+    return wrapper, analysis, result
+
+
+class TestDistanceFunction:
+    def test_result_param_is_reference_to_logical(self):
+        wrapper, analysis, result = build(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        param = wrapper.distance_func.captured_decl.params[0]
+        assert param.name == "Result"
+        assert param.type.spelling() == "unsigned int &"
+
+    def test_body_is_single_assignment_to_result(self):
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        body = wrapper.distance_func.captured_decl.body
+        assert isinstance(body, s.CompoundStmt)
+        assert len(body.statements) == 1
+        assign = body.statements[0]
+        assert isinstance(assign, e.BinaryOperator)
+        assert assign.opcode == e.BinaryOperatorKind.ASSIGN
+        lhs = assign.lhs
+        assert isinstance(lhs, e.DeclRefExpr)
+        assert lhs.decl.name == "Result"
+
+    def test_distance_references_free_variables(self):
+        """[&] capture: the bound N is a by-reference capture."""
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        captures = {
+            v.name for v in wrapper.distance_func.captures
+        }
+        assert "N" in captures
+        # By-reference, not by-value.
+        assert "N" not in wrapper.distance_func.by_value
+
+    def test_distance_has_zero_guard_for_relational(self):
+        """'evaluating to 0 if __begin is larger than __end'."""
+        wrapper, *_ = build("for (int i = 2; i < N; ++i) body(i);")
+        body = wrapper.distance_func.captured_decl.body
+        conditional = body.statements[0].rhs
+        assert isinstance(conditional, e.ConditionalOperator)
+        zero = conditional.false_expr.ignore_implicit_casts()
+        assert isinstance(zero, e.IntegerLiteral)
+        assert zero.value == 0
+
+    def test_no_guard_for_inequality_loops(self):
+        """`!=` loops divide exactly per OpenMP rules; no guard needed."""
+        wrapper, *_ = build("for (int i = 0; i != N; ++i) body(i);")
+        body = wrapper.distance_func.captured_decl.body
+        assert not isinstance(
+            body.statements[0].rhs, e.ConditionalOperator
+        )
+
+
+class TestUserValueFunction:
+    def test_signature(self):
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        params = wrapper.loop_var_func.captured_decl.params
+        assert [p.name for p in params] == ["Result", "__i"]
+        assert params[0].type.spelling() == "int &"
+        assert params[1].type.spelling() == "unsigned int"
+
+    def test_value_formula_literal_loop(self):
+        """Result = lb + __i * step."""
+        wrapper, *_ = build(
+            "for (int i = 5; i < N; i += 3) body(i);"
+        )
+        assign = wrapper.loop_var_func.captured_decl.body.statements[0]
+        rhs = assign.rhs
+        assert isinstance(rhs, e.BinaryOperator)
+        assert rhs.opcode == e.BinaryOperatorKind.ADD
+        lb = rhs.lhs.ignore_implicit_casts()
+        assert isinstance(lb, e.IntegerLiteral) and lb.value == 5
+        mul = rhs.rhs.ignore_implicit_casts()
+        assert isinstance(mul, e.BinaryOperator)
+        assert mul.opcode == e.BinaryOperatorKind.MUL
+
+    def test_value_formula_range_for(self):
+        """Result = *(__begin_start + __i)."""
+        wrapper, *_ = build(
+            "int data[4]; for (int &x : data) body(x);", params="void"
+        )
+        assign = wrapper.loop_var_func.captured_decl.body.statements[0]
+        deref = assign.rhs
+        assert isinstance(deref, e.UnaryOperator)
+        assert deref.opcode == e.UnaryOperatorKind.DEREF
+
+    def test_iter_var_captured_by_value(self):
+        wrapper, analysis, _ = build(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        assert analysis.iter_var.name in wrapper.loop_var_func.by_value
+
+    def test_user_ref_points_to_user_variable(self):
+        wrapper, *_ = build(
+            "int data[4]; for (int &x : data) body(x);", params="void"
+        )
+        assert wrapper.loop_var_ref.decl.name == "x"
+
+    def test_user_ref_for_literal_loop_is_iter_var(self):
+        wrapper, analysis, _ = build(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        assert wrapper.loop_var_ref.decl is analysis.iter_var
+
+
+class TestWrapperBehaviour:
+    def test_children_order(self):
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        kinds = [type(c).__name__ for c in wrapper.children()]
+        assert kinds == [
+            "ForStmt",
+            "CapturedStmt",
+            "CapturedStmt",
+            "DeclRefExpr",
+        ]
+
+    def test_unwrap_is_lossless(self):
+        wrapper, analysis, _ = build(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        assert wrapper.unwrap() is analysis.loop_stmt
+
+    def test_wrapper_is_a_stmt_not_a_directive(self):
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        assert isinstance(wrapper, s.Stmt)
+        assert not isinstance(wrapper, omp.OMPExecutableDirective)
+
+    def test_meta_node_count(self):
+        wrapper, *_ = build("for (int i = 0; i < N; ++i) body(i);")
+        assert wrapper.meta_node_count() == 3
+
+
+class TestStandaloneEmission:
+    def test_canonical_loop_emitted_outside_directive(self):
+        """An OMPCanonicalLoop reached by plain CodeGen (not via a
+        directive) is emitted as a serial canonical loop."""
+        from repro.codegen import CodeGenModule, CodeGenOptions
+        from repro.interp import Interpreter
+        from repro.ir.verifier import verify_module
+
+        src = """
+        void body(int);
+        void f(int N) {
+          for (int i = 0; i < N; ++i) body(i);
+        }
+        """
+        result = compile_c(src, syntax_only=True)
+        fn = result.function("f")
+        loop = fn.body.statements[0]
+        analysis = analyze_canonical_loop(
+            result.ast_context, result.diagnostics, loop
+        )
+        wrapper = build_canonical_loop(result.ast_context, analysis)
+        fn.body.statements[0] = wrapper  # splice the wrapper in
+
+        cgm = CodeGenModule(
+            result.ast_context,
+            result.diagnostics,
+            CodeGenOptions(enable_irbuilder=True),
+        )
+        module = cgm.emit_translation_unit(result.translation_unit)
+        verify_module(module)
+        interp = Interpreter(module)
+        seen = []
+        interp.register_native(
+            "body", lambda i, c, a: seen.append(a[0])
+        )
+        interp.run("f", [5])
+        assert seen == [0, 1, 2, 3, 4]

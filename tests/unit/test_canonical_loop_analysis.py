@@ -1,0 +1,311 @@
+"""Unit tests: OpenMP canonical loop form analysis (Sema)."""
+
+import pytest
+
+from repro.astlib import stmts as s
+from repro.pipeline import CompilationError
+from repro.sema.canonical_loop import (
+    LoopDirection,
+    analyze_canonical_loop,
+    collect_loop_nest,
+    compute_trip_count,
+)
+
+from tests.conftest import compile_c
+
+
+def analyze(loop_source: str, params: str = "int N"):
+    """Compile a function containing the loop; analyze its first loop."""
+    src = f"void body(int); void f({params}) {{ {loop_source} }}"
+    result = compile_c(src, syntax_only=True)
+    body = result.function("f").body
+    loop = next(
+        st
+        for st in body.statements
+        if isinstance(st, (s.ForStmt, s.CXXForRangeStmt))
+    )
+    analysis = analyze_canonical_loop(
+        result.ast_context, result.diagnostics, loop
+    )
+    return analysis, result
+
+
+def analyze_errors(loop_source: str, params: str = "int N"):
+    analysis, result = analyze(loop_source, params)
+    assert analysis is None
+    return result.diagnostics.render_all()
+
+
+class TestCanonicalForms:
+    def test_simple_up_loop(self):
+        analysis, result = analyze(
+            "for (int i = 0; i < N; i += 1) body(i);"
+        )
+        assert analysis is not None
+        assert analysis.iter_var.name == "i"
+        assert analysis.direction == LoopDirection.UP
+        assert analysis.step_value == 1
+        assert not analysis.inclusive
+
+    def test_le_condition(self):
+        analysis, _ = analyze("for (int i = 0; i <= N; i += 1) body(i);")
+        assert analysis.inclusive
+
+    def test_down_loop(self):
+        analysis, _ = analyze(
+            "for (int i = N; i > 0; i -= 1) body(i);"
+        )
+        assert analysis.direction == LoopDirection.DOWN
+        assert analysis.step_value == -1
+
+    def test_ge_down_loop(self):
+        analysis, _ = analyze(
+            "for (int i = N; i >= 1; i -= 2) body(i);"
+        )
+        assert analysis.direction == LoopDirection.DOWN
+        assert analysis.inclusive
+
+    def test_flipped_condition(self):
+        analysis, _ = analyze("for (int i = 0; N > i; i += 1) body(i);")
+        assert analysis is not None
+        assert analysis.direction == LoopDirection.UP
+
+    def test_ne_condition(self):
+        analysis, _ = analyze("for (int i = 0; i != N; i += 1) body(i);")
+        assert analysis.is_inequality
+
+    def test_increment_forms(self):
+        for inc in ["i += 2", "i = i + 2", "i = 2 + i"]:
+            analysis, _ = analyze(
+                f"for (int i = 0; i < N; {inc}) body(i);"
+            )
+            assert analysis is not None, inc
+            assert analysis.step_value == 2, inc
+
+    def test_decrement_forms(self):
+        for inc in ["i -= 2", "i = i - 2"]:
+            analysis, _ = analyze(
+                f"for (int i = N; i > 0; {inc}) body(i);"
+            )
+            assert analysis is not None, inc
+            assert analysis.step_value == -2, inc
+
+    def test_plusplus(self):
+        for inc in ["++i", "i++"]:
+            analysis, _ = analyze(
+                f"for (int i = 0; i < N; {inc}) body(i);"
+            )
+            assert analysis.step_value == 1
+
+    def test_assignment_init(self):
+        analysis, _ = analyze(
+            "int i; for (i = 3; i < N; ++i) body(i);"
+        )
+        assert analysis is not None
+        assert not analysis.var_declared_in_init
+
+    def test_range_for_is_canonical(self):
+        analysis, _ = analyze(
+            "int data[8]; for (int &x : data) body(x);", params="void"
+        )
+        assert analysis is not None
+        assert analysis.iter_var.name == "__begin1"
+        assert analysis.is_inequality
+
+
+class TestNonCanonicalDiagnostics:
+    def test_missing_init(self):
+        text = analyze_errors("int i = 0; for (; i < N; ++i) body(i);")
+        assert "initialization clause" in text
+
+    def test_missing_condition(self):
+        text = analyze_errors(
+            "for (int i = 0; ; ++i) { body(i); break; }"
+        )
+        assert "condition" in text
+
+    def test_non_relational_condition(self):
+        # A condition not comparing the loop variable.
+        text = analyze_errors(
+            "for (int i = 0; N; ++i) body(i);"
+        )
+        assert "relational comparison" in text
+
+    def test_bound_not_invariant(self):
+        text = analyze_errors(
+            "for (int i = 0; i < i + N; ++i) body(i);"
+        )
+        assert "loop-invariant" in text
+
+    def test_missing_increment(self):
+        text = analyze_errors(
+            "for (int i = 0; i < N; ) { body(i); i += 1; }"
+        )
+        assert "increment" in text
+
+    def test_multiplicative_increment_rejected(self):
+        text = analyze_errors(
+            "for (int i = 1; i < N; i *= 2) body(i);"
+        )
+        assert "simple addition or subtraction" in text
+
+    def test_wrong_direction(self):
+        text = analyze_errors(
+            "for (int i = 0; i < N; i -= 1) body(i);"
+        )
+        assert "must increase" in text
+
+    def test_not_a_loop(self):
+        src = "void body(int); void f(int N) { body(N); }"
+        result = compile_c(src, syntax_only=True)
+        stmt = result.function("f").body.statements[0]
+        analysis = analyze_canonical_loop(
+            result.ast_context, result.diagnostics, stmt
+        )
+        assert analysis is None
+        assert "must be a for loop" in result.diagnostics.render_all()
+
+    def test_float_iteration_variable_rejected(self):
+        text = analyze_errors(
+            "for (double x = 0.0; x < 1.0; x += 0.125) body(0);",
+            params="void",
+        )
+        assert "integer or pointer" in text
+
+
+class TestTripCount:
+    @pytest.mark.parametrize(
+        "lb,ub,step,inclusive,ineq,expected",
+        [
+            (0, 10, 1, False, False, 10),
+            (0, 10, 3, False, False, 4),
+            (7, 17, 3, False, False, 4),  # the paper's example loop
+            (0, 10, 1, True, False, 11),
+            (10, 0, -1, False, False, 10),
+            (10, 0, -3, False, False, 4),
+            (10, 0, -1, True, False, 11),
+            (5, 5, 1, False, False, 0),
+            (5, 4, 1, False, False, 0),
+            (0, 12, 4, False, True, 3),
+        ],
+    )
+    def test_compute_trip_count(
+        self, lb, ub, step, inclusive, ineq, expected
+    ):
+        assert (
+            compute_trip_count(lb, ub, step, inclusive, ineq)
+            == expected
+        )
+
+    def test_constant_trip_from_analysis(self):
+        analysis, result = analyze(
+            "for (int i = 7; i < 17; i += 3) body(i);", params="void"
+        )
+        assert analysis.trip_count_if_constant(result.ast_context) == 4
+
+    def test_runtime_trip_is_none(self):
+        analysis, result = analyze(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        assert analysis.trip_count_if_constant(result.ast_context) is None
+
+
+class TestLogicalCounterType:
+    """E12 (paper §3.1): the logical iteration counter is an *unsigned*
+    integer wide enough for the full iteration space."""
+
+    def test_unsigned_for_int(self):
+        analysis, result = analyze(
+            "for (int i = 0; i < N; ++i) body(i);"
+        )
+        assert analysis.logical_type.is_unsigned_integer()
+        assert result.ast_context.type_width(analysis.logical_type) == 32
+
+    def test_wide_for_long(self):
+        analysis, result = analyze(
+            "for (long i = 0; i < N; ++i) body(0);", params="long N"
+        )
+        assert result.ast_context.type_width(analysis.logical_type) == 64
+
+    def test_small_types_promoted_to_32(self):
+        analysis, result = analyze(
+            "for (char i = 0; i < N; ++i) body(0);", params="char N"
+        )
+        assert result.ast_context.type_width(analysis.logical_type) >= 32
+
+    def test_pointer_uses_pointer_width(self):
+        analysis, result = analyze(
+            "int data[4]; for (int &x : data) body(x);", params="void"
+        )
+        assert result.ast_context.type_width(analysis.logical_type) == 64
+        assert analysis.logical_type.is_unsigned_integer()
+
+    def test_int32_full_range_trip_count_representable(self):
+        """The paper's INT32_MIN..INT32_MAX loop (§3.1).
+
+        The paper says "0xfffffffe iterations"; the exact count is
+        INT32_MAX - INT32_MIN = 0xffffffff (a paper off-by-one, recorded
+        in EXPERIMENTS.md).  Either way the point stands: the count does
+        not fit a *signed* 32-bit integer but fits the unsigned logical
+        iteration counter.
+        """
+        analysis, result = analyze(
+            "for (int i = -2147483647 - 1; i < 2147483647; ++i)"
+            " body(0);",
+            params="void",
+        )
+        trip = analysis.trip_count_if_constant(result.ast_context)
+        assert trip == 0xFFFFFFFF
+        width = result.ast_context.type_width(analysis.logical_type)
+        assert trip < (1 << width)
+        # It would NOT fit a signed 32-bit integer:
+        assert trip > (1 << 31) - 1
+
+
+class TestLoopNests:
+    def nest(self, source: str, depth: int, params="int N, int M"):
+        src = f"void body(int); void f({params}) {{ {source} }}"
+        result = compile_c(src, syntax_only=True)
+        body = result.function("f").body
+        loop = body.statements[0]
+        analyses = collect_loop_nest(
+            result.ast_context, result.diagnostics, loop, depth, "tile"
+        )
+        return analyses, result
+
+    def test_perfect_nest(self):
+        analyses, _ = self.nest(
+            "for (int i = 0; i < N; ++i)"
+            "  for (int j = 0; j < M; ++j)"
+            "    body(i + j);",
+            2,
+        )
+        assert analyses is not None
+        assert [a.iter_var.name for a in analyses] == ["i", "j"]
+
+    def test_braced_nest(self):
+        analyses, _ = self.nest(
+            "for (int i = 0; i < N; ++i) {"
+            "  for (int j = 0; j < M; ++j) body(i);"
+            "}",
+            2,
+        )
+        assert analyses is not None
+
+    def test_imperfect_nest_rejected(self):
+        analyses, result = self.nest(
+            "for (int i = 0; i < N; ++i) {"
+            "  body(i);"
+            "  for (int j = 0; j < M; ++j) body(j);"
+            "}",
+            2,
+        )
+        assert analyses is None
+        assert "perfectly nested" in result.diagnostics.render_all()
+
+    def test_insufficient_depth_rejected(self):
+        analyses, result = self.nest(
+            "for (int i = 0; i < N; ++i) body(i);", 2
+        )
+        assert analyses is None
+        assert "expected 2 nested" in result.diagnostics.render_all()

@@ -1,0 +1,171 @@
+"""E3: the class hierarchies match the paper's Figs. 4, 5 and 6.
+
+* Fig. 4: Stmt -> Expr; Stmt -> ForStmt/CXXForRangeStmt;
+  Stmt -> OMPExecutableDirective -> OMPLoopDirective -> OMPForDirective /
+  OMPParallelForDirective; Stmt -> CapturedStmt.
+* Fig. 5: OMPLoopBasedDirective inserted between OMPExecutableDirective
+  and OMPLoopDirective; OMPUnrollDirective/OMPTileDirective derive from
+  OMPLoopBasedDirective (not OMPLoopDirective!).
+* Fig. 6: OMPClause -> OMPFullClause / OMPPartialClause / OMPSizesClause.
+* §1.2: no common base class across Stmt / Decl / Type / OMPClause.
+"""
+
+from repro.astlib import clauses as cl
+from repro.astlib import decls as d
+from repro.astlib import exprs as e
+from repro.astlib import omp
+from repro.astlib import stmts as s
+from repro.astlib import types as t
+
+
+class TestFig4StmtHierarchy:
+    def test_expr_derives_from_stmt(self):
+        assert issubclass(e.Expr, s.Stmt)
+
+    def test_loops_derive_from_stmt(self):
+        assert issubclass(s.ForStmt, s.Stmt)
+        assert issubclass(s.CXXForRangeStmt, s.Stmt)
+
+    def test_captured_stmt_is_a_stmt(self):
+        assert issubclass(s.CapturedStmt, s.Stmt)
+
+    def test_directive_chain(self):
+        assert issubclass(omp.OMPExecutableDirective, s.Stmt)
+        assert issubclass(
+            omp.OMPParallelDirective, omp.OMPExecutableDirective
+        )
+        assert issubclass(omp.OMPLoopDirective, omp.OMPExecutableDirective)
+        assert issubclass(omp.OMPForDirective, omp.OMPLoopDirective)
+        assert issubclass(
+            omp.OMPParallelForDirective, omp.OMPLoopDirective
+        )
+
+
+class TestFig5LoopTransformationHierarchy:
+    def test_loop_based_between_executable_and_loop(self):
+        assert issubclass(
+            omp.OMPLoopBasedDirective, omp.OMPExecutableDirective
+        )
+        assert issubclass(
+            omp.OMPLoopDirective, omp.OMPLoopBasedDirective
+        )
+
+    def test_transformations_derive_from_loop_based(self):
+        assert issubclass(
+            omp.OMPUnrollDirective, omp.OMPLoopBasedDirective
+        )
+        assert issubclass(
+            omp.OMPTileDirective, omp.OMPLoopBasedDirective
+        )
+
+    def test_transformations_do_not_inherit_loop_directive_shadow(self):
+        """The motivation for OMPLoopBasedDirective: transformations do
+        not need OMPLoopDirective's many shadow AST nodes."""
+        assert not issubclass(
+            omp.OMPUnrollDirective, omp.OMPLoopDirective
+        )
+        assert not issubclass(
+            omp.OMPTileDirective, omp.OMPLoopDirective
+        )
+
+    def test_parallel_not_loop_based(self):
+        assert not issubclass(
+            omp.OMPParallelDirective, omp.OMPLoopBasedDirective
+        )
+
+
+class TestFig6ClauseHierarchy:
+    def test_new_clauses(self):
+        assert issubclass(cl.OMPFullClause, cl.OMPClause)
+        assert issubclass(cl.OMPPartialClause, cl.OMPClause)
+        assert issubclass(cl.OMPSizesClause, cl.OMPClause)
+
+    def test_existing_clauses(self):
+        assert issubclass(cl.OMPScheduleClause, cl.OMPClause)
+        assert issubclass(cl.OMPReductionClause, cl.OMPVarListClause)
+
+
+class TestNoCommonBaseClass:
+    """Paper §1.2: 'there is no common base class for AST nodes'."""
+
+    def test_four_distinct_roots(self):
+        roots = [s.Stmt, d.Decl, t.Type, cl.OMPClause]
+        for i, a in enumerate(roots):
+            for b in roots[i + 1 :]:
+                assert not issubclass(a, b)
+                assert not issubclass(b, a)
+
+    def test_separate_visitors_exist(self):
+        from repro.astlib.visitor import (
+            DeclVisitor,
+            OMPClauseVisitor,
+            StmtVisitorBase,
+            TypeVisitor,
+        )
+
+        visitors = [
+            StmtVisitorBase,
+            DeclVisitor,
+            TypeVisitor,
+            OMPClauseVisitor,
+        ]
+        for i, a in enumerate(visitors):
+            for b in visitors[i + 1 :]:
+                assert a is not b
+
+
+class TestShadowASTAccounting:
+    """Paper §1.2: 'up to 30 shadow AST statements for representing a
+    loop nest, plus 6 for each loop'."""
+
+    def test_loop_nest_capacity_at_least_30(self):
+        assert omp.LoopDirectiveHelpers.capacity() >= 30
+
+    def test_per_loop_capacity_is_6(self):
+        assert omp.LoopHelperExprs.capacity() == 6
+
+    def test_shadow_capacity_formula(self):
+        assert omp.OMPLoopDirective.shadow_capacity(1) == (
+            omp.LoopDirectiveHelpers.capacity() + 6
+        )
+        assert omp.OMPLoopDirective.shadow_capacity(3) == (
+            omp.LoopDirectiveHelpers.capacity() + 18
+        )
+
+    def test_canonical_loop_meta_count_is_3(self):
+        """Paper §3.1: the minimal meta-information set — distance fn,
+        user value fn, user variable reference."""
+        import inspect
+
+        sig = inspect.signature(omp.OMPCanonicalLoop.__init__)
+        meta_params = [
+            p
+            for p in sig.parameters
+            if p in ("distance_func", "loop_var_func", "loop_var_ref")
+        ]
+        assert len(meta_params) == 3
+
+
+class TestChildrenSemantics:
+    def test_children_excludes_clauses(self):
+        """Paper §1.2 footnote: children() returns Stmts only, so clauses
+        cannot be enumerated through it."""
+        from repro.astlib.context import ASTContext
+
+        ctx = ASTContext()
+        clause = cl.OMPFullClause()
+        body = s.NullStmt()
+        directive = omp.OMPUnrollDirective([clause], body)
+        children = list(directive.children())
+        assert body in children
+        assert clause not in children
+
+    def test_shadow_children_hidden_from_children(self):
+        body = s.NullStmt()
+        transformed = s.NullStmt()
+        directive = omp.OMPUnrollDirective(
+            [], body, 1, transformed_stmt=transformed
+        )
+        assert transformed not in list(directive.children())
+        assert transformed in list(directive.shadow_children())
+        assert directive.get_transformed_stmt() is transformed

@@ -1,0 +1,158 @@
+"""Unit tests: the diagnostics engine itself."""
+
+import pytest
+
+from repro.diagnostics import (
+    DiagnosticsEngine,
+    FatalErrorOccurred,
+    Severity,
+    TooManyErrors,
+)
+from repro.sourcemgr import MemoryBuffer, SourceManager
+
+
+@pytest.fixture
+def engine_with_source():
+    sm = SourceManager()
+    fid = sm.create_main_file(
+        MemoryBuffer("d.c", "int x;\nint broken here;\n")
+    )
+    return DiagnosticsEngine(sm), sm, fid
+
+
+class TestCountsAndQueries:
+    def test_counts(self):
+        engine = DiagnosticsEngine()
+        engine.warning("w1")
+        engine.error("e1")
+        engine.warning("w2")
+        engine.note("n1")
+        assert engine.warning_count == 2
+        assert engine.error_count == 1
+        assert engine.has_errors()
+        assert len(engine) == 4
+
+    def test_iteration_filters(self):
+        engine = DiagnosticsEngine()
+        engine.warning("w")
+        engine.error("e")
+        assert [d.message for d in engine.errors()] == ["e"]
+        assert [d.message for d in engine.warnings()] == ["w"]
+
+    def test_clear(self):
+        engine = DiagnosticsEngine()
+        engine.error("e")
+        engine.clear()
+        assert not engine.has_errors()
+
+    def test_empty_engine_is_falsy_but_usable(self):
+        """Regression: `engine or default` must not be used — an empty
+        engine is falsy via __len__."""
+        engine = DiagnosticsEngine()
+        assert len(engine) == 0
+        assert not engine  # documents the footgun
+        engine.error("x")
+        assert engine
+
+
+class TestSeverityBehaviour:
+    def test_warnings_as_errors(self):
+        engine = DiagnosticsEngine(warnings_as_errors=True)
+        engine.warning("promoted")
+        assert engine.error_count == 1
+        assert engine.warning_count == 0
+
+    def test_fatal_raises(self):
+        engine = DiagnosticsEngine()
+        with pytest.raises(FatalErrorOccurred):
+            engine.fatal("boom")
+        assert engine.error_count == 1
+
+    def test_error_limit(self):
+        engine = DiagnosticsEngine(error_limit=2)
+        engine.error("1")
+        engine.error("2")
+        with pytest.raises(TooManyErrors):
+            engine.error("3")
+
+    def test_severity_labels(self):
+        assert Severity.ERROR.label == "error"
+        assert Severity.FATAL.label == "fatal error"
+        assert Severity.NOTE.label == "note"
+
+
+class TestNotes:
+    def test_note_chaining(self):
+        engine = DiagnosticsEngine()
+        diag = engine.error("primary").add_note("context one").add_note(
+            "context two"
+        )
+        assert len(diag.notes) == 2
+        assert diag.notes[0].severity == Severity.NOTE
+
+    def test_render_includes_notes(self):
+        engine = DiagnosticsEngine()
+        engine.error("primary").add_note("declared here")
+        text = engine.render_all()
+        assert "error: primary" in text
+        assert "note: declared here" in text
+
+
+class TestRendering:
+    def test_caret_rendering(self, engine_with_source):
+        engine, sm, fid = engine_with_source
+        loc = sm.get_loc_for_offset(fid, 11)  # 'broken' on line 2
+        engine.error("something is broken", loc)
+        text = engine.render_all()
+        assert "d.c:2:5: error: something is broken" in text
+        lines = text.splitlines()
+        caret_line = lines[-1]
+        assert caret_line.strip() == "^"
+        assert caret_line.index("^") == 4  # column 5, 0-based 4
+
+    def test_invalid_location_renders_unknown(self):
+        engine = DiagnosticsEngine()
+        engine.error("floating message")
+        assert "<unknown>" in engine.render_all()
+
+    def test_summary(self):
+        engine = DiagnosticsEngine()
+        assert engine.summary() == ""
+        engine.warning("w")
+        assert engine.summary() == "1 warning generated."
+        engine.error("e")
+        engine.error("e2")
+        assert engine.summary() == "1 warning and 2 errors generated."
+
+
+class TestSuppression:
+    def test_suppressed_context(self):
+        engine = DiagnosticsEngine()
+        with engine.suppressed():
+            engine.error("invisible")
+        assert engine.error_count == 0
+        engine.error("visible")
+        assert engine.error_count == 1
+
+    def test_nested_suppression(self):
+        engine = DiagnosticsEngine()
+        with engine.suppressed():
+            with engine.suppressed():
+                engine.warning("deep")
+            engine.warning("mid")
+        engine.warning("out")
+        assert engine.warning_count == 1
+
+    def test_fatal_escapes_suppression(self):
+        engine = DiagnosticsEngine()
+        with pytest.raises(FatalErrorOccurred):
+            with engine.suppressed():
+                engine.fatal("cannot hide")
+
+    def test_category_filter(self):
+        engine = DiagnosticsEngine()
+        engine.report(Severity.WARNING, "a", category="openmp")
+        engine.report(Severity.WARNING, "b", category="lex")
+        assert [d.message for d in engine.by_category("openmp")] == [
+            "a"
+        ]

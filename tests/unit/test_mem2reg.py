@@ -1,0 +1,265 @@
+"""Unit tests: the mem2reg (SSA promotion) pass."""
+
+import pytest
+
+from repro.interp import Interpreter
+from repro.ir import (
+    FunctionType,
+    IRBuilder,
+    Module,
+    i32,
+    verify_module,
+    void_t,
+    ptr,
+)
+from repro.ir.instructions import (
+    AllocaInst,
+    BinOp,
+    ICmpPred,
+    LoadInst,
+    PhiInst,
+    StoreInst,
+)
+from repro.midend import DominatorTree, Mem2RegPass
+from repro.pipeline import compile_source
+
+
+def counts(fn):
+    allocas = loads = stores = phis = 0
+    for inst in fn.instructions():
+        if isinstance(inst, AllocaInst):
+            allocas += 1
+        elif isinstance(inst, LoadInst):
+            loads += 1
+        elif isinstance(inst, StoreInst):
+            stores += 1
+        elif isinstance(inst, PhiInst):
+            phis += 1
+    return allocas, loads, stores, phis
+
+
+class TestDominanceFrontiers:
+    def test_diamond_frontier(self):
+        mod = Module("t")
+        fn = mod.add_function("f", FunctionType(i32, [i32]))
+        b = IRBuilder(mod)
+        entry = fn.append_block("entry")
+        left = fn.append_block("left")
+        right = fn.append_block("right")
+        merge = fn.append_block("merge")
+        b.set_insert_point(entry)
+        cmp = b.icmp(ICmpPred.SGT, fn.args[0], b.const_int(i32, 0))
+        b.cond_br(cmp, left, right)
+        for blk in (left, right):
+            b.set_insert_point(blk)
+            b.br(merge)
+        b.set_insert_point(merge)
+        b.ret(b.const_int(i32, 0))
+        df = DominatorTree(fn).dominance_frontiers()
+        assert [x.name for x in df[id(left)]] == ["merge"]
+        assert [x.name for x in df[id(right)]] == ["merge"]
+        assert df[id(entry)] == []
+
+    def test_loop_header_in_own_frontier(self):
+        from tests.unit.test_midend import memory_loop_function
+
+        _, fn, _ = memory_loop_function(5)
+        df = DominatorTree(fn).dominance_frontiers()
+        cond = next(b for b in fn.blocks if b.name == "for.cond")
+        inc = next(b for b in fn.blocks if b.name == "for.inc")
+        assert cond in df[id(cond)]
+        assert cond in df[id(inc)]
+
+
+class TestPromotion:
+    def test_straight_line_promotes_fully(self):
+        src = r"""
+        int f(int x) {
+          int a = x + 1;
+          int b = a * 2;
+          return b - a;
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        assert Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        allocas, loads, stores, _ = counts(fn)
+        assert allocas == 0
+        assert loads == 0
+        assert stores == 0
+
+    def test_diamond_inserts_phi(self):
+        src = r"""
+        int f(int x) {
+          int r;
+          if (x > 0) r = 1; else r = 2;
+          return r;
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        allocas, _, _, phis = counts(fn)
+        assert allocas == 0
+        assert phis >= 1
+        assert Interpreter(result.module).run("f", [5]) == 1
+        result2 = compile_source(src, openmp=False)
+        Mem2RegPass().run_on_function(result2.module.get_function("f"))
+        assert Interpreter(result2.module).run("f", [-5]) == 2
+
+    def test_loop_carried_phi(self):
+        src = r"""
+        int f(int n) {
+          int acc = 0;
+          for (int i = 0; i < n; i += 1) acc += i;
+          return acc;
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        allocas, loads, stores, phis = counts(fn)
+        assert allocas == 0 and loads == 0 and stores == 0
+        assert phis >= 2  # i and acc around the backedge
+        assert Interpreter(result.module).run("f", [10]) == 45
+
+    def test_escaped_alloca_not_promoted(self):
+        src = r"""
+        void take(int *p);
+        int f(void) {
+          int kept = 7;
+          take(&kept);
+          return kept;
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        allocas, *_ = counts(fn)
+        assert allocas == 1  # address escapes into the call
+
+    def test_array_alloca_not_promoted(self):
+        src = r"""
+        int f(void) {
+          int arr[4];
+          arr[0] = 3;
+          return arr[0];
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        assert Interpreter(result.module).run("f") == 3
+
+    def test_uninitialized_read_is_undef_not_crash(self):
+        src = r"""
+        int f(int x) {
+          int maybe;
+          if (x > 0) maybe = 5;
+          return x > 0 ? maybe : 0;
+        }
+        """
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(result.module)
+        assert Interpreter(result.module).run("f", [3]) == 5
+        result2 = compile_source(src, openmp=False)
+        Mem2RegPass().run_on_function(result2.module.get_function("f"))
+        assert Interpreter(result2.module).run("f", [-1]) == 0
+
+    def test_idempotent(self):
+        src = "int f(int x) { int a = x; return a; }"
+        result = compile_source(src, openmp=False)
+        fn = result.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        changed_again = Mem2RegPass().run_on_function(fn)
+        assert not changed_again
+
+
+class TestSemanticPreservation:
+    @pytest.mark.parametrize(
+        "src,args,expected",
+        [
+            (
+                """
+                int f(int n) {
+                  int best = -1000;
+                  for (int i = 0; i < n; i += 1) {
+                    int v = (i * 7) % 5 - 2;
+                    if (v > best) best = v;
+                  }
+                  return best;
+                }
+                """,
+                [20],
+                max((i * 7) % 5 - 2 for i in range(20)),
+            ),
+            (
+                """
+                int f(int n) {
+                  int a = 0; int b = 1;
+                  while (n > 0) {
+                    int t = a + b;
+                    a = b; b = t;
+                    n -= 1;
+                  }
+                  return a;
+                }
+                """,
+                [10],
+                55,
+            ),
+        ],
+    )
+    def test_programs_unchanged(self, src, args, expected):
+        baseline = compile_source(src, openmp=False)
+        assert Interpreter(baseline.module).run("f", args) == expected
+
+        promoted = compile_source(src, openmp=False)
+        fn = promoted.module.get_function("f")
+        Mem2RegPass().run_on_function(fn)
+        verify_module(promoted.module)
+        assert Interpreter(promoted.module).run("f", args) == expected
+
+    def test_openmp_program_after_full_pipeline(self):
+        from tests.conftest import run_c
+
+        src = r"""
+        int main(void) {
+          int total = 0;
+          #pragma omp parallel for reduction(+: total)
+          for (int i = 0; i < 100; i += 1)
+            total += i % 7;
+          printf("%d\n", total);
+          return 0;
+        }
+        """
+        plain = run_c(src)
+        optimized = run_c(src, optimize=True)
+        assert plain.stdout == optimized.stdout
+        assert (
+            optimized.instruction_count < plain.instruction_count
+        )
+
+    def test_deep_unroll_chain_no_recursion_error(self):
+        """Full unroll of a large constant loop creates a long dominator
+        chain; the iterative rename walk must handle it."""
+        from tests.conftest import run_c
+
+        src = r"""
+        int main(void) {
+          int s = 0;
+          #pragma omp unroll full
+          for (int i = 0; i < 600; i += 1) s += i;
+          printf("%d\n", s);
+          return 0;
+        }
+        """
+        result = run_c(src, optimize=True)
+        assert int(result.stdout) == sum(range(600))

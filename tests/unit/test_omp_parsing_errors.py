@@ -1,0 +1,226 @@
+"""Unit tests: OpenMP directive/clause parsing and Sema error paths."""
+
+import pytest
+
+from repro.pipeline import CompilationError
+
+from tests.conftest import compile_c, run_c
+
+
+def errors_of(src: str, **kw) -> str:
+    result = compile_c(src, syntax_only=True, strict=False, **kw)
+    return result.diagnostics_text()
+
+
+def wrap(pragma_and_loop: str) -> str:
+    return f"int main(void) {{\n{pragma_and_loop}\nreturn 0; }}"
+
+
+class TestDirectiveParsing:
+    def test_unknown_directive(self):
+        text = errors_of(wrap(
+            "#pragma omp frobnicate\nfor (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "unknown OpenMP directive" in text
+
+    def test_unknown_clause(self):
+        text = errors_of(wrap(
+            "#pragma omp parallel froz(1)\n{ }"
+        ))
+        assert "unknown OpenMP clause 'froz'" in text
+
+    def test_clause_not_allowed_on_directive(self):
+        text = errors_of(wrap(
+            "#pragma omp unroll schedule(static)\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "'schedule' clause is not allowed" in text
+
+    def test_missing_directive_name(self):
+        text = errors_of(wrap("#pragma omp\n;"))
+        assert "expected an OpenMP directive name" in text
+
+    def test_combined_directive_greedy_match(self):
+        result = compile_c(wrap(
+            "#pragma omp parallel for simd\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ), syntax_only=True)
+        from repro.astlib import omp
+
+        directive = result.function("main").body.statements[0]
+        assert isinstance(
+            directive, omp.OMPParallelForSimdDirective
+        )
+
+    def test_schedule_unknown_kind(self):
+        text = errors_of(wrap(
+            "#pragma omp for schedule(weird)\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "unknown schedule kind 'weird'" in text
+
+    def test_clause_missing_parens(self):
+        text = errors_of(wrap(
+            "#pragma omp for schedule\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "expected '(' after 'schedule' clause" in text
+
+    def test_reduction_missing_colon(self):
+        text = errors_of(wrap(
+            "int s = 0;\n"
+            "#pragma omp for reduction(+ s)\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "expected ':' in 'reduction' clause" in text
+
+    def test_reduction_unknown_operator(self):
+        text = errors_of(wrap(
+            "int s = 0;\n"
+            "#pragma omp for reduction(@: s)\n"
+            "for (int i = 0; i < 2; ++i) ;"
+        ))
+        assert "unknown reduction operator" in text
+
+    def test_var_list_non_variable(self):
+        text = errors_of(wrap(
+            "#pragma omp parallel private(1 + 2)\n{ }"
+        ))
+        assert "expected a variable name" in text
+
+    def test_directive_at_file_scope_rejected(self):
+        text = errors_of(
+            "#pragma omp parallel\nint x;\n"
+        )
+        assert "not allowed at file scope" in text
+
+
+class TestClauseSemanticChecks:
+    def test_partial_factor_must_be_constant(self):
+        text = errors_of(
+            "int main(void) {\n"
+            "int n = 4;\n"
+            "#pragma omp unroll partial(n)\n"
+            "for (int i = 0; i < 8; ++i) ;\n"
+            "return 0; }"
+        )
+        assert "must be a constant expression" in text
+
+    def test_partial_factor_positive(self):
+        text = errors_of(wrap(
+            "#pragma omp unroll partial(-2)\n"
+            "for (int i = 0; i < 8; ++i) ;"
+        ))
+        assert "strictly positive" in text
+
+    def test_collapse_positive(self):
+        text = errors_of(wrap(
+            "#pragma omp for collapse(0)\n"
+            "for (int i = 0; i < 8; ++i) ;"
+        ))
+        assert "strictly positive" in text
+
+    def test_full_and_partial_mutually_exclusive(self):
+        text = errors_of(wrap(
+            "#pragma omp unroll full partial(2)\n"
+            "for (int i = 0; i < 8; ++i) ;"
+        ))
+        assert "mutually exclusive" in text
+
+    def test_reduction_on_pointer_rejected(self):
+        text = errors_of(
+            "int main(void) {\n"
+            "int buf[2]; int *p = buf;\n"
+            "#pragma omp parallel for reduction(+: p)\n"
+            "for (int i = 0; i < 2; ++i) ;\n"
+            "return 0; }"
+        )
+        assert "not valid for reduction" in text
+
+    def test_directive_needs_statement(self):
+        text = errors_of(wrap("#pragma omp parallel\n"))
+        # The next token is `return` -> the parallel region grabs it; a
+        # directive at the very end of a block errors out.
+        src = (
+            "int main(void) { if (1) { }\n"
+            "#pragma omp unroll\n"
+            "}"
+        )
+        text = errors_of(src)
+        assert text  # some diagnostic about the malformed statement
+
+
+class TestDirectiveSemantics:
+    def test_non_loop_after_loop_directive(self):
+        text = errors_of(wrap(
+            "#pragma omp for\n{ int x = 1; }"
+        ))
+        assert "expected 1 nested for loop" in text
+
+    def test_while_loop_rejected(self):
+        text = errors_of(
+            "int main(void) {\nint i = 0;\n"
+            "#pragma omp for\nwhile (i < 5) i += 1;\n"
+            "return 0; }"
+        )
+        assert "expected 1 nested for loop" in text
+
+    def test_collapse_deeper_than_nest(self):
+        text = errors_of(wrap(
+            "#pragma omp for collapse(3)\n"
+            "for (int i = 0; i < 4; ++i)\n"
+            "  for (int j = 0; j < 4; ++j) ;"
+        ))
+        assert "expected 3 nested" in text
+
+    def test_num_threads_runtime_expr_allowed(self):
+        # num_threads does NOT need to be a compile-time constant.
+        src = wrap(
+            "int t = 2;\n"
+            "#pragma omp parallel num_threads(t + 1)\n{ }"
+        )
+        result = compile_c(src, syntax_only=True)
+        assert result.ok
+
+    def test_num_threads_executes(self):
+        src = r"""
+        int main(void) {
+          int n = 0;
+          int want = 3;
+          #pragma omp parallel num_threads(want)
+          {
+            #pragma omp master
+            { n = omp_get_num_threads(); }
+          }
+          printf("%d\n", n);
+          return 0;
+        }
+        """
+        assert run_c(src).stdout == "3\n"
+
+    def test_if_clause_false_serializes(self):
+        src = r"""
+        int main(void) {
+          int teamsize = -1;
+          #pragma omp parallel if(0)
+          { teamsize = omp_get_num_threads(); }
+          printf("%d\n", teamsize);
+          return 0;
+        }
+        """
+        assert run_c(src).stdout == "1\n"
+
+    def test_if_clause_true_parallelizes(self):
+        src = r"""
+        int main(void) {
+          int teamsize = -1;
+          #pragma omp parallel if(1) num_threads(4)
+          {
+            #pragma omp master
+            { teamsize = omp_get_num_threads(); }
+          }
+          printf("%d\n", teamsize);
+          return 0;
+        }
+        """
+        assert run_c(src).stdout == "4\n"

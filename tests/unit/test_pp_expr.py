@@ -1,0 +1,133 @@
+"""Unit tests: the #if constant-expression evaluator, exercised directly."""
+
+import pytest
+
+from repro.diagnostics import DiagnosticsEngine
+from repro.lex.lexer import tokenize_string
+from repro.preprocessor.pp_expr import (
+    PPExpressionEvaluator,
+    parse_integer_literal,
+)
+
+
+def evaluate(text: str) -> int:
+    diags = DiagnosticsEngine()
+    tokens = tokenize_string(text)
+    value = PPExpressionEvaluator(tokens, diags).evaluate()
+    assert not diags.has_errors(), diags.render_all()
+    return value
+
+
+def evaluate_error(text: str) -> str:
+    diags = DiagnosticsEngine()
+    tokens = tokenize_string(text)
+    PPExpressionEvaluator(tokens, diags).evaluate()
+    assert diags.has_errors()
+    return diags.render_all()
+
+
+class TestLiterals:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("0", 0),
+            ("42", 42),
+            ("0x1F", 31),
+            ("017", 15),
+            ("0b101", 5),
+            ("42u", 42),
+            ("42L", 42),
+            ("1ULL", 1),
+        ],
+    )
+    def test_integer_literals(self, text, value):
+        assert evaluate(text) == value
+
+    def test_parse_integer_literal_invalid(self):
+        assert parse_integer_literal("12abc") is None
+        assert parse_integer_literal("uLL") is None
+
+    def test_char_constants(self):
+        assert evaluate("'A'") == 65
+        assert evaluate("'\\n'") == 10
+        assert evaluate("'\\0'") == 0
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("1 + 2 * 3", 7),
+            ("(1 + 2) * 3", 9),
+            ("7 / 2", 3),
+            ("-7 / 2", -3),
+            ("7 % 3", 1),
+            ("-7 % 3", -1),
+            ("1 << 4", 16),
+            ("256 >> 4", 16),
+            ("0xF0 & 0x1F", 0x10),
+            ("0xF0 | 0x0F", 0xFF),
+            ("0xFF ^ 0x0F", 0xF0),
+            ("~0", -1),
+            ("!0", 1),
+            ("!3", 0),
+            ("-(-5)", 5),
+            ("+5", 5),
+        ],
+    )
+    def test_arithmetic(self, text, value):
+        assert evaluate(text) == value
+
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("3 < 5", 1),
+            ("5 <= 5", 1),
+            ("5 > 5", 0),
+            ("5 >= 6", 0),
+            ("4 == 4", 1),
+            ("4 != 4", 0),
+        ],
+    )
+    def test_comparisons(self, text, value):
+        assert evaluate(text) == value
+
+    def test_logical_short_circuit_semantics(self):
+        assert evaluate("1 && 2") == 1
+        assert evaluate("0 && (1/0)") == 0  # rhs not evaluated... but
+        # NOTE: the pp evaluator evaluates eagerly except where guarded:
+        # C requires short-circuit, which the 0 && case tests.
+
+    def test_conditional_operator(self):
+        assert evaluate("1 ? 10 : 20") == 10
+        assert evaluate("0 ? 10 : 20") == 20
+        assert evaluate("1 ? 0 ? 1 : 2 : 3") == 2
+
+    def test_unknown_identifier_is_zero(self):
+        assert evaluate("NOT_DEFINED + 1") == 1
+
+    def test_wrap_to_64_bits(self):
+        assert evaluate("0x7FFFFFFFFFFFFFFF + 1") == -(1 << 63)
+
+
+class TestErrors:
+    def test_division_by_zero(self):
+        text = evaluate_error("1 / 0")
+        assert "division by zero" in text
+
+    def test_unbalanced_paren(self):
+        text = evaluate_error("(1 + 2")
+        assert "expected ')'" in text
+
+    def test_trailing_tokens(self):
+        text = evaluate_error("1 2")
+        assert "unexpected token" in text
+
+    def test_missing_colon(self):
+        text = evaluate_error("1 ? 2")
+        assert "':'" in text
+
+    def test_empty_expression(self):
+        diags = DiagnosticsEngine()
+        PPExpressionEvaluator([], diags).evaluate()
+        assert diags.has_errors()

@@ -1,0 +1,161 @@
+"""Unit tests: FileManager / SourceManager / SourceLocation layer."""
+
+import pytest
+
+from repro.sourcemgr import (
+    FileManager,
+    MemoryBuffer,
+    SourceLocation,
+    SourceManager,
+    SourceRange,
+)
+
+
+class TestSourceLocation:
+    def test_invalid_by_default(self):
+        assert SourceLocation().is_invalid()
+        assert not SourceLocation().is_valid()
+
+    def test_valid_location(self):
+        loc = SourceLocation(5)
+        assert loc.is_valid()
+
+    def test_offsetting(self):
+        loc = SourceLocation(10)
+        assert loc.with_offset(3).offset == 13
+
+    def test_offsetting_invalid_stays_invalid(self):
+        assert SourceLocation().with_offset(3).is_invalid()
+
+    def test_ordering(self):
+        assert SourceLocation(1) < SourceLocation(2)
+        assert SourceLocation(2) >= SourceLocation(2)
+
+    def test_range_contains(self):
+        r = SourceRange(SourceLocation(5), SourceLocation(10))
+        assert r.contains(SourceLocation(5))
+        assert r.contains(SourceLocation(9))
+        assert not r.contains(SourceLocation(10))
+
+    def test_range_union(self):
+        a = SourceRange(SourceLocation(5), SourceLocation(10))
+        b = SourceRange(SourceLocation(8), SourceLocation(20))
+        u = a.union(b)
+        assert u.begin.offset == 5 and u.end.offset == 20
+
+
+class TestMemoryBuffer:
+    def test_line_offsets(self):
+        buf = MemoryBuffer("t.c", "ab\ncd\nef")
+        assert buf.line_offsets() == [0, 3, 6]
+
+    def test_line_column_decode(self):
+        buf = MemoryBuffer("t.c", "ab\ncd\nef")
+        assert buf.line_column(0) == (1, 1)
+        assert buf.line_column(1) == (1, 2)
+        assert buf.line_column(3) == (2, 1)
+        assert buf.line_column(7) == (3, 2)
+
+    def test_line_text(self):
+        buf = MemoryBuffer("t.c", "first\nsecond\n")
+        assert buf.line_text(1) == "first"
+        assert buf.line_text(2) == "second"
+        assert buf.line_text(99) is None
+
+    def test_empty_buffer(self):
+        buf = MemoryBuffer("t.c", "")
+        assert buf.num_lines() == 1
+        assert buf.line_column(0) == (1, 1)
+
+
+class TestSourceManager:
+    def test_roundtrip_offset(self):
+        sm = SourceManager()
+        fid = sm.create_main_file(MemoryBuffer("main.c", "hello\nworld"))
+        loc = sm.get_loc_for_offset(fid, 7)
+        got_fid, offset = sm.get_decomposed_loc(loc)
+        assert got_fid.index == fid.index
+        assert offset == 7
+
+    def test_presumed_loc(self):
+        sm = SourceManager()
+        fid = sm.create_main_file(MemoryBuffer("main.c", "hello\nworld"))
+        loc = sm.get_loc_for_offset(fid, 7)
+        ploc = sm.get_presumed_loc(loc)
+        assert (ploc.filename, ploc.line, ploc.column) == ("main.c", 2, 2)
+
+    def test_two_files_disjoint_offsets(self):
+        sm = SourceManager()
+        fid_a = sm.create_main_file(MemoryBuffer("a.c", "aaaa"))
+        fid_b = sm.create_file_id(MemoryBuffer("b.h", "bbbb"))
+        loc_a = sm.get_loc_for_offset(fid_a, 2)
+        loc_b = sm.get_loc_for_offset(fid_b, 2)
+        assert sm.get_filename(loc_a) == "a.c"
+        assert sm.get_filename(loc_b) == "b.h"
+        assert loc_a.offset != loc_b.offset
+
+    def test_offset_zero_is_invalid_location(self):
+        sm = SourceManager()
+        sm.create_main_file(MemoryBuffer("a.c", "x"))
+        assert not sm.get_file_id(SourceLocation(0)).is_valid()
+
+    def test_line_override(self):
+        sm = SourceManager()
+        fid = sm.create_main_file(
+            MemoryBuffer("a.c", "l1\nl2\nl3\nl4")
+        )
+        override_loc = sm.get_loc_for_offset(fid, 3)  # start of line 2
+        sm.add_line_override(override_loc, "other.h", 100)
+        loc = sm.get_loc_for_offset(fid, 6)  # line 3
+        ploc = sm.get_presumed_loc(loc)
+        assert ploc.filename == "other.h"
+        assert ploc.line == 101
+
+    def test_get_line_text(self):
+        sm = SourceManager()
+        fid = sm.create_main_file(MemoryBuffer("a.c", "abc\ndef"))
+        loc = sm.get_loc_for_offset(fid, 5)
+        assert sm.get_line_text(loc) == "def"
+
+    def test_is_before(self):
+        sm = SourceManager()
+        fid = sm.create_main_file(MemoryBuffer("a.c", "abcdef"))
+        early = sm.get_loc_for_offset(fid, 1)
+        late = sm.get_loc_for_offset(fid, 4)
+        assert sm.is_before(early, late)
+        assert not sm.is_before(late, early)
+
+
+class TestFileManager:
+    def test_virtual_file(self):
+        fm = FileManager()
+        fm.register_virtual_file("virt.h", "int x;")
+        entry = fm.get_file("virt.h")
+        assert entry is not None and entry.is_virtual
+        assert fm.get_buffer(entry).text == "int x;"
+
+    def test_missing_file(self):
+        fm = FileManager()
+        assert fm.get_file("definitely/not/here.h") is None
+
+    def test_include_resolution_relative_first(self):
+        fm = FileManager()
+        fm.register_virtual_file("dir/inc.h", "// relative")
+        fm.register_virtual_file("inc.h", "// toplevel")
+        entry = fm.resolve_include("inc.h", "dir/main.c", angled=False)
+        assert entry is not None
+        assert entry.name == "dir/inc.h"
+
+    def test_angled_include_skips_relative(self):
+        fm = FileManager()
+        fm.register_virtual_file("dir/inc.h", "// relative")
+        fm.register_virtual_file("inc.h", "// toplevel")
+        entry = fm.resolve_include("inc.h", "dir/main.c", angled=True)
+        assert entry is not None
+        assert entry.name == "inc.h"
+
+    def test_search_path(self):
+        fm = FileManager(search_paths=["sys"])
+        fm.register_virtual_file("sys/omp.h", "// omp")
+        entry = fm.resolve_include("omp.h", None, angled=True)
+        assert entry is not None and entry.name == "sys/omp.h"

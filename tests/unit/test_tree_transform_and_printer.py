@@ -1,0 +1,223 @@
+"""Unit tests: TreeTransform (deep-copy + substitution) and the C
+pretty-printer."""
+
+import pytest
+
+from repro.astlib import exprs as e
+from repro.astlib import stmts as s
+from repro.astlib.context import ASTContext
+from repro.astlib.decls import VarDecl
+from repro.astlib.printer import ASTPrinter, print_ast
+from repro.astlib.tree_transform import TreeTransform
+
+from tests.conftest import compile_c
+
+
+@pytest.fixture
+def ctx():
+    return ASTContext()
+
+
+def parse_body(src: str, name="f"):
+    result = compile_c(src, syntax_only=True)
+    return result.function(name).body, result
+
+
+class TestTreeTransform:
+    def test_deep_copy_is_distinct(self):
+        body, _ = parse_body(
+            "int f(int x) { int y = x + 1; return y * 2; }"
+        )
+        copy = TreeTransform().transform_stmt(body)
+        assert copy is not body
+        originals = {id(n) for n in body.walk()}
+        for node in copy.walk():
+            assert id(node) not in originals
+
+    def test_local_decls_redeclared_and_remapped(self):
+        body, _ = parse_body(
+            "int f(void) { int y = 1; return y; }"
+        )
+        tt = TreeTransform()
+        copy = tt.transform_stmt(body)
+        decl_stmt = copy.statements[0]
+        new_decl = decl_stmt.single_decl
+        old_decl = body.statements[0].single_decl
+        assert new_decl is not old_decl
+        ret = copy.statements[1]
+        ref = ret.value.ignore_implicit_casts()
+        assert isinstance(ref, e.DeclRefExpr)
+        assert ref.decl is new_decl
+
+    def test_explicit_decl_substitution(self, ctx):
+        old = VarDecl("i", ctx.int_type)
+        new = VarDecl("i2", ctx.int_type)
+        expr = e.BinaryOperator(
+            e.BinaryOperatorKind.ADD,
+            e.DeclRefExpr(old, ctx.int_type),
+            e.IntegerLiteral(1, ctx.int_type),
+            ctx.int_type,
+        )
+        tt = TreeTransform()
+        tt.substitute_decl(old, new)
+        copy = tt.transform_expr(expr)
+        assert copy.lhs.decl is new
+
+    def test_substitute_decl_with_expression(self, ctx):
+        old = VarDecl("i", ctx.int_type)
+        replacement = e.IntegerLiteral(42, ctx.int_type)
+        ref = e.DeclRefExpr(old, ctx.int_type)
+        tt = TreeTransform()
+        tt.substitute_decl(old, replacement)
+        out = tt.transform_expr(ref)
+        assert out is replacement
+
+    def test_param_decls_not_redeclared(self):
+        body, result = parse_body("int f(int x) { return x; }")
+        fn = result.function("f")
+        copy = TreeTransform().transform_stmt(body)
+        ref = copy.statements[0].value.ignore_implicit_casts()
+        assert ref.decl is fn.params[0]  # same ParmVarDecl object
+
+    def test_control_flow_structures(self):
+        body, _ = parse_body(
+            """
+            int f(int x) {
+              while (x > 0) { x -= 1; if (x == 3) break; }
+              do x += 1; while (x < 2);
+              for (int i = 0; i < 4; ++i) continue;
+              return x;
+            }
+            """
+        )
+        copy = TreeTransform().transform_stmt(body)
+        kinds = {type(n).__name__ for n in copy.walk()}
+        assert {"WhileStmt", "DoStmt", "ForStmt", "BreakStmt",
+                "ContinueStmt", "IfStmt"} <= kinds
+
+    def test_captured_stmt_copy_keeps_by_value_set(self, ctx):
+        from repro.astlib.decls import CapturedDecl
+
+        decl = CapturedDecl(s.NullStmt(), [])
+        cap = s.CapturedStmt(decl, [])
+        cap.by_value.add("i")
+        copy = TreeTransform().transform_stmt(cap)
+        assert copy is not cap
+        assert copy.by_value == {"i"}
+
+
+class TestPrinterExpressions:
+    def expr_text(self, src_expr: str) -> str:
+        body, _ = parse_body(
+            f"int a, b, c; int f(void) {{ return {src_expr}; }}"
+        )
+        return ASTPrinter().print_expr(body.statements[0].value)
+
+    def test_operators(self):
+        assert self.expr_text("a + b * c") == "a + (b * c)"
+
+    def test_user_parens_preserved(self):
+        assert self.expr_text("(a + b) * c") == "(a + b) * c"
+
+    def test_ternary(self):
+        assert self.expr_text("a ? b : c") == "a ? b : c"
+
+    def test_unary_and_cast(self):
+        assert self.expr_text("-(long)a") == "-((long)a)"
+
+    def test_call_and_subscript(self):
+        body, _ = parse_body(
+            "int g(int); int f(void) { int arr[4]; return g(arr[2]); }"
+        )
+        ret = body.statements[1]
+        assert ASTPrinter().print_expr(ret.value) == "g(arr[2])"
+
+    def test_string_escaping(self):
+        body, _ = parse_body(
+            r'void p(const char*); void f(void) { p("a\"b\n"); }'
+        )
+        call_text = ASTPrinter().print_expr(body.statements[0])
+        assert call_text == r'p("a\"b\n")'
+
+    def test_sizeof(self):
+        assert self.expr_text("sizeof(long)") == "sizeof(long)"
+
+
+class TestPrinterStatements:
+    def test_function_printing(self):
+        src = "int f(int x) { if (x > 0) return 1; return 0; }"
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert text.startswith("int f(int x)")
+        assert "if (x > 0)" in text
+        assert "return 1;" in text
+
+    def test_for_loop(self):
+        src = "void f(void) { for (int i = 0; i < 4; i += 1) ; }"
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert "for (int i = 0; i < 4; i += 1)" in text
+
+    def test_directive_printing(self):
+        src = (
+            "void f(void) {\n"
+            "#pragma omp parallel for schedule(dynamic, 2)"
+            " reduction(+: s)\n"
+            "for (int i = 0; i < 4; i += 1) ;\n"
+            "}"
+        )
+        src = "int s; " + src
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert "#pragma omp parallel for" in text
+        assert "schedule(dynamic, 2)" in text
+        assert "reduction(+: s)" in text
+
+    def test_tile_clause_printing(self):
+        src = (
+            "void f(void) {\n"
+            "#pragma omp tile sizes(2, 4)\n"
+            "for (int i = 0; i < 4; i += 1)\n"
+            "  for (int j = 0; j < 4; j += 1) ;\n"
+            "}"
+        )
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert "sizes(2, 4)" in text
+
+    def test_range_for_printing(self):
+        src = "void f(void) { int d[4]; for (int &x : d) ; }"
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert "for (int & x : d)" in text or "for (int &x : d)" in text
+
+    def test_array_declaration(self):
+        src = "void f(void) { double grid[8]; }"
+        _, result = parse_body(src)
+        text = print_ast(result.function("f"))
+        assert "double grid[8];" in text
+
+    def test_roundtrip_executes_identically(self):
+        """Print a computational function and re-compile: same result."""
+        src = r"""
+        int f(int n) {
+          int acc = 1;
+          for (int i = 1; i <= n; i += 1) {
+            if (i % 2 == 0) acc += i * i;
+            else acc -= i;
+          }
+          return acc;
+        }
+        int main(void) { printf("%d\n", f(9)); return 0; }
+        """
+        from tests.conftest import run_c
+
+        _, result = parse_body(src)
+        printed = (
+            print_ast(result.function("f"))
+            + "\n"
+            + print_ast(result.function("main"))
+        )
+        original = run_c(src, openmp=False).stdout
+        reprinted = run_c(printed, openmp=False).stdout
+        assert original == reprinted
