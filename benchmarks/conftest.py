@@ -16,6 +16,21 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 from repro.pipeline import compile_source, run_source  # noqa: E402
 
 
+def profiled_instruction_count(result) -> int:
+    """Dynamic instruction count from the execution-profile API.
+
+    Cross-checks the profile against the legacy ``instruction_count``
+    counter (they are views over the same per-thread data, so any
+    divergence is an instrumentation bug) before returning it.
+    """
+    profile_total = result.profile.total_instructions
+    assert profile_total == result.instruction_count, (
+        f"profile total {profile_total} != legacy counter "
+        f"{result.instruction_count}"
+    )
+    return profile_total
+
+
 def make_loop_nest_source(depth: int, extent: int, pragma: str = "") -> str:
     """A perfectly nested `depth`-deep loop nest summing its indices."""
     lines = ["int main(void) {", "  long acc = 0;"]

@@ -13,6 +13,7 @@ transformations target.  The shape to reproduce:
 
 import pytest
 
+from benchmarks.conftest import profiled_instruction_count
 from repro.pipeline import run_source
 
 SUM_LOOP = r"""
@@ -44,7 +45,7 @@ class TestE6UnrollInstructionCounts:
         result = benchmark(lambda: self.run_with(pragma))
         benchmark.extra_info["factor"] = factor
         benchmark.extra_info["instructions"] = (
-            result.instruction_count
+            profiled_instruction_count(result)
         )
         assert int(result.stdout) == sum(range(self.N))
 
@@ -97,7 +98,7 @@ class TestE7EquivalenceCost:
             lambda: run_source(self.DIRECTIVE, optimize=True)
         )
         benchmark.extra_info["instructions"] = (
-            result.instruction_count
+            profiled_instruction_count(result)
         )
 
     def test_bench_manual_version(self, benchmark):
@@ -105,7 +106,7 @@ class TestE7EquivalenceCost:
             lambda: run_source(self.MANUAL, optimize=True)
         )
         benchmark.extra_info["instructions"] = (
-            result.instruction_count
+            profiled_instruction_count(result)
         )
 
     def test_directive_close_to_manual_cost(self):
@@ -144,7 +145,7 @@ class TestWorksharingScaling:
         )
         benchmark.extra_info["threads"] = threads
         benchmark.extra_info["instructions"] = (
-            result.instruction_count
+            profiled_instruction_count(result)
         )
         assert int(result.stdout) == sum(range(1200))
 

@@ -1,0 +1,25 @@
+// Demo input for the observability flags (README "Observability"):
+//
+//   PYTHONPATH=src python -m repro.driver.cli \
+//       -ftime-trace -print-stats -Rpass=.* -fprofile-report \
+//       -O --run examples/observability_demo.c
+//
+// The unroll directive below is applied by the shadow-AST path and the
+// mid-end LoopUnroll pass; both emit passed remarks naming the factor.
+
+int main() {
+  int sum = 0;
+#pragma omp unroll partial(4)
+  for (int i = 0; i < 32; i++) {
+    sum += i;
+  }
+
+  int parallel_sum = 0;
+#pragma omp parallel for reduction(+ : parallel_sum)
+  for (int i = 0; i < 64; i++) {
+    parallel_sum += i;
+  }
+
+  printf("sum=%d parallel_sum=%d\n", sum, parallel_sum);
+  return 0;
+}

@@ -26,6 +26,13 @@ from repro.astlib.decls import (
     ParmVarDecl,
     VarDecl,
 )
+from repro.instrument import get_statistic
+
+_REBUILDS = get_statistic(
+    "sema",
+    "tree-transform-rebuilds",
+    "Statements rebuilt by TreeTransform",
+)
 
 
 class TreeTransform:
@@ -52,6 +59,7 @@ class TreeTransform:
     def transform_stmt(self, stmt: Optional[s.Stmt]) -> Optional[s.Stmt]:
         if stmt is None:
             return None
+        _REBUILDS.inc()
         method = getattr(
             self, f"transform_{type(stmt).__name__}", None
         )

@@ -17,9 +17,19 @@ from repro.ir import (
     GlobalVariable,
     Module,
 )
+from repro.instrument import get_statistic, time_trace_scope
 from repro.ir import types as ir_ty
 from repro.ompirbuilder import OpenMPIRBuilder
 from repro.sema.expr_eval import IntExprEvaluator
+
+_FUNCTIONS_EMITTED = get_statistic(
+    "codegen", "functions-emitted", "Function bodies lowered to IR"
+)
+_INSTRUCTIONS_EMITTED = get_statistic(
+    "codegen",
+    "instructions-emitted",
+    "IR instructions present after function emission",
+)
 
 
 @dataclass
@@ -46,7 +56,9 @@ class CodeGenModule:
         self.options = options or CodeGenOptions()
         self.module = Module(self.options.module_name)
         self.types = TypeLowering(ast_ctx)
-        self.ompbuilder = OpenMPIRBuilder(self.module)
+        self.ompbuilder = OpenMPIRBuilder(
+            self.module, remarks=diags.remarks
+        )
         self.evaluator = IntExprEvaluator(ast_ctx)
         self._functions: dict[int, Function] = {}
         self._globals: dict[int, GlobalVariable] = {}
@@ -57,17 +69,29 @@ class CodeGenModule:
     def emit_translation_unit(
         self, tu: TranslationUnitDecl
     ) -> Module:
-        for decl in tu.declarations:
-            if isinstance(decl, VarDecl):
-                self.get_global(decl)
-        for decl in tu.declarations:
-            if isinstance(decl, FunctionDecl):
-                self.get_function(decl)
-        for decl in tu.declarations:
-            if isinstance(decl, FunctionDecl) and decl.is_definition:
-                from repro.codegen.function import CodeGenFunction
+        with time_trace_scope("CodeGen", self.options.module_name):
+            for decl in tu.declarations:
+                if isinstance(decl, VarDecl):
+                    self.get_global(decl)
+            for decl in tu.declarations:
+                if isinstance(decl, FunctionDecl):
+                    self.get_function(decl)
+            for decl in tu.declarations:
+                if isinstance(decl, FunctionDecl) and decl.is_definition:
+                    from repro.codegen.function import CodeGenFunction
 
-                CodeGenFunction(self).emit_function(decl)
+                    with time_trace_scope(
+                        "CodeGen.Function", decl.name
+                    ):
+                        CodeGenFunction(self).emit_function(decl)
+                    _FUNCTIONS_EMITTED.inc()
+        _INSTRUCTIONS_EMITTED.inc(
+            sum(
+                len(block.instructions)
+                for fn in self.module.functions.values()
+                for block in fn.blocks
+            )
+        )
         return self.module
 
     # ------------------------------------------------------------------

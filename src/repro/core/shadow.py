@@ -33,9 +33,17 @@ from repro.astlib.context import ASTContext
 from repro.astlib.decls import VarDecl
 from repro.astlib.tree_transform import TreeTransform
 from repro.astlib.types import QualType, desugar
+from repro.instrument import get_statistic
 from repro.sema.canonical_loop import (
     CanonicalLoopAnalysis,
     LoopDirection,
+)
+
+_SHADOW_NODES = get_statistic(
+    "shadow", "nodes-built", "Shadow AST nodes constructed"
+)
+_SHADOW_TRANSFORMS = get_statistic(
+    "shadow", "transforms-built", "Shadow-AST loop transformations built"
 )
 
 
@@ -65,9 +73,11 @@ class ShadowTransformBuilder:
     def _copy(self, expr: e.Expr) -> e.Expr:
         copy = TreeTransform().transform_expr(expr)
         assert copy is not None
+        _SHADOW_NODES.inc()
         return copy
 
     def _int(self, value: int, ty: QualType) -> e.Expr:
+        _SHADOW_NODES.inc()
         if value < 0:
             return e.UnaryOperator(
                 e.UnaryOperatorKind.MINUS,
@@ -78,6 +88,7 @@ class ShadowTransformBuilder:
 
     def _ref(self, decl: VarDecl) -> e.DeclRefExpr:
         canonical = desugar(decl.type)
+        _SHADOW_NODES.inc()
         return e.DeclRefExpr(
             decl, QualType(canonical.type), e.ValueCategory.LVALUE
         )
@@ -111,6 +122,7 @@ class ShadowTransformBuilder:
         result_ty = ty or lhs.type
         if op.is_comparison():
             result_ty = self.ctx.int_type
+        _SHADOW_NODES.inc()
         return e.BinaryOperator(op, lhs, rhs, result_ty)
 
     # ------------------------------------------------------------------
@@ -738,6 +750,7 @@ def build_unroll_transform(
     result must be consumable the caller passes the implementation-chosen
     factor (the current implementation uses two — paper §2.2).
     """
+    _SHADOW_TRANSFORMS.inc()
     builder = ShadowTransformBuilder(ctx)
     if full:
         return builder.build_unroll_full(analysis)
@@ -752,6 +765,7 @@ def build_tile_transform(
     sizes: list[int],
 ) -> TransformResult:
     """Build the shadow transformed AST for ``omp tile sizes(...)``."""
+    _SHADOW_TRANSFORMS.inc()
     return ShadowTransformBuilder(ctx).build_tile(analyses, sizes)
 
 
@@ -759,6 +773,7 @@ def build_reverse_transform(
     ctx: ASTContext, analysis: CanonicalLoopAnalysis
 ) -> TransformResult:
     """Build the shadow transformed AST for ``omp reverse`` (6.0 ext)."""
+    _SHADOW_TRANSFORMS.inc()
     return ShadowTransformBuilder(ctx).build_reverse(analysis)
 
 
@@ -766,6 +781,7 @@ def build_fuse_transform(
     ctx: ASTContext, analyses: list[CanonicalLoopAnalysis]
 ) -> TransformResult:
     """Build the shadow transformed AST for ``omp fuse`` (6.0 ext)."""
+    _SHADOW_TRANSFORMS.inc()
     return ShadowTransformBuilder(ctx).build_fuse(analyses)
 
 
@@ -775,6 +791,7 @@ def build_interchange_transform(
     permutation: list[int],
 ) -> TransformResult:
     """Build the shadow transformed AST for ``omp interchange`` (6.0)."""
+    _SHADOW_TRANSFORMS.inc()
     return ShadowTransformBuilder(ctx).build_interchange(
         analyses, permutation
     )

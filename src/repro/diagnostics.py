@@ -138,11 +138,16 @@ class DiagnosticsEngine:
         error_limit: int = 0,
         warnings_as_errors: bool = False,
     ) -> None:
+        from repro.instrument.remarks import RemarkEmitter
+
         self.source_manager = source_manager
         self.error_limit = error_limit
         self.warnings_as_errors = warnings_as_errors
         self.diagnostics: list[Diagnostic] = []
         self._suppress_depth = 0
+        #: structured optimization remarks (``-Rpass`` family); shared by
+        #: every layer holding this engine, like the diagnostics list
+        self.remarks = RemarkEmitter()
 
     # ------------------------------------------------------------------
     # Emission API

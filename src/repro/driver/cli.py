@@ -13,13 +13,28 @@ Supported flags (mirroring the clang workflow the paper's listings use)::
     miniclang --run [--entry main] ... # compile and execute
     miniclang -DNAME[=V] -Ipath ...
     miniclang --num-threads N --run ...
+
+Observability flags (paper-adjacent tooling; see README "Observability")::
+
+    miniclang -ftime-trace[=FILE] ...  # Chrome trace of compile+run
+    miniclang -print-stats ...         # LLVM -stats style counter dump
+    miniclang -Rpass=REGEX ...         # optimization remarks (passed)
+    miniclang -Rpass-missed=REGEX ...
+    miniclang -Rpass-analysis=REGEX ...
+    miniclang -fprofile-report --run . # per-thread/per-loop exec profile
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
+from repro.instrument import (
+    STATS,
+    disable_time_trace,
+    enable_time_trace,
+)
 from repro.pipeline import CompilationError, compile_source, run_source
 
 
@@ -116,10 +131,90 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="restrict -ast-dump to one function",
     )
     parser.add_argument("-o", dest="output", default=None)
+    parser.add_argument(
+        "-print-stats",
+        action="store_true",
+        dest="print_stats",
+        help="dump internal statistics counters (LLVM -stats style)",
+    )
+    parser.add_argument(
+        "-Rpass",
+        dest="rpass",
+        default=None,
+        metavar="REGEX",
+        help="report transformations applied by passes matching REGEX",
+    )
+    parser.add_argument(
+        "-Rpass-missed",
+        dest="rpass_missed",
+        default=None,
+        metavar="REGEX",
+        help="report transformations rejected by passes matching REGEX",
+    )
+    parser.add_argument(
+        "-Rpass-analysis",
+        dest="rpass_analysis",
+        default=None,
+        metavar="REGEX",
+        help="report pass analysis remarks matching REGEX",
+    )
+    parser.add_argument(
+        "-fprofile-report",
+        action="store_true",
+        dest="profile_report",
+        help="with --run: print the dynamic execution profile",
+    )
     return parser
 
 
+def _extract_time_trace(
+    argv: list[str],
+) -> tuple[list[str], str | None]:
+    """Pull ``-ftime-trace[=FILE]`` out of *argv*.
+
+    Handled outside argparse: with ``nargs="?"`` the bare flag would
+    swallow the following positional (the input file).  Returns the
+    remaining argv and the requested trace path ("" = derive from the
+    input name).
+    """
+    remaining: list[str] = []
+    trace: str | None = None
+    for arg in argv:
+        if arg == "-ftime-trace":
+            trace = ""
+        elif arg.startswith("-ftime-trace="):
+            trace = arg.split("=", 1)[1]
+        else:
+            remaining.append(arg)
+    return remaining, trace
+
+
+def _default_trace_path(input_name: str) -> str:
+    if input_name == "-":
+        return "stdin.time-trace.json"
+    base, _ = os.path.splitext(os.path.basename(input_name))
+    return f"{base}.time-trace.json"
+
+
+def _emit_remarks(args, compile_result) -> None:
+    """Print ``-Rpass*``-selected optimization remarks to stderr."""
+    if not (args.rpass or args.rpass_missed or args.rpass_analysis):
+        return
+    selected = compile_result.remarks.filtered(
+        passed=args.rpass,
+        missed=args.rpass_missed,
+        analysis=args.rpass_analysis,
+    )
+    for remark in selected:
+        print(
+            remark.render(compile_result.source_manager),
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    argv, time_trace = _extract_time_trace(argv)
     args = build_arg_parser().parse_args(argv)
     if args.input == "-":
         source = sys.stdin.read()
@@ -141,6 +236,28 @@ def main(argv: list[str] | None = None) -> int:
             name, value = item, "1"
         defines[name] = value
 
+    stats_before = STATS.snapshot()
+    if time_trace is not None:
+        enable_time_trace()
+    try:
+        code = _drive(args, source, filename, defines)
+    finally:
+        profiler = disable_time_trace()
+        if time_trace is not None and profiler is not None:
+            trace_path = time_trace or _default_trace_path(args.input)
+            with open(trace_path, "w", encoding="utf-8") as fh:
+                fh.write(profiler.to_chrome_json())
+        if args.print_stats:
+            print(
+                STATS.render_text(STATS.delta_since(stats_before)),
+                file=sys.stderr,
+            )
+    return code
+
+
+def _drive(args, source: str, filename: str, defines: dict) -> int:
+    """The actual compile/run logic (split out so main() can wrap it in
+    instrumentation setup/teardown)."""
     if args.run:
         try:
             result = run_source(
@@ -152,10 +269,19 @@ def main(argv: list[str] | None = None) -> int:
                 enable_irbuilder=args.enable_irbuilder,
                 defines=defines,
                 optimize=args.optimize,
+                profile_detail=args.profile_report,
             )
         except CompilationError as err:
             print(err.diagnostics_text, file=sys.stderr)
             return 1
+        _emit_remarks(args, result.compile_result)
+        if args.profile_report:
+            print(
+                result.profile.render_text(
+                    result.compile_result.module
+                ),
+                file=sys.stderr,
+            )
         sys.stdout.write(result.stdout)
         code = result.exit_code
         return int(code) & 0xFF if isinstance(code, int) else 0
@@ -190,8 +316,11 @@ def main(argv: list[str] | None = None) -> int:
         if args.optimize and result.module is not None:
             from repro.midend import default_pass_pipeline
 
-            default_pass_pipeline().run(result.module)
+            default_pass_pipeline(
+                remarks=result.diagnostics.remarks
+            ).run(result.module)
         output_text = result.ir_text()
+    _emit_remarks(args, result)
 
     if output_text:
         if args.output:

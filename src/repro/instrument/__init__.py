@@ -1,0 +1,49 @@
+"""Compiler observability: the four pillars mirroring clang/LLVM.
+
+=================  =====================================  ==============
+Pillar             Clang/LLVM counterpart                 Module
+=================  =====================================  ==============
+time-trace         ``-ftime-trace`` (TimeProfiler)        ``timetrace``
+statistics         ``-stats`` (``STATISTIC`` macro)       ``stats``
+remarks            ``-Rpass{,-missed,-analysis}=``        ``remarks``
+execution profile  profiling runtimes / ``perf`` views    ``profile``
+=================  =====================================  ==============
+
+All four are zero-dependency and cheap when their driver flag is off;
+see each module's docstring for the cost model.
+"""
+
+from repro.instrument.profile import (
+    ExecutionProfile,
+    LoopProfile,
+    ThreadProfile,
+)
+from repro.instrument.remarks import Remark, RemarkEmitter, RemarkKind
+from repro.instrument.stats import STATS, Statistic, StatsRegistry, get_statistic
+from repro.instrument.timetrace import (
+    TimeTraceProfiler,
+    TimeTraceScope,
+    active_time_trace,
+    disable_time_trace,
+    enable_time_trace,
+    time_trace_scope,
+)
+
+__all__ = [
+    "ExecutionProfile",
+    "LoopProfile",
+    "ThreadProfile",
+    "Remark",
+    "RemarkEmitter",
+    "RemarkKind",
+    "STATS",
+    "Statistic",
+    "StatsRegistry",
+    "get_statistic",
+    "TimeTraceProfiler",
+    "TimeTraceScope",
+    "active_time_trace",
+    "disable_time_trace",
+    "enable_time_trace",
+    "time_trace_scope",
+]

@@ -1,0 +1,169 @@
+"""Optimization remarks: which transformations were applied, missed, or
+merely analysed — and why.
+
+Models clang's ``-Rpass=`` / ``-Rpass-missed=`` / ``-Rpass-analysis=``
+family ("User-Directed Loop-Transformations in Clang" stresses precisely
+this transformation feedback).  Every emitting layer — shadow-AST Sema
+(:mod:`repro.sema.omp_sema` / :mod:`repro.core.shadow`), the
+OpenMPIRBuilder (:mod:`repro.ompirbuilder.builder`) and the mid-end
+``LoopUnroll`` pass — reports structured :class:`Remark` objects through
+a shared :class:`RemarkEmitter` hanging off the
+:class:`~repro.diagnostics.DiagnosticsEngine`, so remarks carry source
+locations when the emitting layer still has them (Sema) and function
+names when it does not (mid-end IR has no debug locations).
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sourcemgr.location import SourceLocation
+    from repro.sourcemgr.source_manager import SourceManager
+
+
+class RemarkKind(enum.Enum):
+    """The three clang remark families."""
+
+    PASSED = "passed"
+    MISSED = "missed"
+    ANALYSIS = "analysis"
+
+    @property
+    def flag(self) -> str:
+        return {
+            RemarkKind.PASSED: "-Rpass",
+            RemarkKind.MISSED: "-Rpass-missed",
+            RemarkKind.ANALYSIS: "-Rpass-analysis",
+        }[self]
+
+
+@dataclass
+class Remark:
+    """One structured optimization remark."""
+
+    pass_name: str
+    kind: RemarkKind
+    message: str
+    location: Optional["SourceLocation"] = None
+    function: Optional[str] = None
+    #: structured payload (e.g. ``{"factor": 4}``) for programmatic use
+    args: dict = field(default_factory=dict)
+
+    def render(
+        self, source_manager: Optional["SourceManager"] = None
+    ) -> str:
+        """clang style: ``file:line:col: remark: msg [-Rpass=pass]``."""
+        prefix = "<unknown>"
+        if self.location is not None and self.location.is_valid():
+            if source_manager is not None:
+                ploc = source_manager.get_presumed_loc(self.location)
+                prefix = f"{ploc.filename}:{ploc.line}:{ploc.column}"
+            else:
+                prefix = str(self.location)
+        elif self.function is not None:
+            prefix = f"<{self.function}>"
+        return (
+            f"{prefix}: remark: {self.message} "
+            f"[{self.kind.flag}={self.pass_name}]"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+class RemarkEmitter:
+    """Collects remarks; filtering happens at consumption time.
+
+    Unlike clang — which only *generates* remarks matching the ``-Rpass``
+    regex — emission here is unconditional (it is a list append) and the
+    driver/API filter on output, so ``CompileResult.remarks`` is always
+    fully populated for programmatic consumers.
+    """
+
+    def __init__(self) -> None:
+        self.remarks: list[Remark] = []
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        kind: RemarkKind,
+        pass_name: str,
+        message: str,
+        location: Optional["SourceLocation"] = None,
+        function: Optional[str] = None,
+        **args,
+    ) -> Remark:
+        remark = Remark(pass_name, kind, message, location, function, args)
+        self.remarks.append(remark)
+        return remark
+
+    def passed(self, pass_name: str, message: str, **kw) -> Remark:
+        return self.emit(RemarkKind.PASSED, pass_name, message, **kw)
+
+    def missed(self, pass_name: str, message: str, **kw) -> Remark:
+        return self.emit(RemarkKind.MISSED, pass_name, message, **kw)
+
+    def analysis(self, pass_name: str, message: str, **kw) -> Remark:
+        return self.emit(RemarkKind.ANALYSIS, pass_name, message, **kw)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Remark]:
+        return iter(self.remarks)
+
+    def __len__(self) -> int:
+        return len(self.remarks)
+
+    def by_kind(self, kind: RemarkKind) -> list[Remark]:
+        return [r for r in self.remarks if r.kind == kind]
+
+    def by_pass(self, pass_name: str) -> list[Remark]:
+        return [r for r in self.remarks if r.pass_name == pass_name]
+
+    def filtered(
+        self,
+        passed: str | None = None,
+        missed: str | None = None,
+        analysis: str | None = None,
+    ) -> list[Remark]:
+        """Remarks whose pass name matches the per-kind regex (clang's
+        ``-Rpass=<regex>`` semantics; ``None`` disables that kind)."""
+        patterns = {
+            RemarkKind.PASSED: passed,
+            RemarkKind.MISSED: missed,
+            RemarkKind.ANALYSIS: analysis,
+        }
+        compiled = {
+            kind: re.compile(pattern)
+            for kind, pattern in patterns.items()
+            if pattern is not None
+        }
+        return [
+            r
+            for r in self.remarks
+            if r.kind in compiled
+            and compiled[r.kind].search(r.pass_name)
+        ]
+
+    def render_all(
+        self,
+        source_manager: Optional["SourceManager"] = None,
+        passed: str | None = None,
+        missed: str | None = None,
+        analysis: str | None = None,
+    ) -> str:
+        """Render remarks selected by the per-kind regexes; with no
+        regex at all, render every remark."""
+        if passed is None and missed is None and analysis is None:
+            selected = list(self.remarks)
+        else:
+            selected = self.filtered(passed, missed, analysis)
+        return "\n".join(r.render(source_manager) for r in selected)
+
+    def clear(self) -> None:
+        self.remarks.clear()

@@ -13,6 +13,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Callable, Optional
 
+from repro.instrument import ExecutionProfile, time_trace_scope
 from repro.interp.memory import Memory, MemoryError_
 from repro.ir.instructions import (
     AllocaInst,
@@ -114,6 +115,11 @@ class ExecutionContext:
         self.gtid = thread_id
         #: the runtime team this context belongs to (None when serial)
         self.team = None
+        #: dynamic instructions executed by this logical thread
+        self.instructions_retired = 0
+        #: barrier episodes this thread waited at
+        self.barrier_waits = 0
+        interp.profile.register(self)
         # Each logical thread gets its own stack region so interleaved
         # frame pushes/pops cannot corrupt each other.
         size = stack_size or self.STACK_SIZE
@@ -184,7 +190,10 @@ class ExecutionContext:
                 f"fell off the end of block {frame.block.name}"
             )
         inst = frame.block.instructions[frame.index]
-        self.interp.instruction_count += 1
+        self.instructions_retired += 1
+        profile = self.interp.profile
+        if profile.detailed:
+            profile.count_block(frame.fn.name, frame.block.name)
         self._execute(inst)
 
     def run_to_completion(self, fuel: int | None = None) -> Any:
@@ -542,11 +551,15 @@ class Interpreter:
         module: Module,
         memory_size: int = 1 << 22,
         default_fuel: int = 50_000_000,
+        profile_detail: bool = False,
     ) -> None:
         self.module = module
         self.memory = Memory(memory_size)
         self.default_fuel = default_fuel
-        self.instruction_count = 0
+        #: dynamic execution profile; every ExecutionContext registers
+        #: itself here, so the legacy ``instruction_count`` below is a
+        #: view over the same data
+        self.profile = ExecutionProfile(detailed=profile_detail)
         self.stdout: list[str] = []
         self._global_addresses: dict[int, int] = {}
         self._natives: dict[str, Callable] = {}
@@ -619,14 +632,21 @@ class Interpreter:
             raise InterpreterError(f"no function @{fn_name}")
         return ExecutionContext(self, fn, args or [])
 
+    @property
+    def instruction_count(self) -> int:
+        """Total dynamic instructions across all logical threads
+        (backward-compatible view over the execution profile)."""
+        return self.profile.total_instructions
+
     def run(
         self,
         fn_name: str = "main",
         args: list[Any] | None = None,
         fuel: int | None = None,
     ) -> Any:
-        ctx = self.create_context(fn_name, args)
-        return ctx.run_to_completion(fuel)
+        with time_trace_scope("Execute", fn_name):
+            ctx = self.create_context(fn_name, args)
+            return ctx.run_to_completion(fuel)
 
     def output(self) -> str:
         return "".join(self.stdout)

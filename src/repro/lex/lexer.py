@@ -16,6 +16,7 @@ Design notes (mirroring clang's ``Lexer``):
 from __future__ import annotations
 
 from repro.diagnostics import DiagnosticsEngine, Severity
+from repro.instrument import get_statistic
 from repro.lex.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
 from repro.sourcemgr.location import SourceLocation
 from repro.sourcemgr.source_manager import FileID, SourceManager
@@ -26,6 +27,10 @@ _IDENT_START = set(
 _IDENT_CONT = _IDENT_START | set("0123456789")
 _DIGITS = set("0123456789")
 _HORIZONTAL_WS = " \t\f\v"
+
+_RAW_TOKENS = get_statistic(
+    "lexer", "raw-tokens", "Raw tokens produced from source buffers"
+)
 
 
 class LexerError(Exception):
@@ -274,6 +279,7 @@ class Lexer:
             tok = self.lex()
             tokens.append(tok)
             if tok.kind == TokenKind.EOF:
+                _RAW_TOKENS.inc(len(tokens))
                 return tokens
 
 

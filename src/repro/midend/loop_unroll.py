@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.instrument import RemarkEmitter, get_statistic
 from repro.ir.instructions import (
     BinaryInst,
     BinOp,
@@ -96,11 +97,31 @@ class _SimpleIV:
     init_const: int | None  # constant initial value, when known
 
 
+_LOOPS_UNROLLED = get_statistic(
+    "loop-unroll", "loops-unrolled", "Loops unrolled (any strategy)"
+)
+_COPIES_MADE = get_statistic(
+    "loop-unroll", "copies-made", "Loop body copies created by unrolling"
+)
+_LOOPS_SKIPPED = get_statistic(
+    "loop-unroll", "loops-skipped", "Annotated loops left untouched"
+)
+
+
 class LoopUnrollPass(FunctionPass):
     name = "loop-unroll"
 
-    def __init__(self) -> None:
+    def __init__(self, remarks: RemarkEmitter | None = None) -> None:
         self.stats = UnrollStats()
+        self.remarks = remarks if remarks is not None else RemarkEmitter()
+
+    def _skip(self, fn: Function, why: str) -> bool:
+        self.stats.skipped += 1
+        _LOOPS_SKIPPED.inc()
+        self.remarks.missed(
+            self.name, f"loop not unrolled: {why}", function=fn.name
+        )
+        return False
 
     # ==================================================================
     def run_on_function(self, fn: Function) -> bool:
@@ -142,15 +163,17 @@ class LoopUnrollPass(FunctionPass):
     ) -> bool:
         self._strip_metadata(loop)
         if has_flag(md, UNROLL_DISABLE):
-            self.stats.skipped += 1
-            return False
+            return self._skip(fn, "unrolling disabled by metadata")
         count = get_unroll_count(md)
         want_full = has_flag(md, UNROLL_FULL)
         want_enable = has_flag(md, UNROLL_ENABLE)
 
         if not self._unrollable(loop):
-            self.stats.skipped += 1
-            return False
+            return self._skip(
+                fn,
+                "unsupported loop structure (multiple latches, missing "
+                "preheader, or loop-carried values live outside the loop)",
+            )
 
         trip = self._constant_trip_count(loop)
 
@@ -163,29 +186,65 @@ class LoopUnrollPass(FunctionPass):
             if trip is None or trip > FULL_UNROLL_LIMIT:
                 # Cannot fully unroll without a (reasonable) constant
                 # trip count; fall back to a partial factor.
+                if want_full:
+                    self.remarks.analysis(
+                        self.name,
+                        "unable to fully unroll loop: trip count is "
+                        "unknown or exceeds the full-unroll limit; "
+                        "falling back to partial unrolling",
+                        function=fn.name,
+                        trip_count=trip,
+                    )
                 count = count or HEURISTIC_FACTOR
             else:
                 self._full_unroll(fn, loop, trip)
+                self._note_unrolled(fn, "full", trip, trip)
                 self.stats.fully_unrolled += 1
                 return True
         if count is None:
             count = HEURISTIC_FACTOR
         if count <= 1:
-            self.stats.skipped += 1
-            return False
+            return self._skip(fn, "unroll factor is 1")
         if trip is not None and trip <= count and trip <= FULL_UNROLL_LIMIT:
             self._full_unroll(fn, loop, trip)
+            self._note_unrolled(fn, "full", trip, trip)
             self.stats.fully_unrolled += 1
             return True
         simple = self._match_simple_iv(loop)
         if simple is not None:
             self._partial_unroll_with_remainder(fn, loop, simple, count)
+            self._note_unrolled(fn, "partial", count, count)
             self.stats.partially_unrolled += 1
             self.stats.remainder_loops_created += 1
             return True
         self._conditional_unroll(fn, loop, count)
+        self._note_unrolled(fn, "conditional", count, count)
         self.stats.conditionally_unrolled += 1
         return True
+
+    def _note_unrolled(
+        self, fn: Function, strategy: str, factor: int, copies: int
+    ) -> None:
+        _LOOPS_UNROLLED.inc()
+        _COPIES_MADE.inc(max(0, copies - 1))
+        message = {
+            "full": f"completely unrolled loop with {factor} iterations",
+            "partial": (
+                f"unrolled loop by a factor of {factor} "
+                "with a remainder loop"
+            ),
+            "conditional": (
+                f"unrolled loop by a factor of {factor} "
+                "(per-copy exit checks retained)"
+            ),
+        }[strategy]
+        self.remarks.passed(
+            self.name,
+            message,
+            function=fn.name,
+            factor=factor,
+            strategy=strategy,
+        )
 
     # ==================================================================
     # Eligibility / analysis

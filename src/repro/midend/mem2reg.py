@@ -30,6 +30,13 @@ from repro.midend.dominators import DominatorTree
 from repro.midend.pass_manager import FunctionPass
 
 
+from repro.instrument import get_statistic
+
+_ALLOCAS_PROMOTED = get_statistic(
+    "mem2reg", "allocas-promoted", "Stack slots promoted to SSA registers"
+)
+
+
 class Mem2RegPass(FunctionPass):
     name = "mem2reg"
 
@@ -44,6 +51,7 @@ class Mem2RegPass(FunctionPass):
         promotable = self._find_promotable(fn)
         if not promotable:
             return False
+        _ALLOCAS_PROMOTED.inc(len(promotable))
         domtree = DominatorTree(fn)
         frontiers = domtree.dominance_frontiers()
         children = domtree.children()

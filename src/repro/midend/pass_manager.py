@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
+from repro.instrument import get_statistic, time_trace_scope
 from repro.ir.module import Function, Module
 
 
@@ -18,32 +20,96 @@ class FunctionPass:
 
 
 @dataclass
+class PassRunInfo:
+    """What one pass did during one :meth:`PassManager.run`."""
+
+    name: str
+    functions_visited: int = 0
+    functions_changed: int = 0
+    duration_s: float = 0.0
+
+    @property
+    def changed(self) -> bool:
+        return self.functions_changed > 0
+
+
+@dataclass
+class PipelineRunResult:
+    """Structured outcome of one pipeline run.
+
+    Truthy exactly when any pass changed anything, so existing
+    ``if pm.run(module):`` callers keep working.
+    """
+
+    passes: list[PassRunInfo] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return any(info.functions_changed for info in self.passes)
+
+    @property
+    def changed(self) -> bool:
+        return bool(self)
+
+    def info(self, pass_name: str) -> PassRunInfo:
+        for info in self.passes:
+            if info.name == pass_name:
+                return info
+        raise KeyError(f"no pass '{pass_name}' in this run")
+
+    def changes_by_pass(self) -> dict[str, int]:
+        return {info.name: info.functions_changed for info in self.passes}
+
+
+_FUNCTIONS_CHANGED = get_statistic(
+    "midend", "pass-function-changes",
+    "Function visits in which some pass made a change",
+)
+
+
+@dataclass
 class PassManager:
     passes: list[FunctionPass] = field(default_factory=list)
-    #: per-pass change counts from the last run (for tests/benchmarks)
+    #: per-pass change counts from the last run (legacy view of
+    #: :attr:`last_run`, kept for tests/benchmarks)
     last_run_changes: dict[str, int] = field(default_factory=dict)
+    #: full structured record of the last :meth:`run`
+    last_run: PipelineRunResult | None = None
 
     def add(self, pass_: FunctionPass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
-    def run(self, module: Module) -> bool:
-        changed_any = False
-        self.last_run_changes = {p.name: 0 for p in self.passes}
+    def run(self, module: Module) -> PipelineRunResult:
+        result = PipelineRunResult(
+            passes=[PassRunInfo(p.name) for p in self.passes]
+        )
+        infos = {info.name: info for info in result.passes}
         for fn in list(module.functions.values()):
             if fn.is_declaration or not fn.blocks:
                 continue
             for pass_ in self.passes:
-                if pass_.run_on_function(fn):
-                    changed_any = True
-                    self.last_run_changes[pass_.name] += 1
-        return changed_any
+                info = infos[pass_.name]
+                info.functions_visited += 1
+                start = time.perf_counter()
+                with time_trace_scope(f"Pass.{pass_.name}", fn.name):
+                    changed = pass_.run_on_function(fn)
+                info.duration_s += time.perf_counter() - start
+                if changed:
+                    info.functions_changed += 1
+                    _FUNCTIONS_CHANGED.inc()
+        self.last_run = result
+        self.last_run_changes = result.changes_by_pass()
+        return result
 
 
-def default_pass_pipeline() -> PassManager:
+def default_pass_pipeline(remarks=None) -> PassManager:
     """The -O pipeline the driver uses: unroll annotated loops, then
     clean up (fold the per-copy checks full unrolling leaves behind,
-    delete dead code, merge straight-line blocks)."""
+    delete dead code, merge straight-line blocks).
+
+    ``remarks`` (a :class:`~repro.instrument.RemarkEmitter`) receives the
+    optimization remarks of remark-aware passes (currently LoopUnroll).
+    """
     from repro.midend.constant_fold import ConstantFoldPass
     from repro.midend.dce import DeadCodeEliminationPass
     from repro.midend.loop_unroll import LoopUnrollPass
@@ -54,7 +120,7 @@ def default_pass_pipeline() -> PassManager:
     # variables the front-end emits; mem2reg then promotes what remains.
     return (
         PassManager()
-        .add(LoopUnrollPass())
+        .add(LoopUnrollPass(remarks=remarks))
         .add(Mem2RegPass())
         .add(ConstantFoldPass())
         .add(SimplifyCFGPass())

@@ -9,6 +9,15 @@ from repro.ir.utils import remove_unreachable_blocks
 from repro.midend.pass_manager import FunctionPass
 
 
+from repro.instrument import get_statistic
+
+_BLOCKS_SIMPLIFIED = get_statistic(
+    "simplify-cfg",
+    "blocks-simplified",
+    "Simplification iterations that changed the CFG",
+)
+
+
 class SimplifyCFGPass(FunctionPass):
     name = "simplify-cfg"
 
@@ -24,6 +33,7 @@ class SimplifyCFGPass(FunctionPass):
                 local = True
             if not local:
                 break
+            _BLOCKS_SIMPLIFIED.inc()
             changed = True
         return changed
 

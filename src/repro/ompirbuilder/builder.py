@@ -40,11 +40,23 @@ from repro.ir.utils import (
     remove_unreachable_blocks,
     replace_all_uses,
 )
+from repro.instrument import RemarkEmitter, get_statistic
 from repro.ir.values import ConstantInt, ConstantPointerNull, Value
 from repro.ompirbuilder.canonical_loop_info import (
     CanonicalLoopInfo,
     SkeletonError,
     create_loop_skeleton,
+)
+
+_CANONICAL_LOOPS = get_statistic(
+    "ompirbuilder",
+    "canonical-loops-created",
+    "OMPCanonicalLoop skeletons created by the OpenMPIRBuilder",
+)
+_IR_TRANSFORMS = get_statistic(
+    "ompirbuilder",
+    "transforms-applied",
+    "Loop transformations applied on OpenMPIRBuilder skeletons",
 )
 
 
@@ -96,8 +108,13 @@ RUNTIME_SIGNATURES: dict[str, tuple] = {
 class OpenMPIRBuilder:
     """Base-language-independent OpenMP lowering over a module."""
 
-    def __init__(self, module: Module) -> None:
+    def __init__(
+        self, module: Module, remarks: RemarkEmitter | None = None
+    ) -> None:
         self.module = module
+        #: optimization remarks sink (CodeGen hands in the engine-wide
+        #: emitter; standalone users get a private one)
+        self.remarks = remarks if remarks is not None else RemarkEmitter()
 
     # ==================================================================
     # Runtime declarations
@@ -137,6 +154,7 @@ class OpenMPIRBuilder:
         into callback-ception", paper footnote 3).  On return the builder
         points at the after block."""
         cli = create_loop_skeleton(builder, trip_count, name)
+        _CANONICAL_LOOPS.inc()
         if body_gen is not None:
             body_gen(builder, cli.indvar)
         builder.set_insert_point(cli.after, 0)
@@ -150,6 +168,12 @@ class OpenMPIRBuilder:
         term = cli.latch.terminator
         assert term is not None
         term.metadata["llvm.loop"] = loop_metadata(unroll_enable=True)
+        self.remarks.analysis(
+            "unroll",
+            "loop marked for heuristic unrolling by the mid-end "
+            "(OpenMPIRBuilder)",
+            function=cli.function.name,
+        )
 
     def unroll_loop_full(self, cli: CanonicalLoopInfo) -> None:
         """Request full expansion by the mid-end ``LoopUnroll`` pass.
@@ -160,6 +184,13 @@ class OpenMPIRBuilder:
         term = cli.latch.terminator
         assert term is not None
         term.metadata["llvm.loop"] = loop_metadata(unroll_full=True)
+        self.remarks.passed(
+            "unroll",
+            "marked loop for full unrolling by the mid-end LoopUnroll "
+            "pass (OpenMPIRBuilder)",
+            function=cli.function.name,
+            full=True,
+        )
 
     def unroll_loop_partial(
         self,
@@ -176,13 +207,23 @@ class OpenMPIRBuilder:
         fully unrolling the inner loop" (paper §1.1).
         """
         assert factor >= 1
+        fn_name = cli.function.name
         floor_cli, tile_cli = self.tile_loops(
-            builder, [cli], [factor]
+            builder, [cli], [factor], _emit_remark=False
         )
         term = tile_cli.latch.terminator
         assert term is not None
         term.metadata["llvm.loop"] = loop_metadata(
             unroll_count=factor, unroll_enable=True
+        )
+        _IR_TRANSFORMS.inc()
+        self.remarks.passed(
+            "unroll",
+            f"unrolled loop by a factor of {factor} "
+            "(strip-mined via tile_loops; intra-tile loop marked for "
+            "full unrolling)",
+            function=fn_name,
+            factor=factor,
         )
         return floor_cli
 
@@ -194,6 +235,7 @@ class OpenMPIRBuilder:
         builder: IRBuilder,
         loops: Sequence[CanonicalLoopInfo],
         sizes: Sequence[int | Value],
+        _emit_remark: bool = True,
     ) -> list[CanonicalLoopInfo]:
         """Tile a perfect rectangular nest; returns 2n new canonical
         loops (n floor loops iterating tile origins, then n intra-tile
@@ -312,6 +354,19 @@ class OpenMPIRBuilder:
         result = [*floor_clis, *tile_clis]
         for cli in result:
             cli.assert_ok()
+        if _emit_remark:
+            _IR_TRANSFORMS.inc()
+            shown = tuple(
+                s if isinstance(s, int) else f"%{s.name}"
+                for s in sizes
+            )
+            self.remarks.passed(
+                "tile",
+                f"tiled loop nest of depth {n} with sizes "
+                f"({', '.join(str(s) for s in shown)})",
+                function=fn.name,
+                sizes=shown,
+            )
         return result
 
     # ==================================================================
@@ -418,6 +473,13 @@ class OpenMPIRBuilder:
             old.invalidate()
         remove_unreachable_blocks(fn)
         cli.assert_ok()
+        _IR_TRANSFORMS.inc()
+        self.remarks.passed(
+            "collapse",
+            f"collapsed {n} nested loops into one loop",
+            function=fn.name,
+            depth=n,
+        )
         return cli
 
     # ==================================================================
@@ -460,6 +522,12 @@ class OpenMPIRBuilder:
             if any(op is indvar for op in inst.operands()):
                 inst.replace_operand(indvar, mirrored)
         cli.assert_ok()
+        _IR_TRANSFORMS.inc()
+        self.remarks.passed(
+            "reverse",
+            "reversed loop iteration order",
+            function=fn.name,
+        )
         return cli
 
     def interchange_loops(
@@ -528,6 +596,14 @@ class OpenMPIRBuilder:
         result = [new_by_level[i] for i in permutation]
         for cli in result:
             cli.assert_ok()
+        _IR_TRANSFORMS.inc()
+        perm_1based = tuple(p + 1 for p in permutation)
+        self.remarks.passed(
+            "interchange",
+            f"interchanged loop nest with permutation {perm_1based}",
+            function=fn.name,
+            permutation=perm_1based,
+        )
         return result
 
     # ==================================================================

@@ -30,12 +30,19 @@ from repro.astlib.decls import (
 )
 from repro.astlib.types import QualType, BuiltinKind, desugar
 from repro.diagnostics import DiagnosticsEngine, Severity
+from repro.instrument import get_statistic, time_trace_scope
 from repro.lex.tokens import Token, TokenKind
 from repro.sema.scope import ScopeKind
 from repro.sema.sema import Sema
 from repro.sourcemgr.location import SourceLocation
 
 K = TokenKind
+
+_DECLS_PARSED = get_statistic(
+    "parser",
+    "external-decls-parsed",
+    "External declarations parsed at translation-unit scope",
+)
 
 _TYPE_SPEC_KEYWORDS = frozenset(
     {
@@ -552,11 +559,13 @@ class Parser:
     def parse_translation_unit(self):
         """Parse until EOF; declarations accumulate in the ASTContext's
         TranslationUnitDecl."""
-        while not self.at(K.EOF):
-            try:
-                self.parse_external_declaration()
-            except ParseError:
-                self._skip_until(K.SEMI, K.R_BRACE)
+        with time_trace_scope("Parse"):
+            while not self.at(K.EOF):
+                try:
+                    self.parse_external_declaration()
+                    _DECLS_PARSED.inc()
+                except ParseError:
+                    self._skip_until(K.SEMI, K.R_BRACE)
         return self.sema.ctx.translation_unit
 
     def parse_external_declaration(self) -> None:

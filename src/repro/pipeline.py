@@ -27,6 +27,12 @@ from repro.astlib.decls import FunctionDecl, TranslationUnitDecl
 from repro.astlib.dump import dump_ast
 from repro.codegen import CodeGenModule, CodeGenOptions
 from repro.diagnostics import DiagnosticsEngine, FatalErrorOccurred
+from repro.instrument import (
+    STATS,
+    ExecutionProfile,
+    RemarkEmitter,
+    time_trace_scope,
+)
 from repro.interp import Interpreter
 from repro.ir.module import Module
 from repro.ir.printer import print_module
@@ -56,10 +62,18 @@ class CompileResult:
     translation_unit: TranslationUnitDecl
     sema: Sema
     module: Optional[Module] = None
+    #: statistics deltas attributable to this compilation (counter name
+    #: -> increment observed while compiling), see repro.instrument.stats
+    stats: dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.diagnostics.has_errors()
+
+    @property
+    def remarks(self) -> RemarkEmitter:
+        """Optimization remarks collected during this compilation."""
+        return self.diagnostics.remarks
 
     def function(self, name: str) -> FunctionDecl:
         for fn in self.translation_unit.functions():
@@ -100,6 +114,12 @@ class RunResult:
     instruction_count: int
     interpreter: Interpreter
     compile_result: CompileResult
+
+    @property
+    def profile(self) -> ExecutionProfile:
+        """Dynamic execution profile (per-thread instruction counts,
+        barrier waits, optional per-block attribution)."""
+        return self.interpreter.profile
 
 
 def _front_end(
@@ -164,6 +184,7 @@ def compile_source(
     With ``strict=True`` a :class:`CompilationError` is raised when any
     error diagnostic was produced.
     """
+    before = STATS.snapshot()
     result = _front_end(
         source,
         filename,
@@ -175,9 +196,12 @@ def compile_source(
     )
     if result.diagnostics.has_errors():
         if strict:
+            result.stats = STATS.delta_since(before)
             raise CompilationError(result.diagnostics_text())
+        result.stats = STATS.delta_since(before)
         return result
     if syntax_only:
+        result.stats = STATS.delta_since(before)
         return result
     cgm = CodeGenModule(
         result.ast_context,
@@ -189,9 +213,12 @@ def compile_source(
     )
     result.module = cgm.emit_translation_unit(result.translation_unit)
     if result.diagnostics.has_errors() and strict:
+        result.stats = STATS.delta_since(before)
         raise CompilationError(result.diagnostics_text())
     if verify and result.module is not None:
-        verify_module(result.module)
+        with time_trace_scope("Verify", filename):
+            verify_module(result.module)
+    result.stats = STATS.delta_since(before)
     return result
 
 
@@ -206,6 +233,7 @@ def run_source(
     defines: dict[str, str] | None = None,
     optimize: bool = False,
     fuel: int | None = None,
+    profile_detail: bool = False,
 ) -> RunResult:
     """Compile and execute *source*; returns exit code and captured
     stdout.  ``optimize=True`` additionally runs the mid-end pass
@@ -223,9 +251,11 @@ def run_source(
     if optimize:
         from repro.midend import default_pass_pipeline
 
-        default_pass_pipeline().run(result.module)
+        default_pass_pipeline(
+            remarks=result.diagnostics.remarks
+        ).run(result.module)
         verify_module(result.module)
-    interp = Interpreter(result.module)
+    interp = Interpreter(result.module, profile_detail=profile_detail)
     interp.omp.num_threads = num_threads
     exit_code = interp.run(entry, args or [], fuel=fuel)
     return RunResult(

@@ -16,6 +16,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.diagnostics import DiagnosticsEngine, Severity
+from repro.instrument import get_statistic, time_trace_scope
 from repro.lex.lexer import Lexer
 from repro.lex.tokens import Token, TokenKind
 from repro.preprocessor.macro import (
@@ -34,6 +35,12 @@ from repro.sourcemgr.source_manager import FileID, SourceManager
 OPENMP_51_DATE = 202011
 
 _MAX_INCLUDE_DEPTH = 64
+
+_TOKENS_LEXED = get_statistic(
+    "preprocessor",
+    "tokens-lexed",
+    "Preprocessed tokens handed to the parser",
+)
 
 
 @dataclass
@@ -219,12 +226,14 @@ class Preprocessor:
             return tok
 
     def lex_all(self) -> list[Token]:
-        tokens = []
-        while True:
-            tok = self.lex()
-            tokens.append(tok)
-            if tok.kind == TokenKind.EOF:
-                return tokens
+        with time_trace_scope("Preprocess"):
+            tokens = []
+            while True:
+                tok = self.lex()
+                tokens.append(tok)
+                if tok.kind == TokenKind.EOF:
+                    _TOKENS_LEXED.inc(len(tokens))
+                    return tokens
 
     # ------------------------------------------------------------------
     # Macro expansion

@@ -151,6 +151,7 @@ class OpenMPRuntime:
         if ctx.team is not None:
             team_size = 1  # serialize nested parallelism
         self.fork_count += 1
+        interp.profile.fork_count += 1
 
         contexts: list[ExecutionContext] = []
         for tid in range(team_size):
@@ -183,6 +184,7 @@ class OpenMPRuntime:
         self.barrier_count += 1
         if ctx.team is not None and ctx.team.size > 1:
             ctx.state = ThreadState.BARRIER
+            ctx.barrier_waits += 1
         return None
 
     # ------------------------------------------------------------------

@@ -81,6 +81,7 @@ class Team:
                 for ctx in waiting:
                     ctx.state = ThreadState.RUNNABLE
                 self.barrier_generation += 1
+                self.runtime.interp.profile.barrier_episodes += 1
 
     # ------------------------------------------------------------------
     def context_for_gtid(self, gtid: int) -> ExecutionContext:

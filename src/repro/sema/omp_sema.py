@@ -31,6 +31,7 @@ from repro.astlib.decls import (
 )
 from repro.astlib.types import QualType, desugar
 from repro.core.canonical import build_canonical_loop
+from repro.instrument import time_trace_scope
 from repro.core.shadow import (
     DEFAULT_CONSUMED_UNROLL_FACTOR,
     ShadowTransformBuilder,
@@ -163,6 +164,18 @@ class OpenMPSema:
     # Entry point
     # ==================================================================
     def act_on_directive(
+        self,
+        name: str,
+        clauses: Sequence[cl.OMPClause],
+        associated_stmt: Optional[s.Stmt],
+        loc: SourceLocation | None = None,
+    ) -> s.Stmt | None:
+        with time_trace_scope("Sema.OMPDirective", name):
+            return self._act_on_directive(
+                name, clauses, associated_stmt, loc
+            )
+
+    def _act_on_directive(
         self,
         name: str,
         clauses: Sequence[cl.OMPClause],
@@ -695,6 +708,12 @@ class OpenMPSema:
             self.ctx, self.diags, loop, "unroll"
         )
         if analysis is None:
+            self.diags.remarks.missed(
+                "unroll",
+                "unroll not applied: associated loop is not in "
+                "OpenMP canonical form",
+                location=loc,
+            )
             return None
         if full is not None:
             # Full unrolling requires a compile-time constant trip count.
@@ -732,6 +751,29 @@ class OpenMPSema:
         result = build_unroll_transform(
             self.ctx, analysis, factor, full is not None
         )
+        if full is not None:
+            self.diags.remarks.passed(
+                "unroll",
+                "marked loop for full unrolling by the mid-end "
+                "LoopUnroll pass (shadow AST builds no residual loop)",
+                location=loc,
+                full=True,
+            )
+        elif factor is not None:
+            self.diags.remarks.passed(
+                "unroll",
+                f"unrolled loop by a factor of {factor} "
+                "(shadow-AST strip-mine; body duplication deferred to "
+                "the mid-end)",
+                location=loc,
+                factor=factor,
+            )
+        else:
+            self.diags.remarks.analysis(
+                "unroll",
+                "loop marked for heuristic unrolling by the mid-end",
+                location=loc,
+            )
         # Note: the associated code is deliberately NOT wrapped in a
         # CapturedStmt — a loop transformation is never outlined by itself,
         # and capturing would redirect local variable references (paper
@@ -782,6 +824,13 @@ class OpenMPSema:
             self.ctx, self.diags, loop, depth, "tile"
         )
         if analyses is None:
+            self.diags.remarks.missed(
+                "tile",
+                f"tile not applied: associated statement is not a "
+                f"perfect rectangular loop nest of depth {depth}",
+                location=loc,
+                depth=depth,
+            )
             return None
 
         if self.use_irbuilder:
@@ -802,6 +851,13 @@ class OpenMPSema:
             return directive
 
         result = build_tile_transform(self.ctx, analyses, sizes)
+        self.diags.remarks.passed(
+            "tile",
+            f"tiled loop nest of depth {depth} with sizes "
+            f"({', '.join(str(size) for size in sizes)})",
+            location=loc,
+            sizes=tuple(sizes),
+        )
         directive = omp.OMPTileDirective(
             clauses,
             associated,
@@ -842,6 +898,9 @@ class OpenMPSema:
             directive.canonical_loops = [canonical]  # type: ignore[attr-defined]
             return directive
         result = build_reverse_transform(self.ctx, analysis)
+        self.diags.remarks.passed(
+            "reverse", "reversed loop iteration order", location=loc
+        )
         directive = omp.OMPReverseDirective(
             clauses,
             associated,
@@ -913,6 +972,13 @@ class OpenMPSema:
             return directive
         result = build_interchange_transform(
             self.ctx, analyses, permutation
+        )
+        self.diags.remarks.passed(
+            "interchange",
+            "interchanged loop nest with permutation "
+            f"({', '.join(str(p + 1) for p in permutation)})",
+            location=loc,
+            permutation=tuple(permutation),
         )
         directive = omp.OMPInterchangeDirective(
             clauses,
@@ -988,6 +1054,12 @@ class OpenMPSema:
             )
             return None
         result = build_fuse_transform(self.ctx, analyses)
+        self.diags.remarks.passed(
+            "fuse",
+            f"fused {len(analyses)} loops into one",
+            location=loc,
+            num_loops=len(analyses),
+        )
         directive = omp.OMPFuseDirective(
             clauses,
             associated,

@@ -1,0 +1,182 @@
+"""End-to-end tests of the miniclang observability flags:
+``-ftime-trace``, ``-print-stats``, ``-Rpass*`` and
+``-fprofile-report`` (ISSUE acceptance scenario)."""
+
+import json
+
+import pytest
+
+from repro.driver.cli import main
+from repro.instrument import active_time_trace
+
+UNROLL_SRC = """
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < 32; i++) sum += i;
+  return sum % 256;
+}
+"""
+
+PARALLEL_SRC = r"""
+int main() {
+  int acc = 0;
+  #pragma omp parallel for reduction(+: acc)
+  for (int i = 0; i < 64; i++) acc += i;
+  printf("%d\n", acc);
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "input.c"
+    path.write_text(UNROLL_SRC)
+    return path
+
+
+class TestTimeTraceFlag:
+    def test_writes_loadable_chrome_trace(self, tmp_path, source_file):
+        trace = tmp_path / "out.time-trace.json"
+        code = main(
+            [f"-ftime-trace={trace}", "-O", "--run", str(source_file)]
+        )
+        assert code == sum(range(32)) % 256
+        data = json.loads(trace.read_text())
+        names = {
+            e["name"]
+            for e in data["traceEvents"]
+            if e["ph"] == "X"
+        }
+        assert {
+            "Preprocess",
+            "Parse",
+            "CodeGen",
+            "Pass.loop-unroll",
+            "Execute",
+        } <= names
+        assert isinstance(data["beginningOfTime"], int)
+
+    def test_default_trace_filename(
+        self, tmp_path, source_file, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        main(["-ftime-trace", str(source_file)])
+        assert (tmp_path / "input.time-trace.json").exists()
+
+    def test_tracing_disabled_after_run(self, tmp_path, source_file):
+        trace = tmp_path / "t.json"
+        main([f"-ftime-trace={trace}", str(source_file)])
+        assert active_time_trace() is None
+
+    def test_no_trace_without_flag(
+        self, tmp_path, source_file, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        main([str(source_file)])
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestPrintStatsFlag:
+    def test_stats_dump_on_stderr(self, source_file, capsys):
+        main(["-print-stats", "-O", "--run", str(source_file)])
+        err = capsys.readouterr().err
+        assert "... Statistics Collected ..." in err
+        assert "shadow" in err
+        assert "loop-unroll" in err
+
+    def test_no_stats_without_flag(self, source_file, capsys):
+        main(["-O", "--run", str(source_file)])
+        assert "Statistics Collected" not in capsys.readouterr().err
+
+
+class TestRpassFlags:
+    def test_rpass_reports_applied_unroll_with_factor(
+        self, source_file, capsys
+    ):
+        main(["-Rpass=.*", "-O", "--run", str(source_file)])
+        err = capsys.readouterr().err
+        assert "remark:" in err
+        assert "factor of 4" in err
+        assert "[-Rpass=unroll]" in err  # Sema, with source location
+        assert "input.c:4:" in err
+        assert "[-Rpass=loop-unroll]" in err  # mid-end
+
+    def test_rpass_regex_filters_pass_names(self, source_file, capsys):
+        main(["-Rpass=^loop-unroll$", "-O", "--run", str(source_file)])
+        err = capsys.readouterr().err
+        assert "[-Rpass=loop-unroll]" in err
+        assert "[-Rpass=unroll]" not in err
+
+    def test_rpass_missed_reports_rejection(self, tmp_path, capsys):
+        path = tmp_path / "rejected.c"
+        path.write_text(
+            """
+            int main() {
+              int sum = 0;
+              #pragma omp tile sizes(4, 4)
+              for (int i = 0; i < 16; i++) sum += i;
+              return sum;
+            }
+            """
+        )
+        code = main(["-Rpass-missed=.*", str(path)])
+        assert code == 1  # imperfect nest is also a hard error
+        err = capsys.readouterr().err
+        assert "tile not applied" not in err  # strict: diags only
+
+    def test_no_remarks_without_flag(self, source_file, capsys):
+        main(["-O", "--run", str(source_file)])
+        assert "remark:" not in capsys.readouterr().err
+
+
+class TestProfileReportFlag:
+    def test_profile_report_on_stderr(self, tmp_path, capsys):
+        path = tmp_path / "par.c"
+        path.write_text(PARALLEL_SRC)
+        code = main(
+            ["-fprofile-report", "--run", "--num-threads", "4", str(path)]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert captured.out == f"{sum(range(64))}\n"
+        err = captured.err
+        assert "=== execution profile ===" in err
+        assert "total instructions:" in err
+        assert "parallel regions:   1" in err
+        assert "gtid 4:" in err  # four workers + serial main
+        assert "per-function:" in err  # detailed mode is implied
+        assert "per-loop:" in err
+
+    def test_no_profile_without_flag(self, tmp_path, capsys):
+        path = tmp_path / "par.c"
+        path.write_text(PARALLEL_SRC)
+        main(["--run", str(path)])
+        assert "execution profile" not in capsys.readouterr().err
+
+
+class TestAcceptanceScenario:
+    def test_all_flags_together(self, tmp_path, capsys):
+        """The ISSUE acceptance command: time-trace + stats + remarks +
+        profile in one -O --run invocation."""
+        path = tmp_path / "demo.c"
+        path.write_text(UNROLL_SRC)
+        trace = tmp_path / "demo.trace.json"
+        code = main(
+            [
+                f"-ftime-trace={trace}",
+                "-print-stats",
+                "-Rpass=.*",
+                "-fprofile-report",
+                "-O",
+                "--run",
+                str(path),
+            ]
+        )
+        assert code == sum(range(32)) % 256
+        err = capsys.readouterr().err
+        assert "factor of 4" in err
+        assert "... Statistics Collected ..." in err
+        assert "=== execution profile ===" in err
+        assert json.loads(trace.read_text())["traceEvents"]
