@@ -22,6 +22,18 @@ Observability flags (paper-adjacent tooling; see README "Observability")::
     miniclang -Rpass-missed=REGEX ...
     miniclang -Rpass-analysis=REGEX ...
     miniclang -fprofile-report --run . # per-thread/per-loop exec profile
+
+Pass-pipeline introspection (README "Debugging the pass pipeline")::
+
+    miniclang -print-pipeline-passes   # configured pass order, one/line
+    miniclang -print-before=PASS ...   # IR dump before PASS executions
+    miniclang -print-after=PASS ...
+    miniclang -print-before-all ...
+    miniclang -print-after-all ...
+    miniclang -print-changed ...       # unified diff per changing pass
+    miniclang -verify-each ...         # verify IR after every pass
+    miniclang -opt-bisect-limit=N ...  # run only executions 1..N
+    miniclang -debug-counter=NAME=SKIP[,COUNT] ...  # gate sites
 """
 
 from __future__ import annotations
@@ -31,7 +43,10 @@ import os
 import sys
 
 from repro.instrument import (
+    DEBUG_COUNTERS,
     STATS,
+    PassInstrumentation,
+    PassVerificationError,
     disable_time_trace,
     enable_time_trace,
 )
@@ -47,7 +62,13 @@ def build_arg_parser() -> argparse.ArgumentParser:
             "or OMPCanonicalLoop + OpenMPIRBuilder)"
         ),
     )
-    parser.add_argument("input", help="C source file ('-' for stdin)")
+    parser.add_argument(
+        "input",
+        nargs="?",
+        default=None,
+        help="C source file ('-' for stdin); optional with "
+        "-print-pipeline-passes",
+    )
     parser.add_argument(
         "-ast-dump",
         action="store_true",
@@ -88,9 +109,18 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-O",
+        "-O1",
+        "-O2",
         action="store_true",
         dest="optimize",
-        help="run the mid-end pass pipeline (incl. LoopUnroll)",
+        help="run the mid-end pass pipeline (incl. LoopUnroll); "
+        "-O1/-O2 are accepted aliases",
+    )
+    parser.add_argument(
+        "-O0",
+        action="store_false",
+        dest="optimize",
+        help="disable the mid-end pass pipeline (default)",
     )
     parser.add_argument(
         "-emit-llvm",
@@ -164,7 +194,99 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="profile_report",
         help="with --run: print the dynamic execution profile",
     )
+    parser.add_argument(
+        "-print-pipeline-passes",
+        action="store_true",
+        dest="print_pipeline_passes",
+        help="print the configured pass order, one per line, and exit",
+    )
+    parser.add_argument(
+        "-print-before",
+        action="append",
+        default=[],
+        dest="print_before",
+        metavar="PASS",
+        help="dump IR to stderr before executions of PASS",
+    )
+    parser.add_argument(
+        "-print-after",
+        action="append",
+        default=[],
+        dest="print_after",
+        metavar="PASS",
+        help="dump IR to stderr after executions of PASS",
+    )
+    parser.add_argument(
+        "-print-before-all",
+        action="store_true",
+        dest="print_before_all",
+        help="dump IR before every pass execution",
+    )
+    parser.add_argument(
+        "-print-after-all",
+        action="store_true",
+        dest="print_after_all",
+        help="dump IR after every pass execution",
+    )
+    parser.add_argument(
+        "-print-changed",
+        action="store_true",
+        dest="print_changed",
+        help="print a unified IR diff after each pass execution that "
+        "changed the function (quiet for no-change passes)",
+    )
+    parser.add_argument(
+        "-verify-each",
+        action="store_true",
+        dest="verify_each",
+        help="verify the module after every pass execution; on failure "
+        "report the offending pass and write before/after IR to the "
+        "crash-reproducer directory",
+    )
+    parser.add_argument(
+        "-opt-bisect-limit",
+        type=int,
+        default=None,
+        dest="opt_bisect_limit",
+        metavar="N",
+        help="run only the first N pass executions (-1: run all, but "
+        "log 'BISECT:' lines for every execution)",
+    )
+    parser.add_argument(
+        "-debug-counter",
+        action="append",
+        default=[],
+        dest="debug_counters",
+        metavar="NAME=SKIP[,COUNT]",
+        help="suppress the first SKIP occurrences of a counted "
+        "transformation site, execute the next COUNT (default: all), "
+        "then suppress the rest (e.g. unroll-transform, "
+        "mem2reg-promote, simplifycfg-transform)",
+    )
+    parser.add_argument(
+        "-crash-reproducer-dir",
+        default="miniclang-crashes",
+        dest="crash_reproducer_dir",
+        metavar="DIR",
+        help="where -verify-each writes before/after IR of a failing "
+        "pass execution (default: miniclang-crashes)",
+    )
     return parser
+
+
+def _build_instrumentation(args) -> PassInstrumentation | None:
+    """A PassInstrumentation when any introspection flag is active."""
+    instrument = PassInstrumentation(
+        print_before=args.print_before,
+        print_after=args.print_after,
+        print_before_all=args.print_before_all,
+        print_after_all=args.print_after_all,
+        print_changed=args.print_changed,
+        verify_each=args.verify_each,
+        opt_bisect_limit=args.opt_bisect_limit,
+        reproducer_dir=args.crash_reproducer_dir,
+    )
+    return instrument if instrument.enabled else None
 
 
 def _extract_time_trace(
@@ -215,7 +337,23 @@ def _emit_remarks(args, compile_result) -> None:
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     argv, time_trace = _extract_time_trace(argv)
-    args = build_arg_parser().parse_args(argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    if args.print_pipeline_passes:
+        from repro.midend import default_pass_pipeline
+
+        for name in default_pass_pipeline().pass_names():
+            print(name)
+        return 0
+    if args.input is None:
+        parser.error("an input file is required")
+    armed_counters = []
+    for spec in args.debug_counters:
+        try:
+            armed_counters.append(DEBUG_COUNTERS.apply_spec(spec))
+        except ValueError as err:
+            print(f"miniclang: error: {err}", file=sys.stderr)
+            return 1
     if args.input == "-":
         source = sys.stdin.read()
         filename = "<stdin>"
@@ -242,6 +380,8 @@ def main(argv: list[str] | None = None) -> int:
     try:
         code = _drive(args, source, filename, defines)
     finally:
+        for counter in armed_counters:
+            counter.unset()
         profiler = disable_time_trace()
         if time_trace is not None and profiler is not None:
             trace_path = time_trace or _default_trace_path(args.input)
@@ -258,6 +398,7 @@ def main(argv: list[str] | None = None) -> int:
 def _drive(args, source: str, filename: str, defines: dict) -> int:
     """The actual compile/run logic (split out so main() can wrap it in
     instrumentation setup/teardown)."""
+    instrument = _build_instrumentation(args)
     if args.run:
         try:
             result = run_source(
@@ -270,9 +411,13 @@ def _drive(args, source: str, filename: str, defines: dict) -> int:
                 defines=defines,
                 optimize=args.optimize,
                 profile_detail=args.profile_report,
+                instrument=instrument,
             )
         except CompilationError as err:
             print(err.diagnostics_text, file=sys.stderr)
+            return 1
+        except PassVerificationError as err:
+            print(f"miniclang: error: {err}", file=sys.stderr)
             return 1
         _emit_remarks(args, result.compile_result)
         if args.profile_report:
@@ -316,9 +461,14 @@ def _drive(args, source: str, filename: str, defines: dict) -> int:
         if args.optimize and result.module is not None:
             from repro.midend import default_pass_pipeline
 
-            default_pass_pipeline(
-                remarks=result.diagnostics.remarks
-            ).run(result.module)
+            try:
+                default_pass_pipeline(
+                    remarks=result.diagnostics.remarks,
+                    instrument=instrument,
+                ).run(result.module)
+            except PassVerificationError as err:
+                print(f"miniclang: error: {err}", file=sys.stderr)
+                return 1
         output_text = result.ir_text()
     _emit_remarks(args, result)
 

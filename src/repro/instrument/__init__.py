@@ -9,10 +9,27 @@ remarks            ``-Rpass{,-missed,-analysis}=``        ``remarks``
 execution profile  profiling runtimes / ``perf`` views    ``profile``
 =================  =====================================  ==============
 
-All four are zero-dependency and cheap when their driver flag is off;
+PR 2 adds the pipeline-introspection pillar on top::
+
+    pass instrumentation  -print-before/-after[-all], -print-changed,
+                          -verify-each, -opt-bisect-limit
+                          (PassInstrumentationCallbacks /
+                          StandardInstrumentations / OptBisect)   ``passinstrument``
+    debug counters        -debug-counter=NAME=SKIP[,COUNT]
+                          (DEBUG_COUNTER / DebugCounter.h)        ``debugcounter``
+    unified diffs         pure-python Myers diff backing
+                          -print-changed                          ``udiff``
+
+All are zero-dependency and cheap when their driver flag is off;
 see each module's docstring for the cost model.
 """
 
+from repro.instrument.debugcounter import (
+    DEBUG_COUNTERS,
+    DebugCounter,
+    DebugCounterRegistry,
+    get_debug_counter,
+)
 from repro.instrument.profile import (
     ExecutionProfile,
     LoopProfile,
@@ -28,8 +45,22 @@ from repro.instrument.timetrace import (
     enable_time_trace,
     time_trace_scope,
 )
+from repro.instrument.passinstrument import (
+    PassExecution,
+    PassInstrumentation,
+    PassVerificationError,
+)
+from repro.instrument.udiff import unified_diff
 
 __all__ = [
+    "DEBUG_COUNTERS",
+    "DebugCounter",
+    "DebugCounterRegistry",
+    "get_debug_counter",
+    "PassExecution",
+    "PassInstrumentation",
+    "PassVerificationError",
+    "unified_diff",
     "ExecutionProfile",
     "LoopProfile",
     "ThreadProfile",

@@ -1,0 +1,139 @@
+"""LLVM-style debug counters (``llvm/Support/DebugCounter.h``).
+
+A :class:`DebugCounter` names one *kind* of transformation site inside a
+pass (e.g. ``unroll-transform`` — each annotated loop LoopUnroll
+considers).  Every site asks :meth:`DebugCounter.should_execute` before
+transforming; with no override set the answer is always yes and the call
+is one comparison.  ``-debug-counter=NAME=SKIP[,COUNT]`` arms the
+counter: the first SKIP occurrences are suppressed, the next COUNT (all
+remaining when omitted) execute, and everything after is suppressed
+again — LLVM's exact window semantics, which is what lets a bisection
+narrow a miscompile to one transformation *site* once ``-opt-bisect``
+has narrowed it to a pass.
+
+Counters live in a process-global :data:`DEBUG_COUNTERS` registry (like
+:data:`repro.instrument.stats.STATS`).  The registry creates counters on
+first mention from either side — pass module import or driver spec
+parsing — so flag handling does not depend on import order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class DebugCounter:
+    """One named, optionally-windowed transformation-site counter."""
+
+    __slots__ = ("name", "desc", "occurrences", "skip", "limit")
+
+    def __init__(self, name: str, desc: str = "") -> None:
+        self.name = name
+        self.desc = desc
+        #: how many times :meth:`should_execute` has been asked
+        self.occurrences = 0
+        #: suppress the first ``skip`` occurrences; ``None`` = not armed
+        self.skip: Optional[int] = None
+        #: execute ``limit`` occurrences after the skipped prefix;
+        #: ``None`` = all remaining
+        self.limit: Optional[int] = None
+
+    @property
+    def is_set(self) -> bool:
+        return self.skip is not None
+
+    def configure(self, skip: int, limit: int | None = None) -> None:
+        if skip < 0 or (limit is not None and limit < 0):
+            raise ValueError(
+                f"debug counter '{self.name}': skip/count must be >= 0"
+            )
+        self.skip = skip
+        self.limit = limit
+        self.occurrences = 0
+
+    def unset(self) -> None:
+        self.skip = None
+        self.limit = None
+        self.occurrences = 0
+
+    def should_execute(self) -> bool:
+        """Ask-and-advance: does the current occurrence execute?"""
+        index = self.occurrences
+        self.occurrences += 1
+        if self.skip is None:
+            return True
+        if index < self.skip:
+            return False
+        if self.limit is None:
+            return True
+        return index < self.skip + self.limit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        window = (
+            f"skip={self.skip},count={self.limit}" if self.is_set else "unset"
+        )
+        return f"DebugCounter({self.name}, {window}, seen={self.occurrences})"
+
+
+class DebugCounterRegistry:
+    """Process-global name -> :class:`DebugCounter` map."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, DebugCounter] = {}
+
+    def get(self, name: str, desc: str = "") -> DebugCounter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = DebugCounter(name, desc)
+            self._counters[name] = counter
+        elif desc and not counter.desc:
+            counter.desc = desc
+        return counter
+
+    def apply_spec(self, spec: str) -> DebugCounter:
+        """Parse one ``NAME=SKIP[,COUNT]`` driver spec and arm the
+        counter."""
+        name, sep, window = spec.partition("=")
+        name = name.strip()
+        if not sep or not name or not window.strip():
+            raise ValueError(
+                f"invalid -debug-counter spec '{spec}' "
+                "(expected NAME=SKIP[,COUNT])"
+            )
+        parts = [p.strip() for p in window.split(",")]
+        if len(parts) > 2:
+            raise ValueError(
+                f"invalid -debug-counter spec '{spec}' "
+                "(expected NAME=SKIP[,COUNT])"
+            )
+        try:
+            skip = int(parts[0])
+            limit = int(parts[1]) if len(parts) == 2 else None
+        except ValueError:
+            raise ValueError(
+                f"invalid -debug-counter spec '{spec}': "
+                "SKIP and COUNT must be integers"
+            ) from None
+        counter = self.get(name)
+        counter.configure(skip, limit)
+        return counter
+
+    def unset_all(self) -> None:
+        """Disarm and rewind every counter (test isolation)."""
+        for counter in self._counters.values():
+            counter.unset()
+
+    def __iter__(self) -> Iterator[DebugCounter]:
+        return iter(self._counters.values())
+
+    def __len__(self) -> int:
+        return len(self._counters)
+
+
+#: the process-wide registry (LLVM keeps one ``DebugCounter`` singleton)
+DEBUG_COUNTERS = DebugCounterRegistry()
+
+
+def get_debug_counter(name: str, desc: str = "") -> DebugCounter:
+    """Module-scope registration helper (LLVM's ``DEBUG_COUNTER`` macro)."""
+    return DEBUG_COUNTERS.get(name, desc)

@@ -1,0 +1,290 @@
+"""Pass-pipeline introspection (LLVM's ``PassInstrumentationCallbacks``
+plus the relevant ``StandardInstrumentations``).
+
+One :class:`PassInstrumentation` object is threaded through
+:meth:`repro.midend.pass_manager.PassManager.run`; the manager calls
+:meth:`~PassInstrumentation.start` before and
+:meth:`~PassInstrumentation.finish` after every pass-on-function
+execution.  The instrumentation combines four LLVM debugging facilities:
+
+========================  =============================================
+Facility                  LLVM counterpart
+========================  =============================================
+IR printing/diffing       ``-print-before[-all]`` / ``-print-after
+                          [-all]`` / ``-print-changed``
+                          (PrintIRInstrumentation / ChangeReporter)
+verify-each               ``-verify-each`` (VerifyInstrumentation)
+opt-bisect                ``-opt-bisect-limit=N`` (``OptBisect``)
+execution record          ``PassInstrumentationCallbacks`` analysis
+                          invalidation bookkeeping (we keep the full
+                          per-execution log for ``bisect_pipeline``)
+========================  =============================================
+
+Pass executions are numbered from 1 in pipeline order exactly like
+LLVM's ``OptBisect``; ``-opt-bisect-limit=N`` runs executions 1..N and
+skips the rest (``-1`` = run everything, but still log the ``BISECT:``
+lines).  Skipped executions are reported as ``-Rpass-missed`` remarks so
+the existing remark plumbing shows *why* a transformation is missing
+from a bisected build.
+
+IR snapshots use :func:`repro.ir.printer.print_function`, whose output
+is deterministic (stable local metadata numbering), so ``-print-changed``
+diffs are byte-stable and usable in snapshot tests.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional, TextIO
+
+from repro.instrument.stats import get_statistic
+from repro.instrument.udiff import unified_diff
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.instrument.remarks import RemarkEmitter
+    from repro.ir.module import Function
+
+_SNAPSHOTS_TAKEN = get_statistic(
+    "pass-instrument",
+    "ir-snapshots-taken",
+    "IR snapshots taken before pass executions",
+)
+_DIFFS_EMITTED = get_statistic(
+    "pass-instrument",
+    "diffs-emitted",
+    "Non-empty -print-changed diffs emitted",
+)
+_EXECUTIONS_SKIPPED = get_statistic(
+    "pass-instrument",
+    "executions-skipped",
+    "Pass executions skipped by -opt-bisect-limit",
+)
+_VERIFY_RUNS = get_statistic(
+    "pass-instrument",
+    "verify-each-runs",
+    "Module verifications run by -verify-each",
+)
+
+
+@dataclass
+class PassExecution:
+    """One numbered pass-on-function execution (the OptBisect unit)."""
+
+    index: int
+    pass_name: str
+    function: str
+    #: False when -opt-bisect-limit suppressed this execution
+    ran: bool = True
+    #: filled in by :meth:`PassInstrumentation.finish`
+    changed: Optional[bool] = None
+
+    def describe(self) -> str:
+        return f"({self.index}) {self.pass_name} on function ({self.function})"
+
+
+class PassVerificationError(Exception):
+    """``-verify-each`` found broken IR and knows which pass broke it."""
+
+    def __init__(
+        self,
+        execution: PassExecution,
+        cause: Exception,
+        reproducer_dir: str | None = None,
+    ) -> None:
+        self.execution = execution
+        self.pass_name = execution.pass_name
+        self.function = execution.function
+        self.index = execution.index
+        self.cause = cause
+        self.reproducer_dir = reproducer_dir
+        message = (
+            f"IR verification failed after pass '{execution.pass_name}' "
+            f"on function '{execution.function}' "
+            f"(execution {execution.index}): {cause}"
+        )
+        if reproducer_dir is not None:
+            message += f" [reproducer IR written to {reproducer_dir}]"
+        super().__init__(message)
+
+
+class PassInstrumentation:
+    """Before/after hooks around every pass-on-function execution."""
+
+    def __init__(
+        self,
+        *,
+        print_before: Iterable[str] = (),
+        print_after: Iterable[str] = (),
+        print_before_all: bool = False,
+        print_after_all: bool = False,
+        print_changed: bool = False,
+        verify_each: bool = False,
+        opt_bisect_limit: int | None = None,
+        reproducer_dir: str = "miniclang-crashes",
+        remarks: Optional["RemarkEmitter"] = None,
+        stream: Optional[TextIO] = None,
+    ) -> None:
+        self.print_before = set(print_before)
+        self.print_after = set(print_after)
+        self.print_before_all = print_before_all
+        self.print_after_all = print_after_all
+        self.print_changed = print_changed
+        self.verify_each = verify_each
+        self.opt_bisect_limit = opt_bisect_limit
+        self.reproducer_dir = reproducer_dir
+        #: remark sink for skipped executions; assignable after
+        #: construction (the emitter is born with the DiagnosticsEngine)
+        self.remarks = remarks
+        self.stream = stream
+        #: complete log, one entry per execution, in pipeline order
+        self.executions: list[PassExecution] = []
+        self._next_index = 1
+        self._snapshot: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        """Does any facility actually observe executions?"""
+        return bool(
+            self.print_before
+            or self.print_after
+            or self.print_before_all
+            or self.print_after_all
+            or self.print_changed
+            or self.verify_each
+            or self.opt_bisect_limit is not None
+        )
+
+    def _out(self, text: str) -> None:
+        print(text, file=self.stream if self.stream is not None else sys.stderr)
+
+    def _wants_before(self, pass_name: str) -> bool:
+        return self.print_before_all or pass_name in self.print_before
+
+    def _wants_after(self, pass_name: str) -> bool:
+        return self.print_after_all or pass_name in self.print_after
+
+    def _needs_snapshot(self, pass_name: str) -> bool:
+        return self.print_changed or self.verify_each
+
+    # ------------------------------------------------------------------
+    def start(self, pass_name: str, fn: "Function") -> PassExecution:
+        """Number the execution, apply the bisect gate, snapshot IR.
+
+        The caller must not run the pass when ``execution.ran`` is
+        False.
+        """
+        execution = PassExecution(self._next_index, pass_name, fn.name)
+        self._next_index += 1
+        self.executions.append(execution)
+        if self.opt_bisect_limit is not None:
+            limit = self.opt_bisect_limit
+            execution.ran = limit < 0 or execution.index <= limit
+            verb = "running" if execution.ran else "NOT running"
+            self._out(f"BISECT: {verb} pass {execution.describe()}")
+            if not execution.ran:
+                _EXECUTIONS_SKIPPED.inc()
+                if self.remarks is not None:
+                    self.remarks.missed(
+                        pass_name,
+                        f"pass execution {execution.index} skipped by "
+                        f"-opt-bisect-limit={limit}",
+                        function=fn.name,
+                    )
+                return execution
+        from repro.ir.printer import print_function
+
+        if self._wants_before(pass_name):
+            self._out(
+                f"*** IR Dump Before {pass_name} on {fn.name} ***\n"
+                + print_function(fn)
+            )
+        if self._needs_snapshot(pass_name):
+            self._snapshot = print_function(fn)
+            _SNAPSHOTS_TAKEN.inc()
+        else:
+            self._snapshot = None
+        return execution
+
+    # ------------------------------------------------------------------
+    def finish(
+        self, execution: PassExecution, fn: "Function", changed: bool
+    ) -> None:
+        """Report the finished execution: dumps, diffs, verification."""
+        execution.changed = changed
+        pass_name = execution.pass_name
+        from repro.ir.printer import print_function
+
+        after_text: Optional[str] = None
+        if self._wants_after(pass_name):
+            after_text = print_function(fn)
+            self._out(
+                f"*** IR Dump After {pass_name} on {fn.name} ***\n"
+                + after_text
+            )
+        if self.print_changed and self._snapshot is not None:
+            if after_text is None:
+                after_text = print_function(fn)
+            if after_text != self._snapshot:
+                diff = unified_diff(
+                    self._snapshot.splitlines(),
+                    after_text.splitlines(),
+                    fromfile=f"{fn.name} before {pass_name}",
+                    tofile=f"{fn.name} after {pass_name}",
+                )
+                self._out(
+                    f"*** IR Diff After {pass_name} on {fn.name} ***\n"
+                    + diff
+                )
+                _DIFFS_EMITTED.inc()
+        if self.verify_each:
+            self._verify(execution, fn, after_text)
+
+    # ------------------------------------------------------------------
+    def _verify(
+        self,
+        execution: PassExecution,
+        fn: "Function",
+        after_text: Optional[str],
+    ) -> None:
+        from repro.ir.printer import print_function, print_module
+        from repro.ir.verifier import VerificationError, verify_function, verify_module
+
+        _VERIFY_RUNS.inc()
+        try:
+            if fn.module is not None:
+                verify_module(fn.module)
+            else:
+                verify_function(fn)
+        except VerificationError as err:
+            reproducer: str | None = None
+            try:
+                os.makedirs(self.reproducer_dir, exist_ok=True)
+                stem = (
+                    f"{execution.index:04d}-{execution.pass_name}"
+                    f"-{execution.function}"
+                )
+                if self._snapshot is not None:
+                    before_path = os.path.join(
+                        self.reproducer_dir, f"{stem}.before.ll"
+                    )
+                    with open(before_path, "w", encoding="utf-8") as fh:
+                        fh.write(self._snapshot + "\n")
+                after_path = os.path.join(
+                    self.reproducer_dir, f"{stem}.after.ll"
+                )
+                broken = (
+                    print_module(fn.module)
+                    if fn.module is not None
+                    else (after_text or print_function(fn))
+                )
+                with open(after_path, "w", encoding="utf-8") as fh:
+                    fh.write(broken + "\n")
+                reproducer = self.reproducer_dir
+            except Exception:
+                # Broken IR may not even print; the pass attribution in
+                # the raised error still stands.
+                reproducer = None
+            raise PassVerificationError(execution, err, reproducer) from err

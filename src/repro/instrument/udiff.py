@@ -1,0 +1,149 @@
+"""Pure-python unified-diff engine for ``-print-changed``.
+
+Implements Myers' greedy O((N+M)D) shortest-edit-script algorithm
+("An O(ND) Difference Algorithm and Its Variations", 1986) — the same
+algorithm GNU diff and git use — and renders classic unified hunks::
+
+    --- main before mem2reg
+    +++ main after mem2reg
+    @@ -1,4 +1,3 @@
+     entry:
+    -  %i = alloca i32
+       ...
+
+Deliberately dependency-free (no :mod:`difflib`) so the diff output is
+fully under our control: IR dumps are line-oriented and the printer is
+deterministic (see :mod:`repro.ir.printer`), which keeps these diffs
+byte-stable across runs and usable in snapshot tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+#: edit-script entry: (tag, old_index | None, new_index | None) where tag
+#: is " " (common), "-" (only in old) or "+" (only in new)
+EditOp = tuple[str, int | None, int | None]
+
+
+def _myers_matches(a: Sequence[str], b: Sequence[str]) -> list[tuple[int, int]]:
+    """Index pairs (i, j) with ``a[i] == b[j]`` forming a longest common
+    subsequence, via Myers' greedy forward search with backtracking."""
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return []
+    v: dict[int, int] = {1: 0}
+    trace: list[dict[int, int]] = []
+    solution_d = None
+    for d in range(n + m + 1):
+        trace.append(dict(v))
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v.get(k - 1, 0) < v.get(k + 1, 0)):
+                x = v.get(k + 1, 0)
+            else:
+                x = v.get(k - 1, 0) + 1
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[k] = x
+            if x >= n and y >= m:
+                solution_d = d
+                break
+        if solution_d is not None:
+            break
+    assert solution_d is not None
+    # Backtrack through the saved V states collecting diagonal moves.
+    matches: list[tuple[int, int]] = []
+    x, y = n, m
+    for d in range(solution_d, -1, -1):
+        vd = trace[d]
+        k = x - y
+        if k == -d or (k != d and vd.get(k - 1, 0) < vd.get(k + 1, 0)):
+            prev_k = k + 1
+        else:
+            prev_k = k - 1
+        prev_x = vd.get(prev_k, 0)
+        prev_y = prev_x - prev_k
+        while x > prev_x and y > prev_y:
+            matches.append((x - 1, y - 1))
+            x -= 1
+            y -= 1
+        if d > 0:
+            x, y = prev_x, prev_y
+    matches.reverse()
+    return matches
+
+
+def edit_script(a: Sequence[str], b: Sequence[str]) -> list[EditOp]:
+    """The full line-by-line edit script turning *a* into *b*."""
+    script: list[EditOp] = []
+    ai = bi = 0
+    for ma, mb in _myers_matches(a, b):
+        while ai < ma:
+            script.append(("-", ai, None))
+            ai += 1
+        while bi < mb:
+            script.append(("+", None, bi))
+            bi += 1
+        script.append((" ", ai, bi))
+        ai += 1
+        bi += 1
+    while ai < len(a):
+        script.append(("-", ai, None))
+        ai += 1
+    while bi < len(b):
+        script.append(("+", None, bi))
+        bi += 1
+    return script
+
+
+def _hunk_ranges(
+    script: list[EditOp], context: int
+) -> Iterator[tuple[int, int]]:
+    """Half-open script index ranges, each covering a run of changes plus
+    *context* common lines, with overlapping/adjacent runs merged."""
+    changed = [i for i, (tag, _, _) in enumerate(script) if tag != " "]
+    if not changed:
+        return
+    start = max(0, changed[0] - context)
+    end = min(len(script), changed[0] + context + 1)
+    for idx in changed[1:]:
+        if idx - context <= end:
+            end = min(len(script), idx + context + 1)
+        else:
+            yield start, end
+            start = max(0, idx - context)
+            end = min(len(script), idx + context + 1)
+    yield start, end
+
+
+def unified_diff(
+    a: Sequence[str],
+    b: Sequence[str],
+    fromfile: str = "before",
+    tofile: str = "after",
+    context: int = 3,
+) -> str:
+    """Unified diff of two line sequences; empty string when equal."""
+    if list(a) == list(b):
+        return ""
+    script = edit_script(a, b)
+    lines = [f"--- {fromfile}", f"+++ {tofile}"]
+    for start, end in _hunk_ranges(script, context):
+        hunk = script[start:end]
+        old_count = sum(1 for tag, _, _ in hunk if tag in (" ", "-"))
+        new_count = sum(1 for tag, _, _ in hunk if tag in (" ", "+"))
+        old_start = next(
+            (i for tag, i, _ in hunk if i is not None), 0
+        ) + (1 if old_count else 0)
+        new_start = next(
+            (j for tag, _, j in hunk if j is not None), 0
+        ) + (1 if new_count else 0)
+        lines.append(
+            f"@@ -{old_start},{old_count} +{new_start},{new_count} @@"
+        )
+        for tag, i, j in hunk:
+            text = a[i] if i is not None else b[j]  # type: ignore[index]
+            lines.append(f"{tag}{text}")
+    return "\n".join(lines)

@@ -1,4 +1,14 @@
-"""Textual IR printer (``.ll``-style)."""
+"""Textual IR printer (``.ll``-style).
+
+Output is fully deterministic for a given module: functions, globals and
+blocks print in their (stable) insertion order, value names come from
+per-function counters, and metadata nodes are numbered *locally* in
+first-reference order (``!0``, ``!1``, ...) rather than by their
+process-global creation id.  Local numbering is what makes two prints of
+structurally identical modules byte-equal even when unrelated metadata
+was created in between — the property ``-print-changed`` diffs and
+snapshot tests rely on.
+"""
 
 from __future__ import annotations
 
@@ -27,7 +37,10 @@ from repro.ir.module import BasicBlock, Function, Module
 
 class ModulePrinter:
     def __init__(self) -> None:
-        self._md_nodes: dict[int, MDNode] = {}
+        #: referenced metadata nodes, in first-reference order; the list
+        #: index is the node's local print id
+        self._md_nodes: list[MDNode] = []
+        self._md_ids: dict[int, int] = {}  # id(node) -> local id
 
     # ------------------------------------------------------------------
     def print_module(self, module: Module) -> str:
@@ -57,9 +70,11 @@ class ModulePrinter:
             if not fn.is_declaration and fn.blocks:
                 lines.append(self.print_function(fn))
                 lines.append("")
-        if self._md_nodes:
-            for node in self._md_nodes.values():
-                lines.append(f"!{node.id} = {self._md_body(node)}")
+        # _md_body may discover further nodes; iterate the growing list.
+        i = 0
+        while i < len(self._md_nodes):
+            lines.append(f"!{i} = {self._md_body(self._md_nodes[i])}")
+            i += 1
         return "\n".join(lines)
 
     def _print_declaration(self, fn: Function) -> str:
@@ -88,11 +103,15 @@ class ModulePrinter:
 
     # ------------------------------------------------------------------
     def _md_ref(self, node: MDNode) -> str:
-        self._md_nodes[node.id] = node
-        for op in node.operands:
-            if isinstance(op, MDNode) and op is not node:
-                self._md_ref(op)
-        return f"!{node.id}"
+        local = self._md_ids.get(id(node))
+        if local is None:
+            local = len(self._md_nodes)
+            self._md_ids[id(node)] = local
+            self._md_nodes.append(node)
+            for op in node.operands:
+                if isinstance(op, MDNode) and op is not node:
+                    self._md_ref(op)
+        return f"!{local}"
 
     def _md_body(self, node: MDNode) -> str:
         parts = []
@@ -100,7 +119,7 @@ class ModulePrinter:
             if op is None:
                 parts.append("null")
             elif isinstance(op, MDNode):
-                parts.append(f"!{op.id}")
+                parts.append(self._md_ref(op))
             elif isinstance(op, int):
                 parts.append(f"i32 {op}")
             else:

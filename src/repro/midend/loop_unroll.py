@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.instrument import RemarkEmitter, get_statistic
+from repro.instrument import RemarkEmitter, get_debug_counter, get_statistic
 from repro.ir.instructions import (
     BinaryInst,
     BinOp,
@@ -106,6 +106,12 @@ _COPIES_MADE = get_statistic(
 _LOOPS_SKIPPED = get_statistic(
     "loop-unroll", "loops-skipped", "Annotated loops left untouched"
 )
+#: one occurrence per annotated loop considered for unrolling
+#: (-debug-counter=unroll-transform=SKIP[,COUNT] suppresses sites)
+_UNROLL_SITE = get_debug_counter(
+    "unroll-transform",
+    "LoopUnroll: each annotated-loop transformation site",
+)
 
 
 class LoopUnrollPass(FunctionPass):
@@ -162,6 +168,12 @@ class LoopUnrollPass(FunctionPass):
         self, fn: Function, loop: Loop, md: MDNode
     ) -> bool:
         self._strip_metadata(loop)
+        if not _UNROLL_SITE.should_execute():
+            return self._skip(
+                fn,
+                "transformation site suppressed by "
+                "-debug-counter=unroll-transform",
+            )
         if has_flag(md, UNROLL_DISABLE):
             return self._skip(fn, "unrolling disabled by metadata")
         count = get_unroll_count(md)

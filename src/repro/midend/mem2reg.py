@@ -30,10 +30,16 @@ from repro.midend.dominators import DominatorTree
 from repro.midend.pass_manager import FunctionPass
 
 
-from repro.instrument import get_statistic
+from repro.instrument import get_debug_counter, get_statistic
 
 _ALLOCAS_PROMOTED = get_statistic(
     "mem2reg", "allocas-promoted", "Stack slots promoted to SSA registers"
+)
+#: one occurrence per promotable alloca
+#: (-debug-counter=mem2reg-promote=SKIP[,COUNT] suppresses sites)
+_PROMOTE_SITE = get_debug_counter(
+    "mem2reg-promote",
+    "Mem2Reg: each alloca-promotion site",
 )
 
 
@@ -49,6 +55,11 @@ class Mem2RegPass(FunctionPass):
         # renaming walk only visits the dominator tree).
         remove_unreachable_blocks(fn)
         promotable = self._find_promotable(fn)
+        promotable = {
+            alloca: ty
+            for alloca, ty in promotable.items()
+            if _PROMOTE_SITE.should_execute()
+        }
         if not promotable:
             return False
         _ALLOCAS_PROMOTED.inc(len(promotable))

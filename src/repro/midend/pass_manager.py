@@ -4,8 +4,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Iterator, Optional
 
-from repro.instrument import get_statistic, time_trace_scope
+from repro.instrument import PassInstrumentation, get_statistic, time_trace_scope
 from repro.ir.module import Function, Module
 
 
@@ -26,6 +27,8 @@ class PassRunInfo:
     name: str
     functions_visited: int = 0
     functions_changed: int = 0
+    #: executions suppressed by -opt-bisect-limit
+    functions_skipped: int = 0
     duration_s: float = 0.0
 
     @property
@@ -38,13 +41,20 @@ class PipelineRunResult:
     """Structured outcome of one pipeline run.
 
     Truthy exactly when any pass changed anything, so existing
-    ``if pm.run(module):`` callers keep working.
+    ``if pm.run(module):`` callers keep working.  Iterates over its
+    :class:`PassRunInfo` entries in pipeline order.
     """
 
     passes: list[PassRunInfo] = field(default_factory=list)
 
     def __bool__(self) -> bool:
         return any(info.functions_changed for info in self.passes)
+
+    def __iter__(self) -> Iterator[PassRunInfo]:
+        return iter(self.passes)
+
+    def __len__(self) -> int:
+        return len(self.passes)
 
     @property
     def changed(self) -> bool:
@@ -54,7 +64,11 @@ class PipelineRunResult:
         for info in self.passes:
             if info.name == pass_name:
                 return info
-        raise KeyError(f"no pass '{pass_name}' in this run")
+        valid = ", ".join(repr(info.name) for info in self.passes)
+        raise KeyError(
+            f"no pass '{pass_name}' in this run "
+            f"(valid pass names: {valid or '<none>'})"
+        )
 
     def changes_by_pass(self) -> dict[str, int]:
         return {info.name: info.functions_changed for info in self.passes}
@@ -74,12 +88,25 @@ class PassManager:
     last_run_changes: dict[str, int] = field(default_factory=dict)
     #: full structured record of the last :meth:`run`
     last_run: PipelineRunResult | None = None
+    #: default instrumentation threaded through :meth:`run` (a per-call
+    #: ``instrument`` argument overrides it)
+    instrument: Optional[PassInstrumentation] = None
 
     def add(self, pass_: FunctionPass) -> "PassManager":
         self.passes.append(pass_)
         return self
 
-    def run(self, module: Module) -> PipelineRunResult:
+    def pass_names(self) -> list[str]:
+        """Registered pass names in pipeline order
+        (``-print-pipeline-passes``)."""
+        return [p.name for p in self.passes]
+
+    def run(
+        self,
+        module: Module,
+        instrument: Optional[PassInstrumentation] = None,
+    ) -> PipelineRunResult:
+        instrument = instrument if instrument is not None else self.instrument
         result = PipelineRunResult(
             passes=[PassRunInfo(p.name) for p in self.passes]
         )
@@ -89,26 +116,40 @@ class PassManager:
                 continue
             for pass_ in self.passes:
                 info = infos[pass_.name]
+                execution = None
+                detail = fn.name
+                if instrument is not None:
+                    execution = instrument.start(pass_.name, fn)
+                    if not execution.ran:
+                        info.functions_skipped += 1
+                        continue
+                    detail = f"{fn.name} (bisect {execution.index})"
                 info.functions_visited += 1
                 start = time.perf_counter()
-                with time_trace_scope(f"Pass.{pass_.name}", fn.name):
+                with time_trace_scope(f"Pass.{pass_.name}", detail):
                     changed = pass_.run_on_function(fn)
                 info.duration_s += time.perf_counter() - start
                 if changed:
                     info.functions_changed += 1
                     _FUNCTIONS_CHANGED.inc()
+                if execution is not None:
+                    instrument.finish(execution, fn, changed)
         self.last_run = result
         self.last_run_changes = result.changes_by_pass()
         return result
 
 
-def default_pass_pipeline(remarks=None) -> PassManager:
+def default_pass_pipeline(
+    remarks=None, instrument: Optional[PassInstrumentation] = None
+) -> PassManager:
     """The -O pipeline the driver uses: unroll annotated loops, then
     clean up (fold the per-copy checks full unrolling leaves behind,
     delete dead code, merge straight-line blocks).
 
     ``remarks`` (a :class:`~repro.instrument.RemarkEmitter`) receives the
-    optimization remarks of remark-aware passes (currently LoopUnroll).
+    optimization remarks of remark-aware passes (currently LoopUnroll);
+    ``instrument`` (a :class:`~repro.instrument.PassInstrumentation`) is
+    threaded through every pass-on-function execution.
     """
     from repro.midend.constant_fold import ConstantFoldPass
     from repro.midend.dce import DeadCodeEliminationPass
@@ -116,13 +157,18 @@ def default_pass_pipeline(remarks=None) -> PassManager:
     from repro.midend.mem2reg import Mem2RegPass
     from repro.midend.simplify_cfg import SimplifyCFGPass
 
+    if instrument is not None and instrument.remarks is None:
+        instrument.remarks = remarks
+
     # LoopUnroll runs first: it pattern-matches the memory-form induction
     # variables the front-end emits; mem2reg then promotes what remains.
-    return (
-        PassManager()
-        .add(LoopUnrollPass(remarks=remarks))
-        .add(Mem2RegPass())
-        .add(ConstantFoldPass())
-        .add(SimplifyCFGPass())
-        .add(DeadCodeEliminationPass())
+    return PassManager(
+        passes=[
+            LoopUnrollPass(remarks=remarks),
+            Mem2RegPass(),
+            ConstantFoldPass(),
+            SimplifyCFGPass(),
+            DeadCodeEliminationPass(),
+        ],
+        instrument=instrument,
     )

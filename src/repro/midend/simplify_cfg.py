@@ -9,12 +9,18 @@ from repro.ir.utils import remove_unreachable_blocks
 from repro.midend.pass_manager import FunctionPass
 
 
-from repro.instrument import get_statistic
+from repro.instrument import get_debug_counter, get_statistic
 
 _BLOCKS_SIMPLIFIED = get_statistic(
     "simplify-cfg",
     "blocks-simplified",
     "Simplification iterations that changed the CFG",
+)
+#: one occurrence per block merge / empty-block-threading site
+#: (-debug-counter=simplifycfg-transform=SKIP[,COUNT] suppresses sites)
+_SIMPLIFY_SITE = get_debug_counter(
+    "simplifycfg-transform",
+    "SimplifyCFG: each block-merge or jump-threading site",
 )
 
 
@@ -50,6 +56,8 @@ class SimplifyCFGPass(FunctionPass):
                 continue
             preds = succ.predecessors()
             if len(preds) != 1 or preds[0] is not block:
+                continue
+            if not _SIMPLIFY_SITE.should_execute():
                 continue
             if succ.phis():
                 # Single-pred phis are resolvable: replace with the value.
@@ -90,6 +98,8 @@ class SimplifyCFGPass(FunctionPass):
                 continue
             target = term.target
             if target is block or target.phis():
+                continue
+            if not _SIMPLIFY_SITE.should_execute():
                 continue
             from repro.ir.utils import redirect_branch
 

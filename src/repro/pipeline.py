@@ -30,6 +30,8 @@ from repro.diagnostics import DiagnosticsEngine, FatalErrorOccurred
 from repro.instrument import (
     STATS,
     ExecutionProfile,
+    PassExecution,
+    PassInstrumentation,
     RemarkEmitter,
     time_trace_scope,
 )
@@ -234,12 +236,14 @@ def run_source(
     optimize: bool = False,
     fuel: int | None = None,
     profile_detail: bool = False,
+    instrument: PassInstrumentation | None = None,
 ) -> RunResult:
     """Compile and execute *source*; returns exit code and captured
     stdout.  ``optimize=True`` additionally runs the mid-end pass
     pipeline (incl. the LoopUnroll pass that consumes the
     ``llvm.loop.unroll.*`` metadata emitted for the paper's unroll
-    directive)."""
+    directive); ``instrument`` threads a
+    :class:`~repro.instrument.PassInstrumentation` through it."""
     result = compile_source(
         source,
         filename=filename,
@@ -252,7 +256,7 @@ def run_source(
         from repro.midend import default_pass_pipeline
 
         default_pass_pipeline(
-            remarks=result.diagnostics.remarks
+            remarks=result.diagnostics.remarks, instrument=instrument
         ).run(result.module)
         verify_module(result.module)
     interp = Interpreter(result.module, profile_detail=profile_detail)
@@ -265,3 +269,107 @@ def run_source(
         interpreter=interp,
         compile_result=result,
     )
+
+
+@dataclass
+class BisectResult:
+    """Outcome of :func:`bisect_pipeline`.
+
+    ``culprit_index`` is the 1-based pass-execution index (LLVM OptBisect
+    numbering) of the first execution that makes the predicate fail;
+    ``0`` means the predicate fails before any pass runs, ``None`` means
+    it never fails.  ``culprit`` names the pass and function of that
+    execution.
+    """
+
+    total_executions: int
+    culprit_index: Optional[int]
+    culprit: Optional[PassExecution]
+    probes: int
+
+    @property
+    def found(self) -> bool:
+        return self.culprit is not None
+
+    def describe(self) -> str:
+        if self.culprit is not None:
+            return (
+                f"first failing pass execution: {self.culprit.describe()} "
+                f"[{self.probes} probes over "
+                f"{self.total_executions} executions]"
+            )
+        if self.culprit_index == 0:
+            return "predicate fails before any pass runs"
+        return "predicate never fails; the pipeline is not the culprit"
+
+
+def bisect_pipeline(
+    source: str,
+    predicate,
+    *,
+    filename: str = "<bisect>",
+    openmp: bool = True,
+    enable_irbuilder: bool = False,
+    defines: dict[str, str] | None = None,
+    pipeline_factory=None,
+    log=None,
+) -> BisectResult:
+    """Binary-search ``-opt-bisect-limit`` for the first pass execution
+    that breaks *predicate*.
+
+    Recompiles *source* from scratch per probe (pass pipelines mutate the
+    module in place), runs the pipeline with an increasing bisect limit
+    and evaluates ``predicate(compile_result) -> bool`` (True = good).
+    ``pipeline_factory(remarks, instrument) -> PassManager`` overrides
+    the pipeline under test (defaults to
+    :func:`repro.midend.default_pass_pipeline`); ``log`` is an optional
+    stream receiving each probe's ``BISECT:`` lines.
+    """
+    import io
+
+    from repro.midend import default_pass_pipeline
+
+    if pipeline_factory is None:
+        pipeline_factory = default_pass_pipeline
+
+    probes = 0
+
+    def probe(limit: int) -> tuple[bool, PassInstrumentation]:
+        nonlocal probes
+        probes += 1
+        if log is not None:
+            print(f"BISECT PROBE: -opt-bisect-limit={limit}", file=log)
+        instrument = PassInstrumentation(
+            opt_bisect_limit=limit,
+            stream=log if log is not None else io.StringIO(),
+        )
+        result = compile_source(
+            source,
+            filename=filename,
+            openmp=openmp,
+            enable_irbuilder=enable_irbuilder,
+            defines=defines,
+        )
+        assert result.module is not None
+        pipeline_factory(
+            remarks=result.diagnostics.remarks, instrument=instrument
+        ).run(result.module, instrument)
+        return bool(predicate(result)), instrument
+
+    good_all, full_run = probe(-1)
+    total = len(full_run.executions)
+    if good_all:
+        return BisectResult(total, None, None, probes)
+    good_none, _ = probe(0)
+    if not good_none:
+        return BisectResult(total, 0, None, probes)
+    lo, hi = 0, total  # invariant: limit=lo good, limit=hi bad
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        good, _ = probe(mid)
+        if good:
+            lo = mid
+        else:
+            hi = mid
+    culprit = full_run.executions[hi - 1]
+    return BisectResult(total, hi, culprit, probes)
