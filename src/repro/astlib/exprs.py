@@ -163,6 +163,40 @@ class OpaqueValueExpr(Expr):
         return (self.source_expr,)
 
 
+class RecoveryExpr(Expr):
+    """Error-recovery placeholder (clang's ``RecoveryExpr``).
+
+    Stands in for an expression Sema could not analyse, preserving any
+    well-formed subexpressions so the parser can keep going and later
+    analysis stays quiet about operands that already carry an error —
+    one bad construct yields one diagnostic, not a cascade.  Never
+    reaches CodeGen: any compilation that built one has at least one
+    error diagnostic and stops before IR emission.
+    """
+
+    def __init__(
+        self,
+        subexprs: Sequence[Expr],
+        type: QualType,
+        location: SourceLocation | None = None,
+    ) -> None:
+        super().__init__(type, ValueCategory.RVALUE, location)
+        self.subexprs = list(subexprs)
+
+    def children(self) -> Iterable[Optional[Stmt]]:
+        return tuple(self.subexprs)
+
+
+def contains_errors(*exprs: Optional[Expr]) -> bool:
+    """Does any operand (modulo parens/implicit casts) already carry an
+    error?  Sema uses this to suppress cascading diagnostics."""
+    return any(
+        isinstance(expr.ignore_implicit_casts(), RecoveryExpr)
+        for expr in exprs
+        if expr is not None
+    )
+
+
 # ---------------------------------------------------------------------------
 # Operators
 # ---------------------------------------------------------------------------

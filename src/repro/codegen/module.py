@@ -9,7 +9,13 @@ from repro.astlib import types as ast_ty
 from repro.astlib.context import ASTContext
 from repro.astlib.decls import FunctionDecl, TranslationUnitDecl, VarDecl
 from repro.codegen.types import TypeLowering
+from repro.core.crash_recovery import (
+    format_location,
+    pretty_stack_entry,
+    recovery_scope,
+)
 from repro.diagnostics import DiagnosticsEngine
+from repro.instrument.faultinject import FAULTS
 from repro.ir import (
     ConstantFP,
     ConstantInt,
@@ -80,9 +86,25 @@ class CodeGenModule:
                 if isinstance(decl, FunctionDecl) and decl.is_definition:
                     from repro.codegen.function import CodeGenFunction
 
-                    with time_trace_scope(
+                    loc_text = format_location(
+                        self.diags.source_manager, decl.location
+                    )
+                    # Per-function crash recovery: one crashing body
+                    # costs one ICE diagnostic, the other functions of
+                    # the TU still lower.
+                    with recovery_scope(
+                        "codegen-function",
+                        self.diags,
+                        recover=True,
+                        location=decl.location,
+                    ), pretty_stack_entry(
+                        f"emitting IR for function '{decl.name}' "
+                        f"at {loc_text}"
+                    ), time_trace_scope(
                         "CodeGen.Function", decl.name
                     ):
+                        if FAULTS.armed:
+                            FAULTS.hit("codegen-function")
                         CodeGenFunction(self).emit_function(decl)
                     _FUNCTIONS_EMITTED.inc()
         _INSTRUCTIONS_EMITTED.inc(

@@ -1,0 +1,346 @@
+"""Crash resilience: recovery scopes, pretty stacks, crash reproducers.
+
+Modeled on three Clang/LLVM facilities:
+
+* ``llvm::CrashRecoveryContext`` — run a pipeline phase so that an
+  unexpected exception is contained instead of killing the process:
+  :func:`recovery_scope`.
+* ``llvm::PrettyStackTraceEntry`` — a stack of human-readable scope
+  descriptions ("...while analysing '#pragma omp tile' at t.c:4:9")
+  maintained by every layer and snapshotted into the internal compiler
+  error report: :func:`pretty_stack_entry`.
+* ``clang -gen-reproducer`` / ``CC_PRINT_HEADERS`` crash dumps — a
+  self-contained reproducer (source + invocation line + Python
+  traceback + pretty stack) written into the crash-reproducer
+  directory: :func:`write_reproducer`.
+
+Two recovery modes:
+
+* **propagate** (default): the scope converts the exception into an
+  :class:`InternalCompilerError` carrying the pretty stack, traceback
+  text and reproducer path; the driver maps it to the dedicated ICE
+  exit code (70) and batch drivers move on to the next input.
+* **recover** (``recover=True``, used per OpenMP directive and per
+  CodeGen function): the scope emits an ``internal compiler error:``
+  *diagnostic* (category ``"ice"``) into the shared
+  :class:`~repro.diagnostics.DiagnosticsEngine` and lets compilation of
+  the remaining directives/functions continue — one crashing construct
+  costs one error, not the whole translation unit.
+
+Control-flow exceptions of the compiler itself (fatal diagnostics,
+``-ferror-limit`` aborts, nested ICEs) always pass through unchanged;
+callers add layer-specific pass-throughs (e.g. guest traps during
+interpretation) via the ``passthrough`` parameter.
+"""
+
+from __future__ import annotations
+
+import os
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+from repro.diagnostics import (
+    Diagnostic,
+    FatalErrorOccurred,
+    Severity,
+    TooManyErrors,
+)
+from repro.instrument.stats import get_statistic
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.diagnostics import DiagnosticsEngine
+    from repro.sourcemgr.location import SourceLocation
+
+_ICES = get_statistic(
+    "crash-recovery", "ices", "Internal compiler errors contained"
+)
+_REPRODUCERS = get_statistic(
+    "crash-recovery",
+    "reproducers-written",
+    "Crash reproducer directories written",
+)
+
+#: master switch (`-fno-crash-recovery`): when False, recovery scopes
+#: re-raise the original exception so compiler developers get the raw
+#: Python traceback and an honest debugger stop.
+_ENABLED = True
+
+
+def set_crash_recovery_enabled(enabled: bool) -> None:
+    global _ENABLED
+    _ENABLED = enabled
+
+
+def crash_recovery_enabled() -> bool:
+    return _ENABLED
+
+
+# ----------------------------------------------------------------------
+# Pretty stack (PrettyStackTraceEntry)
+# ----------------------------------------------------------------------
+_PRETTY_STACK: list[str] = []
+
+
+@contextmanager
+def pretty_stack_entry(text: str) -> Iterator[None]:
+    """Push one scope description for the duration of the block.
+
+    Clang's PrettyStackTrace dumps at crash point (signal time); the
+    Python analogue is stapling a snapshot onto the escaping exception
+    at the *innermost* entry's unwind, before any entry is popped, so a
+    recovery scope further out still sees the full chain."""
+    _PRETTY_STACK.append(text)
+    try:
+        yield
+    except BaseException as exc:
+        if not hasattr(exc, "_pretty_stack"):
+            exc._pretty_stack = list(_PRETTY_STACK)
+        raise
+    finally:
+        _PRETTY_STACK.pop()
+
+
+def pretty_stack() -> list[str]:
+    """Innermost-last snapshot of the active scope descriptions."""
+    return list(_PRETTY_STACK)
+
+
+def format_location(
+    source_manager, loc: Optional["SourceLocation"]
+) -> str:
+    """``file:line:col`` best effort for pretty-stack entries."""
+    if loc is None or not loc.is_valid() or source_manager is None:
+        return "<unknown>"
+    ploc = source_manager.get_presumed_loc(loc)
+    return f"{ploc.filename}:{ploc.line}:{ploc.column}"
+
+
+# ----------------------------------------------------------------------
+# Crash context + reproducer writing
+# ----------------------------------------------------------------------
+@dataclass
+class CrashContext:
+    """What a reproducer needs to be self-contained."""
+
+    source: str
+    filename: str
+    invocation: str
+    reproducer_dir: Optional[str]
+    #: per-context sequence number for deterministic reproducer names
+    crashes_written: int = 0
+
+
+_CONTEXT: list[CrashContext] = []
+
+
+@contextmanager
+def crash_context(
+    source: str,
+    filename: str,
+    invocation: str | None,
+    reproducer_dir: str | None,
+) -> Iterator[CrashContext]:
+    ctx = CrashContext(
+        source=source,
+        filename=filename,
+        invocation=invocation
+        or f"miniclang {filename}  # (library invocation)",
+        reproducer_dir=reproducer_dir,
+    )
+    _CONTEXT.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.pop()
+
+
+def current_crash_context() -> CrashContext | None:
+    return _CONTEXT[-1] if _CONTEXT else None
+
+
+def write_reproducer(
+    phase: str,
+    cause: BaseException,
+    traceback_text: str,
+    stack: list[str] | None = None,
+) -> str | None:
+    """Write a self-contained crash reproducer directory.
+
+    Layout (all plain text, loadable with ``miniclang $(cat cmd)``)::
+
+        <dir>/<stem>-<phase>-NNN/repro.c      the source being compiled
+        <dir>/<stem>-<phase>-NNN/cmd          the invocation line
+        <dir>/<stem>-<phase>-NNN/traceback.txt  Python traceback + stack
+
+    Returns the reproducer path, or None when no crash context / dir is
+    configured or the write itself fails (a crash handler must never
+    crash).
+    """
+    ctx = current_crash_context()
+    if ctx is None or not ctx.reproducer_dir:
+        return None
+    try:
+        stem = os.path.splitext(os.path.basename(ctx.filename))[0]
+        stem = "".join(
+            ch if ch.isalnum() or ch in "-_." else "_" for ch in stem
+        ) or "input"
+        ctx.crashes_written += 1
+        crash_dir = os.path.join(
+            ctx.reproducer_dir,
+            f"{stem}-{phase}-{ctx.crashes_written:03d}",
+        )
+        os.makedirs(crash_dir, exist_ok=True)
+        with open(
+            os.path.join(crash_dir, "repro.c"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(ctx.source)
+        with open(
+            os.path.join(crash_dir, "cmd"), "w", encoding="utf-8"
+        ) as fh:
+            fh.write(ctx.invocation + "\n")
+        with open(
+            os.path.join(crash_dir, "traceback.txt"),
+            "w",
+            encoding="utf-8",
+        ) as fh:
+            fh.write(
+                f"phase: {phase}\n"
+                f"exception: {type(cause).__name__}: {cause}\n\n"
+            )
+            entries = stack if stack is not None else pretty_stack()
+            for depth, entry in enumerate(entries):
+                fh.write(f"{depth}.\t{entry}\n")
+            fh.write("\n" + traceback_text)
+        _REPRODUCERS.inc()
+        return crash_dir
+    except Exception:  # pragma: no cover - defensive: never re-crash
+        return None
+
+
+# ----------------------------------------------------------------------
+# The ICE exception + recovery scope (CrashRecoveryContext)
+# ----------------------------------------------------------------------
+class InternalCompilerError(Exception):
+    """An unexpected exception contained by a recovery scope."""
+
+    def __init__(
+        self,
+        phase: str,
+        cause: BaseException,
+        stack: list[str],
+        traceback_text: str,
+        reproducer_path: str | None = None,
+    ) -> None:
+        super().__init__(
+            f"internal compiler error in {phase}: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.phase = phase
+        self.cause = cause
+        self.stack = stack
+        self.traceback_text = traceback_text
+        self.reproducer_path = reproducer_path
+        # Captured here: render() typically runs after the crash
+        # context was torn down.
+        ctx = current_crash_context()
+        self.invocation = ctx.invocation if ctx is not None else None
+
+    def render(self, program: str = "miniclang") -> str:
+        """Clang-flavoured ICE report (no raw Python traceback)."""
+        lines = [f"{program}: error: {self}", "Stack dump:"]
+        invocation = self.invocation
+        depth = 0
+        if invocation:
+            lines.append(f"{depth}.\tProgram arguments: {invocation}")
+            depth += 1
+        for entry in self.stack:
+            lines.append(f"{depth}.\t{entry}")
+            depth += 1
+        if self.reproducer_path is not None:
+            lines.append(
+                f"{program}: note: diagnostic msg: crash reproducer "
+                f"written to: {self.reproducer_path}"
+            )
+        lines.append(
+            f"{program}: note: please attach the reproducer directory "
+            "when filing a bug report"
+        )
+        return "\n".join(lines)
+
+
+#: compiler control-flow exceptions that recovery must never swallow
+_ALWAYS_PASSTHROUGH: tuple[type[BaseException], ...] = (
+    FatalErrorOccurred,
+    TooManyErrors,
+    InternalCompilerError,
+)
+
+
+def _contain(
+    phase: str,
+    exc: BaseException,
+    diags: Optional["DiagnosticsEngine"],
+    recover: bool,
+    location: Optional["SourceLocation"],
+) -> InternalCompilerError | None:
+    """Build the ICE record; returns it for propagation, or None when it
+    was absorbed as a diagnostic (recover mode)."""
+    _ICES.inc()
+    tb_text = "".join(
+        traceback.format_exception(type(exc), exc, exc.__traceback__)
+    )
+    stack = getattr(exc, "_pretty_stack", None) or pretty_stack()
+    reproducer = write_reproducer(phase, exc, tb_text, stack)
+    if recover and diags is not None:
+        diag = Diagnostic(
+            Severity.ERROR,
+            f"internal compiler error in {phase}: "
+            f"{type(exc).__name__}: {exc}",
+            location,
+            category="ice",
+        )
+        for entry in reversed(stack):
+            diag.add_note(entry, None)
+        if reproducer is not None:
+            diag.add_note(
+                f"crash reproducer written to: {reproducer}", None
+            )
+        # Append directly: an ICE must not trip -ferror-limit re-entry
+        # or -Werror remapping.
+        diags.diagnostics.append(diag)
+        return None
+    return InternalCompilerError(phase, exc, stack, tb_text, reproducer)
+
+
+@contextmanager
+def recovery_scope(
+    phase: str,
+    diags: Optional["DiagnosticsEngine"] = None,
+    *,
+    recover: bool = False,
+    location: Optional["SourceLocation"] = None,
+    passthrough: tuple[type[BaseException], ...] = (),
+) -> Iterator[None]:
+    """Run a pipeline phase under crash recovery.
+
+    ``recover=True`` (needs ``diags``) absorbs the crash as an ICE
+    diagnostic and resumes after the scope; otherwise the scope raises
+    :class:`InternalCompilerError`.  Exceptions in ``passthrough`` and
+    the compiler's own control-flow exceptions propagate unchanged, as
+    does everything when crash recovery is disabled
+    (``-fno-crash-recovery``).
+    """
+    try:
+        yield
+    except _ALWAYS_PASSTHROUGH:
+        raise
+    except passthrough:
+        raise
+    except Exception as exc:
+        if not _ENABLED:
+            raise
+        ice = _contain(phase, exc, diags, recover, location)
+        if ice is not None:
+            raise ice from exc

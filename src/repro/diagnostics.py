@@ -165,15 +165,17 @@ class DiagnosticsEngine:
         diag = Diagnostic(severity, message, location, category=category)
         if self._suppress_depth > 0 and severity < Severity.FATAL:
             return diag
+        if (
+            self.error_limit
+            and Severity.ERROR <= severity < Severity.FATAL
+            and self.error_count >= self.error_limit
+        ):
+            # Like clang: exactly -ferror-limit=N errors are shown, the
+            # N+1'th is replaced by the "too many errors" fatal.
+            raise TooManyErrors(f"more than {self.error_limit} errors emitted")
         self.diagnostics.append(diag)
         if severity >= Severity.FATAL:
             raise FatalErrorOccurred(diag)
-        if (
-            self.error_limit
-            and severity >= Severity.ERROR
-            and self.error_count > self.error_limit
-        ):
-            raise TooManyErrors(f"more than {self.error_limit} errors emitted")
         return diag
 
     def error(
@@ -233,6 +235,15 @@ class DiagnosticsEngine:
         return sum(
             1 for d in self.diagnostics if d.severity == Severity.WARNING
         )
+
+    @property
+    def ice_count(self) -> int:
+        """Internal compiler errors recovered into diagnostics (category
+        ``"ice"``, emitted by :mod:`repro.core.crash_recovery`)."""
+        return sum(1 for d in self.diagnostics if d.category == "ice")
+
+    def has_internal_errors(self) -> bool:
+        return self.ice_count > 0
 
     def has_errors(self) -> bool:
         return self.error_count > 0

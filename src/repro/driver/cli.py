@@ -42,15 +42,37 @@ import argparse
 import os
 import sys
 
+from repro.core.crash_recovery import (
+    InternalCompilerError,
+    crash_recovery_enabled,
+    set_crash_recovery_enabled,
+)
 from repro.instrument import (
     DEBUG_COUNTERS,
+    FAULTS,
     STATS,
     PassInstrumentation,
     PassVerificationError,
     disable_time_trace,
     enable_time_trace,
 )
+from repro.interp import (
+    DeadlockError,
+    ExecutionTimeout,
+    InterpreterError,
+    MemoryError_,
+    Trap,
+)
 from repro.pipeline import CompilationError, compile_source, run_source
+
+#: CLI exit codes: distinguishable outcomes for scripts and CI.
+EXIT_OK = 0
+#: diagnosable user errors (bad source, traps, guest guardrails)
+EXIT_USER_ERROR = 1
+#: internal compiler error (BSD sysexits EX_SOFTWARE)
+EXIT_ICE = 70
+#: wall-clock timeout / fuel exhaustion (coreutils timeout(1))
+EXIT_TIMEOUT = 124
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -63,11 +85,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
-        "input",
-        nargs="?",
-        default=None,
-        help="C source file ('-' for stdin); optional with "
-        "-print-pipeline-passes",
+        "inputs",
+        nargs="*",
+        default=[],
+        metavar="input",
+        help="C source file(s) ('-' for stdin); with several inputs the "
+        "driver compiles each in turn and keeps going past failures "
+        "(exit code is the worst outcome); optional with "
+        "-print-pipeline-passes/-print-fault-sites",
     )
     parser.add_argument(
         "-ast-dump",
@@ -268,8 +293,76 @@ def build_arg_parser() -> argparse.ArgumentParser:
         default="miniclang-crashes",
         dest="crash_reproducer_dir",
         metavar="DIR",
-        help="where -verify-each writes before/after IR of a failing "
-        "pass execution (default: miniclang-crashes)",
+        help="where internal-compiler-error reproducers (source + "
+        "invocation + traceback) and -verify-each before/after IR are "
+        "written (default: miniclang-crashes)",
+    )
+    parser.add_argument(
+        "-ferror-limit",
+        type=int,
+        default=0,
+        dest="error_limit",
+        metavar="N",
+        help="stop compilation after N error diagnostics "
+        "(0 = unlimited, the default)",
+    )
+    parser.add_argument(
+        "-finject-fault",
+        action="append",
+        default=[],
+        dest="inject_faults",
+        metavar="SITE[:N]",
+        help="deterministically raise an internal fault at the N-th "
+        "(default first) hit of the named pipeline site; see "
+        "-print-fault-sites for the site list",
+    )
+    parser.add_argument(
+        "-print-fault-sites",
+        action="store_true",
+        dest="print_fault_sites",
+        help="list the registered -finject-fault sites and exit",
+    )
+    parser.add_argument(
+        "-fno-crash-recovery",
+        action="store_false",
+        dest="crash_recovery",
+        default=True,
+        help="disable crash recovery scopes: internal faults escape as "
+        "raw Python tracebacks (compiler-developer mode)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        dest="timeout",
+        metavar="SECONDS",
+        help="with --run: wall-clock limit for guest execution "
+        f"(exit code {EXIT_TIMEOUT} with a scheduler snapshot)",
+    )
+    parser.add_argument(
+        "--fuel",
+        type=int,
+        default=None,
+        dest="fuel",
+        metavar="N",
+        help="with --run: maximum retired guest instructions "
+        f"(exit code {EXIT_TIMEOUT} with a scheduler snapshot)",
+    )
+    parser.add_argument(
+        "--max-memory",
+        type=int,
+        default=None,
+        dest="max_memory",
+        metavar="BYTES",
+        help="with --run: guest memory ceiling",
+    )
+    parser.add_argument(
+        "--max-recursion",
+        type=int,
+        default=256,
+        dest="max_recursion",
+        metavar="FRAMES",
+        help="with --run: guest call-depth limit (default 256)",
     )
     return parser
 
@@ -336,6 +429,7 @@ def _emit_remarks(args, compile_result) -> None:
 
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
+    invocation = "miniclang " + " ".join(argv)
     argv, time_trace = _extract_time_trace(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -344,8 +438,12 @@ def main(argv: list[str] | None = None) -> int:
 
         for name in default_pass_pipeline().pass_names():
             print(name)
-        return 0
-    if args.input is None:
+        return EXIT_OK
+    if args.print_fault_sites:
+        for name in FAULTS.site_names():
+            print(f"{name}\t{FAULTS.describe(name)}")
+        return EXIT_OK
+    if not args.inputs:
         parser.error("an input file is required")
     armed_counters = []
     for spec in args.debug_counters:
@@ -353,18 +451,14 @@ def main(argv: list[str] | None = None) -> int:
             armed_counters.append(DEBUG_COUNTERS.apply_spec(spec))
         except ValueError as err:
             print(f"miniclang: error: {err}", file=sys.stderr)
-            return 1
-    if args.input == "-":
-        source = sys.stdin.read()
-        filename = "<stdin>"
-    else:
-        try:
-            with open(args.input, "r", encoding="utf-8") as fh:
-                source = fh.read()
-        except OSError as err:
-            print(f"miniclang: error: {err}", file=sys.stderr)
-            return 1
-        filename = args.input
+            return EXIT_USER_ERROR
+    try:
+        for spec in args.inject_faults:
+            FAULTS.arm_spec(spec)
+    except ValueError as err:
+        print(f"miniclang: error: {err}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    set_crash_recovery_enabled(args.crash_recovery)
 
     defines: dict[str, str] = {}
     for item in args.defines:
@@ -377,14 +471,49 @@ def main(argv: list[str] | None = None) -> int:
     stats_before = STATS.snapshot()
     if time_trace is not None:
         enable_time_trace()
+    code = EXIT_OK
     try:
-        code = _drive(args, source, filename, defines)
+        for input_path in args.inputs:
+            if input_path == "-":
+                source = sys.stdin.read()
+                filename = "<stdin>"
+            else:
+                try:
+                    with open(
+                        input_path, "r", encoding="utf-8"
+                    ) as fh:
+                        source = fh.read()
+                except UnicodeDecodeError as err:
+                    print(
+                        f"miniclang: error: {input_path}: invalid "
+                        f"UTF-8 in source file: {err}",
+                        file=sys.stderr,
+                    )
+                    code = max(code, EXIT_USER_ERROR)
+                    continue
+                except OSError as err:
+                    print(
+                        f"miniclang: error: {err}", file=sys.stderr
+                    )
+                    code = max(code, EXIT_USER_ERROR)
+                    continue
+                filename = input_path
+            # A crashing input must not stop the batch: every outcome
+            # is contained to its input, the worst exit code wins.
+            code = max(
+                code,
+                _drive(args, source, filename, defines, invocation),
+            )
     finally:
+        FAULTS.disarm_all()
+        set_crash_recovery_enabled(True)
         for counter in armed_counters:
             counter.unset()
         profiler = disable_time_trace()
         if time_trace is not None and profiler is not None:
-            trace_path = time_trace or _default_trace_path(args.input)
+            trace_path = time_trace or _default_trace_path(
+                args.inputs[0]
+            )
             with open(trace_path, "w", encoding="utf-8") as fh:
                 fh.write(profiler.to_chrome_json())
         if args.print_stats:
@@ -395,30 +524,79 @@ def main(argv: list[str] | None = None) -> int:
     return code
 
 
-def _drive(args, source: str, filename: str, defines: dict) -> int:
-    """The actual compile/run logic (split out so main() can wrap it in
-    instrumentation setup/teardown)."""
+def _drive(
+    args, source: str, filename: str, defines: dict, invocation: str
+) -> int:
+    """Map every outcome of one input to its exit code.
+
+    0 = success, 1 = user diagnostics / guest failure, 70 = internal
+    compiler error (EX_SOFTWARE), 124 = timeout or fuel exhaustion.  The
+    ordering matters: ExecutionTimeout and DeadlockError subclass
+    InterpreterError."""
+    from repro.runtime.team import TeamError
+
+    try:
+        return _drive_one(args, source, filename, defines, invocation)
+    except CompilationError as err:
+        print(err.diagnostics_text, file=sys.stderr)
+        return EXIT_ICE if err.ice else EXIT_USER_ERROR
+    except InternalCompilerError as err:
+        print(err.render(), file=sys.stderr)
+        return EXIT_ICE
+    except PassVerificationError as err:
+        # A pass broke the IR invariants: a compiler bug, not user error.
+        print(f"miniclang: error: {err}", file=sys.stderr)
+        return EXIT_ICE
+    except ExecutionTimeout as err:
+        print(f"miniclang: error: {err}", file=sys.stderr)
+        if err.snapshot is not None:
+            print(err.snapshot.render(), file=sys.stderr)
+        return EXIT_TIMEOUT
+    except DeadlockError as err:
+        print(f"miniclang: error: {err}", file=sys.stderr)
+        if err.snapshot is not None:
+            print(err.snapshot.render(), file=sys.stderr)
+        return EXIT_USER_ERROR
+    except (Trap, InterpreterError, MemoryError_, TeamError) as err:
+        print(f"miniclang: error: {err}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    except Exception as err:  # last-resort driver-level containment
+        if not crash_recovery_enabled():
+            raise
+        print(
+            "miniclang: error: internal compiler error in driver: "
+            f"{type(err).__name__}: {err}",
+            file=sys.stderr,
+        )
+        return EXIT_ICE
+
+
+def _drive_one(
+    args, source: str, filename: str, defines: dict, invocation: str
+) -> int:
+    """The actual compile/run logic for one input (exceptions are
+    mapped to exit codes by :func:`_drive`)."""
     instrument = _build_instrumentation(args)
     if args.run:
-        try:
-            result = run_source(
-                source,
-                entry=args.entry,
-                num_threads=args.num_threads,
-                filename=filename,
-                openmp=args.openmp,
-                enable_irbuilder=args.enable_irbuilder,
-                defines=defines,
-                optimize=args.optimize,
-                profile_detail=args.profile_report,
-                instrument=instrument,
-            )
-        except CompilationError as err:
-            print(err.diagnostics_text, file=sys.stderr)
-            return 1
-        except PassVerificationError as err:
-            print(f"miniclang: error: {err}", file=sys.stderr)
-            return 1
+        result = run_source(
+            source,
+            entry=args.entry,
+            num_threads=args.num_threads,
+            filename=filename,
+            openmp=args.openmp,
+            enable_irbuilder=args.enable_irbuilder,
+            defines=defines,
+            optimize=args.optimize,
+            profile_detail=args.profile_report,
+            instrument=instrument,
+            error_limit=args.error_limit,
+            crash_reproducer_dir=args.crash_reproducer_dir,
+            invocation=invocation,
+            fuel=args.fuel,
+            timeout_s=args.timeout,
+            memory_limit=args.max_memory,
+            max_call_depth=args.max_recursion,
+        )
         _emit_remarks(args, result.compile_result)
         if args.profile_report:
             print(
@@ -431,21 +609,20 @@ def _drive(args, source: str, filename: str, defines: dict) -> int:
         code = result.exit_code
         return int(code) & 0xFF if isinstance(code, int) else 0
 
-    try:
-        result = compile_source(
-            source,
-            filename=filename,
-            openmp=args.openmp,
-            enable_irbuilder=args.enable_irbuilder,
-            syntax_only=args.syntax_only
-            or args.ast_dump
-            or args.ast_dump_shadow,
-            defines=defines,
-            include_paths=args.include_paths,
-        )
-    except CompilationError as err:
-        print(err.diagnostics_text, file=sys.stderr)
-        return 1
+    result = compile_source(
+        source,
+        filename=filename,
+        openmp=args.openmp,
+        enable_irbuilder=args.enable_irbuilder,
+        syntax_only=args.syntax_only
+        or args.ast_dump
+        or args.ast_dump_shadow,
+        defines=defines,
+        include_paths=args.include_paths,
+        error_limit=args.error_limit,
+        crash_reproducer_dir=args.crash_reproducer_dir,
+        invocation=invocation,
+    )
 
     warnings = result.diagnostics.render_all()
     if warnings:
@@ -459,16 +636,19 @@ def _drive(args, source: str, filename: str, defines: dict) -> int:
         )
     elif not args.syntax_only:
         if args.optimize and result.module is not None:
+            from repro.core.crash_recovery import crash_context
             from repro.midend import default_pass_pipeline
 
-            try:
+            with crash_context(
+                source,
+                filename,
+                invocation,
+                args.crash_reproducer_dir,
+            ):
                 default_pass_pipeline(
                     remarks=result.diagnostics.remarks,
                     instrument=instrument,
                 ).run(result.module)
-            except PassVerificationError as err:
-                print(f"miniclang: error: {err}", file=sys.stderr)
-                return 1
         output_text = result.ir_text()
     _emit_remarks(args, result)
 

@@ -30,6 +30,11 @@ from repro.instrument.debugcounter import (
     DebugCounterRegistry,
     get_debug_counter,
 )
+from repro.instrument.faultinject import (
+    FAULTS,
+    FaultRegistry,
+    InjectedFault,
+)
 from repro.instrument.profile import (
     ExecutionProfile,
     LoopProfile,
@@ -57,6 +62,9 @@ __all__ = [
     "DebugCounter",
     "DebugCounterRegistry",
     "get_debug_counter",
+    "FAULTS",
+    "FaultRegistry",
+    "InjectedFault",
     "PassExecution",
     "PassInstrumentation",
     "PassVerificationError",

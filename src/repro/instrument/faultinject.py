@@ -1,0 +1,146 @@
+"""Deterministic fault injection (``-finject-fault=SITE[:N]``).
+
+A *fault site* names one place in a pipeline layer where an internal
+compiler bug could strike (lexer token formation, Sema directive
+analysis, a mid-end pass body, one interpreter step, ...).  Each layer
+calls :meth:`FaultRegistry.hit` at its site; with nothing armed the call
+is one attribute check.  Arming a site makes exactly the N-th hit raise
+:class:`InjectedFault` — a plain ``Exception`` subclass that no layer
+treats as control flow — so tests and the CI sweep can *prove* that an
+unexpected exception anywhere in the stack degrades into an internal
+compiler error diagnostic with a crash reproducer instead of a raw
+Python traceback.
+
+Occurrence windows reuse the PR 2 :class:`~repro.instrument.debugcounter.
+DebugCounter` machinery: ``SITE:N`` arms the site's counter with
+``skip=N-1, count=1``, i.e. LLVM's exact ``-debug-counter`` window
+semantics, which keeps the injection deterministic under round-robin
+interleaving and repeatable across runs.
+
+Sites are registered statically below (not lazily at first hit) so the
+driver can enumerate them (``-print-fault-sites``) without compiling
+anything — that enumeration is what the CI fault-injection sweep loops
+over.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.instrument.debugcounter import DebugCounter
+from repro.instrument.stats import get_statistic
+
+_FAULTS_INJECTED = get_statistic(
+    "crash-recovery",
+    "injected-faults",
+    "Faults raised by -finject-fault sites",
+)
+
+
+class InjectedFault(Exception):
+    """The deliberately-unexpected exception raised at an armed site."""
+
+    def __init__(self, site: str, occurrence: int) -> None:
+        super().__init__(
+            f"injected fault at site '{site}' (occurrence {occurrence})"
+        )
+        self.site = site
+        self.occurrence = occurrence
+
+
+class FaultRegistry:
+    """All fault sites in the process, in registration (pipeline) order."""
+
+    def __init__(self) -> None:
+        self._sites: dict[str, DebugCounter] = {}
+        #: fast-path gate: ``hit`` is free when nothing is armed
+        self.armed = False
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, desc: str = "") -> None:
+        if name not in self._sites:
+            self._sites[name] = DebugCounter(f"inject-{name}", desc)
+
+    def site_names(self) -> list[str]:
+        return list(self._sites)
+
+    def describe(self, name: str) -> str:
+        return self._sites[name].desc
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sites)
+
+    # ------------------------------------------------------------------
+    def arm_spec(self, spec: str) -> str:
+        """Parse one ``SITE[:N]`` driver spec (N defaults to 1, the first
+        hit) and arm the site.  Returns the site name."""
+        name, sep, occurrence = spec.partition(":")
+        name = name.strip()
+        if name not in self._sites:
+            valid = ", ".join(self._sites)
+            raise ValueError(
+                f"unknown fault site '{name}' (valid sites: {valid})"
+            )
+        if sep and occurrence.strip():
+            try:
+                n = int(occurrence)
+            except ValueError:
+                raise ValueError(
+                    f"invalid -finject-fault spec '{spec}' "
+                    "(expected SITE[:N] with integer N)"
+                ) from None
+        else:
+            n = 1
+        if n < 1:
+            raise ValueError(
+                f"invalid -finject-fault spec '{spec}': N must be >= 1"
+            )
+        self._sites[name].configure(skip=n - 1, limit=1)
+        self.armed = True
+        return name
+
+    def disarm_all(self) -> None:
+        for counter in self._sites.values():
+            counter.unset()
+        self.armed = False
+
+    # ------------------------------------------------------------------
+    def hit(self, name: str) -> None:
+        """Site probe: raises :class:`InjectedFault` when the armed
+        window covers this occurrence.  Callers gate on :attr:`armed`
+        themselves on hot paths."""
+        if not self.armed:
+            return
+        counter = self._sites.get(name)
+        if counter is None or not counter.is_set:
+            return
+        # The armed window marks the occurrence that *faults*.
+        if counter.should_execute():
+            _FAULTS_INJECTED.inc()
+            raise InjectedFault(name, counter.occurrences)
+
+
+#: the process-wide registry, one site per pipeline layer
+FAULTS = FaultRegistry()
+
+FAULTS.register("lexer", "token formation in repro.lex.lexer.Lexer.lex")
+FAULTS.register(
+    "preprocessor",
+    "preprocessed-token delivery in Preprocessor.lex_all",
+)
+FAULTS.register(
+    "parser", "external-declaration parsing in Parser"
+)
+FAULTS.register(
+    "sema-directive",
+    "per-directive OpenMP semantic analysis (OpenMPSema.act_on_directive)",
+)
+FAULTS.register(
+    "codegen-function", "per-function IR emission (CodeGenFunction)"
+)
+FAULTS.register(
+    "midend-pass", "one pass-on-function execution in PassManager.run"
+)
+FAULTS.register(
+    "interp-step", "one interpreter instruction step"
+)

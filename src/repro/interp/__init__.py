@@ -12,19 +12,30 @@ transformed vs OpenMPIRBuilder-generated).  Key properties:
   small libc subset (printf, abort, malloc, ...).
 """
 
-from repro.interp.memory import Memory, MemoryError_
+from repro.interp.memory import Memory, MemoryError_, MemoryLimitExceeded
 from repro.interp.interpreter import (
+    DeadlockError,
     ExecutionContext,
+    ExecutionTimeout,
     Interpreter,
     InterpreterError,
+    SchedulerSnapshot,
+    ThreadSnapshot,
     Trap,
+    scheduler_snapshot,
 )
 
 __all__ = [
+    "DeadlockError",
     "ExecutionContext",
+    "ExecutionTimeout",
     "Interpreter",
     "InterpreterError",
     "Memory",
     "MemoryError_",
+    "MemoryLimitExceeded",
+    "SchedulerSnapshot",
+    "ThreadSnapshot",
     "Trap",
+    "scheduler_snapshot",
 ]

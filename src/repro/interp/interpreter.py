@@ -11,9 +11,12 @@ teams are additional ``ExecutionContext`` instances stepped round-robin by
 from __future__ import annotations
 
 import enum
+import time
+from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.instrument import ExecutionProfile, time_trace_scope
+from repro.instrument.faultinject import FAULTS
 from repro.interp.memory import Memory, MemoryError_
 from repro.ir.instructions import (
     AllocaInst,
@@ -62,6 +65,32 @@ class InterpreterError(Exception):
     pass
 
 
+class ExecutionTimeout(InterpreterError):
+    """Fuel or wall-clock budget exhausted.
+
+    Carries a :class:`SchedulerSnapshot` so the driver can show *where*
+    every logical thread was when the budget ran out — the difference
+    between "it hung" and "thread 2 spun at barrier episode 3".
+    """
+
+    def __init__(
+        self, message: str, snapshot: "SchedulerSnapshot | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
+class DeadlockError(InterpreterError):
+    """All-threads-blocked condition that can never resolve (a barrier a
+    finished teammate will never reach, or a cyclic lock wait)."""
+
+    def __init__(
+        self, message: str, snapshot: "SchedulerSnapshot | None" = None
+    ) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
 class Trap(Exception):
     """Guest program trap (abort, unreachable, assertion failure)."""
 
@@ -76,6 +105,95 @@ class ThreadState(enum.Enum):
 #: step" (used to implement spinlocks for `critical` under deterministic
 #: round-robin interleaving).
 RETRY = object()
+
+
+@dataclass
+class ThreadSnapshot:
+    """Frozen view of one logical thread for abort reports."""
+
+    gtid: int
+    thread_id: int
+    state: str
+    function: str
+    instruction: str
+    instructions_retired: int
+    barrier_waits: int
+    waiting_at: str | None = None
+    waiting_on_lock: int | None = None
+
+    def render(self) -> str:
+        where = (
+            f"@{self.function}: {self.instruction}"
+            if self.function
+            else "<no frame>"
+        )
+        line = (
+            f"  thread {self.gtid} (tid {self.thread_id}): "
+            f"{self.state:<8} {where}  "
+            f"[{self.instructions_retired} insts, "
+            f"{self.barrier_waits} barrier waits]"
+        )
+        if self.waiting_at:
+            line += f"\n      waiting at {self.waiting_at}"
+        if self.waiting_on_lock is not None:
+            line += f"\n      waiting on lock {self.waiting_on_lock:#x}"
+        return line
+
+
+@dataclass
+class SchedulerSnapshot:
+    """State of every logical thread at the moment an execution
+    guardrail fired (fuel, timeout, deadlock)."""
+
+    threads: list[ThreadSnapshot] = field(default_factory=list)
+    total_instructions: int = 0
+    barrier_episodes: int = 0
+
+    def render(self) -> str:
+        lines = [
+            "Scheduler state at abort:",
+            f"  {len(self.threads)} logical thread(s), "
+            f"{self.total_instructions} instructions retired, "
+            f"{self.barrier_episodes} barrier episode(s)",
+        ]
+        lines.extend(t.render() for t in self.threads)
+        return "\n".join(lines)
+
+
+def scheduler_snapshot(interp: "Interpreter") -> SchedulerSnapshot:
+    """Capture every registered ExecutionContext of *interp*."""
+    snap = SchedulerSnapshot(
+        total_instructions=interp.profile.total_instructions,
+        barrier_episodes=interp.profile.barrier_episodes,
+    )
+    for ctx in interp.profile.contexts:
+        function = ""
+        instruction = ""
+        if ctx.stack:
+            frame = ctx.frame
+            function = frame.fn.name
+            if frame.index < len(frame.block.instructions):
+                inst = frame.block.instructions[frame.index]
+                instruction = (
+                    f"{frame.block.name}[{frame.index}] "
+                    f"({type(inst).__name__})"
+                )
+            else:
+                instruction = f"{frame.block.name}[end]"
+        snap.threads.append(
+            ThreadSnapshot(
+                gtid=ctx.gtid,
+                thread_id=ctx.thread_id,
+                state=ctx.state.value,
+                function=function,
+                instruction=instruction,
+                instructions_retired=ctx.instructions_retired,
+                barrier_waits=ctx.barrier_waits,
+                waiting_at=ctx.waiting_at,
+                waiting_on_lock=ctx.waiting_on_lock,
+            )
+        )
+    return snap
 
 
 class Frame:
@@ -119,6 +237,11 @@ class ExecutionContext:
         self.instructions_retired = 0
         #: barrier episodes this thread waited at
         self.barrier_waits = 0
+        #: human-readable description of the barrier currently waited at
+        #: (None while runnable); feeds SchedulerSnapshot
+        self.waiting_at: str | None = None
+        #: lock address this thread is spinning on (critical sections)
+        self.waiting_on_lock: int | None = None
         interp.profile.register(self)
         # Each logical thread gets its own stack region so interleaved
         # frame pushes/pops cannot corrupt each other.
@@ -140,6 +263,12 @@ class ExecutionContext:
         if fn.is_declaration:
             raise InterpreterError(
                 f"call to undefined function @{fn.name}"
+            )
+        if len(self.stack) >= self.interp.max_call_depth:
+            raise InterpreterError(
+                f"guest call depth exceeded the limit of "
+                f"{self.interp.max_call_depth} frames while calling "
+                f"@{fn.name} (runaway recursion?)"
             )
         self.stack.append(Frame(fn, args, self.stack_ptr))
 
@@ -190,6 +319,8 @@ class ExecutionContext:
                 f"fell off the end of block {frame.block.name}"
             )
         inst = frame.block.instructions[frame.index]
+        if FAULTS.armed:
+            FAULTS.hit("interp-step")
         self.instructions_retired += 1
         profile = self.interp.profile
         if profile.detailed:
@@ -204,12 +335,16 @@ class ExecutionContext:
             if self.state == ThreadState.BARRIER:
                 # Single-threaded contexts pass barriers trivially.
                 self.state = ThreadState.RUNNABLE
+                self.waiting_at = None
             self.step()
             budget -= 1
             if budget <= 0:
-                raise InterpreterError(
-                    "execution fuel exhausted (infinite loop?)"
+                raise ExecutionTimeout(
+                    "execution fuel exhausted (infinite loop?)",
+                    scheduler_snapshot(self.interp),
                 )
+            if (budget & 0xFFF) == 0:
+                self.interp.check_deadline()
         return self.return_value
 
     # ------------------------------------------------------------------
@@ -552,10 +687,17 @@ class Interpreter:
         memory_size: int = 1 << 22,
         default_fuel: int = 50_000_000,
         profile_detail: bool = False,
+        memory_limit: int | None = None,
+        max_call_depth: int = 256,
     ) -> None:
         self.module = module
-        self.memory = Memory(memory_size)
+        self.memory = Memory(memory_size, limit=memory_limit)
         self.default_fuel = default_fuel
+        #: guest recursion guardrail (frames per logical thread)
+        self.max_call_depth = max_call_depth
+        #: wall-clock guardrail; armed by run(timeout_s=...)
+        self.deadline: float | None = None
+        self.timeout_s: float | None = None
         #: dynamic execution profile; every ExecutionContext registers
         #: itself here, so the legacy ``instruction_count`` below is a
         #: view over the same data
@@ -638,12 +780,27 @@ class Interpreter:
         (backward-compatible view over the execution profile)."""
         return self.profile.total_instructions
 
+    def check_deadline(self) -> None:
+        """Raise :class:`ExecutionTimeout` past the wall-clock deadline.
+
+        Called from the stepping loops on a coarse instruction mask so
+        the common case costs one attribute test per step batch."""
+        if self.deadline is not None and time.monotonic() > self.deadline:
+            raise ExecutionTimeout(
+                f"wall-clock timeout of {self.timeout_s:g}s exceeded",
+                scheduler_snapshot(self),
+            )
+
     def run(
         self,
         fn_name: str = "main",
         args: list[Any] | None = None,
         fuel: int | None = None,
+        timeout_s: float | None = None,
     ) -> Any:
+        if timeout_s is not None:
+            self.timeout_s = timeout_s
+            self.deadline = time.monotonic() + timeout_s
         with time_trace_scope("Execute", fn_name):
             ctx = self.create_context(fn_name, args)
             return ctx.run_to_completion(fuel)

@@ -28,13 +28,22 @@ class MemoryError_(Exception):
     """Out-of-range access or misuse of the simulated memory."""
 
 
+class MemoryLimitExceeded(MemoryError_):
+    """Guest exceeded the configured memory ceiling (``--max-memory``)."""
+
+
 #: Function pseudo-addresses start here (way above any data address).
 FUNCTION_ADDRESS_BASE = 1 << 48
 
 
 class Memory:
-    def __init__(self, size: int = 1 << 22) -> None:
+    def __init__(
+        self, size: int = 1 << 22, limit: int | None = None
+    ) -> None:
         self.data = bytearray(size)
+        #: hard ceiling on total guest memory (None = unlimited); the
+        #: backing bytearray otherwise grows geometrically on demand
+        self.limit = limit
         #: bump pointer; 16 keeps null + some red zone free
         self._brk = 16
         self._function_by_address: dict[int, "Function"] = {}
@@ -47,6 +56,11 @@ class Memory:
     def allocate(self, size: int, align: int = 8) -> int:
         addr = (self._brk + align - 1) // align * align
         new_brk = addr + max(1, size)
+        if self.limit is not None and new_brk > self.limit:
+            raise MemoryLimitExceeded(
+                f"guest memory ceiling exceeded: allocating {size} bytes "
+                f"needs {new_brk} bytes total (limit {self.limit})"
+            )
         if new_brk > len(self.data):
             # Grow geometrically; the interpreter is bounded by tests.
             self.data.extend(

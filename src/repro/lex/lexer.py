@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.diagnostics import DiagnosticsEngine, Severity
 from repro.instrument import get_statistic
+from repro.instrument.faultinject import FAULTS
 from repro.lex.tokens import KEYWORDS, PUNCTUATORS, Token, TokenKind
 from repro.sourcemgr.location import SourceLocation
 from repro.sourcemgr.source_manager import FileID, SourceManager
@@ -146,6 +147,8 @@ class Lexer:
     # ------------------------------------------------------------------
     def lex(self) -> Token:
         """Return the next token (EOF token at end of buffer)."""
+        if FAULTS.armed:
+            FAULTS.hit("lexer")
         leading_space = self._skip_trivia()
         at_line_start = self._at_line_start
         if self.at_end():

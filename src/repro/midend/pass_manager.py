@@ -6,7 +6,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
+from repro.core.crash_recovery import pretty_stack_entry, recovery_scope
 from repro.instrument import PassInstrumentation, get_statistic, time_trace_scope
+from repro.instrument.faultinject import FAULTS
+from repro.instrument.passinstrument import PassVerificationError
 from repro.ir.module import Function, Module
 
 
@@ -126,7 +129,18 @@ class PassManager:
                     detail = f"{fn.name} (bisect {execution.index})"
                 info.functions_visited += 1
                 start = time.perf_counter()
-                with time_trace_scope(f"Pass.{pass_.name}", detail):
+                # Propagate-mode recovery: a crashing pass is an ICE for
+                # the whole module (mid-end output is all-or-nothing),
+                # but -verify-each failures keep their own identity.
+                with recovery_scope(
+                    "midend-pass",
+                    passthrough=(PassVerificationError,),
+                ), pretty_stack_entry(
+                    f"running pass '{pass_.name}' on function "
+                    f"'@{fn.name}'"
+                ), time_trace_scope(f"Pass.{pass_.name}", detail):
+                    if FAULTS.armed:
+                        FAULTS.hit("midend-pass")
                     changed = pass_.run_on_function(fn)
                 info.duration_s += time.perf_counter() - start
                 if changed:

@@ -16,7 +16,13 @@ from typing import TYPE_CHECKING
 from repro.astlib import clauses as cl
 from repro.astlib import exprs as e
 from repro.astlib import stmts as s
+from repro.core.crash_recovery import (
+    format_location,
+    pretty_stack_entry,
+    recovery_scope,
+)
 from repro.diagnostics import Severity
+from repro.instrument.faultinject import FAULTS
 from repro.lex.tokens import Token, TokenKind
 from repro.sema.scope import ScopeKind
 from repro.sourcemgr.location import SourceLocation
@@ -144,14 +150,14 @@ class OpenMPDirectiveParser:
         clauses = self._parse_clauses(cursor, name, annot.location)
 
         if name in _STANDALONE:
-            result = self.sema.openmp.act_on_directive(
+            result = self._act_on_directive(
                 name, clauses, None, annot.location
             )
             return result or s.NullStmt(annot.location)
 
         with self.sema.scoped(ScopeKind.OPENMP_DIRECTIVE):
             associated = self.parser.parse_statement()
-        result = self.sema.openmp.act_on_directive(
+        result = self._act_on_directive(
             name, clauses, associated, annot.location
         )
         if name == "critical" and isinstance(
@@ -159,6 +165,31 @@ class OpenMPDirectiveParser:
         ):
             result.name = critical_name
         return result if result is not None else associated
+
+    # ------------------------------------------------------------------
+    def _act_on_directive(
+        self,
+        name: str,
+        clauses: list,
+        associated: s.Stmt | None,
+        loc: SourceLocation,
+    ) -> s.Stmt | None:
+        """Per-directive semantic analysis under crash recovery: a bug
+        in one directive's Sema becomes one ICE diagnostic and the rest
+        of the translation unit still compiles (Clang's per-invocation
+        CrashRecoveryContext, at directive granularity)."""
+        loc_text = format_location(self.diags.source_manager, loc)
+        with recovery_scope(
+            "sema-directive", self.diags, recover=True, location=loc
+        ), pretty_stack_entry(
+            f"analysing '#pragma omp {name}' at {loc_text}"
+        ):
+            if FAULTS.armed:
+                FAULTS.hit("sema-directive")
+            return self.sema.openmp.act_on_directive(
+                name, clauses, associated, loc
+            )
+        return None  # reached only when the scope absorbed a crash
 
     # ------------------------------------------------------------------
     def _parse_directive_name(

@@ -29,8 +29,13 @@ from repro.astlib.decls import (
     VarDecl,
 )
 from repro.astlib.types import QualType, BuiltinKind, desugar
+from repro.core.crash_recovery import (
+    format_location,
+    pretty_stack_entry,
+)
 from repro.diagnostics import DiagnosticsEngine, Severity
 from repro.instrument import get_statistic, time_trace_scope
+from repro.instrument.faultinject import FAULTS
 from repro.lex.tokens import Token, TokenKind
 from repro.sema.scope import ScopeKind
 from repro.sema.sema import Sema
@@ -561,8 +566,16 @@ class Parser:
         TranslationUnitDecl."""
         with time_trace_scope("Parse"):
             while not self.at(K.EOF):
+                loc_text = format_location(
+                    self.diags.source_manager, self.peek().location
+                )
                 try:
-                    self.parse_external_declaration()
+                    with pretty_stack_entry(
+                        f"parsing external declaration at {loc_text}"
+                    ):
+                        if FAULTS.armed:
+                            FAULTS.hit("parser")
+                        self.parse_external_declaration()
                     _DECLS_PARSED.inc()
                 except ParseError:
                     self._skip_until(K.SEMI, K.R_BRACE)

@@ -26,7 +26,18 @@ from repro.astlib.context import ASTContext
 from repro.astlib.decls import FunctionDecl, TranslationUnitDecl
 from repro.astlib.dump import dump_ast
 from repro.codegen import CodeGenModule, CodeGenOptions
-from repro.diagnostics import DiagnosticsEngine, FatalErrorOccurred
+from repro.core.crash_recovery import (
+    crash_context,
+    pretty_stack_entry,
+    recovery_scope,
+)
+from repro.diagnostics import (
+    Diagnostic,
+    DiagnosticsEngine,
+    FatalErrorOccurred,
+    Severity,
+    TooManyErrors,
+)
 from repro.instrument import (
     STATS,
     ExecutionProfile,
@@ -35,7 +46,7 @@ from repro.instrument import (
     RemarkEmitter,
     time_trace_scope,
 )
-from repro.interp import Interpreter
+from repro.interp import Interpreter, MemoryError_
 from repro.ir.module import Module
 from repro.ir.printer import print_module
 from repro.ir.verifier import verify_module
@@ -47,11 +58,14 @@ from repro.sourcemgr import FileManager, SourceManager
 
 class CompilationError(Exception):
     """Raised when compilation produced errors; carries the rendered
-    diagnostics."""
+    diagnostics.  ``ice=True`` marks that at least one of the errors is
+    a *recovered* internal compiler error (category ``"ice"``), which
+    the driver maps to the dedicated ICE exit code."""
 
-    def __init__(self, diagnostics_text: str):
+    def __init__(self, diagnostics_text: str, ice: bool = False):
         super().__init__(diagnostics_text)
         self.diagnostics_text = diagnostics_text
+        self.ice = ice
 
 
 @dataclass
@@ -132,36 +146,56 @@ def _front_end(
     defines: dict[str, str] | None,
     include_paths: list[str] | None,
     virtual_files: dict[str, str] | None,
+    error_limit: int = 0,
 ) -> CompileResult:
     sm = SourceManager()
     fm = FileManager(include_paths or [])
     if virtual_files:
         for name, text in virtual_files.items():
             fm.register_virtual_file(name, text)
-    diags = DiagnosticsEngine(sm)
-    pp = Preprocessor(
-        sm,
-        fm,
-        diags,
-        PreprocessorOptions(
-            defines=dict(defines or {}), openmp=openmp
-        ),
-    )
-    pp.enter_source(source, filename)
-    try:
-        tokens = pp.lex_all()
-    except FatalErrorOccurred:
-        tokens = []
+    diags = DiagnosticsEngine(sm, error_limit=error_limit)
     ctx = ASTContext()
     sema = Sema(ctx, diags)
     sema.openmp.use_irbuilder = enable_irbuilder
-    parser = Parser(tokens, sema, diags)
-    tu = parser.parse_translation_unit()
+    try:
+        tokens: list = []
+        # Constructing the preprocessor already lexes (builtin macros,
+        # -D values), so it sits inside the recovery scope too.
+        with recovery_scope("preprocess", diags), pretty_stack_entry(
+            f"preprocessing '{filename}'"
+        ):
+            pp = Preprocessor(
+                sm,
+                fm,
+                diags,
+                PreprocessorOptions(
+                    defines=dict(defines or {}), openmp=openmp
+                ),
+            )
+            pp.enter_source(source, filename)
+            tokens = pp.lex_all()
+        with recovery_scope("parse", diags), pretty_stack_entry(
+            f"parsing '{filename}'"
+        ):
+            parser = Parser(tokens, sema, diags)
+            parser.parse_translation_unit()
+    except FatalErrorOccurred:
+        pass
+    except TooManyErrors:
+        # Clang: "fatal error: too many errors emitted, stopping now".
+        # Appended directly — report() would re-raise on FATAL.
+        diags.diagnostics.append(
+            Diagnostic(
+                Severity.FATAL,
+                "too many errors emitted, stopping now "
+                f"[-ferror-limit={error_limit}]",
+            )
+        )
     return CompileResult(
         source_manager=sm,
         diagnostics=diags,
         ast_context=ctx,
-        translation_unit=tu,
+        translation_unit=ctx.translation_unit,
         sema=sema,
     )
 
@@ -177,51 +211,75 @@ def compile_source(
     virtual_files: dict[str, str] | None = None,
     verify: bool = True,
     strict: bool = True,
+    error_limit: int = 0,
+    crash_reproducer_dir: str | None = None,
+    invocation: str | None = None,
 ) -> CompileResult:
     """Compile C source to IR.
 
     Parameters mirror the clang flags the paper's workflow uses:
     ``openmp`` = ``-fopenmp``, ``enable_irbuilder`` =
-    ``-fopenmp-enable-irbuilder``, ``syntax_only`` = ``-fsyntax-only``.
+    ``-fopenmp-enable-irbuilder``, ``syntax_only`` = ``-fsyntax-only``,
+    ``error_limit`` = ``-ferror-limit=N`` (0 = unlimited),
+    ``crash_reproducer_dir`` = ``-crash-reproducer-dir``.
     With ``strict=True`` a :class:`CompilationError` is raised when any
-    error diagnostic was produced.
+    error diagnostic was produced.  Every phase runs under a crash
+    recovery scope: an unexpected exception either becomes an error
+    diagnostic of category ``"ice"`` (per-directive Sema, per-function
+    CodeGen) or an :class:`~repro.core.crash_recovery.
+    InternalCompilerError` — never a raw Python traceback.
     """
     before = STATS.snapshot()
-    result = _front_end(
-        source,
-        filename,
-        openmp,
-        enable_irbuilder,
-        defines,
-        include_paths,
-        virtual_files,
-    )
-    if result.diagnostics.has_errors():
-        if strict:
+    with crash_context(
+        source, filename, invocation, crash_reproducer_dir
+    ):
+        result = _front_end(
+            source,
+            filename,
+            openmp,
+            enable_irbuilder,
+            defines,
+            include_paths,
+            virtual_files,
+            error_limit=error_limit,
+        )
+        if result.diagnostics.has_errors():
             result.stats = STATS.delta_since(before)
-            raise CompilationError(result.diagnostics_text())
+            if strict:
+                raise CompilationError(
+                    result.diagnostics_text(),
+                    ice=result.diagnostics.has_internal_errors(),
+                )
+            return result
+        if syntax_only:
+            result.stats = STATS.delta_since(before)
+            return result
+        cgm = CodeGenModule(
+            result.ast_context,
+            result.diagnostics,
+            CodeGenOptions(
+                enable_irbuilder=enable_irbuilder,
+                module_name=filename,
+            ),
+        )
+        result.module = cgm.emit_translation_unit(
+            result.translation_unit
+        )
+        if result.diagnostics.has_errors() and strict:
+            result.stats = STATS.delta_since(before)
+            raise CompilationError(
+                result.diagnostics_text(),
+                ice=result.diagnostics.has_internal_errors(),
+            )
+        if (
+            verify
+            and result.module is not None
+            and not result.diagnostics.has_errors()
+        ):
+            with time_trace_scope("Verify", filename):
+                verify_module(result.module)
         result.stats = STATS.delta_since(before)
         return result
-    if syntax_only:
-        result.stats = STATS.delta_since(before)
-        return result
-    cgm = CodeGenModule(
-        result.ast_context,
-        result.diagnostics,
-        CodeGenOptions(
-            enable_irbuilder=enable_irbuilder,
-            module_name=filename,
-        ),
-    )
-    result.module = cgm.emit_translation_unit(result.translation_unit)
-    if result.diagnostics.has_errors() and strict:
-        result.stats = STATS.delta_since(before)
-        raise CompilationError(result.diagnostics_text())
-    if verify and result.module is not None:
-        with time_trace_scope("Verify", filename):
-            verify_module(result.module)
-    result.stats = STATS.delta_since(before)
-    return result
 
 
 def run_source(
@@ -237,31 +295,66 @@ def run_source(
     fuel: int | None = None,
     profile_detail: bool = False,
     instrument: PassInstrumentation | None = None,
+    error_limit: int = 0,
+    crash_reproducer_dir: str | None = None,
+    invocation: str | None = None,
+    timeout_s: float | None = None,
+    memory_limit: int | None = None,
+    max_call_depth: int = 256,
 ) -> RunResult:
     """Compile and execute *source*; returns exit code and captured
     stdout.  ``optimize=True`` additionally runs the mid-end pass
     pipeline (incl. the LoopUnroll pass that consumes the
     ``llvm.loop.unroll.*`` metadata emitted for the paper's unroll
     directive); ``instrument`` threads a
-    :class:`~repro.instrument.PassInstrumentation` through it."""
+    :class:`~repro.instrument.PassInstrumentation` through it.
+
+    Interpreter guardrails: ``fuel`` bounds retired instructions,
+    ``timeout_s`` is a wall-clock deadline (both raise
+    :class:`~repro.interp.ExecutionTimeout` carrying a scheduler
+    snapshot), ``memory_limit`` caps guest memory and
+    ``max_call_depth`` caps guest recursion."""
+    from repro.interp.interpreter import InterpreterError, Trap
+    from repro.runtime.team import TeamError
+
     result = compile_source(
         source,
         filename=filename,
         openmp=openmp,
         enable_irbuilder=enable_irbuilder,
         defines=defines,
+        error_limit=error_limit,
+        crash_reproducer_dir=crash_reproducer_dir,
+        invocation=invocation,
     )
     assert result.module is not None
-    if optimize:
-        from repro.midend import default_pass_pipeline
+    with crash_context(
+        source, filename, invocation, crash_reproducer_dir
+    ):
+        if optimize:
+            from repro.midend import default_pass_pipeline
 
-        default_pass_pipeline(
-            remarks=result.diagnostics.remarks, instrument=instrument
-        ).run(result.module)
-        verify_module(result.module)
-    interp = Interpreter(result.module, profile_detail=profile_detail)
-    interp.omp.num_threads = num_threads
-    exit_code = interp.run(entry, args or [], fuel=fuel)
+            default_pass_pipeline(
+                remarks=result.diagnostics.remarks,
+                instrument=instrument,
+            ).run(result.module, instrument)
+            verify_module(result.module)
+        interp = Interpreter(
+            result.module,
+            profile_detail=profile_detail,
+            memory_limit=memory_limit,
+            max_call_depth=max_call_depth,
+        )
+        interp.omp.num_threads = num_threads
+        # Guest-visible failures (traps, guardrails, runtime errors)
+        # pass through as themselves; anything else is an ICE.
+        with recovery_scope(
+            "interpret",
+            passthrough=(InterpreterError, Trap, MemoryError_, TeamError),
+        ), pretty_stack_entry(f"interpreting '{filename}'"):
+            exit_code = interp.run(
+                entry, args or [], fuel=fuel, timeout_s=timeout_s
+            )
     return RunResult(
         exit_code=exit_code,
         stdout=interp.output(),

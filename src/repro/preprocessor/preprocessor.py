@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.diagnostics import DiagnosticsEngine, Severity
 from repro.instrument import get_statistic, time_trace_scope
+from repro.instrument.faultinject import FAULTS
 from repro.lex.lexer import Lexer
 from repro.lex.tokens import Token, TokenKind
 from repro.preprocessor.macro import (
@@ -229,6 +230,8 @@ class Preprocessor:
         with time_trace_scope("Preprocess"):
             tokens = []
             while True:
+                if FAULTS.armed:
+                    FAULTS.hit("preprocessor")
                 tok = self.lex()
                 tokens.append(tok)
                 if tok.kind == TokenKind.EOF:

@@ -185,6 +185,10 @@ class OpenMPRuntime:
         if ctx.team is not None and ctx.team.size > 1:
             ctx.state = ThreadState.BARRIER
             ctx.barrier_waits += 1
+            ctx.waiting_at = (
+                f"barrier (episode {ctx.team.barrier_generation + 1}) "
+                f"in @{ctx.frame.fn.name}"
+            )
         return None
 
     # ------------------------------------------------------------------
@@ -317,8 +321,10 @@ class OpenMPRuntime:
         lock_addr = int(args[2])
         owner = self.locks.get(lock_addr)
         if owner is not None and owner != ctx.gtid:
+            ctx.waiting_on_lock = lock_addr
             return RETRY  # spin until released
         self.locks[lock_addr] = ctx.gtid
+        ctx.waiting_on_lock = None
         return None
 
     def _end_critical(self, interp, ctx: ExecutionContext, args):

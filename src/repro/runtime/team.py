@@ -11,10 +11,19 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.instrument import get_statistic
 from repro.interp.interpreter import (
+    DeadlockError,
     ExecutionContext,
-    InterpreterError,
+    ExecutionTimeout,
     ThreadState,
+    scheduler_snapshot,
+)
+
+_DEADLOCKS = get_statistic(
+    "crash-recovery",
+    "deadlocks-detected",
+    "All-threads-blocked conditions detected by the team scheduler",
 )
 
 if TYPE_CHECKING:
@@ -49,6 +58,7 @@ class Team:
     # ------------------------------------------------------------------
     def run(self, fuel: int) -> None:
         """Step the team to completion (deterministic interleaving)."""
+        interp = self.runtime.interp
         budget = fuel
         while True:
             all_done = True
@@ -59,29 +69,90 @@ class Team:
                     ctx.step()
                     budget -= 1
                     if budget <= 0:
-                        raise InterpreterError(
-                            "team execution fuel exhausted"
+                        raise ExecutionTimeout(
+                            "team execution fuel exhausted",
+                            scheduler_snapshot(interp),
                         )
+                    if (budget & 0xFFF) == 0:
+                        interp.check_deadline()
                 if not ctx.done:
                     all_done = False
             if all_done:
                 return
             if not any_runnable:
-                # Everyone is blocked at a barrier (or done): release.
-                waiting = [
-                    ctx
-                    for ctx in self.contexts
-                    if ctx.state == ThreadState.BARRIER
-                ]
-                if not waiting:
-                    raise TeamError(
-                        "team deadlock: no runnable thread and no "
-                        "barrier to release"
-                    )
-                for ctx in waiting:
-                    ctx.state = ThreadState.RUNNABLE
-                self.barrier_generation += 1
-                self.runtime.interp.profile.barrier_episodes += 1
+                self._release_barrier_or_deadlock(interp)
+            else:
+                self._check_lock_deadlock(interp)
+
+    def _release_barrier_or_deadlock(self, interp) -> None:
+        """No thread can step: release the barrier, or report why the
+        team can never make progress again."""
+        waiting = [
+            ctx
+            for ctx in self.contexts
+            if ctx.state == ThreadState.BARRIER
+        ]
+        if not waiting:
+            raise TeamError(
+                "team deadlock: no runnable thread and no "
+                "barrier to release"
+            )
+        finished = [ctx for ctx in self.contexts if ctx.done]
+        if finished:
+            # A barrier releases only when *every* member arrives; a
+            # finished teammate never will.  This is the classic
+            # "barrier under a thread-divergent if" bug.
+            waiters = ", ".join(
+                f"thread {ctx.gtid} (tid {ctx.thread_id}) at "
+                f"{ctx.waiting_at or 'a barrier'}"
+                for ctx in waiting
+            )
+            gone = ", ".join(str(ctx.gtid) for ctx in finished)
+            _DEADLOCKS.inc()
+            raise DeadlockError(
+                f"deadlock detected: {waiters}; teammate(s) gtid {gone} "
+                "already finished and can never reach the barrier",
+                scheduler_snapshot(interp),
+            )
+        for ctx in waiting:
+            ctx.state = ThreadState.RUNNABLE
+            ctx.waiting_at = None
+        self.barrier_generation += 1
+        interp.profile.barrier_episodes += 1
+
+    def _check_lock_deadlock(self, interp) -> None:
+        """Spinning threads stay RUNNABLE; detect the round where every
+        runnable thread spins on a lock nobody left can release."""
+        runnable = [
+            ctx
+            for ctx in self.contexts
+            if ctx.state == ThreadState.RUNNABLE
+        ]
+        if not runnable or any(
+            ctx.waiting_on_lock is None for ctx in runnable
+        ):
+            return
+        # Every runnable thread spins.  Progress is only possible if
+        # some spinner already owns the lock it waits on (re-entry) or
+        # an owner is a runnable non-spinning member — but there are
+        # none of those here, so check ownership.
+        for ctx in runnable:
+            owner = self.runtime.locks.get(ctx.waiting_on_lock)
+            if owner is None or owner == ctx.gtid:
+                return  # lock free (or re-entry): acquires next step
+        spinners = ", ".join(
+            f"thread {ctx.gtid} (tid {ctx.thread_id}) on lock "
+            f"{ctx.waiting_on_lock:#x} held by gtid "
+            f"{self.runtime.locks.get(ctx.waiting_on_lock)}"
+            for ctx in runnable
+        )
+        _DEADLOCKS.inc()
+        raise DeadlockError(
+            f"deadlock detected: every runnable thread spins on a "
+            f"critical-section lock no runnable thread can release: "
+            f"{spinners}",
+            scheduler_snapshot(interp),
+        )
 
     # ------------------------------------------------------------------
     def context_for_gtid(self, gtid: int) -> ExecutionContext:

@@ -38,9 +38,16 @@ from repro.astlib.types import (
     desugar,
 )
 from repro.diagnostics import DiagnosticsEngine
+from repro.instrument import get_statistic
 from repro.sema.expr_eval import IntExprEvaluator, NotConstant
 from repro.sema.scope import Scope, ScopeKind
 from repro.sourcemgr.location import SourceLocation
+
+_ERRORS_RECOVERED = get_statistic(
+    "crash-recovery",
+    "recovered-errors",
+    "Semantic errors recovered via RecoveryExpr placeholders",
+)
 
 
 class Sema:
@@ -653,7 +660,7 @@ class Sema:
         decl = self.scope.lookup(name)
         if decl is None:
             self.diags.error(f"use of undeclared identifier '{name}'", loc)
-            return None
+            return self.recovery_expr([], loc)
         if isinstance(decl, EnumConstantDecl):
             return e.IntegerLiteral(decl.value, decl.type, loc)
         if isinstance(decl, FunctionDecl):
@@ -674,12 +681,26 @@ class Sema:
                 )
             return e.DeclRefExpr(decl, qt, e.ValueCategory.LVALUE, loc)
         self.diags.error(f"'{name}' does not name a value", loc)
-        return None
+        return self.recovery_expr([], loc)
 
     def act_on_paren_expr(
         self, sub: e.Expr, loc: SourceLocation | None = None
     ) -> e.Expr:
         return e.ParenExpr(sub, loc)
+
+    def recovery_expr(
+        self,
+        subexprs: Sequence[e.Expr],
+        loc: SourceLocation | None = None,
+    ) -> e.RecoveryExpr:
+        """Build an error-recovery placeholder (clang's RecoveryExpr) so
+        parsing continues past a semantic error without cascades."""
+        _ERRORS_RECOVERED.inc()
+        return e.RecoveryExpr(
+            [x for x in subexprs if x is not None],
+            self.ctx.int_type,
+            loc,
+        )
 
     def act_on_unary_op(
         self,
@@ -687,6 +708,8 @@ class Sema:
         sub: e.Expr,
         loc: SourceLocation | None = None,
     ) -> e.Expr:
+        if e.contains_errors(sub):
+            return self.recovery_expr([sub], loc)
         U = e.UnaryOperatorKind
         if opcode.is_increment_decrement():
             if not sub.is_lvalue:
@@ -762,6 +785,8 @@ class Sema:
         rhs: e.Expr,
         loc: SourceLocation | None = None,
     ) -> e.Expr:
+        if e.contains_errors(lhs, rhs):
+            return self.recovery_expr([lhs, rhs], loc)
         B = e.BinaryOperatorKind
         if opcode == B.ASSIGN:
             return self._build_assignment(lhs, rhs, loc)
@@ -914,6 +939,10 @@ class Sema:
         false_expr: e.Expr,
         loc=None,
     ) -> e.Expr:
+        if e.contains_errors(cond, true_expr, false_expr):
+            return self.recovery_expr(
+                [cond, true_expr, false_expr], loc
+            )
         cond = self.check_condition(cond, loc)
         true_expr = self.default_lvalue_conversion(true_expr)
         false_expr = self.default_lvalue_conversion(false_expr)
@@ -941,6 +970,8 @@ class Sema:
     def act_on_array_subscript(
         self, base: e.Expr, index: e.Expr, loc=None
     ) -> e.Expr:
+        if e.contains_errors(base, index):
+            return self.recovery_expr([base, index], loc)
         base = self.default_function_array_conversion(base)
         if base.is_lvalue and not desugar(base.type).is_pointer():
             base = self.default_lvalue_conversion(base)
@@ -965,6 +996,8 @@ class Sema:
     def act_on_call(
         self, callee: e.Expr, args: list[e.Expr], loc=None
     ) -> e.Expr:
+        if e.contains_errors(callee, *args):
+            return self.recovery_expr([callee, *args], loc)
         callee_conv = self.default_function_array_conversion(callee)
         cty = desugar(callee_conv.type)
         fn_type: FunctionType | None = None
@@ -1013,6 +1046,8 @@ class Sema:
     def act_on_member_access(
         self, base: e.Expr, member_name: str, is_arrow: bool, loc=None
     ) -> e.Expr:
+        if e.contains_errors(base):
+            return self.recovery_expr([base], loc)
         if is_arrow:
             base = self.default_lvalue_conversion(base)
             bty = desugar(base.type)

@@ -1,0 +1,352 @@
+"""End-to-end crash-resilience tests (ISSUE PR 3 acceptance scenarios).
+
+Drives the CLI in-process and asserts the exit-code contract
+(0 ok / 1 user error / 70 ICE / 124 timeout), the fault-injection sweep
+(every site must surface as a contained ICE with pretty stack and a
+loadable crash reproducer — never a raw Python traceback), diagnostic
+resync after bad directives, and the interpreter guardrails (fuel,
+wall-clock timeout, memory ceiling, recursion cap, deadlock detection).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crash_recovery import set_crash_recovery_enabled
+from repro.driver.cli import (
+    EXIT_ICE,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    EXIT_USER_ERROR,
+    main,
+)
+from repro.instrument.faultinject import FAULTS
+
+OK_SRC = """
+int main() { int s = 0; for (int i = 0; i < 4; ++i) s += i; return s; }
+"""
+
+BAD_SRC = "int main() { return undeclared + 1; }\n"
+
+# Exercises every fault site when run with `-O --run`: lexer,
+# preprocessor, parser, sema-directive (two directives), codegen,
+# the mid-end pipeline, and interpretation.
+OMP_SRC = """
+extern int printf(const char*, ...);
+int main() {
+  int a[8];
+  #pragma omp parallel for
+  for (int i = 0; i < 8; ++i) a[i] = i;
+  #pragma omp tile sizes(2)
+  for (int i = 0; i < 8; ++i) a[i] += 1;
+  int s = 0;
+  for (int i = 0; i < 8; ++i) s += a[i];
+  printf("%d\\n", s);
+  return 0;
+}
+"""
+
+THREE_BAD_DIRECTIVES_SRC = """
+int main() {
+  int x = 0;
+  #pragma omp tile sizes(0)
+  for (int i = 0; i < 8; ++i) x += i;
+  #pragma omp unroll partial(-1)
+  for (int i = 0; i < 8; ++i) x += i;
+  #pragma omp tile sizes(2)
+  while (x < 100) x += 1;
+  return x;
+}
+"""
+
+INFINITE_LOOP_SRC = "int main() { while (1) {} return 0; }\n"
+
+# A barrier under a thread-divergent `if`: thread 0 waits forever while
+# its teammates run to completion.
+DEADLOCK_SRC = """
+extern int omp_get_thread_num(void);
+int main() {
+  #pragma omp parallel
+  {
+    if (omp_get_thread_num() == 0) {
+      #pragma omp barrier
+    }
+  }
+  return 0;
+}
+"""
+
+RECURSION_SRC = """
+int f(int n) { return f(n + 1); }
+int main() { return f(0); }
+"""
+
+MALLOC_LOOP_SRC = """
+extern void *malloc(unsigned long);
+int main() { for (int i = 0; i < 100000; ++i) malloc(65536); return 0; }
+"""
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    """main() restores this itself, but a test that asserts mid-failure
+    must not poison its neighbours."""
+    yield
+    FAULTS.disarm_all()
+    set_crash_recovery_enabled(True)
+
+
+def _write(tmp_path, name: str, text: str):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestExitCodes:
+    """Satellite 1: one regression test per exit code."""
+
+    def test_exit_0_success(self, tmp_path):
+        src = _write(tmp_path, "ok.c", "int main() { return 0; }\n")
+        assert main([src]) == EXIT_OK
+
+    def test_exit_1_user_error(self, tmp_path, capsys):
+        src = _write(tmp_path, "bad.c", BAD_SRC)
+        assert main([src]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "use of undeclared identifier" in err
+        assert "Traceback" not in err
+
+    def test_exit_70_internal_compiler_error(self, tmp_path, capsys):
+        src = _write(tmp_path, "ok.c", OK_SRC)
+        code = main(
+            [
+                "-finject-fault=parser",
+                f"-crash-reproducer-dir={tmp_path / 'crashes'}",
+                src,
+            ]
+        )
+        assert code == EXIT_ICE
+        err = capsys.readouterr().err
+        assert "internal compiler error" in err
+        assert "Traceback (most recent call last)" not in err
+
+    def test_exit_124_timeout(self, tmp_path, capsys):
+        src = _write(tmp_path, "loop.c", INFINITE_LOOP_SRC)
+        assert main(["--run", "--fuel", "5000", src]) == EXIT_TIMEOUT
+        assert "fuel exhausted" in capsys.readouterr().err
+
+
+class TestFaultInjectionSweep:
+    """Tentpole acceptance: for EVERY registered site, the injected
+    crash surfaces as a contained ICE — exit 70, diagnostic, pretty
+    stack, loadable reproducer, zero raw tracebacks."""
+
+    @pytest.mark.parametrize("site", FAULTS.site_names())
+    def test_site_contained(self, site, tmp_path, capsys):
+        src = _write(tmp_path, "omp.c", OMP_SRC)
+        crash_dir = tmp_path / "crashes"
+        code = main(
+            [
+                f"-finject-fault={site}",
+                f"-crash-reproducer-dir={crash_dir}",
+                "-O",
+                "--run",
+                src,
+            ]
+        )
+        captured = capsys.readouterr()
+        output = captured.err + captured.out
+        assert code == EXIT_ICE, f"site {site}: exit {code}\n{output}"
+        assert "internal compiler error" in output
+        assert f"injected fault at site '{site}'" in output
+        assert "Traceback (most recent call last)" not in output
+        # the reproducer is self-contained and loadable
+        crashes = list(crash_dir.iterdir())
+        assert len(crashes) == 1, f"site {site}: {crashes}"
+        repro = crashes[0]
+        assert (repro / "repro.c").read_text() == OMP_SRC
+        cmd = (repro / "cmd").read_text()
+        assert "miniclang" in cmd and f"-finject-fault={site}" in cmd
+        tb = (repro / "traceback.txt").read_text()
+        assert "InjectedFault" in tb
+
+    def test_pretty_stack_names_the_construct(self, tmp_path, capsys):
+        src = _write(tmp_path, "omp.c", OMP_SRC)
+        main(["-finject-fault=sema-directive", "-O", "--run", src])
+        err = capsys.readouterr().err
+        assert "#pragma omp parallel for" in err
+        assert "omp.c:5" in err  # location of the first directive
+
+    def test_second_occurrence_selects_second_directive(
+        self, tmp_path, capsys
+    ):
+        src = _write(tmp_path, "omp.c", OMP_SRC)
+        main(["-finject-fault=sema-directive:2", "-O", "--run", src])
+        assert "#pragma omp tile" in capsys.readouterr().err
+
+    def test_print_fault_sites(self, capsys):
+        assert main(["-print-fault-sites"]) == EXIT_OK
+        out = capsys.readouterr().out
+        for site in (
+            "lexer",
+            "preprocessor",
+            "parser",
+            "sema-directive",
+            "codegen-function",
+            "midend-pass",
+            "interp-step",
+        ):
+            assert site in out
+
+    def test_unknown_site_is_user_error(self, tmp_path, capsys):
+        src = _write(tmp_path, "ok.c", OK_SRC)
+        assert main(["-finject-fault=bogus", src]) == EXIT_USER_ERROR
+        assert "unknown fault site" in capsys.readouterr().err
+
+    def test_fno_crash_recovery_reraises(self, tmp_path):
+        from repro.instrument.faultinject import InjectedFault
+
+        src = _write(tmp_path, "ok.c", OK_SRC)
+        with pytest.raises(InjectedFault):
+            main(
+                ["-fno-crash-recovery", "-finject-fault=parser", src]
+            )
+
+
+class TestDiagnosticResync:
+    """Satellite 3: the parser/Sema recover per directive so one bad
+    construct costs one error."""
+
+    def test_three_bad_directives_three_errors(self, tmp_path, capsys):
+        src = _write(tmp_path, "bad3.c", THREE_BAD_DIRECTIVES_SRC)
+        assert main([src]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert err.count("error:") == 3
+        assert "Traceback" not in err
+
+    def test_error_limit_stops_early(self, tmp_path, capsys):
+        src = _write(
+            tmp_path,
+            "manyerr.c",
+            "int main() { a; b; c; d; e; return 0; }\n",
+        )
+        assert main(["-ferror-limit=2", src]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert err.count("use of undeclared identifier") == 2
+        assert (
+            "too many errors emitted, stopping now "
+            "[-ferror-limit=2]" in err
+        )
+
+
+class TestGuardrails:
+    def test_fuel_exhaustion_renders_scheduler_snapshot(
+        self, tmp_path, capsys
+    ):
+        """Satellite 2: fuel exhaustion carries a scheduler snapshot
+        the CLI renders — which threads, where, how far along."""
+        src = _write(tmp_path, "loop.c", INFINITE_LOOP_SRC)
+        assert main(["--run", "--fuel", "5000", src]) == EXIT_TIMEOUT
+        err = capsys.readouterr().err
+        assert "fuel exhausted" in err
+        assert "Scheduler state at abort:" in err
+        assert "thread 0" in err
+        assert "@main" in err
+
+    def test_wall_clock_timeout(self, tmp_path, capsys):
+        src = _write(tmp_path, "loop.c", INFINITE_LOOP_SRC)
+        code = main(["--run", "--timeout", "0.2", src])
+        assert code == EXIT_TIMEOUT
+        assert "wall-clock timeout" in capsys.readouterr().err
+
+    def test_deadlock_reports_waiters_and_finished(
+        self, tmp_path, capsys
+    ):
+        src = _write(tmp_path, "dead.c", DEADLOCK_SRC)
+        assert main(["--run", src]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "deadlock detected" in err
+        assert "barrier" in err
+        assert "already finished and can never reach the barrier" in err
+        assert "Scheduler state at abort:" in err
+        assert "Traceback" not in err
+
+    def test_recursion_cap(self, tmp_path, capsys):
+        src = _write(tmp_path, "rec.c", RECURSION_SRC)
+        code = main(["--run", "--max-recursion", "64", src])
+        assert code == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "call depth exceeded the limit of 64" in err
+        assert "runaway recursion" in err
+
+    def test_memory_ceiling(self, tmp_path, capsys):
+        src = _write(tmp_path, "mem.c", MALLOC_LOOP_SRC)
+        code = main(["--run", "--max-memory", str(1 << 22), src])
+        assert code == EXIT_USER_ERROR
+        assert "guest memory ceiling" in capsys.readouterr().err
+
+
+class TestBatchDriver:
+    def test_batch_continues_past_crashing_input(
+        self, tmp_path, capsys
+    ):
+        """A bad input costs its own exit status, not the batch."""
+        ok = _write(tmp_path, "ok.c", "int main() { return 0; }\n")
+        bad = _write(tmp_path, "bad.c", BAD_SRC)
+        ok2 = _write(tmp_path, "ok2.c", "int main() { return 0; }\n")
+        assert main([ok, bad, ok2]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "use of undeclared identifier" in err
+
+    def test_worst_exit_code_wins(self, tmp_path):
+        ok = _write(tmp_path, "ok.c", "int main() { return 0; }\n")
+        bad = _write(tmp_path, "bad.c", BAD_SRC)
+        crasher = _write(tmp_path, "omp.c", OMP_SRC)
+        code = main(
+            ["-finject-fault=codegen-function", ok, bad, crasher]
+        )
+        assert code == EXIT_ICE
+
+    def test_missing_file_is_user_error(self, tmp_path, capsys):
+        ok = _write(tmp_path, "ok.c", "int main() { return 0; }\n")
+        missing = str(tmp_path / "nope.c")
+        assert main([missing, ok]) == EXIT_USER_ERROR
+        assert "nope.c" in capsys.readouterr().err
+
+
+class TestCrashRecoveryStats:
+    """Satellite 6: -print-stats exposes the crash-recovery counters
+    (LLVM -stats renders `value  group  - description` rows)."""
+
+    def test_ice_and_reproducer_counters(self, tmp_path, capsys):
+        src = _write(tmp_path, "omp.c", OMP_SRC)
+        main(
+            [
+                "-finject-fault=sema-directive",
+                f"-crash-reproducer-dir={tmp_path / 'crashes'}",
+                "-print-stats",
+                src,
+            ]
+        )
+        err = capsys.readouterr().err
+        assert "crash-recovery" in err
+        assert "Internal compiler errors contained" in err
+        assert "Faults raised by -finject-fault sites" in err
+        assert "Crash reproducer directories written" in err
+
+    def test_deadlock_counter(self, tmp_path, capsys):
+        src = _write(tmp_path, "dead.c", DEADLOCK_SRC)
+        main(["--run", "-print-stats", src])
+        err = capsys.readouterr().err
+        assert (
+            "All-threads-blocked conditions detected by the team "
+            "scheduler" in err
+        )
+
+    def test_recovered_error_counter(self, tmp_path, capsys):
+        src = _write(tmp_path, "bad.c", BAD_SRC)
+        main(["-print-stats", src])
+        assert (
+            "Semantic errors recovered via RecoveryExpr placeholders"
+            in capsys.readouterr().err
+        )

@@ -1,0 +1,112 @@
+"""Property test: no input ever escapes the driver as a raw traceback.
+
+Satellite 3 (property half): arbitrary byte soup, token soup, and
+mutated near-C programs pushed through the full CLI must always come
+back as a *classified* outcome — success, ordinary diagnostics, or a
+contained ICE — never an unhandled Python exception, and never an
+unknown exit code.  CI runs this with a fixed seed
+(``--hypothesis-seed=0``, see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.crash_recovery import set_crash_recovery_enabled
+from repro.driver.cli import (
+    EXIT_ICE,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    EXIT_USER_ERROR,
+    main,
+)
+from repro.instrument.faultinject import FAULTS
+
+#: every classified outcome of a compile-only invocation; --run
+#: additionally maps the guest's own exit status (masked to 0..255)
+COMPILE_EXIT_CODES = {EXIT_OK, EXIT_USER_ERROR, EXIT_ICE}
+
+_SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+# Fragments that steer random programs toward the interesting machinery
+# (directives, loops, declarations) far more often than raw text would.
+_C_FRAGMENTS = st.sampled_from(
+    [
+        "int", "float", "void", "main", "x", "(", ")", "{", "}",
+        "[", "]", ";", ",", "=", "+", "-", "*", "/", "<", ">", "!",
+        "0", "1", "42", "1.5", '"str"', "'c'", "return", "if",
+        "else", "while", "for", "do", "break", "continue",
+        "#pragma omp parallel", "#pragma omp for",
+        "#pragma omp tile sizes(2)", "#pragma omp unroll partial(4)",
+        "#pragma omp barrier", "#pragma omp critical",
+        "#define M 3", "#include \"nope.h\"", "#if 0", "#endif",
+        "\n", " ",
+    ]
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_state():
+    yield
+    FAULTS.disarm_all()
+    set_crash_recovery_enabled(True)
+
+
+def _drive_text(tmp_path, text: str) -> int:
+    path = tmp_path / "soup.c"
+    path.write_text(text, encoding="utf-8")
+    return main([str(path)])
+
+
+@_SETTINGS
+@given(st.text(max_size=300))
+def test_arbitrary_text_never_escapes(tmp_path, text):
+    assert _drive_text(tmp_path, text) in COMPILE_EXIT_CODES
+
+
+@_SETTINGS
+@given(st.lists(_C_FRAGMENTS, max_size=80).map(" ".join))
+def test_token_soup_never_escapes(tmp_path, text):
+    assert _drive_text(tmp_path, text) in COMPILE_EXIT_CODES
+
+
+@_SETTINGS
+@given(
+    st.lists(_C_FRAGMENTS, max_size=40).map(" ".join),
+    st.integers(min_value=0, max_value=400),
+)
+def test_mutated_program_never_escapes(tmp_path, injected, cut):
+    """Splice random fragments into a valid OpenMP program at a random
+    point — near-C inputs reach Sema and CodeGen, where cascades and
+    half-built state would show if recovery were leaky."""
+    base = (
+        "int main() {\n"
+        "  int s = 0;\n"
+        "  #pragma omp parallel for reduction(+: s)\n"
+        "  for (int i = 0; i < 8; ++i) s += i;\n"
+        "  #pragma omp tile sizes(2)\n"
+        "  for (int i = 0; i < 8; ++i) s += 1;\n"
+        "  return s;\n"
+        "}\n"
+    )
+    cut = min(cut, len(base))
+    assert (
+        _drive_text(tmp_path, base[:cut] + injected + base[cut:])
+        in COMPILE_EXIT_CODES
+    )
+
+
+@_SETTINGS
+@given(st.binary(max_size=200))
+def test_byte_soup_never_escapes(tmp_path, blob):
+    """Even non-UTF-8 bytes: decoding errors are the *driver's* problem
+    to classify, not an excuse for a traceback."""
+    path = tmp_path / "soup.c"
+    path.write_bytes(blob)
+    assert main([str(path)]) in COMPILE_EXIT_CODES

@@ -1,0 +1,281 @@
+"""Unit tests for the crash-resilience subsystem (PR 3).
+
+Covers :mod:`repro.core.crash_recovery` (recovery scopes, pretty stacks,
+reproducer writing), :mod:`repro.instrument.faultinject` (deterministic
+fault windows), the Sema :class:`~repro.astlib.exprs.RecoveryExpr`
+placeholders, and the interpreter guardrail primitives.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.astlib import exprs as e
+from repro.core.crash_recovery import (
+    InternalCompilerError,
+    crash_context,
+    crash_recovery_enabled,
+    format_location,
+    pretty_stack,
+    pretty_stack_entry,
+    recovery_scope,
+    set_crash_recovery_enabled,
+    write_reproducer,
+)
+from repro.diagnostics import (
+    DiagnosticsEngine,
+    FatalErrorOccurred,
+    Severity,
+    TooManyErrors,
+)
+from repro.instrument.faultinject import (
+    FAULTS,
+    FaultRegistry,
+    InjectedFault,
+)
+from repro.interp.memory import Memory, MemoryLimitExceeded
+from repro.pipeline import compile_source
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    FAULTS.disarm_all()
+    set_crash_recovery_enabled(True)
+    yield
+    FAULTS.disarm_all()
+    set_crash_recovery_enabled(True)
+
+
+class TestPrettyStack:
+    def test_nesting_and_unwind(self):
+        assert pretty_stack() == []
+        with pretty_stack_entry("outer"):
+            with pretty_stack_entry("inner"):
+                assert pretty_stack() == ["outer", "inner"]
+            assert pretty_stack() == ["outer"]
+        assert pretty_stack() == []
+
+    def test_snapshot_stapled_to_escaping_exception(self):
+        """The innermost entries survive unwinding (crash-point
+        semantics, like Clang's signal-time PrettyStackTrace dump)."""
+        try:
+            with pretty_stack_entry("outer"):
+                with pretty_stack_entry("inner"):
+                    raise ValueError("boom")
+        except ValueError as err:
+            assert err._pretty_stack == ["outer", "inner"]
+        assert pretty_stack() == []
+
+
+class TestRecoveryScope:
+    def test_propagate_mode_raises_ice(self):
+        with pytest.raises(InternalCompilerError) as exc:
+            with pretty_stack_entry("doing the thing"):
+                with recovery_scope("testing"):
+                    raise RuntimeError("kaboom")
+        ice = exc.value
+        assert ice.phase == "testing"
+        assert "internal compiler error in testing" in str(ice)
+        assert "RuntimeError" in str(ice)
+        assert "doing the thing" in ice.stack
+        assert "Traceback" in ice.traceback_text
+        # the rendered report never leaks the raw Python traceback
+        assert "Traceback (most recent call last)" not in ice.render()
+        assert "Stack dump:" in ice.render()
+
+    def test_recover_mode_emits_ice_diagnostic(self):
+        diags = DiagnosticsEngine()
+        with recovery_scope("sema-directive", diags, recover=True):
+            raise RuntimeError("kaboom")
+        assert diags.ice_count == 1
+        assert diags.has_internal_errors()
+        assert diags.error_count == 1
+        diag = diags.diagnostics[0]
+        assert diag.category == "ice"
+        assert "internal compiler error in sema-directive" in diag.message
+
+    def test_control_flow_exceptions_pass_through(self):
+        diags = DiagnosticsEngine()
+        for exc_type in (TooManyErrors,):
+            with pytest.raises(exc_type):
+                with recovery_scope("phase", diags, recover=True):
+                    raise exc_type("limit")
+        with pytest.raises(FatalErrorOccurred):
+            with recovery_scope("phase", diags, recover=True):
+                diags.fatal("fatal thing")
+        # a nested ICE is not double-wrapped
+        inner = InternalCompilerError("inner", ValueError("x"), [], "tb")
+        with pytest.raises(InternalCompilerError) as exc:
+            with recovery_scope("outer"):
+                raise inner
+        assert exc.value is inner
+
+    def test_passthrough_parameter(self):
+        class GuestTrap(Exception):
+            pass
+
+        with pytest.raises(GuestTrap):
+            with recovery_scope("interpret", passthrough=(GuestTrap,)):
+                raise GuestTrap()
+
+    def test_disabled_recovery_reraises_raw(self):
+        set_crash_recovery_enabled(False)
+        assert not crash_recovery_enabled()
+        with pytest.raises(RuntimeError):
+            with recovery_scope("phase"):
+                raise RuntimeError("raw")
+
+    def test_ice_error_bypasses_error_limit(self):
+        """ICE diagnostics are appended directly so containment cannot
+        re-trip -ferror-limit inside the crash handler."""
+        diags = DiagnosticsEngine(error_limit=1)
+        diags.error("first")
+        with recovery_scope("phase", diags, recover=True):
+            raise RuntimeError("crash after limit")
+        assert diags.ice_count == 1
+
+
+class TestReproducerWriting:
+    def test_reproducer_layout(self, tmp_path):
+        src = "int main() { return 0; }\n"
+        with crash_context(
+            src, "t.c", "miniclang t.c", str(tmp_path)
+        ):
+            with pretty_stack_entry("compiling 't.c'"):
+                path = write_reproducer(
+                    "parse", ValueError("boom"), "fake traceback\n"
+                )
+        assert path is not None
+        repro_dir = tmp_path / "t-parse-001"
+        assert (repro_dir / "repro.c").read_text() == src
+        assert "miniclang t.c" in (repro_dir / "cmd").read_text()
+        tb = (repro_dir / "traceback.txt").read_text()
+        assert "phase: parse" in tb
+        assert "ValueError: boom" in tb
+        assert "compiling 't.c'" in tb
+
+    def test_no_context_no_write(self):
+        assert write_reproducer("x", ValueError(), "tb") is None
+
+    def test_sequence_numbering(self, tmp_path):
+        with crash_context("src", "a.c", None, str(tmp_path)):
+            p1 = write_reproducer("sema", ValueError(), "tb")
+            p2 = write_reproducer("sema", ValueError(), "tb")
+        assert p1.endswith("001")
+        assert p2.endswith("002")
+
+    def test_scope_writes_reproducer(self, tmp_path):
+        with crash_context("src", "b.c", None, str(tmp_path)):
+            with pytest.raises(InternalCompilerError) as exc:
+                with recovery_scope("codegen"):
+                    raise KeyError("lost")
+        assert exc.value.reproducer_path is not None
+        assert "b-codegen-001" in exc.value.reproducer_path
+
+
+class TestFaultRegistry:
+    def test_registered_sites_enumerable(self):
+        names = FAULTS.site_names()
+        for expected in (
+            "lexer",
+            "preprocessor",
+            "parser",
+            "sema-directive",
+            "codegen-function",
+            "midend-pass",
+            "interp-step",
+        ):
+            assert expected in names
+
+    def test_unarmed_hit_is_free(self):
+        assert not FAULTS.armed
+        FAULTS.hit("lexer")  # no exception
+
+    def test_arm_first_occurrence(self):
+        reg = FaultRegistry()
+        reg.register("site-a")
+        assert reg.arm_spec("site-a") == "site-a"
+        with pytest.raises(InjectedFault) as exc:
+            reg.hit("site-a")
+        assert exc.value.site == "site-a"
+        # the window is one occurrence wide: later hits pass
+        reg.hit("site-a")
+
+    def test_arm_nth_occurrence(self):
+        reg = FaultRegistry()
+        reg.register("site-b")
+        reg.arm_spec("site-b:3")
+        reg.hit("site-b")
+        reg.hit("site-b")
+        with pytest.raises(InjectedFault) as exc:
+            reg.hit("site-b")
+        assert exc.value.occurrence == 3
+
+    def test_bad_specs_rejected(self):
+        reg = FaultRegistry()
+        reg.register("site-c")
+        with pytest.raises(ValueError, match="unknown fault site"):
+            reg.arm_spec("nope")
+        with pytest.raises(ValueError, match="integer"):
+            reg.arm_spec("site-c:xyz")
+        with pytest.raises(ValueError, match=">= 1"):
+            reg.arm_spec("site-c:0")
+
+    def test_disarm_all(self):
+        reg = FaultRegistry()
+        reg.register("site-d")
+        reg.arm_spec("site-d")
+        reg.disarm_all()
+        assert not reg.armed
+        reg.hit("site-d")  # no exception
+
+
+class TestRecoveryExpr:
+    def test_undeclared_identifier_yields_recovery_expr(self):
+        result = compile_source(
+            "int main() { return nope; }", strict=False
+        )
+        assert result.diagnostics.error_count == 1
+        dump = result.ast_dump()
+        assert "RecoveryExpr" in dump
+
+    def test_cascade_suppressed(self):
+        """One undeclared identifier used in many operations produces
+        exactly one diagnostic, not an error avalanche."""
+        src = """
+        int main() {
+          int x = nope + 1;
+          int y = -nope;
+          int z = nope ? nope : nope;
+          return x + y + z + nope;
+        }
+        """
+        result = compile_source(src, strict=False)
+        messages = [d.message for d in result.diagnostics.errors()]
+        # Six mentions of `nope`, six primary errors — and nothing else:
+        # no "invalid operands", no "called object is not a function",
+        # no follow-on type errors derived from the poisoned value.
+        assert len(messages) == 6
+        assert all(
+            "use of undeclared identifier" in m for m in messages
+        )
+
+    def test_contains_errors_helper(self):
+        from repro.astlib.types import QualType
+
+        rec = e.RecoveryExpr([], None)
+        assert e.contains_errors(rec)
+        assert not e.contains_errors(None)
+        assert not e.contains_errors()
+
+
+class TestMemoryLimit:
+    def test_allocate_over_limit_raises(self):
+        mem = Memory(1 << 12, limit=1 << 13)
+        mem.allocate(1 << 12)  # grows fine
+        with pytest.raises(MemoryLimitExceeded, match="ceiling"):
+            mem.allocate(1 << 13)
+
+    def test_unlimited_by_default(self):
+        mem = Memory(1 << 12)
+        mem.allocate(1 << 14)  # grows geometrically, no limit

@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Fault-injection sweep over every registered crash site.
+
+The acceptance gate for the crash-resilience subsystem (and a CI job):
+for EVERY site listed by ``-print-fault-sites``, injecting a fault must
+produce
+
+* exit code 70 (EX_SOFTWARE — internal compiler error),
+* an ``internal compiler error`` diagnostic naming the injected site,
+* a pretty-stack dump (``Stack dump:`` or per-diagnostic notes),
+* a self-contained crash reproducer (``repro.c`` + ``cmd`` +
+  ``traceback.txt``) that compiles cleanly once the fault is removed,
+* and **zero** raw Python tracebacks anywhere in the output.
+
+Usage::
+
+    python tools/fault_sweep.py [--keep DIR]
+
+Exit status 0 when every site passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SWEEP_SOURCE = """\
+extern int printf(const char*, ...);
+int main() {
+  int a[8];
+  #pragma omp parallel for
+  for (int i = 0; i < 8; ++i) a[i] = i;
+  #pragma omp tile sizes(2)
+  for (int i = 0; i < 8; ++i) a[i] += 1;
+  int s = 0;
+  for (int i = 0; i < 8; ++i) s += a[i];
+  printf("%d\\n", s);
+  return 0;
+}
+"""
+
+EXIT_ICE = 70
+
+
+def run_miniclang(args: list[str]) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.driver.cli", *args],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+
+
+def list_sites() -> list[str]:
+    proc = run_miniclang(["-print-fault-sites"])
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"-print-fault-sites failed ({proc.returncode}):\n"
+            f"{proc.stderr}"
+        )
+    return [
+        line.split("\t", 1)[0]
+        for line in proc.stdout.splitlines()
+        if line.strip()
+    ]
+
+
+def sweep_site(site: str, workdir: str) -> list[str]:
+    """Returns a list of failure descriptions (empty = site passed)."""
+    failures: list[str] = []
+    src = os.path.join(workdir, "sweep.c")
+    with open(src, "w", encoding="utf-8") as fh:
+        fh.write(SWEEP_SOURCE)
+    crash_dir = os.path.join(workdir, "crashes")
+
+    proc = run_miniclang(
+        [
+            f"-finject-fault={site}",
+            f"-crash-reproducer-dir={crash_dir}",
+            "-O",
+            "--run",
+            src,
+        ]
+    )
+    output = proc.stdout + proc.stderr
+
+    if proc.returncode != EXIT_ICE:
+        failures.append(
+            f"expected exit {EXIT_ICE}, got {proc.returncode}"
+        )
+    if "internal compiler error" not in output:
+        failures.append("no 'internal compiler error' diagnostic")
+    if f"injected fault at site '{site}'" not in output:
+        failures.append("diagnostic does not name the injected site")
+    if "Traceback (most recent call last)" in output:
+        failures.append("raw Python traceback leaked to the user")
+
+    crashes = (
+        sorted(os.listdir(crash_dir))
+        if os.path.isdir(crash_dir)
+        else []
+    )
+    if len(crashes) != 1:
+        failures.append(f"expected 1 reproducer dir, found {crashes}")
+        return failures
+    repro_dir = os.path.join(crash_dir, crashes[0])
+    for name in ("repro.c", "cmd", "traceback.txt"):
+        if not os.path.isfile(os.path.join(repro_dir, name)):
+            failures.append(f"reproducer is missing {name}")
+    # Loadable: with the fault disarmed, the captured source must go
+    # through the identical pipeline cleanly.
+    reload_proc = run_miniclang(
+        ["-O", "--run", os.path.join(repro_dir, "repro.c")]
+    )
+    if reload_proc.returncode != 0:
+        failures.append(
+            "reproducer source does not replay cleanly without the "
+            f"fault (exit {reload_proc.returncode})"
+        )
+    return failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--keep",
+        metavar="DIR",
+        help="keep per-site work directories under DIR "
+        "(default: temp dir, removed on success)",
+    )
+    args = parser.parse_args()
+
+    base = args.keep or tempfile.mkdtemp(prefix="fault-sweep-")
+    os.makedirs(base, exist_ok=True)
+    sites = list_sites()
+    print(f"sweeping {len(sites)} fault sites: {', '.join(sites)}")
+
+    failed = False
+    for site in sites:
+        workdir = os.path.join(base, site)
+        os.makedirs(workdir, exist_ok=True)
+        failures = sweep_site(site, workdir)
+        if failures:
+            failed = True
+            print(f"FAIL {site}")
+            for failure in failures:
+                print(f"     - {failure}")
+        else:
+            print(f"ok   {site}")
+
+    if failed:
+        print(f"\nsweep FAILED; work dirs kept under {base}")
+        return 1
+    if not args.keep:
+        shutil.rmtree(base, ignore_errors=True)
+    print("\nall sites contained their injected fault")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
