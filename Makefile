@@ -1,0 +1,35 @@
+# Convenience entry points; everything runs on the stock python
+# toolchain (PYTHONPATH=src), no build step required.
+
+PYTHON ?= python
+PYTHONPATH := src
+
+.PHONY: test conformance fuzz fuzz-smoke fault-sweep check-all
+
+# Tier-1: the unit/integration/property pytest suite.
+test:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m pytest -x -q
+
+# lit/FileCheck conformance suite (tests/conformance/**).
+conformance:
+	$(PYTHON) tools/lit_runner.py tests/conformance
+
+# Metamorphic differential fuzzer, fixed seeds for reproducibility.
+# Override: make fuzz FUZZ_COUNT=500 FUZZ_SEED=100
+FUZZ_COUNT ?= 200
+FUZZ_SEED ?= 1
+fuzz:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.testing.fuzz \
+	    --count $(FUZZ_COUNT) --seed $(FUZZ_SEED) \
+	    --reproducer-dir fuzz-reproducers
+
+fuzz-smoke:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.testing.fuzz \
+	    --count 50 --seed 1 --reproducer-dir fuzz-reproducers
+
+# Fault-injection sweep: every registered ICE site must be contained.
+fault-sweep:
+	$(PYTHON) tools/fault_sweep.py
+
+# Everything CI runs, in one shot.
+check-all: test conformance fuzz-smoke fault-sweep

@@ -323,12 +323,7 @@ class OpenMPCodeGen:
             self._emit_interchange(d)
             return
         if isinstance(d, omp.OMPFuseDirective):
-            # Shadow-only (Sema rejects fuse in IRBuilder mode, matching
-            # the paper-era status): emit the fused generated loop.
-            transformed = d.get_transformed_stmt()
-            assert transformed is not None
-            self.cgf.emit_stmt(d.pre_inits)
-            self.cgf.emit_stmt(transformed)
+            self._emit_fuse(d)
             return
         if isinstance(d, omp.OMPBarrierDirective):
             self.ompb.create_barrier(self.builder)
@@ -802,8 +797,19 @@ class OpenMPCodeGen:
         self, inner: omp.OMPLoopTransformationDirective
     ) -> CanonicalLoopInfo:
         """Emit an inner tile/unroll at the IR level and return the
-        outermost generated loop's handle for the consumer."""
-        clis = self._emit_canonical_nest(inner)
+        outermost generated loop's handle for the consumer.
+
+        Recurses through chained consumed transformations (paper §4:
+        ``unroll partial`` over ``tile`` over the literal loop), each
+        level handing its generated handle to the next."""
+        if isinstance(inner, omp.OMPFuseDirective):
+            siblings = self._emit_canonical_sequence(inner)
+            return self.ompb.fuse_loops(self.builder, siblings)
+        nested = getattr(inner, "consumed_transform", None)
+        if nested is not None:
+            clis = [self._emit_consumed_transform(nested)]
+        else:
+            clis = self._emit_canonical_nest(inner)
         if isinstance(inner, omp.OMPUnrollDirective):
             partial = inner.get_clause(cl.OMPPartialClause)
             factor = (
@@ -905,6 +911,35 @@ class OpenMPCodeGen:
         gen_level(0, self.builder)
         self.builder.set_insert_point(clis_by_level[0].after, 0)
         return clis_by_level
+
+    def _emit_canonical_sequence(
+        self, d: omp.OMPExecutableDirective
+    ) -> list[CanonicalLoopInfo]:
+        """Emit the *sibling* canonical loops of a ``fuse`` directive
+        consecutively — every trip count is materialized before the
+        first skeleton (so fuse_loops can take the max in the shared
+        preheader), matching the shadow build_fuse pre-init order."""
+        wrappers = getattr(d, "fuse_canonical_loops", None)
+        if wrappers is None:
+            raise OpenMPCodeGenError(
+                "fuse directive lacks OMPCanonicalLoop wrappers "
+                "(irbuilder mode requires Sema in irbuilder mode too)"
+            )
+        trips = [self._emit_distance_fn(w) for w in wrappers]
+        clis: list[CanonicalLoopInfo] = []
+        for k, (wrapper, trip) in enumerate(zip(wrappers, trips)):
+            cli = self.ompb.create_canonical_loop(
+                self.builder, trip, None, name=f"omp_seq.{k}"
+            )
+            self._emit_into_body(
+                cli,
+                lambda w=wrapper, c=cli: self._emit_innermost_body(
+                    [w], [c], c.indvar
+                ),
+            )
+            self.builder.set_insert_point(cli.after, 0)
+            clis.append(cli)
+        return clis
 
     def _position_at_block_end(self, block) -> None:
         """Continue emission after a loop transformation.
@@ -1073,10 +1108,21 @@ class OpenMPCodeGen:
     # Loop transformations (standalone; consumed ones are resolved by
     # Sema before reaching CodeGen)
     # ==================================================================
+    def _consumed_or_canonical(
+        self, d: omp.OMPExecutableDirective
+    ) -> list[CanonicalLoopInfo]:
+        """IRBuilder handles for *d*: the chained generated-loop handle
+        when *d* consumes an inner transformation, its own canonical
+        nest otherwise."""
+        consumed = getattr(d, "consumed_transform", None)
+        if consumed is not None:
+            return [self._emit_consumed_transform(consumed)]
+        return self._emit_canonical_nest(d)
+
     def _emit_unroll(self, d: omp.OMPUnrollDirective) -> None:
         cgf = self.cgf
         if self.irbuilder_mode:
-            clis = self._emit_canonical_nest(d)
+            clis = self._consumed_or_canonical(d)
             cli = clis[0]
             cont = cli.after
             full = d.get_clause(cl.OMPFullClause)
@@ -1088,7 +1134,7 @@ class OpenMPCodeGen:
                 self.ompb.unroll_loop_partial(self.builder, cli, factor)
             else:
                 self.ompb.unroll_loop_heuristic(cli)
-            self.builder.set_insert_point(cont)
+            self._position_at_block_end(cont)
             return
         transformed = d.get_transformed_stmt()
         if transformed is not None:
@@ -1117,11 +1163,11 @@ class OpenMPCodeGen:
     def _emit_tile(self, d: omp.OMPTileDirective) -> None:
         cgf = self.cgf
         if self.irbuilder_mode:
-            clis = self._emit_canonical_nest(d)
+            clis = self._consumed_or_canonical(d)
             cont = clis[0].after
             sizes = getattr(d, "tile_sizes")
             self.ompb.tile_loops(self.builder, clis, sizes)
-            self.builder.set_insert_point(cont)
+            self._position_at_block_end(cont)
             return
         transformed = d.get_transformed_stmt()
         if transformed is None:
@@ -1137,10 +1183,23 @@ class OpenMPCodeGen:
         """OpenMP 6.0 ``reverse`` — §4 extension."""
         cgf = self.cgf
         if self.irbuilder_mode:
-            clis = self._emit_canonical_nest(d)
+            clis = self._consumed_or_canonical(d)
             cont = clis[0].after
             self.ompb.reverse_loop(self.builder, clis[0])
             self._position_at_block_end(cont)
+            return
+        transformed = d.get_transformed_stmt()
+        assert transformed is not None
+        cgf.emit_stmt(d.pre_inits)
+        cgf.emit_stmt(transformed)
+
+    def _emit_fuse(self, d: omp.OMPFuseDirective) -> None:
+        """OpenMP 6.0 ``fuse`` — §4 extension over loop *sequences*."""
+        cgf = self.cgf
+        if self.irbuilder_mode:
+            clis = self._emit_canonical_sequence(d)
+            fused = self.ompb.fuse_loops(self.builder, clis)
+            self._position_at_block_end(fused.after)
             return
         transformed = d.get_transformed_stmt()
         assert transformed is not None

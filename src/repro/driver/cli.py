@@ -331,6 +331,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
         "raw Python tracebacks (compiler-developer mode)",
     )
     parser.add_argument(
+        "--strip-omp-transforms",
+        action="store_true",
+        dest="strip_omp_transforms",
+        help="discard '#pragma omp unroll/tile/reverse/interchange/"
+        "fuse' directives before parsing (worksharing directives are "
+        "kept) — the differential-testing reference configuration: by "
+        "the paper's semantics-preservation claim the stripped program "
+        "must behave identically",
+    )
+    parser.add_argument(
         "--timeout",
         type=float,
         default=None,
@@ -596,6 +606,7 @@ def _drive_one(
             timeout_s=args.timeout,
             memory_limit=args.max_memory,
             max_call_depth=args.max_recursion,
+            strip_omp_transforms=args.strip_omp_transforms,
         )
         _emit_remarks(args, result.compile_result)
         if args.profile_report:
@@ -622,6 +633,7 @@ def _drive_one(
         error_limit=args.error_limit,
         crash_reproducer_dir=args.crash_reproducer_dir,
         invocation=invocation,
+        strip_omp_transforms=args.strip_omp_transforms,
     )
 
     warnings = result.diagnostics.render_all()

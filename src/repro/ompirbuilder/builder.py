@@ -487,6 +487,104 @@ class OpenMPIRBuilder:
     # provided by the OMPCanonicalLoop AST node and the OpenMPIRBuilder
     # build the foundation for implementing these extensions")
     # ==================================================================
+    def fuse_loops(
+        self,
+        builder: IRBuilder,
+        loops: Sequence[CanonicalLoopInfo],
+    ) -> CanonicalLoopInfo:
+        """``omp fuse``: merge a *sibling* sequence of canonical loops
+        (laid out consecutively in control flow, every trip count
+        evaluated before the first preheader) into one loop iterating
+        ``max(tc...)``, each original body guarded by ``iv < tc_k`` —
+        the OpenMP 6.0 semantics mirrored from the shadow-AST
+        ``build_fuse``.  The old handles are invalidated."""
+        from repro.ir.instructions import CastOp
+        from repro.ir.utils import redirect_branch
+
+        assert len(loops) >= 2
+        for cli in loops:
+            cli.assert_ok()
+        n = len(loops)
+        fn = loops[0].function
+        entry_preheader = loops[0].preheader
+        final_after = loops[-1].after
+        body_entries = [cli.body for cli in loops]
+        old_latches = [cli.latch for cli in loops]
+        old_indvars = [cli.indvar for cli in loops]
+
+        # Widest induction type wins (as in collapse_loops).
+        ty = max(
+            (cli.indvar_type for cli in loops), key=lambda t: t.bits
+        )
+
+        old_term = entry_preheader.terminator
+        assert old_term is not None
+        old_term.erase()
+        builder.set_insert_point(entry_preheader)
+        widened: list[Value] = []
+        for k, old in enumerate(loops):
+            tc: Value = old.trip_count
+            if isinstance(tc.type, IntType) and tc.type.bits < ty.bits:
+                tc = builder.cast(CastOp.ZEXT, tc, ty, f"fuse.tc.{k}")
+            widened.append(tc)
+        total: Value = widened[0]
+        for tc in widened[1:]:
+            is_less = builder.icmp(
+                ICmpPred.ULT, total, tc, "fuse.max.lt"
+            )
+            total = builder.select(is_less, tc, total, "fuse.max")
+        cli = create_loop_skeleton(builder, total, "fused")
+
+        # Replace the placeholder body terminator with a guard chain:
+        # each guard jumps into the corresponding original body region,
+        # whose exits (the old latch) are retargeted to the join block
+        # holding the next guard.
+        body_term = cli.body.terminator
+        assert isinstance(body_term, BranchInst)
+        body_term.erase()
+        builder.set_insert_point(cli.body)
+        narrowed: list[Value] = []
+        for k, old in enumerate(loops):
+            iv: Value = cli.indvar
+            if old.indvar_type.bits < ty.bits:
+                iv = builder.cast(
+                    CastOp.TRUNC, iv, old.indvar_type, f"fuse.iv.{k}"
+                )
+            narrowed.append(iv)
+        for k in range(n):
+            join = fn.append_block(f"fused.join.{k}")
+            guard = builder.icmp(
+                ICmpPred.ULT, cli.indvar, widened[k], f"fuse.guard.{k}"
+            )
+            builder.cond_br(guard, body_entries[k], join)
+            for block in fn.blocks:
+                term = block.terminator
+                if term is None or block is old_latches[k]:
+                    continue
+                if old_latches[k] in term.successors():
+                    redirect_branch(block, old_latches[k], join)
+            builder.set_insert_point(join)
+        builder.br(cli.latch)
+
+        for old_iv, new_iv in zip(old_indvars, narrowed):
+            replace_all_uses(fn, old_iv, new_iv)
+
+        builder.set_insert_point(cli.after)
+        builder.br(final_after)
+
+        for old in loops:
+            old.invalidate()
+        remove_unreachable_blocks(fn)
+        cli.assert_ok()
+        _IR_TRANSFORMS.inc()
+        self.remarks.passed(
+            "fuse",
+            f"fused {n} loops into one (OpenMPIRBuilder)",
+            function=fn.name,
+            num_loops=n,
+        )
+        return cli
+
     def reverse_loop(
         self, builder: IRBuilder, cli: CanonicalLoopInfo
     ) -> CanonicalLoopInfo:

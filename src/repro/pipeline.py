@@ -147,6 +147,7 @@ def _front_end(
     include_paths: list[str] | None,
     virtual_files: dict[str, str] | None,
     error_limit: int = 0,
+    strip_omp_transforms: bool = False,
 ) -> CompileResult:
     sm = SourceManager()
     fm = FileManager(include_paths or [])
@@ -169,7 +170,9 @@ def _front_end(
                 fm,
                 diags,
                 PreprocessorOptions(
-                    defines=dict(defines or {}), openmp=openmp
+                    defines=dict(defines or {}),
+                    openmp=openmp,
+                    strip_omp_transforms=strip_omp_transforms,
                 ),
             )
             pp.enter_source(source, filename)
@@ -214,6 +217,7 @@ def compile_source(
     error_limit: int = 0,
     crash_reproducer_dir: str | None = None,
     invocation: str | None = None,
+    strip_omp_transforms: bool = False,
 ) -> CompileResult:
     """Compile C source to IR.
 
@@ -221,7 +225,10 @@ def compile_source(
     ``openmp`` = ``-fopenmp``, ``enable_irbuilder`` =
     ``-fopenmp-enable-irbuilder``, ``syntax_only`` = ``-fsyntax-only``,
     ``error_limit`` = ``-ferror-limit=N`` (0 = unlimited),
-    ``crash_reproducer_dir`` = ``-crash-reproducer-dir``.
+    ``crash_reproducer_dir`` = ``-crash-reproducer-dir``,
+    ``strip_omp_transforms`` = ``--strip-omp-transforms`` (discard
+    unroll/tile/reverse/interchange/fuse directives — the
+    differential-testing reference configuration).
     With ``strict=True`` a :class:`CompilationError` is raised when any
     error diagnostic was produced.  Every phase runs under a crash
     recovery scope: an unexpected exception either becomes an error
@@ -242,6 +249,7 @@ def compile_source(
             include_paths,
             virtual_files,
             error_limit=error_limit,
+            strip_omp_transforms=strip_omp_transforms,
         )
         if result.diagnostics.has_errors():
             result.stats = STATS.delta_since(before)
@@ -301,6 +309,7 @@ def run_source(
     timeout_s: float | None = None,
     memory_limit: int | None = None,
     max_call_depth: int = 256,
+    strip_omp_transforms: bool = False,
 ) -> RunResult:
     """Compile and execute *source*; returns exit code and captured
     stdout.  ``optimize=True`` additionally runs the mid-end pass
@@ -326,6 +335,7 @@ def run_source(
         error_limit=error_limit,
         crash_reproducer_dir=crash_reproducer_dir,
         invocation=invocation,
+        strip_omp_transforms=strip_omp_transforms,
     )
     assert result.module is not None
     with crash_context(

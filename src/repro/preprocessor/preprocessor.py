@@ -35,6 +35,14 @@ from repro.sourcemgr.source_manager import FileID, SourceManager
 #: introduced the `tile`/`unroll` directives the paper implements.
 OPENMP_51_DATE = 202011
 
+#: The pure loop-transformation directives (OpenMP 5.1 §2.11.9 plus the
+#: 6.0 extensions this repo implements).  These rewrite the iteration
+#: space without changing which iterations execute — exactly the set
+#: `strip_omp_transforms` removes.
+TRANSFORM_DIRECTIVES = frozenset(
+    {"unroll", "tile", "reverse", "interchange", "fuse"}
+)
+
 _MAX_INCLUDE_DEPTH = 64
 
 _TOKENS_LEXED = get_statistic(
@@ -52,6 +60,12 @@ class PreprocessorOptions:
     include_paths: list[str] = field(default_factory=list)
     openmp: bool = True
     openmp_version: int = OPENMP_51_DATE
+    #: Drop loop-TRANSFORMATION directives (unroll/tile/reverse/
+    #: interchange/fuse) while keeping worksharing ones — the
+    #: differential-testing oracle's reference configuration: by the
+    #: paper's semantics-preservation claim the stripped program must
+    #: produce the same observable output.
+    strip_omp_transforms: bool = False
 
 
 @dataclass
@@ -824,6 +838,16 @@ class Preprocessor:
                 )
                 return
             directive_tokens = body[1:]
+            if (
+                self.options.strip_omp_transforms
+                and directive_tokens
+                and directive_tokens[0].spelling
+                in TRANSFORM_DIRECTIVES
+            ):
+                # the whole directive (clauses included) vanishes; any
+                # following directive then associates directly with the
+                # loop nest underneath.
+                return
             annot = Token(
                 TokenKind.ANNOT_PRAGMA_OPENMP,
                 "#pragma omp",

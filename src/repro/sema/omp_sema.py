@@ -295,12 +295,30 @@ class OpenMPSema:
             transformed = current.get_transformed_stmt()
             if transformed is None:
                 kind = current.directive_name
-                self.diags.error(
-                    f"'#pragma omp {directive_name}' cannot be applied to "
-                    f"the '#pragma omp {kind}' construct: a fully unrolled "
-                    "loop leaves no generated loop to associate with",
-                    current.location or loc,
-                )
+                if isinstance(
+                    current, omp.OMPUnrollDirective
+                ) and current.has_clause(cl.OMPFullClause):
+                    kind = "unroll full"
+                if isinstance(
+                    current, omp.OMPUnrollDirective
+                ) and not current.has_clause(cl.OMPFullClause):
+                    # Heuristic unroll: whether a loop remains (and its
+                    # shape) is unspecified, so nothing may consume it.
+                    self.diags.error(
+                        f"'#pragma omp {directive_name}' cannot be "
+                        "applied to the '#pragma omp unroll' construct "
+                        "without a 'partial' clause: the shape of the "
+                        "generated loop is unspecified",
+                        current.location or loc,
+                    )
+                else:
+                    self.diags.error(
+                        f"'#pragma omp {directive_name}' cannot be "
+                        f"applied to the '#pragma omp {kind}' construct: "
+                        "a fully unrolled loop leaves no generated loop "
+                        "to associate with",
+                        current.location or loc,
+                    )
                 return None, pre_inits
             if current.pre_inits is not None:
                 pre_inits.append(current.pre_inits)
@@ -380,6 +398,56 @@ class OpenMPSema:
         directive.analyses = analyses  # type: ignore[attr-defined]
         return directive
 
+    def _consumable_inner_transform(
+        self,
+        name: str,
+        inner: omp.OMPLoopTransformationDirective,
+        loc,
+    ) -> omp.OMPLoopTransformationDirective | None:
+        """Validate *inner* as a generated-loop producer a consuming
+        directive can chain from in the OpenMPIRBuilder representation
+        (paper §4: composed transformations hand over their
+        ``CanonicalLoopInfo`` result instead of a transformed AST)."""
+        if isinstance(inner, omp.OMPUnrollDirective):
+            if inner.has_clause(cl.OMPFullClause):
+                self.diags.error(
+                    f"'#pragma omp {name}' cannot be applied to the "
+                    "'#pragma omp unroll full' construct: a fully "
+                    "unrolled loop leaves no generated loop to "
+                    "associate with",
+                    inner.location or loc,
+                )
+                return None
+            if not inner.has_clause(cl.OMPPartialClause):
+                self.diags.error(
+                    f"'#pragma omp {name}' cannot be applied to the "
+                    "'#pragma omp unroll' construct without a "
+                    "'partial' clause: the shape of the generated loop "
+                    "is unspecified",
+                    inner.location or loc,
+                )
+                return None
+        if (
+            getattr(inner, "canonical_loops", None) is None
+            and getattr(inner, "consumed_transform", None) is None
+            and getattr(inner, "fuse_canonical_loops", None) is None
+        ):
+            self.diags.error(
+                f"'#pragma omp {name}' cannot consume this construct "
+                "in the OpenMPIRBuilder representation",
+                inner.location or loc,
+            )
+            return None
+        return inner
+
+    def _inner_transform_analyses(
+        self, inner: omp.OMPLoopTransformationDirective
+    ) -> list:
+        analyses = getattr(inner, "analyses", None)
+        if analyses is None:
+            analyses = [getattr(inner, "analysis")]
+        return list(analyses)
+
     def _build_loop_over_transform(
         self,
         name: str,
@@ -389,22 +457,7 @@ class OpenMPSema:
         depth: int,
         loc,
     ) -> s.Stmt | None:
-        if isinstance(inner, omp.OMPUnrollDirective) and inner.has_clause(
-            cl.OMPFullClause
-        ):
-            self.diags.error(
-                f"'#pragma omp {name}' cannot be applied to the "
-                "'#pragma omp unroll full' construct: a fully unrolled "
-                "loop leaves no generated loop to associate with",
-                inner.location or loc,
-            )
-            return None
-        if getattr(inner, "canonical_loops", None) is None:
-            self.diags.error(
-                f"'#pragma omp {name}' cannot consume this construct "
-                "in the OpenMPIRBuilder representation",
-                inner.location or loc,
-            )
+        if self._consumable_inner_transform(name, inner, loc) is None:
             return None
         if depth != 1:
             self.diags.error(
@@ -418,10 +471,7 @@ class OpenMPSema:
             body = self.build_captured_stmt(body, with_thread_ids=True)
         directive = directive_cls(clauses, body, depth, loc)
         directive.consumed_transform = inner  # type: ignore[attr-defined]
-        inner_analyses = getattr(inner, "analyses", None) or [
-            getattr(inner, "analysis")
-        ]
-        directive.analyses = inner_analyses  # type: ignore[attr-defined]
+        directive.analyses = self._inner_transform_analyses(inner)  # type: ignore[attr-defined]
         return directive
 
     def _check_data_sharing_clauses(
@@ -699,6 +749,36 @@ class OpenMPSema:
                 loc,
             )
             return None
+        if self.use_irbuilder and isinstance(
+            associated, omp.OMPLoopTransformationDirective
+        ):
+            # §4 composition: consume the inner transformation's
+            # CanonicalLoopInfo handle instead of re-analysing a
+            # transformed AST (which the canonical representation never
+            # builds).
+            if (
+                self._consumable_inner_transform(
+                    "unroll", associated, loc
+                )
+                is None
+            ):
+                return None
+            if partial is not None and partial.factor is not None:
+                if (
+                    self._require_positive_constant(
+                        partial.factor, "partial", loc
+                    )
+                    is None
+                ):
+                    return None
+            directive = omp.OMPUnrollDirective(
+                clauses, associated, 1, None, None, loc
+            )
+            directive.consumed_transform = associated  # type: ignore[attr-defined]
+            directive.analysis = self._inner_transform_analyses(  # type: ignore[attr-defined]
+                associated
+            )[0]
+            return directive
         loop, pre_inits = self._resolve_associated_loop(
             associated, "unroll", loc
         )
@@ -815,6 +895,34 @@ class OpenMPSema:
                 return None
             sizes.append(value)
         depth = len(sizes)
+        if self.use_irbuilder and isinstance(
+            associated, omp.OMPLoopTransformationDirective
+        ):
+            # §4 composition over the inner transformation's generated
+            # loop handle; only that single outermost handle is
+            # available, so multi-dimensional tiling cannot apply.
+            if (
+                self._consumable_inner_transform("tile", associated, loc)
+                is None
+            ):
+                return None
+            if depth != 1:
+                self.diags.error(
+                    "'#pragma omp tile' over a generated loop supports "
+                    "only a single 'sizes' dimension in the "
+                    "OpenMPIRBuilder representation",
+                    loc,
+                )
+                return None
+            directive = omp.OMPTileDirective(
+                clauses, associated, 1, None, None, loc
+            )
+            directive.consumed_transform = associated  # type: ignore[attr-defined]
+            directive.tile_sizes = sizes  # type: ignore[attr-defined]
+            directive.analyses = self._inner_transform_analyses(  # type: ignore[attr-defined]
+                associated
+            )
+            return directive
         loop, pre_inits = self._resolve_associated_loop(
             associated, "tile", loc
         )
@@ -876,6 +984,24 @@ class OpenMPSema:
         associated: s.Stmt,
         loc: SourceLocation | None,
     ) -> s.Stmt | None:
+        if self.use_irbuilder and isinstance(
+            associated, omp.OMPLoopTransformationDirective
+        ):
+            if (
+                self._consumable_inner_transform(
+                    "reverse", associated, loc
+                )
+                is None
+            ):
+                return None
+            directive = omp.OMPReverseDirective(
+                clauses, associated, 1, None, None, loc
+            )
+            directive.consumed_transform = associated  # type: ignore[attr-defined]
+            directive.analysis = self._inner_transform_analyses(  # type: ignore[attr-defined]
+                associated
+            )[0]
+            return directive
         loop, pre_inits = self._resolve_associated_loop(
             associated, "reverse", loc
         )
@@ -926,6 +1052,18 @@ class OpenMPSema:
             ),
             None,
         )
+        if self.use_irbuilder and isinstance(
+            associated, omp.OMPLoopTransformationDirective
+        ):
+            # Only the single outermost generated handle is available,
+            # and interchange needs a nest of at least two loops.
+            self.diags.error(
+                "'#pragma omp interchange' cannot be applied to a "
+                "generated loop in the OpenMPIRBuilder representation: "
+                "only one generated loop is available to permute",
+                loc,
+            )
+            return None
         loop, pre_inits = self._resolve_associated_loop(
             associated, "interchange", loc
         )
@@ -1044,15 +1182,25 @@ class OpenMPSema:
             )
             return None
         if self.use_irbuilder:
-            # Faithful to the paper's status quo: the OpenMPIRBuilder
-            # path does not implement fusion yet; the abstractions exist
-            # but the wiring is future work there too.
-            self.diags.error(
-                "'#pragma omp fuse' is not implemented with "
-                "-fopenmp-enable-irbuilder",
-                loc,
+            fuse_canonical_loops = [
+                build_canonical_loop(self.ctx, a) for a in analyses
+            ]
+            wrapped = s.CompoundStmt(list(fuse_canonical_loops))
+            directive = omp.OMPFuseDirective(
+                clauses, wrapped, 1, None, None, loc
             )
-            return None
+            directive.analyses = analyses  # type: ignore[attr-defined]
+            # One wrapper per *sibling* loop of the sequence; CodeGen
+            # emits them consecutively and hands the handles to
+            # OpenMPIRBuilder.fuse_loops.
+            directive.fuse_canonical_loops = fuse_canonical_loops  # type: ignore[attr-defined]
+            self.diags.remarks.passed(
+                "fuse",
+                f"fused {len(analyses)} loops into one",
+                location=loc,
+                num_loops=len(analyses),
+            )
+            return directive
         result = build_fuse_transform(self.ctx, analyses)
         self.diags.remarks.passed(
             "fuse",

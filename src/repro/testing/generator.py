@@ -1,0 +1,451 @@
+"""Seeded generator of loop-transformation test programs.
+
+Every generated program is **metamorphic-oracle friendly**: its
+observable output is independent of iteration *order* (only of the
+iteration *set*), so any semantics-preserving loop transformation —
+including order-permuting ones like ``tile``, ``reverse`` and
+``interchange`` — must leave stdout byte-identical.  Three mechanisms
+guarantee that:
+
+* array writes are keyed by the (normalized) iteration vector, each
+  cell written exactly once;
+* scalar accumulation uses commutative/associative reductions
+  (``+``, ``^``) only;
+* the trip counter sums iterations, so ``sum(trip counts)`` is an
+  explicit invariant checked against a python-side simulation.
+
+The generator also *simulates* the nest in python and records the
+exact expected stdout, giving the oracle a ground truth that is
+independent of the compiler under test.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+#: keep guest arrays small and interpreter time bounded
+_MAX_CELLS = 400
+
+
+@dataclass(frozen=True)
+class LoopSpec:
+    """One canonical-form loop level: ``for (int v = lb; v CMP bound;
+    v += step)`` with compile-time-constant affine bounds."""
+
+    var: str
+    lb: int
+    bound: int
+    cmp: str  # "<" or "<="
+    step: int  # > 0
+
+    @property
+    def values(self) -> range:
+        stop = self.bound + 1 if self.cmp == "<=" else self.bound
+        return range(self.lb, stop, self.step)
+
+    @property
+    def extent(self) -> int:
+        return len(self.values)
+
+    def header(self) -> str:
+        return (
+            f"for (int {self.var} = {self.lb}; {self.var} {self.cmp} "
+            f"{self.bound}; {self.var} += {self.step})"
+        )
+
+    def normalized(self) -> str:
+        """C expression for this level's logical iteration number."""
+        base = (
+            self.var
+            if self.lb == 0
+            else f"({self.var} - ({self.lb}))"
+        )
+        return base if self.step == 1 else f"({base} / {self.step})"
+
+
+@dataclass(frozen=True)
+class Poly:
+    """A small integer polynomial over loop variables, printable as C
+    and evaluable in python with identical (overflow-free) results."""
+
+    terms: tuple[tuple[int, tuple[str, ...]], ...]
+
+    def c_expr(self) -> str:
+        parts = []
+        for coeff, vars_ in self.terms:
+            factors = [f"({coeff})", *vars_]
+            parts.append(" * ".join(factors))
+        return " + ".join(parts) if parts else "0"
+
+    def evaluate(self, env: dict[str, int]) -> int:
+        total = 0
+        for coeff, vars_ in self.terms:
+            value = coeff
+            for v in vars_:
+                value *= env[v]
+            total += value
+        return total
+
+
+def _random_poly(rng: random.Random, vars_: list[str]) -> Poly:
+    terms: list[tuple[int, tuple[str, ...]]] = []
+    for _ in range(rng.randint(1, 3)):
+        coeff = rng.choice([-5, -3, -2, -1, 1, 2, 3, 4, 5])
+        degree = rng.randint(0, min(2, len(vars_)))
+        factors = tuple(
+            rng.choice(vars_) for _ in range(degree)
+        )
+        terms.append((coeff, factors))
+    return Poly(tuple(terms))
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """A test program plus its python-predicted ground truth."""
+
+    seed: int
+    source: str
+    expected_stdout: str
+    expected_trips: int
+    features: tuple[str, ...]
+    pragmas: tuple[str, ...]
+    uses_parallel: bool
+
+
+# ----------------------------------------------------------------------
+# Loop construction
+# ----------------------------------------------------------------------
+def _random_loop(
+    rng: random.Random, var: str, max_extent: int
+) -> LoopSpec:
+    extent = rng.randint(1, max(1, max_extent))
+    if rng.random() < 0.05:
+        extent = 0  # zero-trip nests are legal and bug-prone
+    lb = rng.randint(-4, 6)
+    step = rng.choice([1, 1, 1, 2, 3])
+    cmp = rng.choice(["<", "<="])
+    if extent == 0:
+        bound = lb - rng.randint(0, 2) if cmp == "<=" else lb
+        bound = min(bound, lb if cmp == "<" else lb - 1)
+    else:
+        last = lb + (extent - 1) * step
+        if cmp == "<":
+            bound = last + rng.randint(1, step)
+        else:
+            bound = last + rng.randint(0, step - 1)
+    return LoopSpec(var=var, lb=lb, bound=bound, cmp=cmp, step=step)
+
+
+def _make_nest(rng: random.Random, depth: int) -> list[LoopSpec]:
+    loops: list[LoopSpec] = []
+    budget = _MAX_CELLS
+    for level in range(depth):
+        per_level = max(
+            1, int(budget ** (1.0 / (depth - level)))
+        )
+        spec = _random_loop(
+            rng, f"i{level}", min(8, per_level)
+        )
+        loops.append(spec)
+        budget = budget // max(1, spec.extent) if spec.extent else budget
+    return loops
+
+
+def _linear_index(loops: list[LoopSpec]) -> str:
+    expr = loops[0].normalized()
+    for spec in loops[1:]:
+        expr = f"({expr}) * {max(spec.extent, 1)} + {spec.normalized()}"
+    return expr
+
+
+def _linear_value(loops: list[LoopSpec], env: dict[str, int]) -> int:
+    idx = 0
+    for spec in loops:
+        n = (env[spec.var] - spec.lb) // spec.step
+        idx = idx * max(spec.extent, 1) + n
+    return idx
+
+
+# ----------------------------------------------------------------------
+# Directive selection
+# ----------------------------------------------------------------------
+def _pick_directives(
+    rng: random.Random, loops: list[LoopSpec]
+) -> tuple[list[str], list[str], bool]:
+    """Returns (pragma lines innermost-last, feature tags, uses_parallel).
+
+    Stacked directives apply outside-in: the first line transforms the
+    result of the second, etc. (paper Listing 5)."""
+    depth = len(loops)
+    choices = [
+        ("none", 6),
+        ("unroll-partial", 14),
+        ("unroll-full", 7),
+        ("unroll-heuristic", 4),
+        ("tile", 18),
+        ("unroll-on-unroll", 5),
+        ("unroll-on-tile", 7),
+        ("tile-on-tile", 3),
+    ]
+    if depth >= 2:
+        choices += [
+            ("reverse", 7),
+            ("interchange", 7),
+            ("reverse-on-tile", 3),
+        ]
+    names = [c for c, _ in choices]
+    weights = [w for _, w in choices]
+    kind = rng.choices(names, weights=weights, k=1)[0]
+
+    def tile_sizes(ndims: int) -> str:
+        return ", ".join(
+            str(rng.randint(1, 4)) for _ in range(ndims)
+        )
+
+    pragmas: list[str] = []
+    features = [kind]
+    if kind == "unroll-partial":
+        pragmas = [f"#pragma omp unroll partial({rng.randint(1, 6)})"]
+    elif kind == "unroll-full":
+        pragmas = ["#pragma omp unroll full"]
+    elif kind == "unroll-heuristic":
+        pragmas = ["#pragma omp unroll"]
+    elif kind == "tile":
+        ndims = rng.randint(1, depth)
+        pragmas = [f"#pragma omp tile sizes({tile_sizes(ndims)})"]
+    elif kind == "unroll-on-unroll":
+        pragmas = [
+            f"#pragma omp unroll partial({rng.randint(1, 4)})",
+            f"#pragma omp unroll partial({rng.randint(1, 4)})",
+        ]
+    elif kind == "unroll-on-tile":
+        ndims = rng.randint(1, depth)
+        pragmas = [
+            f"#pragma omp unroll partial({rng.randint(1, 4)})",
+            f"#pragma omp tile sizes({tile_sizes(ndims)})",
+        ]
+    elif kind == "tile-on-tile":
+        pragmas = [
+            f"#pragma omp tile sizes({tile_sizes(1)})",
+            f"#pragma omp tile sizes({tile_sizes(1)})",
+        ]
+    elif kind == "reverse":
+        pragmas = ["#pragma omp reverse"]
+    elif kind == "interchange":
+        ndims = rng.randint(2, depth)
+        perm = list(range(1, ndims + 1))
+        rng.shuffle(perm)
+        if rng.random() < 0.5:
+            pragmas = [
+                "#pragma omp interchange permutation("
+                + ", ".join(map(str, perm))
+                + ")"
+            ]
+        else:
+            pragmas = ["#pragma omp interchange"]
+    elif kind == "reverse-on-tile":
+        pragmas = [
+            "#pragma omp reverse",
+            f"#pragma omp tile sizes({tile_sizes(1)})",
+        ]
+
+    uses_parallel = False
+    # A consuming worksharing directive on top (paper §4 composition) —
+    # never over `unroll full` (no loop left to distribute) or bare
+    # `unroll` (the generated loop's shape is unspecified).
+    if (
+        pragmas
+        and "full" not in pragmas[0]
+        and pragmas[0] != "#pragma omp unroll"
+        and rng.random() < 0.25
+    ):
+        pragmas.insert(
+            0,
+            "#pragma omp parallel for reduction(+: sum0) "
+            "reduction(^: acc1) reduction(+: trips)",
+        )
+        features.append("parallel-for")
+        uses_parallel = True
+    return pragmas, features, uses_parallel
+
+
+# ----------------------------------------------------------------------
+# Program assembly + simulation
+# ----------------------------------------------------------------------
+def _epilogue(total: int) -> list[str]:
+    return [
+        f"  for (int k = 0; k < {total}; k += 1) "
+        'printf("%d ", cells[k]);',
+        '  printf("\\n");',
+        '  printf("sum0=%d acc1=%d trips=%d\\n", sum0, acc1, trips);',
+        "  return 0;",
+        "}",
+    ]
+
+
+def _expected_output(
+    cells: list[int], sum0: int, acc1: int, trips: int
+) -> str:
+    head = "".join(f"{v} " for v in cells)
+    return f"{head}\n" + f"sum0={sum0} acc1={acc1} trips={trips}\n"
+
+
+def _generate_nest_program(
+    rng: random.Random, seed: int
+) -> GeneratedProgram:
+    depth = rng.choice([1, 1, 2, 2, 2, 3])
+    loops = _make_nest(rng, depth)
+    total = 1
+    for spec in loops:
+        total *= spec.extent
+    vars_ = [spec.var for spec in loops]
+
+    cell_poly = _random_poly(rng, vars_)
+    sum_poly = _random_poly(rng, vars_)
+    xor_poly = _random_poly(rng, vars_)
+    pragmas, features, uses_parallel = _pick_directives(rng, loops)
+
+    # an imperfect nest (a statement between loop levels) is legal for
+    # unroll-only directive stacks; tile/reverse/interchange need the
+    # levels perfectly nested.
+    perfect_only = any(
+        any(w in p for w in ("tile", "reverse", "interchange"))
+        for p in pragmas
+    )
+    imperfect_poly: Optional[Poly] = None
+    if (
+        depth >= 2
+        and not perfect_only
+        and not uses_parallel
+        and rng.random() < 0.3
+    ):
+        imperfect_poly = _random_poly(rng, vars_[:1])
+        features.append("imperfect-nest")
+
+    lines = [
+        f"// fuzz seed {seed}: "
+        + ", ".join(features),
+        "int main(void) {",
+        f"  int cells[{max(total, 1)}];",
+        f"  for (int k = 0; k < {total}; k += 1) cells[k] = -1;",
+        "  int sum0 = 0;",
+        "  int acc1 = 0;",
+        "  int trips = 0;",
+    ]
+    for pragma in pragmas:
+        lines.append(f"  {pragma}")
+    indent = "  "
+    for level, spec in enumerate(loops):
+        lines.append(f"{indent}{spec.header()} {{")
+        indent += "  "
+        if level == 0 and imperfect_poly is not None:
+            lines.append(
+                f"{indent}acc1 += {imperfect_poly.c_expr()};"
+            )
+    lines.append(
+        f"{indent}cells[{_linear_index(loops)}] = "
+        f"{cell_poly.c_expr()};"
+    )
+    lines.append(f"{indent}sum0 += {sum_poly.c_expr()};")
+    lines.append(f"{indent}acc1 ^= {xor_poly.c_expr()};")
+    lines.append(f"{indent}trips += 1;")
+    for _ in loops:
+        indent = indent[:-2]
+        lines.append(f"{indent}}}")
+    lines.extend(_epilogue(total))
+
+    # --- python-side simulation -------------------------------------
+    cells = [-1] * total
+    sum0 = acc1 = trips = 0
+
+    def run_level(level: int, env: dict[str, int]) -> None:
+        nonlocal sum0, acc1, trips
+        if level == len(loops):
+            cells[_linear_value(loops, env)] = cell_poly.evaluate(env)
+            sum0 += sum_poly.evaluate(env)
+            acc1 ^= xor_poly.evaluate(env)
+            trips += 1
+            return
+        for value in loops[level].values:
+            env[loops[level].var] = value
+            if level == 0 and imperfect_poly is not None:
+                acc1 += imperfect_poly.evaluate(env)
+            run_level(level + 1, env)
+
+    run_level(0, {})
+    expected = _expected_output(cells, sum0, acc1, trips)
+    return GeneratedProgram(
+        seed=seed,
+        source="\n".join(lines) + "\n",
+        expected_stdout=expected,
+        expected_trips=trips,
+        features=tuple(features),
+        pragmas=tuple(pragmas),
+        uses_parallel=uses_parallel,
+    )
+
+
+def _generate_fuse_program(
+    rng: random.Random, seed: int
+) -> GeneratedProgram:
+    """``#pragma omp fuse`` over a sequence of two independent loops."""
+    a = _random_loop(rng, "i", 8)
+    b = _random_loop(rng, "j", 8)
+    poly_a = _random_poly(rng, ["i"])
+    poly_b = _random_poly(rng, ["j"])
+    total = a.extent + b.extent
+    features = ["fuse"]
+    lines = [
+        f"// fuzz seed {seed}: fuse",
+        "int main(void) {",
+        f"  int cells[{max(total, 1)}];",
+        f"  for (int k = 0; k < {total}; k += 1) cells[k] = -1;",
+        "  int sum0 = 0;",
+        "  int acc1 = 0;",
+        "  int trips = 0;",
+        "  #pragma omp fuse",
+        "  {",
+        f"    {a.header()} {{",
+        f"      cells[{a.normalized()}] = {poly_a.c_expr()};",
+        f"      sum0 += {poly_a.c_expr()};",
+        "      trips += 1;",
+        "    }",
+        f"    {b.header()} {{",
+        f"      cells[{a.extent} + {b.normalized()}] = "
+        f"{poly_b.c_expr()};",
+        f"      acc1 ^= {poly_b.c_expr()};",
+        "      trips += 1;",
+        "    }",
+        "  }",
+    ]
+    lines.extend(_epilogue(total))
+    cells = [-1] * total
+    sum0 = acc1 = trips = 0
+    for i, value in enumerate(a.values):
+        cells[i] = poly_a.evaluate({"i": value})
+        sum0 += poly_a.evaluate({"i": value})
+        trips += 1
+    for j, value in enumerate(b.values):
+        cells[a.extent + j] = poly_b.evaluate({"j": value})
+        acc1 ^= poly_b.evaluate({"j": value})
+        trips += 1
+    expected = _expected_output(cells, sum0, acc1, trips)
+    return GeneratedProgram(
+        seed=seed,
+        source="\n".join(lines) + "\n",
+        expected_stdout=expected,
+        expected_trips=trips,
+        features=tuple(features),
+        pragmas=("#pragma omp fuse",),
+        uses_parallel=False,
+    )
+
+
+def generate_program(seed: int) -> GeneratedProgram:
+    """Deterministically generate one metamorphic test program."""
+    rng = random.Random(seed)
+    if rng.random() < 0.08:
+        return _generate_fuse_program(rng, seed)
+    return _generate_nest_program(rng, seed)

@@ -1,0 +1,229 @@
+"""The differential-execution oracle.
+
+Runs one program under several configurations and reports the first
+observable divergence.  The *reference* configuration is
+``--strip-omp-transforms`` (the directives removed): by the paper's
+semantics-preservation claim every transformed configuration must
+match it byte-for-byte on stdout and exit code.  When the generator's
+python-side simulation is available it is used as an additional,
+compiler-independent ground truth (including the ``sum(trip counts)``
+invariant carried in the ``trips=N`` stdout line).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pipeline import CompilationError, run_source
+from repro.testing.generator import GeneratedProgram
+
+#: retired-instruction budget per run; generated programs are tiny, so
+#: exhausting this means the transformation manufactured a (near-)
+#: infinite loop — itself a reportable divergence.
+DEFAULT_FUEL = 2_000_000
+
+_TRIPS_RE = re.compile(r"\btrips=(-?\d+)")
+
+
+@dataclass(frozen=True)
+class Config:
+    """One way of compiling+running the program under test."""
+
+    name: str
+    enable_irbuilder: bool = False
+    optimize: bool = False
+    strip_omp_transforms: bool = False
+
+    def run(self, source: str, num_threads: int, fuel: int):
+        return run_source(
+            source,
+            num_threads=num_threads,
+            enable_irbuilder=self.enable_irbuilder,
+            optimize=self.optimize,
+            strip_omp_transforms=self.strip_omp_transforms,
+            fuel=fuel,
+        )
+
+
+#: the standing configuration matrix; "stripped" is the reference and
+#: must stay last so its outcome is computed exactly once.
+DEFAULT_CONFIGS: tuple[Config, ...] = (
+    Config("shadow"),
+    Config("irbuilder", enable_irbuilder=True),
+    Config("midend-O1", optimize=True),
+    Config("stripped", strip_omp_transforms=True),
+)
+
+
+@dataclass
+class Divergence:
+    """One semantics divergence between configurations."""
+
+    kind: str  # stdout / exit-code / trips / expected-stdout /
+    #          # transformed-compile-error / stripped-compile-error /
+    #          # timeout / ice
+    config: str  # the configuration that disagreed
+    detail: str
+    source: str
+    seed: Optional[int] = None
+    features: tuple[str, ...] = field(default_factory=tuple)
+
+    def describe(self) -> str:
+        head = f"[{self.kind}] config '{self.config}'"
+        if self.seed is not None:
+            head += f" (seed {self.seed})"
+        if self.features:
+            head += f" features={','.join(self.features)}"
+        return head + "\n" + self.detail
+
+
+@dataclass
+class _Outcome:
+    stdout: Optional[str] = None
+    exit_code: Optional[int] = None
+    error: Optional[str] = None  # "compile-error" / "timeout" / "ice"
+    error_detail: str = ""
+
+
+def _run_config(
+    config: Config, source: str, num_threads: int, fuel: int
+) -> _Outcome:
+    from repro.core.crash_recovery import InternalCompilerError
+    from repro.interp import ExecutionTimeout
+
+    try:
+        result = config.run(source, num_threads, fuel)
+    except CompilationError as exc:
+        kind = "ice" if exc.ice else "compile-error"
+        return _Outcome(error=kind, error_detail=str(exc))
+    except ExecutionTimeout as exc:
+        return _Outcome(error="timeout", error_detail=str(exc))
+    except InternalCompilerError as exc:
+        return _Outcome(error="ice", error_detail=str(exc))
+    except Exception as exc:  # any escape is itself a finding
+        return _Outcome(
+            error="ice",
+            error_detail=f"{type(exc).__name__}: {exc}",
+        )
+    code = result.exit_code if isinstance(result.exit_code, int) else 0
+    return _Outcome(stdout=result.stdout, exit_code=code)
+
+
+def check_source(
+    source: str,
+    expected_stdout: Optional[str] = None,
+    expected_trips: Optional[int] = None,
+    configs: tuple[Config, ...] = DEFAULT_CONFIGS,
+    num_threads: int = 3,
+    fuel: int = DEFAULT_FUEL,
+    seed: Optional[int] = None,
+    features: tuple[str, ...] = (),
+) -> Optional[Divergence]:
+    """Differentially execute *source*; return the first divergence or
+    None.
+
+    A program that fails to compile in the *reference* (stripped)
+    configuration AND in every transformed one is treated as invalid
+    input, not as a divergence — that keeps the shrinker from walking
+    into garbage programs.
+    """
+    reference = configs[-1]
+    assert reference.strip_omp_transforms, (
+        "the last config must be the stripped reference"
+    )
+    ref = _run_config(reference, source, num_threads, fuel)
+
+    def make(kind: str, config: str, detail: str) -> Divergence:
+        return Divergence(
+            kind=kind,
+            config=config,
+            detail=detail,
+            source=source,
+            seed=seed,
+            features=features,
+        )
+
+    for config in configs[:-1]:
+        out = _run_config(config, source, num_threads, fuel)
+        if out.error is not None and ref.error is not None:
+            continue  # invalid program everywhere: not interesting
+        if out.error is not None:
+            kind = (
+                "transformed-compile-error"
+                if out.error == "compile-error"
+                else out.error
+            )
+            return make(kind, config.name, out.error_detail)
+        if ref.error is not None:
+            kind = (
+                "stripped-compile-error"
+                if ref.error == "compile-error"
+                else f"stripped-{ref.error}"
+            )
+            return make(kind, reference.name, ref.error_detail)
+        if out.stdout != ref.stdout:
+            return make(
+                "stdout",
+                config.name,
+                f"transformed ({config.name}): {out.stdout!r}\n"
+                f"stripped reference:          {ref.stdout!r}",
+            )
+        if out.exit_code != ref.exit_code:
+            return make(
+                "exit-code",
+                config.name,
+                f"transformed ({config.name}) exit {out.exit_code}, "
+                f"stripped exit {ref.exit_code}",
+            )
+        if expected_stdout is not None and out.stdout != expected_stdout:
+            return make(
+                "expected-stdout",
+                config.name,
+                f"run output:         {out.stdout!r}\n"
+                f"simulation expects: {expected_stdout!r}",
+            )
+        if expected_trips is not None and out.stdout is not None:
+            m = _TRIPS_RE.search(out.stdout)
+            if m is None or int(m.group(1)) != expected_trips:
+                got = m.group(1) if m else "<missing>"
+                return make(
+                    "trips",
+                    config.name,
+                    f"sum(trip counts) invariant violated: "
+                    f"got trips={got}, simulation expects "
+                    f"{expected_trips}",
+                )
+    if ref.error is not None:
+        # every transformed config failed too (we'd have returned
+        # otherwise only if one succeeded) — invalid program.
+        return None
+    if expected_stdout is not None and ref.stdout != expected_stdout:
+        return make(
+            "expected-stdout",
+            reference.name,
+            f"run output:         {ref.stdout!r}\n"
+            f"simulation expects: {expected_stdout!r}",
+        )
+    return None
+
+
+def check_program(
+    program: GeneratedProgram,
+    configs: tuple[Config, ...] = DEFAULT_CONFIGS,
+    num_threads: int = 3,
+    fuel: int = DEFAULT_FUEL,
+) -> Optional[Divergence]:
+    """Oracle entry point for generated programs (adds the simulation
+    ground truth and the trip-count invariant)."""
+    return check_source(
+        program.source,
+        expected_stdout=program.expected_stdout,
+        expected_trips=program.expected_trips,
+        configs=configs,
+        num_threads=num_threads,
+        fuel=fuel,
+        seed=program.seed,
+        features=program.features,
+    )

@@ -1,0 +1,118 @@
+"""Delta-debugging shrinker for fuzzer findings (llvm-reduce's role).
+
+``shrink_source(source, predicate)`` minimizes a failing program while
+``predicate(candidate)`` stays true (predicate = "the oracle still
+reports a divergence").  Two alternating phases until fixpoint:
+
+* **ddmin over lines** (Zeller's classic algorithm): remove ever-finer
+  line chunks; candidates that no longer fail (e.g. no longer compile)
+  are simply rejected by the predicate;
+* **integer shrinking**: rewrite each integer literal toward 0/1/half
+  to shrink bounds, factors and coefficients.
+
+Every candidate evaluation runs the full differential oracle, so a
+budget caps the total number of evaluations.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable
+
+Predicate = Callable[[str], bool]
+
+_INT_RE = re.compile(r"(?<![\w.])(\d+)")
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.spent = 0
+
+    def take(self) -> bool:
+        self.spent += 1
+        return self.spent <= self.limit
+
+
+def _ddmin_lines(
+    lines: list[str], predicate: Predicate, budget: _Budget
+) -> list[str]:
+    n = 2
+    while len(lines) >= 2:
+        chunk_size = max(1, len(lines) // n)
+        reduced = False
+        start = 0
+        while start < len(lines):
+            candidate = (
+                lines[:start] + lines[start + chunk_size :]
+            )
+            if not budget.take():
+                return lines
+            if candidate and predicate("\n".join(candidate) + "\n"):
+                lines = candidate
+                n = max(n - 1, 2)
+                reduced = True
+                break
+            start += chunk_size
+        if not reduced:
+            if n >= len(lines):
+                break
+            n = min(len(lines), n * 2)
+    return lines
+
+
+def _shrink_integers(
+    source: str, predicate: Predicate, budget: _Budget
+) -> str:
+    """Replace integer literals with smaller values where the failure
+    persists."""
+    changed = True
+    while changed:
+        changed = False
+        matches = list(_INT_RE.finditer(source))
+        for m in matches:
+            value = int(m.group(1))
+            for smaller in (0, 1, 2, value // 2):
+                if smaller >= value:
+                    continue
+                candidate = (
+                    source[: m.start(1)]
+                    + str(smaller)
+                    + source[m.end(1) :]
+                )
+                if not budget.take():
+                    return source
+                if predicate(candidate):
+                    source = candidate
+                    changed = True
+                    break
+            if changed:
+                break  # literal positions moved; re-scan
+    return source
+
+
+def shrink_source(
+    source: str,
+    predicate: Predicate,
+    max_evaluations: int = 400,
+) -> str:
+    """Minimize *source* while ``predicate`` holds.  Returns the
+    smallest failing variant found (at worst the input itself).
+    ``predicate(source)`` must be true on entry."""
+    if not predicate(source):
+        raise ValueError(
+            "shrink_source: predicate is false on the initial input"
+        )
+    budget = _Budget(max_evaluations)
+    best = source
+    while True:
+        lines = _ddmin_lines(
+            best.split("\n"), predicate, budget
+        )
+        candidate = "\n".join(lines)
+        if not candidate.endswith("\n"):
+            candidate += "\n"
+        candidate = _shrink_integers(candidate, predicate, budget)
+        if candidate == best or budget.spent >= budget.limit:
+            return candidate
+        best = candidate

@@ -1,0 +1,25 @@
+// OMPCanonicalLoop wrapping in the OpenMPIRBuilder representation
+// (paper §3.1): the loop is wrapped together with CapturedStmt helpers
+// for the distance and loop-variable functions.
+// RUN: miniclang -ast-dump -fsyntax-only -fopenmp-enable-irbuilder %s \
+// RUN:   | FileCheck %s
+// RUN: miniclang -ast-dump -fsyntax-only %s \
+// RUN:   | FileCheck --check-prefix=DEFAULT %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: OMPUnrollDirective
+// CHECK-NEXT: OMPPartialClause
+// CHECK: OMPCanonicalLoop
+// CHECK-NEXT: ForStmt
+// CHECK: CapturedStmt
+
+// The default (shadow) representation never builds OMPCanonicalLoop.
+// DEFAULT-NOT: OMPCanonicalLoop
+// DEFAULT: OMPUnrollDirective

@@ -1,0 +1,27 @@
+// Shadow AST of a 2-d tile (paper §2.2): floor loops iterate tile
+// origins, tile loops iterate within a tile; the literal loops stay as
+// the syntactic children.
+// RUN: miniclang -ast-dump %s -fsyntax-only | FileCheck %s
+// RUN: miniclang -ast-dump-shadow %s -fsyntax-only \
+// RUN:   | FileCheck --check-prefix=SHADOW %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(2, 4)
+  for (int i = 0; i < 6; i += 1)
+    for (int j = 0; j < 8; j += 1)
+      sum += i * j;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: OMPTileDirective
+// CHECK-NEXT: OMPSizesClause
+// CHECK: ForStmt
+// CHECK-NOT: CapturedStmt
+
+// SHADOW: OMPTileDirective
+// SHADOW: OMPSizesClause
+// SHADOW-DAG: .floor.0.iv.i
+// SHADOW-DAG: .floor.1.iv.j
+// SHADOW-DAG: .tile.0.iv.i
+// SHADOW-DAG: .tile.1.iv.j

@@ -1,0 +1,31 @@
+// Composed unroll directives (paper Listing 5): the syntactic child of
+// the outer directive is the inner directive itself — no CapturedStmt
+// wrapper (paper §2.1).  In the canonical representation the loop is
+// wrapped in OMPCanonicalLoop instead (paper §3.1).
+// RUN: miniclang -ast-dump -fsyntax-only %s | FileCheck %s
+// RUN: miniclang -ast-dump -fsyntax-only -fopenmp-enable-irbuilder %s \
+// RUN:   | FileCheck --check-prefix=CANON %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll full
+  #pragma omp unroll partial
+  for (int i = 0; i < 12; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: OMPUnrollDirective
+// CHECK-NEXT: OMPFullClause
+// CHECK-NEXT: OMPUnrollDirective
+// CHECK-NEXT: OMPPartialClause
+// CHECK-NEXT: ForStmt
+// CHECK-NOT: CapturedStmt
+
+// CANON: OMPUnrollDirective
+// CANON-NEXT: OMPFullClause
+// CANON-NEXT: OMPUnrollDirective
+// CANON-NEXT: OMPPartialClause
+// CANON-NEXT: OMPCanonicalLoop
+// CANON-NEXT: ForStmt
+// CANON: CapturedStmt

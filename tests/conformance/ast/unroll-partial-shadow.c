@@ -1,0 +1,21 @@
+// Shadow AST of a partial unroll (paper Listing 6): strip-mined outer
+// loop over an inner loop annotated with a LoopHintAttr so the mid-end
+// LoopUnroll pass performs the duplication.
+// RUN: miniclang -ast-dump-shadow -fsyntax-only %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < 12; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: OMPUnrollDirective
+// CHECK: OMPPartialClause
+// The captured trip count is an internal variable (paper §2).
+// CHECK: VarDecl implicit used .capture_expr. 'const unsigned int'
+// CHECK: VarDecl implicit used unrolled.iv.i 'unsigned int'
+// CHECK: AttributedStmt
+// CHECK-NEXT: LoopHintAttr Implicit loop UnrollCount Numeric
+// CHECK: VarDecl implicit used unroll_inner.iv.i 'unsigned int'

@@ -1,0 +1,17 @@
+// Worksharing directives outline their region through a CapturedStmt
+// even when loop transformations do not (paper §2.1/§3.1: "other
+// directives such as OMPParallelForDirective still may").
+// RUN: miniclang -ast-dump -fsyntax-only %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum)
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: OMPParallelForDirective
+// CHECK: OMPReductionClause
+// CHECK: CapturedStmt
+// CHECK: ForStmt

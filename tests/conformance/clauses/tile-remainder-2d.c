@@ -1,0 +1,15 @@
+// 2-D tiling with remainders in both dimensions (5 % 3 and 3 % 2):
+// iteration order walks tiles in tile-row-major order, partial tiles
+// last per dimension.  Both representations agree on the exact order.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp tile sizes(3, 2)
+  for (int i = 0; i < 5; i += 1)
+    for (int j = 0; j < 3; j += 1)
+      printf("%d%d ", i, j);
+  printf("\n");
+  return 0;
+}
+// CHECK: 00 01 10 11 20 21 02 12 22 30 31 40 41 32 42

@@ -1,0 +1,13 @@
+// Tiling with a size that does not divide the trip count: the last
+// (partial) tile must still execute its remainder iterations, in order.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp tile sizes(3)
+  for (int i = 0; i < 8; i += 1)
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}
+// CHECK: 0 1 2 3 4 5 6 7

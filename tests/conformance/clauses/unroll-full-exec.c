@@ -1,0 +1,16 @@
+// 'unroll full' on a constant trip count: defers to the mid-end
+// LoopUnroll pass via llvm.loop.unroll.full metadata (paper §2.2), so
+// the observable behaviour never changes.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run -O1 %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int fact = 1;
+  #pragma omp unroll full
+  for (int i = 1; i <= 10; i += 1)
+    fact *= i;
+  printf("10! = %d\n", fact);
+  return 0;
+}
+// CHECK: 10! = 3628800

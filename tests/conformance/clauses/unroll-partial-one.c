@@ -1,0 +1,15 @@
+// 'partial(1)' is legal: the tile degenerates to single iterations and
+// the loop's semantics are untouched in every representation.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run --strip-omp-transforms %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(1)
+  for (int i = 0; i < 17; i += 1)
+    sum += i;
+  printf("%d\n", sum);
+  return 0;
+}
+// CHECK: 136

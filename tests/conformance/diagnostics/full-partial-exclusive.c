@@ -1,0 +1,10 @@
+// 'full' and 'partial' cannot be combined on one unroll directive.
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp unroll full partial(2)
+  for (int i = 0; i < 8; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: 'full' and 'partial' clauses are mutually exclusive on '#pragma omp unroll'

@@ -1,0 +1,11 @@
+// A permutation must name each loop of the nest exactly once.
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp interchange permutation(1, 1)
+  for (int i = 0; i < 4; i += 1)
+    for (int j = 0; j < 4; j += 1)
+      sum += i * j;
+  return sum;
+}
+// CHECK: error: 'permutation' clause must name each loop of the nest exactly once

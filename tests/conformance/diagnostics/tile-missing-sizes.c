@@ -1,0 +1,10 @@
+// The sizes clause is mandatory on tile.
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp tile
+  for (int i = 0; i < 8; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: expected 'sizes' clause on '#pragma omp tile'

@@ -1,0 +1,10 @@
+// Tile sizes must be strictly positive constants.
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(0)
+  for (int i = 0; i < 8; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: argument to 'sizes' clause must be a strictly positive integer value

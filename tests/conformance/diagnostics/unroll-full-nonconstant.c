@@ -1,0 +1,13 @@
+// Full unrolling requires a compile-time constant trip count; the note
+// points at a representative location of the literal loop even though
+// the failing expression names internal shadow variables (paper §2).
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+int f(int n) {
+  int sum = 0;
+  #pragma omp unroll full
+  for (int i = 0; i < n; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: loop to fully unroll must have a constant trip count
+// CHECK: note:

@@ -1,0 +1,15 @@
+// Worksharing cannot consume a bare (heuristic) unroll: whether a loop
+// remains — and its shape — is unspecified.  Both representations must
+// agree on the rejection (fuzzer-found parity bug).
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+// RUN: not miniclang -fsyntax-only -fopenmp-enable-irbuilder %s 2>&1 \
+// RUN:   | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum)
+  #pragma omp unroll
+  for (int i = 0; i < 20; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: '#pragma omp parallel for' cannot be applied to the '#pragma omp unroll' construct without a 'partial' clause: the shape of the generated loop is unspecified

@@ -1,0 +1,13 @@
+// Worksharing cannot consume 'unroll full': no generated loop remains.
+// RUN: not miniclang -fsyntax-only %s 2>&1 | FileCheck %s
+// RUN: not miniclang -fsyntax-only -fopenmp-enable-irbuilder %s 2>&1 \
+// RUN:   | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum)
+  #pragma omp unroll full
+  for (int i = 0; i < 20; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: error: '#pragma omp parallel for' cannot be applied to the '#pragma omp unroll full' construct: a fully unrolled loop leaves no generated loop to associate with

@@ -1,0 +1,23 @@
+// Port of examples/observability_demo.c: the README's observability
+// walkthrough must keep printing the same sums under -O and the
+// remark/stat flags (flags only add stderr noise, never change stdout).
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -O %s | FileCheck %s
+// RUN: miniclang --run -O -Rpass=.* -print-stats %s 2> %t.err | FileCheck %s
+int main() {
+  int sum = 0;
+#pragma omp unroll partial(4)
+  for (int i = 0; i < 32; i++) {
+    sum += i;
+  }
+
+  int parallel_sum = 0;
+#pragma omp parallel for reduction(+ : parallel_sum)
+  for (int i = 0; i < 64; i++) {
+    parallel_sum += i;
+  }
+
+  printf("sum=%d parallel_sum=%d\n", sum, parallel_sum);
+  return 0;
+}
+// CHECK: sum=496 parallel_sum=2016

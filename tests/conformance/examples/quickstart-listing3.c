@@ -1,0 +1,15 @@
+// Port of examples/quickstart.py LISTING3 (paper Listing 3): a
+// worksharing loop with a non-unit step lowers to the static-init
+// runtime protocol over the logical iteration space.
+// RUN: miniclang -emit-llvm -fopenmp-enable-irbuilder %s | FileCheck %s
+void body(int i);
+void f(void) {
+  #pragma omp parallel for schedule(static)
+  for (int i = 7; i < 17; i += 3)
+    body(i);
+}
+// CHECK: __kmpc_fork_call
+// CHECK: define {{.*}}@[[OUTLINED:[A-Za-z0-9_.]+]]
+// CHECK: __kmpc_for_static_init_4u
+// CHECK: call void @body
+// CHECK: __kmpc_for_static_fini

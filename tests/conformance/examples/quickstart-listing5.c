@@ -1,0 +1,14 @@
+// Port of examples/quickstart.py LISTING5 (paper Listing 5): 'unroll
+// full' consumes the floor loop of 'unroll partial(2)'.  Execution
+// order of the original iterations is preserved.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int main(void) {
+  #pragma omp unroll full
+  #pragma omp unroll partial(2)
+  for (int i = 7; i < 17; i += 3)
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}
+// CHECK: 7 10 13 16

@@ -1,0 +1,29 @@
+// Port of examples/quickstart.py PROGRAM: worksharing consumes the
+// unroll-generated floor loop, so static chunks cover *pairs* of
+// original iterations (iterations 0-3 land on thread 0, not 0-2).
+// RUN: miniclang --run %s | FileCheck %s
+int main(void) {
+  int N = 12;
+  int out[12];
+
+  #pragma omp parallel for schedule(static) num_threads(4)
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < N; i += 1)
+    out[i] = omp_get_thread_num();
+
+  for (int i = 0; i < N; i += 1)
+    printf("iteration %2d ran on thread %d\n", i, out[i]);
+  return 0;
+}
+// CHECK: iteration  0 ran on thread 0
+// CHECK-NEXT: iteration  1 ran on thread 0
+// CHECK-NEXT: iteration  2 ran on thread 0
+// CHECK-NEXT: iteration  3 ran on thread 0
+// CHECK-NEXT: iteration  4 ran on thread 1
+// CHECK-NEXT: iteration  5 ran on thread 1
+// CHECK-NEXT: iteration  6 ran on thread 1
+// CHECK-NEXT: iteration  7 ran on thread 1
+// CHECK-NEXT: iteration  8 ran on thread 2
+// CHECK-NEXT: iteration  9 ran on thread 2
+// CHECK-NEXT: iteration 10 ran on thread 3
+// CHECK-NEXT: iteration 11 ran on thread 3

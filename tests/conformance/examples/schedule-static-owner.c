@@ -1,0 +1,28 @@
+// Port of examples/schedule_explorer.py: schedule(static) assigns
+// deterministic contiguous chunks, and the critical section keeps the
+// per-thread load tally race-free.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int main(void) {
+  int owner[8];
+  int load[8];
+  for (int t = 0; t < 8; t += 1) load[t] = 0;
+
+  #pragma omp parallel for schedule(static) num_threads(4)
+  for (int i = 0; i < 8; i += 1) {
+    int me = omp_get_thread_num();
+    owner[i] = me;
+    int cost = 0;
+    for (int w = 0; w < i; w += 1)
+      cost += 1;
+    #pragma omp critical
+    { load[me] += cost; }
+  }
+
+  for (int i = 0; i < 8; i += 1) printf("%d", owner[i]);
+  printf("|");
+  for (int t = 0; t < 4; t += 1) printf("%d ", load[t]);
+  printf("\n");
+  return 0;
+}
+// CHECK: 00112233|1 5 9 13

@@ -1,0 +1,16 @@
+// Port of examples/source_to_source.py tiled_kernel: a 2-D tile keeps
+// its directive node with the sizes clause; the literal nest stays the
+// associated statement.
+// RUN: miniclang -ast-dump %s | FileCheck %s
+void body(int i, int j);
+
+void tiled_kernel(void) {
+  #pragma omp tile sizes(2, 4)
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 12; j += 1)
+      body(i, j);
+}
+// CHECK: OMPTileDirective
+// CHECK: OMPSizesClause
+// CHECK: ForStmt
+// CHECK: ForStmt

@@ -1,0 +1,18 @@
+// Port of examples/source_to_source.py unrolled_kernel: the shadow AST
+// of a runtime-trip-count partial unroll strip-mines the loop and tags
+// the inner loop with a LoopHintAttr (paper §2.2).
+// RUN: miniclang -ast-dump %s | FileCheck %s
+// RUN: miniclang -ast-dump-shadow %s | FileCheck %s --check-prefix=SHADOW
+void body(int i, int j);
+
+void unrolled_kernel(int N) {
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < N; i += 1)
+    body(i, 0);
+}
+// CHECK: OMPUnrollDirective
+// CHECK: OMPPartialClause
+// CHECK: ForStmt
+// SHADOW: AttributedStmt
+// SHADOW: LoopHintAttr
+// SHADOW: ForStmt

@@ -1,0 +1,27 @@
+// Port of examples/stencil_tiling.py PARALLEL_TRANSPOSE (8x8): tiled
+// transpose under a reduction.  Addends are exact in double, so the
+// tile reordering cannot change the checksum.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run --strip-omp-transforms %s | FileCheck %s
+int main(void) {
+  double a[8 * 8];
+  double b[8 * 8];
+  for (int k = 0; k < 8 * 8; k += 1)
+    a[k] = (double)(k % 13);
+
+  double checksum = 0.0;
+
+  #pragma omp parallel for reduction(+: checksum)
+  #pragma omp tile sizes(4, 4)
+  for (int i = 0; i < 8; i += 1)
+    for (int j = 0; j < 8; j += 1) {
+      int dst = j * 8 + i;
+      b[dst] = a[i * 8 + j];
+      checksum += b[dst] * (double)(i + 1);
+    }
+
+  printf("checksum=%g\n", checksum);
+  return 0;
+}
+// CHECK: checksum=1789

@@ -1,0 +1,21 @@
+// Port of examples/unroll_experiments.py KERNEL: partial unroll of a
+// floating-point dot product.  All addends are small integers, so the
+// sum is exact and identical in every representation.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run -O %s | FileCheck %s
+int main(void) {
+  double x[256];
+  double y[256];
+  for (int k = 0; k < 256; k += 1) {
+    x[k] = (double)(k % 9);
+    y[k] = (double)(k % 5);
+  }
+  double dot = 0.0;
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < 250; i += 1)
+    dot += x[i] * y[i];
+  printf("%g\n", dot);
+  return 0;
+}
+// CHECK: {{^}}1991{{$}}

@@ -1,0 +1,18 @@
+// OpenMP 6.0 'fuse' over a loop *sequence* (paper §4): bodies are
+// interleaved iteration by iteration.  The OpenMPIRBuilder path fuses
+// CanonicalLoopInfo handles and must match the shadow-AST semantics.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 3; i += 1)
+      printf("a%d ", i);
+    for (int j = 0; j < 3; j += 1)
+      printf("b%d ", j);
+  }
+  printf("\n");
+  return 0;
+}
+// CHECK: a0 b0 a1 b1 a2 b2

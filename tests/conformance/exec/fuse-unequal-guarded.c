@@ -1,0 +1,19 @@
+// Fusing loops with different trip counts: the fused loop runs
+// max(tc) iterations and each shorter body is guarded by its own
+// trip count (iv < tc_k) — identical in both representations.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 5; i += 1)
+      printf("a%d ", i);
+    for (int j = 2; j < 4; j += 1)
+      sum += j;
+  }
+  printf("| %d\n", sum);
+  return 0;
+}
+// CHECK: a0 a1 a2 a3 a4 | 5

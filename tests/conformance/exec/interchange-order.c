@@ -1,0 +1,14 @@
+// OpenMP 6.0 'interchange' (paper §4): permutation(2, 1) swaps the
+// nest so j becomes the outer iteration.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp interchange permutation(2, 1)
+  for (int i = 0; i < 2; i += 1)
+    for (int j = 0; j < 3; j += 1)
+      printf("%d%d ", i, j);
+  printf("\n");
+  return 0;
+}
+// CHECK: 00 10 01 11 02 12

@@ -1,0 +1,16 @@
+// Worksharing with a reduction: the outlined parallel region and the
+// static schedule must produce the sequential sum regardless of team
+// size or representation.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run --num-threads 5 %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum) num_threads(3)
+  for (int i = 0; i < 20; i += 1)
+    sum += i;
+  printf("%d\n", sum);
+  return 0;
+}
+// CHECK: 190

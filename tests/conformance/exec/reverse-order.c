@@ -1,0 +1,12 @@
+// OpenMP 6.0 'reverse' (paper §4): iterations execute back-to-front.
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp reverse
+  for (int i = 0; i < 5; i += 1)
+    printf("%d ", i);
+  printf("\n");
+  return 0;
+}
+// CHECK: 4 3 2 1 0

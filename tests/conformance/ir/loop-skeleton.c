@@ -1,0 +1,26 @@
+// The canonical loop skeleton emitted by OpenMPIRBuilder
+// (createCanonicalLoop, paper §3.2): preheader / header / cond / body /
+// inc / latch chain with the continuation in the after block.
+// RUN: miniclang -emit-llvm -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// The entry-side block is reused as the preheader, so the skeleton
+// starts at the named header block.
+// CHECK: define i32 @main()
+// CHECK: br label %[[L:omp_loop.[0-9]+]].header
+// CHECK: [[L]].header:
+// CHECK: [[L]].cond:
+// CHECK: br i1 {{.+}}, label %[[L]].body, label %[[L]].exit
+// CHECK: [[L]].body:
+// CHECK: [[L]].inc:
+// CHECK: br label %[[L]].header
+// CHECK: [[L]].exit:
+// CHECK: [[L]].after:
+// CHECK: call i32 @printf

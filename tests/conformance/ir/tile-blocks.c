@@ -1,0 +1,26 @@
+// IR-level tiling (OpenMPIRBuilder::tileLoops, paper §3.2): a floor
+// loop iterating tile origins wraps a tile loop whose trip count is
+// min(size, remaining) to handle the partial last tile.
+// RUN: miniclang -emit-llvm -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(4)
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: define i32 @main()
+// CHECK: %floor.tc = udiv i32 %tile.num
+// CHECK: floor.0.header:
+// CHECK: floor.0.body:
+// CHECK-DAG: %origin.0 = mul i32
+// CHECK-DAG: %remaining.0 = sub i32
+// CHECK: %is.partial = icmp ult i32 %remaining.0
+// CHECK: %tile.tc.0 = select i1 %is.partial
+// CHECK: tile.0.header:
+// CHECK: tile.0.body:
+// CHECK: %tiled.iv.0 = add i32 %origin.0
+// CHECK: floor.0.exit:
+// CHECK: call i32 @printf

@@ -1,0 +1,25 @@
+// Partial unrolling only annotates: the shadow AST strip-mines and the
+// inner loop's latch carries llvm.loop.unroll metadata for the mid-end
+// LoopUnroll pass (paper §2.2 "defer unrolling to the LoopUnroll pass").
+// RUN: miniclang -emit-llvm %s | FileCheck %s
+// RUN: miniclang -emit-llvm -fopenmp-enable-irbuilder %s \
+// RUN:   | FileCheck --check-prefix=CANON %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: define i32 @main()
+// CHECK: %unrolled.iv.i = alloca i32
+// CHECK: %unroll_inner.iv.i = alloca i32
+// CHECK: !{{.*}}llvm.loop.unroll.count{{.*}}4
+
+// The IRBuilder path strip-mines via tileLoops and marks the intra-tile
+// loop (unrollLoopPartial, paper §3.2).
+// CANON: floor.0.header:
+// CANON: tile.0.header:
+// CANON: !{{.*}}llvm.loop.unroll.count{{.*}}4

@@ -1,0 +1,19 @@
+// Worksharing lowering: the region is outlined, launched through
+// __kmpc_fork_call and scheduled with __kmpc_for_static_init_4u.
+// RUN: miniclang -emit-llvm %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum) schedule(static)
+  for (int i = 0; i < 10; i += 1)
+    sum += i;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// CHECK: declare void @__kmpc_fork_call(ptr, i32, ptr, ptr)
+// CHECK: define i32 @main()
+// CHECK: call void @__kmpc_fork_call(ptr null, i32 1, ptr @[[OUTLINED:[A-Za-z0-9_.]+]], ptr
+// CHECK: define void @[[OUTLINED]](ptr %gtid.addr, ptr %btid.addr, ptr %context)
+// CHECK: call void @__kmpc_for_static_init_4u
+// CHECK-DAG: call void @__kmpc_critical
+// CHECK-DAG: call void @__kmpc_end_critical

@@ -1,0 +1,21 @@
+// Fuzzer-found: every fuse-containing program failed to compile with
+// -fopenmp-enable-irbuilder ("not implemented").  fuse_loops now
+// merges sibling CanonicalLoopInfo handles; worksharing can consume
+// the fused loop like any other generated loop.
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum) num_threads(3)
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 7; i += 1)
+      sum += i;
+    for (int j = 0; j < 4; j += 1)
+      sum += 100;
+  }
+  printf("%d\n", sum);
+  return 0;
+}
+// CHECK: {{^}}421{{$}}

@@ -1,0 +1,16 @@
+// Fuzzer-found: same continuation-block bug as unroll-over-tile, but
+// for 'tile' consuming a generated loop.  Also locks in the chained
+// CanonicalLoopInfo handoff (paper §4: consumed transformations).
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(2)
+  #pragma omp tile sizes(5)
+  for (int i = 0; i < 17; i += 1)
+    sum += i;
+  printf("after %d\n", sum);
+  return 0;
+}
+// CHECK: after 136

@@ -1,0 +1,16 @@
+// Fuzzer-found: 'unroll partial' consuming another 'unroll partial'
+// must chain through the floor loop handle returned by the inner
+// transformation (unroll_loop_partial = tile + intra-tile metadata).
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+// RUN: miniclang --run %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp unroll partial(2)
+  #pragma omp unroll partial(3)
+  for (int i = 0; i < 17; i += 1)
+    sum += i;
+  printf("after %d\n", sum);
+  return 0;
+}
+// CHECK: after 136

@@ -1,0 +1,15 @@
+// --strip-omp-transforms only removes the pure transformations
+// (unroll/tile/reverse/interchange/fuse); worksharing and parallel
+// directives carry execution semantics and must survive.
+// RUN: miniclang -ast-dump --strip-omp-transforms %s | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum)
+  #pragma omp tile sizes(4)
+  for (int i = 0; i < 16; i += 1)
+    sum += i;
+  return sum;
+}
+// CHECK: OMPParallelForDirective
+// CHECK: OMPReductionClause
+// CHECK-NOT: OMPTileDirective

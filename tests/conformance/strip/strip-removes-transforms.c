@@ -1,0 +1,18 @@
+// --strip-omp-transforms drops pure loop-transformation directives at
+// the preprocessor level: no transformation nodes reach the AST, the
+// literal loop nest survives untouched.
+// RUN: miniclang -ast-dump --strip-omp-transforms %s | FileCheck %s
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(4)
+  for (int i = 0; i < 16; i += 1)
+    #pragma omp unroll partial(2)
+    for (int j = 0; j < 8; j += 1)
+      sum += i * j;
+  return sum;
+}
+// CHECK-NOT: OMPTileDirective
+// CHECK-NOT: OMPUnrollDirective
+// CHECK: ForStmt
+// CHECK: ForStmt
+// CHECK-NOT: OMP

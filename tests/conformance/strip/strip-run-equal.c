@@ -1,0 +1,21 @@
+// The metamorphic property the fuzzer checks, as a fixed test: a
+// transformed program and its stripped twin print identical output
+// (paper: transformations preserve the iteration *set*; the body here
+// is order-invariant, so reordering by tile cannot show through).
+// RUN: miniclang --run %s | FileCheck %s
+// RUN: miniclang --run --strip-omp-transforms %s | FileCheck %s
+// RUN: miniclang --run -fopenmp-enable-irbuilder %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(3, 2)
+  for (int i = 0; i < 5; i += 1)
+    for (int j = 0; j < 4; j += 1)
+      sum += (i + 1) * (j + 2);
+  #pragma omp reverse
+  for (int k = 0; k < 6; k += 1)
+    sum += k * k;
+  printf("%d\n", sum);
+  return 0;
+}
+// CHECK: {{^}}265{{$}}

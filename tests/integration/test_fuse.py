@@ -158,22 +158,24 @@ class TestFuseDiagnostics:
             run_c(src)
         assert "canonical for loop" in str(err.value)
 
-    def test_irbuilder_mode_not_implemented(self):
-        """Matching the paper-era status: the OpenMPIRBuilder has the
-        abstractions but fuse is not wired there."""
+    def test_irbuilder_mode_matches_shadow(self):
+        """OpenMPIRBuilder.fuse_loops mirrors the shadow semantics:
+        interleaved bodies, shorter loops guarded by their trip count."""
         src = r"""
         int main(void) {
+          int hits_b = 0;
           #pragma omp fuse
           {
-            for (int i = 0; i < 4; i += 1) ;
-            for (int j = 0; j < 4; j += 1) ;
+            for (int i = 0; i < 5; i += 1) printf("a%d ", i);
+            for (int j = 0; j < 3; j += 1) hits_b += 1;
           }
+          printf("| %d\n", hits_b);
           return 0;
         }
         """
-        with pytest.raises(CompilationError) as err:
-            run_c(src, enable_irbuilder=True)
-        assert "-fopenmp-enable-irbuilder" in str(err.value)
+        shadow = run_c(src).stdout
+        irb = run_c(src, enable_irbuilder=True).stdout
+        assert shadow == irb == "a0 a1 a2 a3 a4 | 3\n"
 
 
 class TestFuseAST:

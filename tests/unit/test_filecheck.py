@@ -1,0 +1,250 @@
+"""Unit + hypothesis property tests for tools/filecheck.py — the
+pure-python FileCheck backing the conformance suite.  A matcher bug
+here silently green-lights broken conformance tests, so the directive
+semantics are pinned both by examples and by generated properties."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "tools",
+    ),
+)
+
+from filecheck import (  # noqa: E402
+    FileCheckError,
+    check_text,
+    compile_pattern,
+    parse_check_file,
+)
+
+
+def ok(input_text: str, checks: str, **kw) -> None:
+    check_text(input_text, checks, **kw)
+
+
+def fails(input_text: str, checks: str, **kw) -> FileCheckError:
+    with pytest.raises(FileCheckError) as err:
+        check_text(input_text, checks, **kw)
+    return err.value
+
+
+# ----------------------------------------------------------------------
+# Directive semantics, one example each
+# ----------------------------------------------------------------------
+class TestDirectives:
+    def test_plain_in_order(self):
+        ok("alpha\nbeta\ngamma\n", "CHECK: alpha\nCHECK: gamma")
+        fails("alpha\nbeta\n", "CHECK: beta\nCHECK: alpha")
+
+    def test_next_requires_adjacent_line(self):
+        ok("a\nb\n", "CHECK: a\nCHECK-NEXT: b")
+        fails("a\nx\nb\n", "CHECK: a\nCHECK-NEXT: b")
+
+    def test_same_stays_on_line(self):
+        ok("key = value\n", "CHECK: key\nCHECK-SAME: value")
+        fails("key\nvalue\n", "CHECK: key\nCHECK-SAME: value")
+
+    def test_same_cannot_rematch_consumed_text(self):
+        fails("value key\n", "CHECK: key\nCHECK-SAME: value")
+
+    def test_empty(self):
+        ok("a\n\nb\n", "CHECK: a\nCHECK-EMPTY:")
+        fails("a\nb\n", "CHECK: a\nCHECK-EMPTY:")
+
+    def test_not_between_positive_matches(self):
+        ok("a\nc\n", "CHECK: a\nCHECK-NOT: b\nCHECK: c")
+        fails("a\nb\nc\n", "CHECK: a\nCHECK-NOT: b\nCHECK: c")
+
+    def test_not_after_last_positive_runs_to_eof(self):
+        fails("a\nb\n", "CHECK: a\nCHECK-NOT: b")
+        ok("a\n", "CHECK: a\nCHECK-NOT: b")
+
+    def test_dag_any_order(self):
+        ok("y\nx\n", "CHECK-DAG: x\nCHECK-DAG: y")
+        ok("x\ny\n", "CHECK-DAG: x\nCHECK-DAG: y")
+
+    def test_dag_matches_may_not_overlap(self):
+        # one 'x' cannot satisfy two -DAG directives
+        fails("x\n", "CHECK-DAG: x\nCHECK-DAG: x")
+        ok("x x\n", "CHECK-DAG: x\nCHECK-DAG: x")
+
+    def test_label_partitions_input(self):
+        text = "f:\n  a\ng:\n  b\n"
+        ok(text, "CHECK-LABEL: f:\nCHECK: a\nCHECK-LABEL: g:\nCHECK: b")
+        # 'b' lives in g's block; a check anchored in f's block must
+        # not reach across the label boundary.
+        fails(text, "CHECK-LABEL: f:\nCHECK: b\nCHECK-LABEL: g:")
+
+    def test_whitespace_runs_are_canonical(self):
+        ok("a      b\n", "CHECK: a b")
+        ok("a\tb\n", "CHECK: a b")
+        fails("ab\n", "CHECK: a b")
+
+    def test_regex_blocks(self):
+        ok("val=42\n", "CHECK: val={{[0-9]+}}")
+        fails("val=x\n", "CHECK: val={{[0-9]+}}")
+
+    def test_variable_capture_and_reuse(self):
+        ok(
+            "store %tmp.3\nload %tmp.3\n",
+            "CHECK: store %[[R:tmp.[0-9]+]]\nCHECK: load %[[R]]",
+        )
+        fails(
+            "store %tmp.3\nload %tmp.4\n",
+            "CHECK: store %[[R:tmp.[0-9]+]]\nCHECK: load %[[R]]",
+        )
+
+    def test_variable_use_before_def(self):
+        err = fails("x\n", "CHECK: [[V]]")
+        assert "used before" in err.message
+
+    def test_unterminated_regex_and_variable(self):
+        assert "unterminated" in fails("x\n", "CHECK: {{abc").message
+        assert "unterminated" in fails("x\n", "CHECK: [[V:abc").message
+
+    def test_check_prefix_selects_directives(self):
+        checks = "CHECK: absent\nFOO: present"
+        ok("present\n", checks, prefixes=["FOO"])
+        fails("present\n", checks)  # default CHECK prefix
+
+    def test_empty_input_rejected_without_allow_empty(self):
+        err = fails("", "CHECK-NOT: anything")
+        assert "empty input" in err.message
+        ok("", "CHECK-NOT: anything", allow_empty=True)
+
+    def test_no_directives_is_an_error(self):
+        err = fails("text\n", "// no checks here")
+        assert "no check directives" in err.message
+
+
+class TestParsing:
+    def test_parse_extracts_kind_and_line(self):
+        ds = parse_check_file(
+            "// CHECK: a\n// CHECK-NEXT: b\n", "t.c", ["CHECK"]
+        )
+        assert [(d.kind, d.line_no) for d in ds] == [
+            ("PLAIN", 1),
+            ("NEXT", 2),
+        ]
+
+    def test_unknown_suffix_is_not_a_directive(self):
+        assert (
+            parse_check_file("// CHECK-BOGUS: a\n", "t.c", ["CHECK"])
+            == []
+        )
+
+    def test_compile_pattern_part_kinds(self):
+        (d,) = parse_check_file(
+            "// CHECK: a{{b+}}[[V:c]][[V]]\n", "t.c", ["CHECK"]
+        )
+        assert [op for op, _ in compile_pattern(d).parts] == [
+            "lit",
+            "re",
+            "def",
+            "use",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties
+# ----------------------------------------------------------------------
+# Tokens that cannot collide with directive syntax, regex
+# metacharacters, or whitespace canonicalization.
+_token = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789",
+    min_size=1,
+    max_size=8,
+)
+_lines = st.lists(_token, min_size=1, max_size=12)
+
+_SETTINGS = settings(max_examples=80, deadline=None)
+
+
+class TestProperties:
+    @_SETTINGS
+    @given(lines=_lines, data=st.data())
+    def test_any_subsequence_of_lines_matches(self, lines, data):
+        """CHECK directives built from an in-order subsequence of the
+        input's lines always pass."""
+        n = len(lines)
+        picks = data.draw(
+            st.lists(
+                st.integers(0, n - 1), unique=True, max_size=n
+            ).map(sorted)
+        )
+        checks = "\n".join(f"CHECK: {lines[i]}" for i in picks)
+        if not picks:
+            return
+        check_text("\n".join(lines) + "\n", checks)
+
+    @_SETTINGS
+    @given(lines=_lines)
+    def test_full_next_chain_matches(self, lines):
+        """A CHECK-NEXT chain over every consecutive line passes."""
+        checks = [f"CHECK: {lines[0]}"] + [
+            f"CHECK-NEXT: {ln}" for ln in lines[1:]
+        ]
+        check_text("\n".join(lines) + "\n", "\n".join(checks))
+
+    @_SETTINGS
+    @given(lines=_lines)
+    def test_absent_token_fails_and_not_passes(self, lines):
+        """A token guaranteed absent fails as CHECK and passes as
+        CHECK-NOT (duality)."""
+        marker = "Z" + "z".join(lines) + "Z"  # cannot be a substring
+        text = "\n".join(lines) + "\n"
+        with pytest.raises(FileCheckError):
+            check_text(text, f"CHECK: {marker}")
+        check_text(text, f"CHECK-NOT: {marker}")
+
+    @_SETTINGS
+    @given(lines=st.lists(_token, min_size=1, max_size=8, unique=True),
+           data=st.data())
+    def test_dag_is_permutation_invariant(self, lines, data):
+        """Lines match a -DAG group in any directive order.
+
+        Like LLVM's FileCheck, -DAG placement is greedy in directive
+        order (no backtracking), so tokens that are substrings of one
+        another can legitimately fail in some orders — exclude them.
+        """
+        assume(
+            not any(
+                a in b
+                for a in lines
+                for b in lines
+                if a is not b
+            )
+        )
+        perm = data.draw(st.permutations(lines))
+        checks = "\n".join(f"CHECK-DAG: {ln}" for ln in perm)
+        check_text("\n".join(lines) + "\n", checks)
+
+    @_SETTINGS
+    @given(token=_token, pad=st.integers(1, 5))
+    def test_whitespace_canonicalization(self, token, pad):
+        """Any run of blanks in the input matches one space in the
+        pattern and vice versa."""
+        check_text(
+            f"a{' ' * pad}{token}\n", f"CHECK: a {token}"
+        )
+        check_text(f"a {token}\n", f"CHECK: a{' ' * pad}{token}")
+
+    @_SETTINGS
+    @given(token=_token)
+    def test_variable_roundtrip(self, token):
+        """[[V:re]] binds whatever matched; [[V]] re-matches exactly
+        that text."""
+        text = f"def {token}\nuse {token}\n"
+        check_text(
+            text, "CHECK: def [[V:[a-z0-9]+]]\nCHECK: use [[V]]"
+        )

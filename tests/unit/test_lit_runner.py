@@ -1,0 +1,193 @@
+"""Unit tests for tools/lit_runner.py: RUN-line parsing, lit
+substitutions, pipeline stage parsing, and end-to-end execution of
+tiny synthetic tests."""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+import pytest
+
+sys.path.insert(
+    0,
+    os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        "tools",
+    ),
+)
+
+from lit_runner import (  # noqa: E402
+    RunLineError,
+    TestCase,
+    _parse_stage,
+    discover,
+    parse_test,
+    run_test,
+    substitute,
+)
+
+
+def _write(tmpdir: str, name: str, text: str) -> str:
+    path = os.path.join(tmpdir, name)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path
+
+
+class TestParseTest:
+    def test_collects_run_lines(self, tmp_path):
+        path = _write(
+            str(tmp_path),
+            "t.c",
+            "// RUN: true\n// RUN: not false\nint x;\n",
+        )
+        case = parse_test(path, "t.c")
+        assert case.run_lines == ["true", "not false"]
+        assert not case.xfail and not case.unsupported
+
+    def test_backslash_continuation_joins_lines(self, tmp_path):
+        path = _write(
+            str(tmp_path),
+            "t.c",
+            "// RUN: true \\\n// RUN:   --flag value\n",
+        )
+        case = parse_test(path, "t.c")
+        # interior spacing is preserved; shlex collapses it later
+        assert len(case.run_lines) == 1
+        assert case.run_lines[0].split() == ["true", "--flag", "value"]
+
+    def test_dangling_continuation_is_an_error(self, tmp_path):
+        path = _write(str(tmp_path), "t.c", "// RUN: true \\\n")
+        with pytest.raises(RunLineError):
+            parse_test(path, "t.c")
+
+    def test_xfail_and_unsupported_markers(self, tmp_path):
+        path = _write(
+            str(tmp_path), "t.c", "// XFAIL: *\n// RUN: false\n"
+        )
+        assert parse_test(path, "t.c").xfail
+        path = _write(
+            str(tmp_path), "u.c", "// UNSUPPORTED: *\n// RUN: true\n"
+        )
+        assert parse_test(path, "u.c").unsupported
+
+    def test_hash_comment_run_lines(self, tmp_path):
+        path = _write(str(tmp_path), "t.test", "# RUN: true\n")
+        assert parse_test(path, "t.test").run_lines == ["true"]
+
+
+class TestSubstitute:
+    def _case(self) -> TestCase:
+        return TestCase(path="/abs/dir/test.c", name="test.c")
+
+    def test_file_and_dir(self):
+        out = substitute("tool %s -I %S", self._case(), "/tmp/x")
+        assert out == "tool /abs/dir/test.c -I /abs/dir"
+
+    def test_temp_paths(self):
+        out = substitute("%t %T", self._case(), "/tmp/x")
+        assert out == "/tmp/x/test.tmp /tmp/x"
+
+    def test_percent_python(self):
+        assert (
+            substitute("%python -c pass", self._case(), "/tmp/x")
+            == f"{sys.executable} -c pass"
+        )
+
+    def test_literal_percent(self):
+        assert substitute("%%s", self._case(), "/tmp/x") == "%s"
+
+
+class TestParseStage:
+    def test_plain(self):
+        stage = _parse_stage(["tool", "a", "b"])
+        assert stage.argv == ["tool", "a", "b"]
+        assert not stage.invert and not stage.merge_stderr
+
+    def test_not_inverts(self):
+        assert _parse_stage(["not", "tool"]).invert
+        # double negation
+        assert not _parse_stage(["not", "not", "tool"]).invert
+
+    def test_stderr_merge_and_redirects(self):
+        stage = _parse_stage(["tool", "2>&1", ">", "out.txt"])
+        assert stage.merge_stderr
+        assert stage.stdout_to == "out.txt"
+        stage = _parse_stage(["tool", "2>", "err.txt"])
+        assert stage.stderr_to == "err.txt"
+
+    def test_empty_stage_is_an_error(self):
+        with pytest.raises(RunLineError):
+            _parse_stage([])
+
+
+class TestRunTest:
+    def _run(self, text: str, name: str = "t.c"):
+        with tempfile.TemporaryDirectory() as tmpdir:
+            path = _write(tmpdir, name, text)
+            case = parse_test(path, name)
+            return run_test(case, timeout=60.0)
+
+    def test_pass(self):
+        assert self._run("// RUN: true\n").code == "PASS"
+
+    def test_fail(self):
+        result = self._run("// RUN: false\n")
+        assert result.code == "FAIL"
+        assert "exited 1" in result.detail
+
+    def test_not_false_passes(self):
+        assert self._run("// RUN: not false\n").code == "PASS"
+
+    def test_xfail_of_failing_test(self):
+        assert (
+            self._run("// XFAIL: *\n// RUN: false\n").code == "XFAIL"
+        )
+
+    def test_xpass_of_passing_test(self):
+        assert (
+            self._run("// XFAIL: *\n// RUN: true\n").code == "XPASS"
+        )
+
+    def test_unsupported_skips(self):
+        assert (
+            self._run("// UNSUPPORTED: *\n// RUN: false\n").code
+            == "SKIP"
+        )
+
+    def test_no_run_lines_is_an_error(self):
+        assert self._run("int x;\n").code == "ERROR"
+
+    def test_unknown_tool_is_an_error(self):
+        assert self._run("// RUN: frobnicate %s\n").code == "ERROR"
+
+    def test_pipe_through_filecheck(self):
+        result = self._run(
+            "// RUN: %python -c 'print(\"hello world\")' | FileCheck %s\n"
+            "// CHECK: hello world\n"
+        )
+        assert result.code == "PASS", result.detail
+
+    def test_filecheck_mismatch_fails(self):
+        result = self._run(
+            "// RUN: %python -c 'print(\"goodbye\")' | FileCheck %s\n"
+            "// CHECK: hello\n"
+        )
+        assert result.code == "FAIL"
+        assert "expected string not found" in result.detail
+
+
+class TestDiscover:
+    def test_walks_directories_sorted(self, tmp_path):
+        _write(str(tmp_path), "b.c", "// RUN: true\n")
+        _write(str(tmp_path), "a.c", "// RUN: true\n")
+        _write(str(tmp_path), "notes.txt", "not a test\n")
+        cases = discover([str(tmp_path)])
+        assert [c.name for c in cases] == ["a.c", "b.c"]
+
+    def test_single_file(self, tmp_path):
+        path = _write(str(tmp_path), "only.c", "// RUN: true\n")
+        cases = discover([path])
+        assert [c.name for c in cases] == ["only.c"]

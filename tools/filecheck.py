@@ -1,0 +1,644 @@
+#!/usr/bin/env python3
+"""A pure-python FileCheck (the LLVM test-matching tool).
+
+Reads *check directives* out of a check file (usually the test source
+itself) and verifies that an input text (usually a tool's stdout)
+matches them in order.  Supported directives, with ``CHECK`` standing
+for the active prefix (``--check-prefix`` changes it)::
+
+    CHECK:        pattern must match at/after the current position
+    CHECK-NEXT:   pattern must match on the immediately following line
+    CHECK-SAME:   pattern must match later on the same line
+    CHECK-EMPTY:  the next line must be empty
+    CHECK-NOT:    pattern must NOT occur before the next positive match
+    CHECK-DAG:    consecutive -DAG directives match in any order
+    CHECK-LABEL:  partitions the input; checks cannot cross label blocks
+
+Pattern syntax mirrors FileCheck:
+
+* plain text matches literally, with runs of horizontal whitespace
+  matching any non-empty horizontal whitespace,
+* ``{{regex}}`` embeds a python regular expression,
+* ``[[VAR:regex]]`` matches ``regex`` and binds it to ``VAR``,
+* ``[[VAR]]`` matches the previously bound value of ``VAR`` literally.
+
+Exit status 0 when every directive matched, 1 on the first failure
+(with an llvm-style ``file:line: error:`` report and the input region
+being scanned), 2 on usage errors.  This file is dependency-free and
+importable (``from filecheck import FileCheckError, check_text``) so the
+unit/property tests can drive it without subprocesses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+_KINDS = ("LABEL", "NEXT", "SAME", "EMPTY", "NOT", "DAG")
+
+
+class FileCheckError(Exception):
+    """A directive failed to match (or the check file is malformed).
+
+    ``message`` is the full llvm-style report; ``directive`` is the
+    failing directive (None for file-level errors like no-checks)."""
+
+    def __init__(self, message: str, directive: "Directive | None" = None):
+        super().__init__(message)
+        self.message = message
+        self.directive = directive
+
+
+@dataclass
+class Directive:
+    """One ``CHECK*:`` line of the check file."""
+
+    kind: str  # "PLAIN", "NEXT", "SAME", "EMPTY", "NOT", "DAG", "LABEL"
+    pattern: str  # raw text after the colon, stripped
+    check_file: str
+    line_no: int  # 1-based line in the check file
+    prefix: str  # the spelled prefix, for error messages
+
+    def spelling(self) -> str:
+        suffix = "" if self.kind == "PLAIN" else f"-{self.kind}"
+        return f"{self.prefix}{suffix}"
+
+
+# ----------------------------------------------------------------------
+# Pattern compilation
+# ----------------------------------------------------------------------
+_WS_RUN = re.compile(r"[ \t]+")
+
+
+def _escape_literal(text: str) -> str:
+    """Escape *text* for re, mapping horizontal-whitespace runs to
+    ``[ \\t]+`` (FileCheck's canonical-whitespace rule)."""
+    out: list[str] = []
+    pos = 0
+    for m in _WS_RUN.finditer(text):
+        out.append(re.escape(text[pos : m.start()]))
+        out.append(r"[ \t]+")
+        pos = m.end()
+    out.append(re.escape(text[pos:]))
+    return "".join(out)
+
+
+@dataclass
+class Pattern:
+    """A compiled directive pattern.
+
+    Compiled lazily against the current variable bindings because
+    ``[[VAR]]`` substitutions are resolved at match time."""
+
+    directive: Directive
+    parts: list[tuple[str, str]] = field(default_factory=list)
+    # parts: (op, payload) with op in
+    #   "lit"  literal text
+    #   "re"   raw regex from {{...}}
+    #   "def"  "NAME:regex" variable definition from [[NAME:...]]
+    #   "use"  NAME from [[NAME]]
+
+    def uses(self) -> set[str]:
+        return {p for op, p in self.parts if op == "use"}
+
+    def regex(self, bindings: dict[str, str]) -> re.Pattern:
+        pieces: list[str] = []
+        for op, payload in self.parts:
+            if op == "lit":
+                pieces.append(_escape_literal(payload))
+            elif op == "re":
+                pieces.append(f"(?:{payload})")
+            elif op == "def":
+                name, _, rx = payload.partition(":")
+                pieces.append(f"(?P<{name}>{rx})")
+            else:  # use
+                if payload not in bindings:
+                    raise FileCheckError(
+                        _err(
+                            self.directive,
+                            f"[[{payload}]] used before any "
+                            f"[[{payload}:...]] definition",
+                        ),
+                        self.directive,
+                    )
+                pieces.append(re.escape(bindings[payload]))
+        try:
+            return re.compile("".join(pieces))
+        except re.error as exc:
+            raise FileCheckError(
+                _err(self.directive, f"invalid pattern regex: {exc}"),
+                self.directive,
+            )
+
+
+_VAR_NAME = re.compile(r"[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def compile_pattern(directive: Directive) -> Pattern:
+    """Split the directive text into literal / regex / variable parts."""
+    text = directive.pattern
+    parts: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        brace = text.find("{{", pos)
+        brack = text.find("[[", pos)
+        starts = [i for i in (brace, brack) if i != -1]
+        if not starts:
+            parts.append(("lit", text[pos:]))
+            break
+        start = min(starts)
+        if start > pos:
+            parts.append(("lit", text[pos:start]))
+        if start == brace and (brack == -1 or brace <= brack):
+            end = text.find("}}", start + 2)
+            if end == -1:
+                raise FileCheckError(
+                    _err(directive, "unterminated {{ regex"), directive
+                )
+            parts.append(("re", text[start + 2 : end]))
+            pos = end + 2
+        else:
+            end = text.find("]]", start + 2)
+            if end == -1:
+                raise FileCheckError(
+                    _err(directive, "unterminated [[ variable"), directive
+                )
+            inner = text[start + 2 : end]
+            name, colon, rx = inner.partition(":")
+            if not _VAR_NAME.match(name):
+                raise FileCheckError(
+                    _err(directive, f"invalid variable name '{name}'"),
+                    directive,
+                )
+            if colon:
+                parts.append(("def", f"{name}:{rx}"))
+            else:
+                parts.append(("use", name))
+            pos = end + 2
+    if not parts:
+        parts.append(("lit", ""))
+    return Pattern(directive, parts)
+
+
+# ----------------------------------------------------------------------
+# Check-file parsing
+# ----------------------------------------------------------------------
+def parse_check_file(
+    text: str, check_file: str, prefixes: list[str]
+) -> list[Directive]:
+    """Extract directives for any of *prefixes*, in file order."""
+    alt = "|".join(re.escape(p) for p in prefixes)
+    rx = re.compile(
+        rf"\b({alt})(?:-({'|'.join(_KINDS)}))?:\s?([^\n]*)$"
+    )
+    directives: list[Directive] = []
+    for idx, line in enumerate(text.splitlines(), start=1):
+        m = rx.search(line)
+        if not m:
+            continue
+        prefix, kind, rest = m.group(1), m.group(2), m.group(3)
+        directives.append(
+            Directive(
+                kind=kind or "PLAIN",
+                pattern=rest.strip(),
+                check_file=check_file,
+                line_no=idx,
+                prefix=prefix,
+            )
+        )
+    return directives
+
+
+# ----------------------------------------------------------------------
+# Matching engine
+# ----------------------------------------------------------------------
+def _err(directive: Directive | None, message: str) -> str:
+    if directive is None:
+        return f"filecheck: error: {message}"
+    return (
+        f"{directive.check_file}:{directive.line_no}: error: "
+        f"{directive.spelling()}: {message}"
+    )
+
+
+def _excerpt(lines: list[str], line_idx: int, context: int = 3) -> str:
+    """A few input lines around *line_idx* for the error report."""
+    lo = max(0, line_idx - 1)
+    hi = min(len(lines), line_idx + context)
+    out = []
+    for i in range(lo, hi):
+        marker = ">>" if i == line_idx else "  "
+        out.append(f"  {marker} {i + 1}: {lines[i]}")
+    return "\n".join(out)
+
+
+@dataclass
+class _Cursor:
+    """Scan position: just after the previous match."""
+
+    line: int  # index into the line list
+    col: int  # offset within that line
+
+
+class Matcher:
+    def __init__(self, input_text: str, check_file_name: str):
+        self.lines = input_text.splitlines()
+        self.check_file_name = check_file_name
+        self.bindings: dict[str, str] = {}
+
+    # -- low-level search helpers -------------------------------------
+    def _search_from(
+        self,
+        pattern: Pattern,
+        cur: _Cursor,
+        stop_line: int,
+    ) -> Optional[tuple[int, int, int]]:
+        """First match at/after *cur* and before line *stop_line*;
+        returns (line, start_col, end_col)."""
+        rx = pattern.regex(self.bindings)
+        for li in range(cur.line, min(stop_line, len(self.lines))):
+            start = cur.col if li == cur.line else 0
+            m = rx.search(self.lines[li], start)
+            if m:
+                return li, m.start(), m.end()
+        return None
+
+    def _bind(self, pattern: Pattern, line: int, s: int, e: int) -> None:
+        m = pattern.regex(self.bindings).match(self.lines[line][s:e])
+        # re-match on the exact span to recover named groups
+        if m:
+            for name, value in m.groupdict().items():
+                if value is not None:
+                    self.bindings[name] = value
+
+    # -- the directive interpreter ------------------------------------
+    def run(self, directives: list[Directive]) -> None:
+        """Raise FileCheckError on the first failing directive."""
+        patterns = [compile_pattern(d) for d in directives]
+        # Pre-partition on LABEL directives: each label must match, in
+        # order, and the checks between two labels are confined to the
+        # input region between their matches.
+        blocks = self._split_blocks(directives, patterns)
+        for block_directives, lo, hi, at_label in blocks:
+            self._run_block(block_directives, lo, hi, at_label)
+
+    def _split_blocks(self, directives, patterns):
+        """Returns [(list[(Directive, Pattern)], start_line, stop_line)].
+
+        Without -LABEL directives this is one block spanning the whole
+        input."""
+        label_ix = [
+            i for i, d in enumerate(directives) if d.kind == "LABEL"
+        ]
+        if not label_ix:
+            return [
+                (
+                    list(zip(directives, patterns)),
+                    0,
+                    len(self.lines),
+                    False,
+                )
+            ]
+        # Locate every label match first (FileCheck does the same): each
+        # search starts after the previous label's line.
+        cur = _Cursor(0, 0)
+        label_pos: list[int] = []
+        for i in label_ix:
+            found = self._search_from(
+                patterns[i], cur, len(self.lines)
+            )
+            if found is None:
+                raise FileCheckError(
+                    self._not_found_report(directives[i], cur),
+                    directives[i],
+                )
+            li, _, _ = found
+            label_pos.append(li)
+            cur = _Cursor(li + 1, 0)
+        blocks = []
+        # checks before the first label run in [0, first_label_line+1)
+        pre = list(zip(directives[: label_ix[0]], patterns[: label_ix[0]]))
+        if pre:
+            blocks.append((pre, 0, label_pos[0], False))
+        for n, i in enumerate(label_ix):
+            stop = (
+                label_pos[n + 1]
+                if n + 1 < len(label_ix)
+                else len(self.lines)
+            )
+            next_dir_ix = (
+                label_ix[n + 1] if n + 1 < len(label_ix) else len(directives)
+            )
+            group = list(
+                zip(
+                    directives[i + 1 : next_dir_ix],
+                    patterns[i + 1 : next_dir_ix],
+                )
+            )
+            # the label line itself is consumed by the label match
+            blocks.append((group, label_pos[n], stop, True))
+        return blocks
+
+    def _run_block(
+        self, pairs, start_line: int, stop_line: int, at_label: bool
+    ) -> None:
+        cur = _Cursor(start_line, 0)
+        # a LABEL block starts *after* the label's own line for -NEXT
+        # purposes: position the cursor at the end of the label line.
+        if at_label and start_line < len(self.lines):
+            cur = _Cursor(start_line, len(self.lines[start_line]))
+        pending_not: list[tuple[Directive, Pattern]] = []
+        i = 0
+        while i < len(pairs):
+            directive, pattern = pairs[i]
+            if directive.kind == "NOT":
+                pending_not.append((directive, pattern))
+                i += 1
+                continue
+            if directive.kind == "DAG":
+                group = []
+                while i < len(pairs) and pairs[i][0].kind == "DAG":
+                    group.append(pairs[i])
+                    i += 1
+                cur = self._match_dag_group(
+                    group, cur, stop_line, pending_not
+                )
+                pending_not = []
+                continue
+            cur = self._match_positive(
+                directive, pattern, cur, stop_line, pending_not
+            )
+            pending_not = []
+            i += 1
+        if pending_not:
+            self._check_nots(
+                pending_not, _Cursor(cur.line, cur.col), stop_line, None
+            )
+
+    # -- positive directives ------------------------------------------
+    def _match_positive(
+        self, directive, pattern, cur, stop_line, pending_not
+    ) -> _Cursor:
+        if directive.kind == "EMPTY":
+            li = cur.line + 1
+            if li >= stop_line or self.lines[li].strip() != "":
+                raise FileCheckError(
+                    _err(
+                        directive,
+                        "expected the next line to be empty\n"
+                        + _excerpt(self.lines, min(li, len(self.lines) - 1)),
+                    ),
+                    directive,
+                )
+            self._check_nots(pending_not, cur, stop_line, (li, 0))
+            return _Cursor(li, 0)
+        if directive.kind == "SAME":
+            rx = pattern.regex(self.bindings)
+            if cur.line >= len(self.lines):
+                raise FileCheckError(
+                    self._not_found_report(directive, cur), directive
+                )
+            m = rx.search(self.lines[cur.line], cur.col)
+            if not m:
+                raise FileCheckError(
+                    _err(
+                        directive,
+                        "expected string not found on the same line\n"
+                        + _excerpt(self.lines, cur.line),
+                    ),
+                    directive,
+                )
+            self._check_nots(
+                pending_not, cur, stop_line, (cur.line, m.start())
+            )
+            self._bind(pattern, cur.line, m.start(), m.end())
+            return _Cursor(cur.line, m.end())
+        if directive.kind == "NEXT":
+            li = cur.line + 1
+            if li >= stop_line:
+                raise FileCheckError(
+                    self._not_found_report(directive, cur), directive
+                )
+            m = pattern.regex(self.bindings).search(self.lines[li])
+            if not m:
+                raise FileCheckError(
+                    _err(
+                        directive,
+                        "expected string not found on the next line\n"
+                        + _excerpt(self.lines, li),
+                    ),
+                    directive,
+                )
+            self._check_nots(pending_not, cur, stop_line, (li, m.start()))
+            self._bind(pattern, li, m.start(), m.end())
+            return _Cursor(li, m.end())
+        # PLAIN (and LABEL when reached linearly, though labels are
+        # pre-matched in _split_blocks)
+        found = self._search_from(pattern, cur, stop_line)
+        if found is None:
+            raise FileCheckError(
+                self._not_found_report(directive, cur), directive
+            )
+        li, s, e = found
+        self._check_nots(pending_not, cur, stop_line, (li, s))
+        self._bind(pattern, li, s, e)
+        return _Cursor(li, e)
+
+    def _match_dag_group(
+        self, group, cur, stop_line, pending_not
+    ) -> _Cursor:
+        """Match consecutive -DAG directives in any order after *cur*.
+
+        Matches may not overlap each other.  The scan position advances
+        to the furthest match end."""
+        taken: list[tuple[int, int, int]] = []
+        first: Optional[tuple[int, int]] = None
+        best = cur
+        for directive, pattern in group:
+            probe = _Cursor(cur.line, cur.col)
+            placed = None
+            while True:
+                found = self._search_from(pattern, probe, stop_line)
+                if found is None:
+                    break
+                li, s, e = found
+                overlap = any(
+                    li == tl and s < te and ts < e
+                    for tl, ts, te in taken
+                )
+                if not overlap:
+                    placed = found
+                    break
+                probe = _Cursor(li, s + 1)
+            if placed is None:
+                raise FileCheckError(
+                    self._not_found_report(directive, cur), directive
+                )
+            li, s, e = placed
+            taken.append(placed)
+            self._bind(pattern, li, s, e)
+            if first is None or (li, s) < first:
+                first = (li, s)
+            if (li, e) > (best.line, best.col):
+                best = _Cursor(li, e)
+        if pending_not and first is not None:
+            self._check_nots(pending_not, cur, stop_line, first)
+        return best
+
+    # -- CHECK-NOT ------------------------------------------------------
+    def _check_nots(
+        self,
+        pending_not,
+        cur: _Cursor,
+        stop_line: int,
+        until: Optional[tuple[int, int]],
+    ) -> None:
+        """No pattern in *pending_not* may match between *cur* and
+        *until* (line,col), or end-of-block when ``until`` is None."""
+        for directive, pattern in pending_not:
+            end_line = until[0] if until is not None else stop_line
+            found = self._search_from(
+                pattern, _Cursor(cur.line, cur.col), min(end_line + 1, stop_line)
+            )
+            if found is not None:
+                li, s, _ = found
+                if until is not None and (li, s) >= until:
+                    continue
+                raise FileCheckError(
+                    _err(
+                        directive,
+                        "excluded string found in input\n"
+                        + _excerpt(self.lines, li),
+                    ),
+                    directive,
+                )
+
+    def _not_found_report(self, directive: Directive, cur: _Cursor) -> str:
+        where = (
+            _excerpt(self.lines, min(cur.line, max(len(self.lines) - 1, 0)))
+            if self.lines
+            else "  (input is empty)"
+        )
+        return _err(
+            directive,
+            f"expected string not found in input\n"
+            f"  pattern: {directive.pattern!r}\n"
+            f"  scanning from input line {cur.line + 1}:\n{where}",
+        )
+
+
+# ----------------------------------------------------------------------
+# Public API + CLI
+# ----------------------------------------------------------------------
+def check_text(
+    input_text: str,
+    check_text_: str,
+    check_file_name: str = "<checks>",
+    prefixes: list[str] | None = None,
+    allow_empty: bool = False,
+) -> None:
+    """Verify *input_text* against the directives found in
+    *check_text_*.  Raises :class:`FileCheckError` on mismatch."""
+    prefixes = prefixes or ["CHECK"]
+    directives = parse_check_file(
+        check_text_, check_file_name, prefixes
+    )
+    if not directives:
+        raise FileCheckError(
+            _err(
+                None,
+                f"no check directives found for prefix(es) "
+                f"{', '.join(prefixes)} in {check_file_name}",
+            )
+        )
+    if input_text == "" and not allow_empty:
+        raise FileCheckError(
+            _err(None, "empty input file (use --allow-empty to permit)")
+        )
+    Matcher(input_text, check_file_name).run(directives)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="filecheck",
+        description="pure-python FileCheck: match tool output "
+        "against CHECK: directives embedded in a test file",
+    )
+    parser.add_argument("check_file", help="file holding CHECK: lines")
+    parser.add_argument(
+        "--input-file",
+        default="-",
+        help="text to verify (default: stdin)",
+    )
+    parser.add_argument(
+        "--check-prefix",
+        action="append",
+        default=[],
+        dest="prefixes",
+        help="directive prefix to use instead of CHECK (repeatable)",
+    )
+    parser.add_argument(
+        "--check-prefixes",
+        default=None,
+        help="comma-separated list of directive prefixes",
+    )
+    parser.add_argument(
+        "--allow-empty",
+        action="store_true",
+        help="do not error on empty input",
+    )
+    parser.add_argument(
+        "--dump-input",
+        choices=["never", "fail"],
+        default="fail",
+        help="print the full input when a directive fails",
+    )
+    args = parser.parse_args(argv)
+
+    prefixes = list(args.prefixes)
+    if args.check_prefixes:
+        prefixes.extend(
+            p.strip() for p in args.check_prefixes.split(",") if p.strip()
+        )
+    if not prefixes:
+        prefixes = ["CHECK"]
+
+    try:
+        with open(args.check_file, "r", encoding="utf-8") as fh:
+            checks = fh.read()
+    except OSError as exc:
+        print(f"filecheck: error: {exc}", file=sys.stderr)
+        return 2
+    if args.input_file == "-":
+        input_text = sys.stdin.read()
+    else:
+        try:
+            with open(args.input_file, "r", encoding="utf-8") as fh:
+                input_text = fh.read()
+        except OSError as exc:
+            print(f"filecheck: error: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        check_text(
+            input_text,
+            checks,
+            check_file_name=args.check_file,
+            prefixes=prefixes,
+            allow_empty=args.allow_empty,
+        )
+    except FileCheckError as exc:
+        print(exc.message, file=sys.stderr)
+        if args.dump_input == "fail":
+            print("\nfull input was:", file=sys.stderr)
+            for i, line in enumerate(input_text.splitlines(), 1):
+                print(f"  {i:4}: {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
