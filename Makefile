@@ -4,7 +4,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test conformance fuzz fuzz-smoke fault-sweep check-all
+.PHONY: test conformance fuzz fuzz-smoke fault-sweep service-chaos \
+	check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -31,5 +32,15 @@ fuzz-smoke:
 fault-sweep:
 	$(PYTHON) tools/fault_sweep.py
 
+# Compile-service chaos batch: worker kills, hangs and poison inputs;
+# the harness asserts zero lost requests and full stats accounting.
+# Override: make service-chaos CHAOS_COUNT=200
+CHAOS_COUNT ?= 50
+service-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.service.chaos \
+	    --count $(CHAOS_COUNT) --kill-every 10 --hang-every 25 \
+	    --poison 2 --workers 2 --deadline 5 \
+	    --quarantine-dir service-quarantine
+
 # Everything CI runs, in one shot.
-check-all: test conformance fuzz-smoke fault-sweep
+check-all: test conformance fuzz-smoke fault-sweep service-chaos

@@ -47,6 +47,13 @@ from repro.core.crash_recovery import (
     crash_recovery_enabled,
     set_crash_recovery_enabled,
 )
+from repro.driver.exitcodes import (
+    EXIT_ICE,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    EXIT_USER_ERROR,
+    worst_exit_code,
+)
 from repro.instrument import (
     DEBUG_COUNTERS,
     FAULTS,
@@ -64,15 +71,6 @@ from repro.interp import (
     Trap,
 )
 from repro.pipeline import CompilationError, compile_source, run_source
-
-#: CLI exit codes: distinguishable outcomes for scripts and CI.
-EXIT_OK = 0
-#: diagnosable user errors (bad source, traps, guest guardrails)
-EXIT_USER_ERROR = 1
-#: internal compiler error (BSD sysexits EX_SOFTWARE)
-EXIT_ICE = 70
-#: wall-clock timeout / fuel exhaustion (coreutils timeout(1))
-EXIT_TIMEOUT = 124
 
 
 def build_arg_parser() -> argparse.ArgumentParser:
@@ -451,7 +449,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_OK
     if args.print_fault_sites:
         for name in FAULTS.site_names():
-            print(f"{name}\t{FAULTS.describe(name)}")
+            print(f"{name}\t{FAULTS.scope_of(name)}\t{FAULTS.describe(name)}")
         return EXIT_OK
     if not args.inputs:
         parser.error("an input file is required")
@@ -499,18 +497,20 @@ def main(argv: list[str] | None = None) -> int:
                         f"UTF-8 in source file: {err}",
                         file=sys.stderr,
                     )
-                    code = max(code, EXIT_USER_ERROR)
+                    code = worst_exit_code(code, EXIT_USER_ERROR)
                     continue
                 except OSError as err:
                     print(
                         f"miniclang: error: {err}", file=sys.stderr
                     )
-                    code = max(code, EXIT_USER_ERROR)
+                    code = worst_exit_code(code, EXIT_USER_ERROR)
                     continue
                 filename = input_path
             # A crashing input must not stop the batch: every outcome
-            # is contained to its input, the worst exit code wins.
-            code = max(
+            # is contained to its input, the worst exit code wins
+            # (severity policy shared with miniclang-serve, see
+            # repro.driver.exitcodes).
+            code = worst_exit_code(
                 code,
                 _drive(args, source, filename, defines, invocation),
             )

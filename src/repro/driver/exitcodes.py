@@ -1,0 +1,52 @@
+"""Driver exit codes and the shared batch-aggregation policy.
+
+Both drivers (``miniclang`` multi-input batches and ``miniclang-serve``
+request batches) reduce many per-input outcomes to one process exit
+code.  A plain ``max()`` gets this wrong: an internal compiler error
+(70) must dominate a timeout (124) even though 70 < 124 numerically —
+an ICE is the most severe diagnosis a batch can produce.  The policy
+lives here once, as an explicit severity ranking.
+"""
+
+from __future__ import annotations
+
+#: success
+EXIT_OK = 0
+#: diagnosable user errors (bad source, traps, guest guardrails)
+EXIT_USER_ERROR = 1
+#: internal compiler error (BSD sysexits EX_SOFTWARE)
+EXIT_ICE = 70
+#: service temporarily unable to serve (BSD sysexits EX_TEMPFAIL):
+#: load shed / admission queue over capacity
+EXIT_UNAVAILABLE = 75
+#: wall-clock timeout / fuel exhaustion (coreutils timeout(1))
+EXIT_TIMEOUT = 124
+
+#: severity ranking for batch aggregation — higher loses to nothing
+#: below it.  Unknown nonzero codes (guest main() return values) rank
+#: with user errors.
+_SEVERITY = {
+    EXIT_OK: 0,
+    EXIT_USER_ERROR: 1,
+    EXIT_UNAVAILABLE: 2,
+    EXIT_TIMEOUT: 3,
+    EXIT_ICE: 4,
+}
+
+
+def _severity(code: int) -> int:
+    return _SEVERITY.get(code, 1)
+
+
+def worst_exit_code(*codes: int) -> int:
+    """Reduce exit codes to the most severe one ("worst code wins").
+
+    Severity order: 0 < 1/other-nonzero < 75 < 124 < 70.  On severity
+    ties the first code is kept, so a batch of distinct guest exit
+    codes reports the earliest failing input.
+    """
+    worst = EXIT_OK
+    for code in codes:
+        if _severity(code) > _severity(worst):
+            worst = code
+    return worst

@@ -1,0 +1,294 @@
+"""``miniclang-serve`` — batch front-end for the resilient compile
+service.
+
+Each input file becomes one :class:`~repro.service.CompileRequest`; the
+batch is executed on a pool of isolated worker processes with per-attempt
+wall-clock deadlines, retry with backoff, optional hedging, per-input
+circuit breaking, bounded admission, and shadow-AST <-> IRBuilder
+graceful degradation.  Successful payloads (IR text or guest stdout) go
+to stdout; one status line per request goes to stderr with stable tokens
+for FileCheck::
+
+    miniclang-serve: r00001 <file>: ok [shadow] attempts=1
+    miniclang-serve: r00002 <file>: degraded (irbuilder->shadow) attempts=4
+    miniclang-serve: r00003 <file>: circuit-open ... reproducer=...
+
+The process exit code is the batch's worst outcome under the shared
+severity policy (:mod:`repro.driver.exitcodes`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.driver.exitcodes import (
+    EXIT_ICE,
+    EXIT_OK,
+    EXIT_TIMEOUT,
+    EXIT_UNAVAILABLE,
+    EXIT_USER_ERROR,
+    worst_exit_code,
+)
+from repro.instrument.stats import STATS
+from repro.service import (
+    STATUS_CIRCUIT_OPEN,
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_ICE,
+    STATUS_OK,
+    STATUS_RESOURCE_EXHAUSTED,
+    STATUS_TIMEOUT,
+    CompileRequest,
+    CompileResponse,
+    CompileService,
+    RetryPolicy,
+    ServiceConfig,
+    other_mode,
+)
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="miniclang-serve",
+        description=(
+            "execute a batch of compile/run requests on a resilient "
+            "worker-pool service (isolation, deadlines, retry, circuit "
+            "breaking, shadow<->IRBuilder degradation)"
+        ),
+    )
+    parser.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="input",
+        help="C source file(s), '-' for stdin",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="worker pool size"
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-attempt wall-clock deadline (overrunning workers are "
+        "killed and the attempt retried)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per representation after the first attempt",
+    )
+    parser.add_argument(
+        "--hedge-delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="dispatch a duplicate attempt for stragglers after this "
+        "many seconds (default: hedging off)",
+    )
+    parser.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=256,
+        help="bounded admission: requests over this unresolved load "
+        f"are shed with exit code {EXIT_UNAVAILABLE}",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("shadow", "irbuilder"),
+        default="shadow",
+        help="requested representation (the other serves as the "
+        "graceful-degradation fallback)",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="interpret the compiled module instead of printing IR",
+    )
+    parser.add_argument("--entry", default="main")
+    parser.add_argument(
+        "--num-threads",
+        type=int,
+        default=4,
+        help="simulated OpenMP team size for --run",
+    )
+    parser.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the mid-end pass pipeline",
+    )
+    parser.add_argument(
+        "--fuel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --run: maximum retired guest instructions",
+    )
+    parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable representation fallback: persistent failures "
+        "answer ice/timeout instead of degrading",
+    )
+    parser.add_argument(
+        "--inject-fault",
+        action="append",
+        default=[],
+        dest="inject_faults",
+        metavar="SITE[:N]",
+        help="arm this fault spec inside workers (chaos testing); "
+        "see miniclang -print-fault-sites",
+    )
+    parser.add_argument(
+        "--fault-attempts",
+        type=int,
+        default=1,
+        metavar="N",
+        help="arm --inject-fault on the first N attempts only "
+        "(-1 = every attempt, simulating a poison input)",
+    )
+    parser.add_argument(
+        "--quarantine-dir",
+        default="service-quarantine",
+        metavar="DIR",
+        help="where poison-input reproducers are written "
+        "('' disables quarantine reproducers)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="json_output",
+        help="emit one JSON response object per request to stdout "
+        "instead of raw payloads",
+    )
+    parser.add_argument(
+        "--print-stats",
+        action="store_true",
+        dest="print_stats",
+        help="dump the service.* and compile statistics to stderr",
+    )
+    return parser
+
+
+def _status_line(name: str, request, response: CompileResponse) -> str:
+    bits = [f"miniclang-serve: {response.request_id} {name}:"]
+    if response.status == STATUS_DEGRADED:
+        bits.append(
+            f"degraded ({request.mode}->{other_mode(request.mode)})"
+        )
+    elif response.status == STATUS_OK:
+        bits.append(f"ok [{response.mode_used}]")
+    else:
+        bits.append(response.status)
+    bits.append(f"attempts={response.attempts}")
+    if response.retries:
+        bits.append(f"retries={response.retries}")
+    if response.hedged:
+        bits.append("hedged")
+    if response.exit_code not in (None, 0):
+        bits.append(f"exit={response.exit_code}")
+    if response.reproducer_path:
+        bits.append(f"reproducer={response.reproducer_path}")
+    return " ".join(bits)
+
+
+def _response_exit_code(response: CompileResponse) -> int:
+    """One response -> the exit code it contributes to the batch."""
+    if response.status in (STATUS_OK, STATUS_DEGRADED):
+        code = response.exit_code
+        return int(code) & 0xFF if isinstance(code, int) else EXIT_OK
+    if response.status == STATUS_ERROR:
+        code = response.exit_code
+        if isinstance(code, int) and code != 0:
+            return int(code) & 0xFF
+        return EXIT_USER_ERROR
+    if response.status == STATUS_TIMEOUT:
+        return EXIT_TIMEOUT
+    if response.status == STATUS_RESOURCE_EXHAUSTED:
+        return EXIT_UNAVAILABLE
+    # ice and circuit-open (a quarantined input is a persistent
+    # internal failure) both diagnose a compiler-side defect
+    return EXIT_ICE
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+
+    requests: list[CompileRequest] = []
+    names: list[str] = []
+    read_errors = 0
+    for input_path in args.inputs:
+        if input_path == "-":
+            source = sys.stdin.read()
+            filename = "<stdin>"
+        else:
+            try:
+                with open(input_path, "r", encoding="utf-8") as fh:
+                    source = fh.read()
+            except (OSError, UnicodeDecodeError) as err:
+                print(
+                    f"miniclang-serve: error: {err}", file=sys.stderr
+                )
+                read_errors += 1
+                continue
+            filename = input_path
+        requests.append(
+            CompileRequest(
+                source=source,
+                filename=filename,
+                action="run" if args.run else "compile",
+                mode=args.mode,
+                optimize=args.optimize,
+                num_threads=args.num_threads,
+                entry=args.entry,
+                fuel=args.fuel,
+                deadline_s=args.deadline,
+                allow_degraded=not args.no_degrade,
+                inject_faults=tuple(args.inject_faults),
+                fault_attempts=args.fault_attempts,
+            )
+        )
+        names.append(filename)
+
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        deadline_s=args.deadline,
+        retry=RetryPolicy(max_attempts=1 + max(0, args.retries)),
+        hedge_delay_s=args.hedge_delay,
+        allow_degraded=not args.no_degrade,
+        quarantine_dir=args.quarantine_dir or None,
+    )
+    stats_before = STATS.snapshot()
+    code = EXIT_USER_ERROR if read_errors else EXIT_OK
+    with CompileService(config) as service:
+        responses = service.process_batch(requests)
+    for name, request, response in zip(names, requests, responses):
+        print(_status_line(name, request, response), file=sys.stderr)
+        if response.status not in (STATUS_OK, STATUS_DEGRADED):
+            detail = response.diagnostics or response.detail
+            if detail:
+                print(detail.rstrip("\n"), file=sys.stderr)
+        if args.json_output:
+            print(json.dumps(response.to_dict()))
+        elif response.ok and response.output:
+            sys.stdout.write(response.output)
+            if not response.output.endswith("\n"):
+                sys.stdout.write("\n")
+        code = worst_exit_code(code, _response_exit_code(response))
+    if args.print_stats:
+        print(
+            STATS.render_text(STATS.delta_since(stats_before)),
+            file=sys.stderr,
+        )
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -53,19 +53,34 @@ class FaultRegistry:
 
     def __init__(self) -> None:
         self._sites: dict[str, DebugCounter] = {}
+        self._scopes: dict[str, str] = {}
         #: fast-path gate: ``hit`` is free when nothing is armed
         self.armed = False
 
     # ------------------------------------------------------------------
-    def register(self, name: str, desc: str = "") -> None:
+    def register(
+        self, name: str, desc: str = "", scope: str = "pipeline"
+    ) -> None:
+        """*scope* partitions sites by where they can fire: "pipeline"
+        sites are hit by any plain compile/run (the CLI fault sweep
+        loops over exactly these); "service" sites only exist inside
+        compile-service worker processes."""
         if name not in self._sites:
             self._sites[name] = DebugCounter(f"inject-{name}", desc)
+            self._scopes[name] = scope
 
-    def site_names(self) -> list[str]:
-        return list(self._sites)
+    def site_names(self, scope: str | None = None) -> list[str]:
+        return [
+            name
+            for name in self._sites
+            if scope is None or self._scopes[name] == scope
+        ]
 
     def describe(self, name: str) -> str:
         return self._sites[name].desc
+
+    def scope_of(self, name: str) -> str:
+        return self._scopes[name]
 
     def __iter__(self) -> Iterator[str]:
         return iter(self._sites)
@@ -143,4 +158,34 @@ FAULTS.register(
 )
 FAULTS.register(
     "interp-step", "one interpreter instruction step"
+)
+# Compile-service sites (repro.service): hit once per request inside a
+# worker process, which makes worker-level failure modes — a crash that
+# kills the whole process, a hang that overruns the parent's deadline,
+# a representation-specific codegen bug — deterministically injectable
+# per request/attempt.
+FAULTS.register(
+    "service-worker",
+    "service worker request execution (contained as an ICE outcome)",
+    scope="service",
+)
+FAULTS.register(
+    "service-worker-exit",
+    "service worker hard death (os._exit, simulating an OOM kill)",
+    scope="service",
+)
+FAULTS.register(
+    "service-worker-hang",
+    "service worker hang (sleeps past any parent deadline)",
+    scope="service",
+)
+FAULTS.register(
+    "service-irbuilder",
+    "IRBuilder-path request execution in a service worker",
+    scope="service",
+)
+FAULTS.register(
+    "service-shadow",
+    "shadow-AST-path request execution in a service worker",
+    scope="service",
 )

@@ -375,6 +375,127 @@ def run_source(
 
 
 @dataclass
+class RequestOutcome:
+    """Plain-data result of one service-scoped compile/run request.
+
+    Unlike :class:`CompileResult`/:class:`RunResult` this carries no live
+    objects (modules, interpreters, source managers), so it can cross a
+    process boundary: the compile service executes requests in worker
+    processes and ships the outcome back over a pipe.
+
+    ``kind`` classifies the outcome for the service's failure policy:
+
+    ==================  ================================================
+    ``ok``              compiled (and ran); ``output`` is the IR text or
+                        the guest stdout, ``exit_code`` the guest exit
+    ``compile-error``   user diagnostics — deterministic, never retried
+    ``guest-error``     guest trap / runtime failure — not retried
+    ``ice``             internal compiler error — retry/degrade material
+    ``timeout``         guest fuel/wall guardrail fired
+    ==================  ================================================
+    """
+
+    kind: str
+    output: str = ""
+    exit_code: Optional[int] = None
+    diagnostics: str = ""
+    detail: str = ""
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+
+def execute_request(
+    source: str,
+    *,
+    filename: str = "<request>",
+    action: str = "compile",
+    mode: str = "shadow",
+    optimize: bool = False,
+    num_threads: int = 4,
+    entry: str = "main",
+    defines: dict[str, str] | None = None,
+    fuel: int | None = None,
+    timeout_s: float | None = None,
+    strip_omp_transforms: bool = False,
+) -> RequestOutcome:
+    """Request-scoped pipeline entry point for the compile service.
+
+    Executes one ``compile`` or ``run`` request on the representation
+    selected by *mode* (``"shadow"`` or ``"irbuilder"``, the paper's two
+    coexisting implementations) and maps every exception class the
+    pipeline can produce onto a :class:`RequestOutcome` kind — the
+    caller gets a terminal classification, never an exception.
+    """
+    from repro.core.crash_recovery import InternalCompilerError
+    from repro.instrument.faultinject import InjectedFault
+    from repro.interp.interpreter import InterpreterError, Trap
+    from repro.runtime.team import TeamError
+
+    enable_irbuilder = mode == "irbuilder"
+    before = STATS.snapshot()
+
+    def finish(kind: str, **kwargs) -> RequestOutcome:
+        return RequestOutcome(
+            kind, stats=STATS.delta_since(before), **kwargs
+        )
+
+    try:
+        if action == "run":
+            rr = run_source(
+                source,
+                entry=entry,
+                num_threads=num_threads,
+                filename=filename,
+                enable_irbuilder=enable_irbuilder,
+                defines=defines,
+                optimize=optimize,
+                fuel=fuel,
+                timeout_s=timeout_s,
+                strip_omp_transforms=strip_omp_transforms,
+            )
+            code = rr.exit_code if isinstance(rr.exit_code, int) else 0
+            return finish("ok", output=rr.stdout, exit_code=code)
+        result = compile_source(
+            source,
+            filename=filename,
+            enable_irbuilder=enable_irbuilder,
+            defines=defines,
+            strip_omp_transforms=strip_omp_transforms,
+        )
+        if optimize and result.module is not None:
+            from repro.midend import default_pass_pipeline
+
+            default_pass_pipeline(
+                remarks=result.diagnostics.remarks
+            ).run(result.module)
+            verify_module(result.module)
+        return finish("ok", output=result.ir_text(), exit_code=0)
+    except CompilationError as exc:
+        kind = "ice" if exc.ice else "compile-error"
+        return finish(kind, diagnostics=exc.diagnostics_text)
+    except InternalCompilerError as exc:
+        return finish("ice", detail=exc.render())
+    except InjectedFault as exc:
+        # A service-level fault site fired outside any recovery scope.
+        return finish("ice", detail=str(exc))
+    except Exception as exc:
+        from repro.interp import ExecutionTimeout
+
+        if isinstance(exc, ExecutionTimeout):
+            return finish("timeout", detail=str(exc))
+        if isinstance(
+            exc, (Trap, InterpreterError, MemoryError_, TeamError)
+        ):
+            return finish("guest-error", detail=str(exc))
+        return finish(
+            "ice", detail=f"{type(exc).__name__}: {exc}"
+        )
+
+
+@dataclass
 class BisectResult:
     """Outcome of :func:`bisect_pipeline`.
 

@@ -1,0 +1,139 @@
+"""Per-input-fingerprint circuit breaker.
+
+Guards the worker pool against *poison inputs*: a request that keeps
+crashing or hanging workers gets ``failure_threshold`` chances, then its
+fingerprint's breaker opens and further identical traffic is rejected
+instantly (the service writes a quarantine reproducer instead of burning
+workers on it forever).  After ``cooldown_s`` the breaker half-opens and
+admits exactly one probe: success closes it, failure re-opens it for
+another cooldown.
+
+The clock is injected (``clock=time.monotonic`` by default) so state
+transitions are testable with a fake clock, no sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Breaker for one input fingerprint."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        self._probe_granted_at: Optional[float] = None
+        #: times the breaker transitioned CLOSED/HALF_OPEN -> OPEN
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, accounting for cooldown expiry lazily."""
+        if (
+            self._state == OPEN
+            and self._opened_at is not None
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return HALF_OPEN
+        return self._state
+
+    @property
+    def is_open(self) -> bool:
+        return self.state == OPEN
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """May an attempt be dispatched now?
+
+        In the half-open window the *first* caller is granted the single
+        probe (the breaker moves to HALF_OPEN internally); subsequent
+        callers are rejected until the probe reports back.
+        """
+        state = self.state
+        if state == CLOSED:
+            return True
+        if state == HALF_OPEN and (
+            self._state == OPEN  # cooldown just expired: first caller
+            or (
+                # A granted probe that never reported back (e.g. the
+                # request was shed at admission) is re-granted after
+                # another cooldown, so the breaker cannot strand.
+                self._probe_granted_at is not None
+                and self._clock() - self._probe_granted_at
+                >= self.cooldown_s
+            )
+        ):
+            self._state = HALF_OPEN
+            self._probe_granted_at = self._clock()
+            return True
+        return False
+
+    def record_failure(self) -> bool:
+        """Count one infrastructure failure; returns True when this
+        failure *tripped* the breaker (closed/half-open -> open)."""
+        self._consecutive_failures += 1
+        if self._state == HALF_OPEN or (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self._clock()
+            self._probe_granted_at = None
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CLOSED
+        self._opened_at = None
+        self._probe_granted_at = None
+
+
+class BreakerBoard:
+    """Fingerprint -> :class:`CircuitBreaker` map with shared settings."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def get(self, fingerprint: str) -> CircuitBreaker:
+        breaker = self._breakers.get(fingerprint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.failure_threshold, self.cooldown_s, self._clock
+            )
+            self._breakers[fingerprint] = breaker
+        return breaker
+
+    def __len__(self) -> int:
+        return len(self._breakers)
+
+    @property
+    def open_count(self) -> int:
+        return sum(1 for b in self._breakers.values() if b.is_open)

@@ -1,0 +1,313 @@
+"""Chaos harness for the compile service: ``python -m repro.service.chaos``.
+
+Builds a batch of real tile/unroll compile+run requests, deliberately
+poisons a fraction of it with deterministic ``-finject-fault`` specs —
+hard worker deaths (``service-worker-exit``), hangs past the deadline
+(``service-worker-hang``), and *poison inputs* that fail on every
+attempt (``service-worker`` with ``fault_attempts=-1``) — then asserts
+the service's whole contract:
+
+* **zero lost requests** — every submitted request has exactly one
+  terminal response;
+* transient kills and hangs are *absorbed*: those requests still end in
+  ``ok``/``degraded``;
+* every poison input trips its circuit breaker within the failure
+  threshold, is quarantined with a written reproducer, and a resubmit
+  is rejected at admission (``circuit-open``);
+* the ``service.*`` statistics account for every retry, timeout,
+  worker loss, trip and response.
+
+Exit code 0 when every invariant holds, 1 otherwise — this is the CI
+smoke batch and the acceptance harness in one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.instrument.stats import STATS
+from repro.service import (
+    STATUS_CIRCUIT_OPEN,
+    CompileRequest,
+    CompileService,
+    RetryPolicy,
+    ServiceConfig,
+)
+
+#: every chaos request is a real program: tile+unroll, compiled and run
+_SOURCE_TEMPLATE = """\
+// chaos request {index}{tag}
+int printf(const char *fmt, ...);
+int main() {{
+  int sum = 0;
+  #pragma omp tile sizes({tile})
+  for (int i = 0; i < 12; i += 1)
+    sum += i * {index};
+  #pragma omp unroll partial(2)
+  for (int j = 0; j < 4; j += 1)
+    sum += j;
+  printf("chaos {index}: %d\\n", sum);
+  return 0;
+}}
+"""
+
+
+def _make_source(index: int, tag: str = "") -> str:
+    return _SOURCE_TEMPLATE.format(
+        index=index, tag=tag, tile=2 + index % 3
+    )
+
+
+def build_batch(args) -> tuple[list[CompileRequest], dict[str, list[int]]]:
+    """The deterministic chaos batch plus the index sets per category."""
+    requests: list[CompileRequest] = []
+    plan: dict[str, list[int]] = {
+        "clean": [],
+        "kill": [],
+        "hang": [],
+        "poison": [],
+    }
+    poison_every = (
+        max(1, args.count // args.poison) if args.poison else 0
+    )
+    poisoned = 0
+    for i in range(args.count):
+        faults: tuple[str, ...] = ()
+        fault_attempts = 1
+        category = "clean"
+        if (
+            poison_every
+            and i % poison_every == poison_every - 1
+            and poisoned < args.poison
+        ):
+            # Unique source per poison input -> distinct fingerprints,
+            # so each one trips its *own* breaker.
+            faults = ("service-worker",)
+            fault_attempts = -1
+            category = "poison"
+            poisoned += 1
+        elif args.kill_every and i % args.kill_every == 1:
+            faults = ("service-worker-exit",)
+            category = "kill"
+        elif args.hang_every and i % args.hang_every == 2:
+            faults = ("service-worker-hang",)
+            category = "hang"
+        requests.append(
+            CompileRequest(
+                source=_make_source(i, f" [{category}]"),
+                filename=f"chaos-{i}.c",
+                action="run",
+                mode="irbuilder" if i % 2 else "shadow",
+                deadline_s=args.deadline,
+                inject_faults=faults,
+                fault_attempts=fault_attempts,
+            )
+        )
+        plan[category].append(i)
+    return requests, plan
+
+
+def run_chaos(args) -> int:
+    requests, plan = build_batch(args)
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=max(args.count + 8, 16),
+        deadline_s=args.deadline,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.1
+        ),
+        hedge_delay_s=args.hedge_delay,
+        breaker_threshold=3,
+        quarantine_dir=args.quarantine_dir or None,
+    )
+    stats_before = STATS.snapshot()
+    with CompileService(config) as service:
+        responses = service.process_batch(requests)
+        # Poison resubmission: the breaker must now reject at admission.
+        rejects = []
+        for i in plan["poison"]:
+            resubmit = CompileRequest(
+                source=requests[i].source,
+                filename=requests[i].filename,
+                action=requests[i].action,
+                mode=requests[i].mode,
+                deadline_s=args.deadline,
+                inject_faults=requests[i].inject_faults,
+                fault_attempts=requests[i].fault_attempts,
+            )
+            rejects.append(service.submit(resubmit))
+        service.drain()
+    delta = STATS.delta_since(stats_before)
+    stats = {
+        key: value
+        for key, value in delta.items()
+        if key.startswith("service.")
+    }
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    # -- zero lost requests: one terminal response per submission ------
+    check(
+        len(responses) == args.count,
+        f"lost requests: {len(responses)}/{args.count} responses",
+    )
+    for i, response in enumerate(responses):
+        check(
+            response is not None and response.status,
+            f"request {i} has no terminal response",
+        )
+
+    # -- transient faults absorbed -------------------------------------
+    for category in ("clean", "kill", "hang"):
+        for i in plan[category]:
+            response = responses[i]
+            check(
+                response.ok,
+                f"{category} request {i} not served: "
+                f"{response.status} ({response.detail.splitlines()[0] if response.detail else ''})",
+            )
+    for i in plan["kill"] + plan["hang"]:
+        check(
+            responses[i].attempts >= 2,
+            f"faulted request {i} resolved in "
+            f"{responses[i].attempts} attempt(s) — fault not armed?",
+        )
+
+    # -- poison: breaker trip within threshold + quarantine ------------
+    for i in plan["poison"]:
+        response = responses[i]
+        check(
+            response.status == STATUS_CIRCUIT_OPEN,
+            f"poison request {i} ended {response.status}, "
+            "expected circuit-open",
+        )
+        check(
+            response.attempts <= config.breaker_threshold,
+            f"poison request {i} took {response.attempts} attempts, "
+            f"breaker threshold is {config.breaker_threshold}",
+        )
+        if args.quarantine_dir:
+            check(
+                bool(response.reproducer_path),
+                f"poison request {i} quarantined without a reproducer",
+            )
+    for i, reject in zip(plan["poison"], rejects):
+        check(
+            reject is not None
+            and reject.status == STATUS_CIRCUIT_OPEN,
+            f"poison resubmit {i} was not rejected at admission",
+        )
+
+    # -- statistics account for everything -----------------------------
+    n_poison = len(plan["poison"])
+    check(
+        stats.get("service.requests", 0) == args.count + n_poison,
+        f"service.requests={stats.get('service.requests')} != "
+        f"{args.count + n_poison}",
+    )
+    check(
+        stats.get("service.responses", 0) == args.count + n_poison,
+        "service.responses != submissions: "
+        f"{stats.get('service.responses')}",
+    )
+    check(
+        stats.get("service.breaker-trips", 0) == n_poison,
+        f"service.breaker-trips={stats.get('service.breaker-trips')} "
+        f"!= poison count {n_poison}",
+    )
+    check(
+        stats.get("service.quarantined", 0) == n_poison,
+        f"service.quarantined={stats.get('service.quarantined')}",
+    )
+    check(
+        stats.get("service.breaker-rejected", 0) == n_poison,
+        f"service.breaker-rejected={stats.get('service.breaker-rejected')}",
+    )
+    check(
+        stats.get("service.timeouts", 0) >= len(plan["hang"]),
+        f"service.timeouts={stats.get('service.timeouts')} < "
+        f"hangs {len(plan['hang'])}",
+    )
+    check(
+        stats.get("service.worker-lost", 0) >= len(plan["kill"]),
+        f"service.worker-lost={stats.get('service.worker-lost')} < "
+        f"kills {len(plan['kill'])}",
+    )
+    check(
+        stats.get("service.shed", 0) == 0,
+        f"service.shed={stats.get('service.shed')} != 0 "
+        "(queue sized for the batch)",
+    )
+
+    print(
+        f"chaos: {args.count} requests "
+        f"({len(plan['kill'])} kills, {len(plan['hang'])} hangs, "
+        f"{n_poison} poison) on {args.workers} workers: "
+        f"{sum(1 for r in responses if r.ok)} served, "
+        f"{n_poison} quarantined, "
+        f"{stats.get('service.retries', 0)} retries, "
+        f"{stats.get('service.worker-restarts', 0)} worker restarts"
+    )
+    if args.print_stats or failures:
+        print(STATS.render_text(delta), file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("chaos: all invariants hold")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service.chaos",
+        description="chaos/acceptance harness for the compile service",
+    )
+    parser.add_argument("--count", type=int, default=50)
+    parser.add_argument(
+        "--kill-every",
+        type=int,
+        default=10,
+        metavar="K",
+        help="hard-kill the worker on the first attempt of every K-th "
+        "request (0 = none)",
+    )
+    parser.add_argument(
+        "--hang-every",
+        type=int,
+        default=0,
+        metavar="M",
+        help="hang the worker past the deadline on the first attempt "
+        "of every M-th request (0 = none)",
+    )
+    parser.add_argument(
+        "--poison",
+        type=int,
+        default=2,
+        metavar="P",
+        help="number of poison inputs (fail on every attempt)",
+    )
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--deadline", type=float, default=5.0, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--hedge-delay", type=float, default=None, metavar="SECONDS"
+    )
+    parser.add_argument(
+        "--quarantine-dir", default="service-quarantine", metavar="DIR"
+    )
+    parser.add_argument(
+        "--print-stats", action="store_true", dest="print_stats"
+    )
+    args = parser.parse_args(argv)
+    return run_chaos(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,200 @@
+"""Request/response types of the compile service.
+
+A :class:`CompileRequest` is one unit of admission: a source buffer plus
+the knobs of one ``miniclang`` invocation (action, representation,
+optimization, execution parameters) and the service-level controls
+(per-attempt deadline, fault-injection specs for chaos testing).  A
+:class:`CompileResponse` is the *terminal* answer the service guarantees
+for every admitted request — success, degraded success, or a structured
+error — never silence.
+
+Everything here is plain picklable data: requests cross the parent →
+worker pipe as :class:`WorkPayload` and outcomes come back as
+:class:`WorkOutcome` (wrapping :class:`repro.pipeline.RequestOutcome`
+fields), so a worker death can never strand unpicklable state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+# ----------------------------------------------------------------------
+# Terminal response statuses
+# ----------------------------------------------------------------------
+#: compiled/ran on the requested representation
+STATUS_OK = "ok"
+#: succeeded, but on the *other* representation than requested
+STATUS_DEGRADED = "degraded"
+#: deterministic user failure (diagnostics / guest trap) — not retried
+STATUS_ERROR = "error"
+#: internal failure persisted through retries and degradation
+STATUS_ICE = "ice"
+#: every attempt overran its wall-clock deadline
+STATUS_TIMEOUT = "timeout"
+#: the per-input circuit breaker is open (poison input quarantined)
+STATUS_CIRCUIT_OPEN = "circuit-open"
+#: shed at admission: the bounded queue is over capacity
+STATUS_RESOURCE_EXHAUSTED = "resource-exhausted"
+
+#: every status the service may resolve a request with
+TERMINAL_STATUSES = frozenset(
+    {
+        STATUS_OK,
+        STATUS_DEGRADED,
+        STATUS_ERROR,
+        STATUS_ICE,
+        STATUS_TIMEOUT,
+        STATUS_CIRCUIT_OPEN,
+        STATUS_RESOURCE_EXHAUSTED,
+    }
+)
+
+#: the two coexisting representations (paper §2 / §3)
+MODES = ("shadow", "irbuilder")
+
+
+def other_mode(mode: str) -> str:
+    """The fallback representation for graceful degradation."""
+    return "shadow" if mode == "irbuilder" else "irbuilder"
+
+
+@dataclass
+class CompileRequest:
+    """One admission unit.  ``deadline_s`` is the *per-attempt*
+    wall-clock budget enforced by the parent (a worker that overruns it
+    is killed and the attempt retried); ``fault_attempts`` controls on
+    how many leading attempts ``inject_faults`` is armed (``-1`` = every
+    attempt, the poison-input simulation)."""
+
+    source: str
+    filename: str = "<service>"
+    action: str = "compile"  # "compile" | "run"
+    mode: str = "shadow"  # "shadow" | "irbuilder"
+    optimize: bool = False
+    num_threads: int = 4
+    entry: str = "main"
+    defines: dict[str, str] = field(default_factory=dict)
+    fuel: Optional[int] = None
+    strip_omp_transforms: bool = False
+    deadline_s: Optional[float] = None  # None = service default
+    allow_degraded: bool = True
+    inject_faults: tuple[str, ...] = ()
+    fault_attempts: int = 1
+    request_id: Optional[str] = None
+
+    def fingerprint(self) -> str:
+        """Stable identity of the *input* for the circuit breaker.
+
+        Covers everything that determines how an attempt behaves —
+        source, action, representation, execution knobs and the armed
+        fault specs (which stand in for input-dependent compiler bugs in
+        chaos tests) — so one poison input cannot open the breaker for
+        unrelated healthy traffic.
+        """
+        key = json.dumps(
+            [
+                self.source,
+                self.action,
+                self.mode,
+                self.optimize,
+                self.num_threads,
+                self.entry,
+                sorted(self.defines.items()),
+                self.fuel,
+                self.strip_omp_transforms,
+                list(self.inject_faults),
+                self.fault_attempts,
+            ],
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def faults_for_attempt(self, attempt: int) -> tuple[str, ...]:
+        """The fault specs armed for 0-based attempt index *attempt*."""
+        if not self.inject_faults:
+            return ()
+        if self.fault_attempts < 0 or attempt < self.fault_attempts:
+            return self.inject_faults
+        return ()
+
+
+@dataclass
+class CompileResponse:
+    """The terminal answer for one request."""
+
+    request_id: str
+    status: str
+    output: str = ""  # IR text (compile) or guest stdout (run)
+    exit_code: Optional[int] = None
+    diagnostics: str = ""
+    detail: str = ""
+    mode_used: Optional[str] = None
+    degraded: bool = False
+    attempts: int = 0
+    retries: int = 0
+    hedged: bool = False
+    duration_s: float = 0.0
+    reproducer_path: Optional[str] = None
+    #: compile-stat deltas shipped back from the winning worker
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_OK, STATUS_DEGRADED)
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "status": self.status,
+            "output": self.output,
+            "exit_code": self.exit_code,
+            "diagnostics": self.diagnostics,
+            "detail": self.detail,
+            "mode_used": self.mode_used,
+            "degraded": self.degraded,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "hedged": self.hedged,
+            "duration_s": round(self.duration_s, 6),
+            "reproducer_path": self.reproducer_path,
+        }
+
+
+# ----------------------------------------------------------------------
+# The wire format between the service parent and its workers
+# ----------------------------------------------------------------------
+@dataclass
+class WorkPayload:
+    """One attempt, as sent to a worker."""
+
+    request_id: str
+    attempt: int
+    source: str
+    filename: str
+    action: str
+    mode: str
+    optimize: bool
+    num_threads: int
+    entry: str
+    defines: dict[str, str]
+    fuel: Optional[int]
+    strip_omp_transforms: bool
+    inject_faults: tuple[str, ...]
+
+
+@dataclass
+class WorkOutcome:
+    """One attempt's result, as received from a worker."""
+
+    request_id: str
+    attempt: int
+    kind: str  # RequestOutcome.kind
+    output: str = ""
+    exit_code: Optional[int] = None
+    diagnostics: str = ""
+    detail: str = ""
+    stats: dict[str, int] = field(default_factory=dict)
+    duration_s: float = 0.0

@@ -1,0 +1,695 @@
+"""The resilient compile service.
+
+Orchestrates the whole robustness stack over the paper's dual
+representation:
+
+* **isolation** — every attempt runs in a pool worker process
+  (:mod:`repro.service.pool`); a crash, OOM kill, or hang is contained
+  to that process;
+* **deadlines** — the parent enforces a wall-clock budget per attempt
+  and kills overrunning workers (interpreter fuel only guards the
+  guest, not a hung compiler);
+* **retry** — worker death, timeout, and ICE attempts are retried with
+  exponential backoff + deterministic jitter
+  (:mod:`repro.service.retry`);
+* **hedging** — an attempt outstanding past ``hedge_delay_s`` gets a
+  duplicate dispatched to another worker; first terminal answer wins;
+* **circuit breaking** — per-input-fingerprint breakers quarantine
+  poison inputs after ``breaker_threshold`` failures, writing a PR 3
+  style crash reproducer instead of retrying forever
+  (:mod:`repro.service.breaker`);
+* **load shedding** — a bounded admission queue turns overload into
+  structured ``RESOURCE_EXHAUSTED`` responses
+  (:mod:`repro.service.queue`);
+* **graceful degradation** — a request that keeps failing on the
+  IRBuilder path is transparently retried on the shadow-AST path (and
+  vice versa): the paper's two independent implementations of the same
+  transformations double as fault-tolerance spares.  Degraded successes
+  are tagged (``status == "degraded"``, ``mode_used``).
+
+The contract: every admitted request receives exactly one terminal
+:class:`~repro.service.request.CompileResponse`.  All decisions feed
+``service.*`` statistics and per-request time-trace spans.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.crash_recovery import crash_context, write_reproducer
+from repro.instrument.stats import STATS, get_statistic
+from repro.instrument.timetrace import active_time_trace
+from repro.service.breaker import BreakerBoard
+from repro.service.pool import WorkerHandle, WorkerPool
+from repro.service.queue import AdmissionQueue
+from repro.service.request import (
+    STATUS_CIRCUIT_OPEN,
+    STATUS_DEGRADED,
+    STATUS_ERROR,
+    STATUS_ICE,
+    STATUS_OK,
+    STATUS_RESOURCE_EXHAUSTED,
+    STATUS_TIMEOUT,
+    CompileRequest,
+    CompileResponse,
+    WorkOutcome,
+    WorkPayload,
+    other_mode,
+)
+from repro.service.retry import RetryPolicy
+
+_REQUESTS = get_statistic(
+    "service", "requests", "Requests submitted to the compile service"
+)
+_RESPONSES = get_statistic(
+    "service", "responses", "Terminal responses produced"
+)
+_OK = get_statistic(
+    "service", "ok", "Requests served on the requested representation"
+)
+_DEGRADED = get_statistic(
+    "service",
+    "degraded-compiles",
+    "Requests served on the fallback representation",
+)
+_DEGRADED_FALLBACKS = get_statistic(
+    "service",
+    "degraded-fallbacks",
+    "Representation fallbacks attempted (IRBuilder <-> shadow)",
+)
+_USER_ERRORS = get_statistic(
+    "service",
+    "user-errors",
+    "Terminal responses with user diagnostics / guest failures",
+)
+_FAILED = get_statistic(
+    "service",
+    "failed",
+    "Terminal internal failures (after retries and degradation)",
+)
+_RETRIES = get_statistic(
+    "service", "retries", "Attempt retries scheduled (with backoff)"
+)
+_HEDGES = get_statistic(
+    "service", "hedges", "Hedged duplicate attempts dispatched"
+)
+_HEDGE_WINS = get_statistic(
+    "service", "hedge-wins", "Requests resolved by the hedged attempt"
+)
+_TIMEOUTS = get_statistic(
+    "service", "timeouts", "Attempts killed at the wall-clock deadline"
+)
+_WORKER_LOST = get_statistic(
+    "service", "worker-lost", "Attempts lost to a dying worker process"
+)
+_BREAKER_TRIPS = get_statistic(
+    "service", "breaker-trips", "Circuit breakers opened (poison inputs)"
+)
+_BREAKER_REJECTED = get_statistic(
+    "service",
+    "breaker-rejected",
+    "Requests rejected at admission by an open breaker",
+)
+_SHED = get_statistic(
+    "service", "shed", "Requests shed by the bounded admission queue"
+)
+_QUARANTINED = get_statistic(
+    "service", "quarantined", "Poison inputs quarantined with reproducers"
+)
+_STALE_RESULTS = get_statistic(
+    "service",
+    "stale-results",
+    "Worker results discarded after the request was already resolved",
+)
+
+
+class PoisonInputError(Exception):
+    """Exception façade for quarantine reproducers: the input repeatedly
+    took down workers and its circuit breaker opened."""
+
+
+@dataclass
+class ServiceConfig:
+    """Tuning knobs; defaults favour interactive batches."""
+
+    workers: int = 2
+    queue_capacity: int = 256
+    #: default per-attempt wall-clock deadline (seconds)
+    deadline_s: float = 30.0
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    #: dispatch a duplicate attempt after this many seconds without an
+    #: answer (None disables hedging)
+    hedge_delay_s: Optional[float] = None
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
+    allow_degraded: bool = True
+    quarantine_dir: Optional[str] = "service-quarantine"
+    start_method: Optional[str] = None
+
+
+class _RequestState:
+    """Parent-side lifecycle of one admitted request."""
+
+    def __init__(self, request: CompileRequest, now: float) -> None:
+        self.request = request
+        self.fingerprint = request.fingerprint()
+        # Deterministic per-input jitter: same batch, same timing.
+        self.rng = random.Random(int(self.fingerprint, 16))
+        self.mode = request.mode
+        self.degraded = False
+        self.attempts = 0  # total attempts started
+        self.mode_attempts = 0  # attempts started on the current mode
+        self.outstanding: dict[int, WorkerHandle] = {}
+        self.attempt_started_at: dict[int, float] = {}
+        self.failures: list[tuple[int, str, str, str]] = []
+        self.next_retry_at: Optional[float] = now
+        self.hedged = False
+        self.hedge_attempt: Optional[int] = None
+        self.response: Optional[CompileResponse] = None
+        self.admitted_at = now
+        self.start_ns = time.perf_counter_ns()
+
+    @property
+    def resolved(self) -> bool:
+        return self.response is not None
+
+
+class CompileService:
+    """A persistent pool-backed compile service.
+
+    Use as a context manager, or call :meth:`shutdown` explicitly::
+
+        with CompileService(ServiceConfig(workers=4)) as svc:
+            responses = svc.process_batch(requests)
+    """
+
+    def __init__(self, config: Optional[ServiceConfig] = None) -> None:
+        self.config = config or ServiceConfig()
+        self.pool = WorkerPool(
+            self.config.workers, self.config.start_method
+        )
+        self._queue: AdmissionQueue[_RequestState] = AdmissionQueue(
+            self.config.queue_capacity
+        )
+        self._breakers = BreakerBoard(
+            self.config.breaker_threshold,
+            self.config.breaker_cooldown_s,
+        )
+        self._active: list[_RequestState] = []
+        self._responses: dict[str, CompileResponse] = {}
+        self._seq = 0
+        self._clock = time.monotonic
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(
+        self, request: CompileRequest
+    ) -> Optional[CompileResponse]:
+        """Admit one request.  Returns a terminal response immediately
+        when the request is rejected (open breaker, shed load); None
+        when it was queued — drain to get its response."""
+        _REQUESTS.inc()
+        self._seq += 1
+        if request.request_id is None:
+            request.request_id = f"r{self._seq:05d}"
+        now = self._clock()
+        state = _RequestState(request, now)
+        breaker = self._breakers.get(state.fingerprint)
+        if not breaker.allow():
+            _BREAKER_REJECTED.inc()
+            return self._reject(
+                state,
+                STATUS_CIRCUIT_OPEN,
+                "circuit breaker open for this input fingerprint "
+                f"({state.fingerprint}): quarantined as poison",
+            )
+        if not self._queue.offer(state):
+            _SHED.inc()
+            return self._reject(
+                state,
+                STATUS_RESOURCE_EXHAUSTED,
+                "admission queue over capacity "
+                f"({self._queue.capacity}); retry later",
+            )
+        return None
+
+    def _reject(
+        self, state: _RequestState, status: str, detail: str
+    ) -> CompileResponse:
+        response = CompileResponse(
+            request_id=state.request.request_id,
+            status=status,
+            detail=detail,
+            mode_used=None,
+        )
+        self._record_response(state, response)
+        return response
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Run until every admitted request has a terminal response."""
+        while len(self._queue) or self._active:
+            now = self._clock()
+            self._start_ready(now)
+            timeout = self._poll_timeout(self._clock())
+            for worker in self.pool.wait(timeout):
+                self._on_worker_ready(worker)
+            now = self._clock()
+            self._enforce_deadlines(now)
+            self._maybe_hedge(now)
+
+    def process_batch(
+        self, requests: list[CompileRequest]
+    ) -> list[CompileResponse]:
+        """Submit *requests*, drain, and return responses in order."""
+        order: list[str] = []
+        for request in requests:
+            self.submit(request)
+            order.append(request.request_id)
+        self.drain()
+        return [self._responses[rid] for rid in order]
+
+    # ------------------------------------------------------------------
+    def _start_ready(self, now: float) -> None:
+        """Dispatch runnable work onto idle workers."""
+        while self.pool.idle_workers():
+            state = next(
+                (
+                    s
+                    for s in self._active
+                    if not s.resolved
+                    and not s.outstanding
+                    and s.next_retry_at is not None
+                    and s.next_retry_at <= now
+                ),
+                None,
+            )
+            if state is None:
+                state = self._queue.pop()
+                if state is None:
+                    return
+                state.next_retry_at = now
+                self._active.append(state)
+            if not self._dispatch(state, now):
+                # The chosen idle worker's pipe was dead; it has been
+                # replaced — loop and try again with the fresh worker.
+                continue
+
+    def _dispatch(
+        self, state: _RequestState, now: float, hedge: bool = False
+    ) -> bool:
+        idle = self.pool.idle_workers()
+        if not idle:
+            return False
+        worker = idle[0]
+        request = state.request
+        attempt = state.attempts
+        payload = WorkPayload(
+            request_id=request.request_id,
+            attempt=attempt,
+            source=request.source,
+            filename=request.filename,
+            action=request.action,
+            mode=state.mode,
+            optimize=request.optimize,
+            num_threads=request.num_threads,
+            entry=request.entry,
+            defines=dict(request.defines),
+            fuel=request.fuel,
+            strip_omp_transforms=request.strip_omp_transforms,
+            inject_faults=request.faults_for_attempt(attempt),
+        )
+        if not worker.send(payload):
+            self.pool.restart(worker)
+            return False
+        deadline = (
+            request.deadline_s
+            if request.deadline_s is not None
+            else self.config.deadline_s
+        )
+        state.attempts += 1
+        state.mode_attempts += 1
+        state.outstanding[attempt] = worker
+        state.attempt_started_at[attempt] = now
+        state.next_retry_at = None
+        worker.busy = (state, attempt, now + deadline)
+        if hedge:
+            state.hedged = True
+            state.hedge_attempt = attempt
+            _HEDGES.inc()
+        return True
+
+    def _poll_timeout(self, now: float) -> float:
+        """Sleep budget until the next timed decision is due."""
+        candidates: list[float] = []
+        for worker in self.pool.busy_workers():
+            candidates.append(worker.busy[2])  # attempt deadline
+        # Retry/hedge timers only matter while a worker is free to take
+        # the dispatch; otherwise the wake-up signal is a result or a
+        # deadline, both covered above (avoids a busy-poll when a due
+        # retry has nowhere to run).
+        if self.pool.idle_workers():
+            hedge_delay = self.config.hedge_delay_s
+            for state in self._active:
+                if state.resolved:
+                    continue
+                if (
+                    state.next_retry_at is not None
+                    and not state.outstanding
+                ):
+                    candidates.append(state.next_retry_at)
+                if (
+                    hedge_delay is not None
+                    and state.outstanding
+                    and not state.hedged
+                ):
+                    earliest = min(
+                        state.attempt_started_at[a]
+                        for a in state.outstanding
+                    )
+                    candidates.append(earliest + hedge_delay)
+        if not candidates:
+            return 0.05
+        return min(max(min(candidates) - now, 0.0), 0.5)
+
+    # ------------------------------------------------------------------
+    # Attempt completion
+    # ------------------------------------------------------------------
+    def _on_worker_ready(self, worker: WorkerHandle) -> None:
+        state, attempt, _deadline = worker.busy
+        now = self._clock()
+        died = False
+        outcome: Optional[WorkOutcome] = None
+        try:
+            outcome = worker.conn.recv()
+            worker.busy = None
+        except (EOFError, OSError):
+            self.pool.restart(worker)
+            died = True
+        state.outstanding.pop(attempt, None)
+        if state.resolved:
+            _STALE_RESULTS.inc()
+            return
+        if died:
+            _WORKER_LOST.inc()
+            self._attempt_failed(
+                state,
+                attempt,
+                "worker-lost",
+                "worker process died unexpectedly (broken pipe)",
+                now,
+            )
+            return
+        assert outcome is not None
+        if outcome.kind == "ok":
+            self._attempt_succeeded(state, attempt, outcome, now)
+        elif outcome.kind in ("compile-error", "guest-error", "timeout"):
+            # Deterministic user-side failures: terminal, never retried
+            # — they would fail identically on every worker and mode.
+            # "timeout" here is the *guest* guardrail (fuel / in-guest
+            # wall clock), a property of the program; only the parent's
+            # per-attempt deadline (_enforce_deadlines) is retryable
+            # infrastructure trouble.
+            if outcome.kind == "timeout":
+                _TIMEOUTS.inc()
+                status = STATUS_TIMEOUT
+            else:
+                _USER_ERRORS.inc()
+                status = STATUS_ERROR
+            self._resolve(
+                state,
+                CompileResponse(
+                    request_id=state.request.request_id,
+                    status=status,
+                    exit_code=outcome.exit_code,
+                    diagnostics=outcome.diagnostics,
+                    detail=outcome.detail,
+                    mode_used=state.mode,
+                    degraded=state.degraded,
+                ),
+                now,
+            )
+        else:  # "ice"
+            self._attempt_failed(
+                state,
+                attempt,
+                outcome.kind,
+                outcome.detail or outcome.diagnostics,
+                now,
+            )
+
+    def _attempt_succeeded(
+        self,
+        state: _RequestState,
+        attempt: int,
+        outcome: WorkOutcome,
+        now: float,
+    ) -> None:
+        if state.hedged and attempt == state.hedge_attempt:
+            _HEDGE_WINS.inc()
+        # Fold the winning worker's compile-stat deltas into the parent
+        # registry so service-level -print-stats sees real compile work.
+        for key, value in outcome.stats.items():
+            owner, _, name = key.partition(".")
+            STATS.get(owner, name).inc(value)
+        self._breakers.get(state.fingerprint).record_success()
+        if state.degraded:
+            _DEGRADED.inc()
+            status = STATUS_DEGRADED
+            detail = (
+                f"degraded: fell back from {state.request.mode} to "
+                f"{state.mode} after "
+                f"{len(state.failures)} failed attempt(s)"
+            )
+        else:
+            _OK.inc()
+            status = STATUS_OK
+            detail = ""
+        self._resolve(
+            state,
+            CompileResponse(
+                request_id=state.request.request_id,
+                status=status,
+                output=outcome.output,
+                exit_code=outcome.exit_code,
+                diagnostics=outcome.diagnostics,
+                detail=detail,
+                mode_used=state.mode,
+                degraded=state.degraded,
+                stats=outcome.stats,
+            ),
+            now,
+        )
+
+    def _attempt_failed(
+        self,
+        state: _RequestState,
+        attempt: int,
+        kind: str,
+        detail: str,
+        now: float,
+    ) -> None:
+        state.failures.append((attempt, state.mode, kind, detail))
+        breaker = self._breakers.get(state.fingerprint)
+        if breaker.record_failure():
+            _BREAKER_TRIPS.inc()
+            self._quarantine(state, now)
+            return
+        if state.outstanding:
+            return  # a sibling (hedge) attempt may still win
+        retry = self.config.retry
+        can_degrade = (
+            self.config.allow_degraded
+            and state.request.allow_degraded
+            and not state.degraded
+        )
+        # While a representation fallback is still available, reserve
+        # the last slot of the attempt budget for it: a mode-specific
+        # deterministic failure must reach the other representation
+        # *before* the circuit breaker (threshold == max_attempts by
+        # default) writes the input off as poison.
+        budget = (
+            max(1, retry.max_attempts - 1)
+            if can_degrade
+            else retry.max_attempts
+        )
+        if state.mode_attempts < budget:
+            delay = retry.backoff(state.mode_attempts - 1, state.rng)
+            state.next_retry_at = now + delay
+            _RETRIES.inc()
+            return
+        if can_degrade:
+            # Graceful degradation: the other representation of the
+            # same transformations serves as the fallback implementation.
+            state.degraded = True
+            state.mode = other_mode(state.mode)
+            state.mode_attempts = 0
+            state.next_retry_at = now
+            _DEGRADED_FALLBACKS.inc()
+            return
+        _FAILED.inc()
+        status = STATUS_TIMEOUT if kind == "timeout" else STATUS_ICE
+        summary = "; ".join(
+            f"attempt {a} [{mode}] {k}" for a, mode, k, _ in state.failures
+        )
+        self._resolve(
+            state,
+            CompileResponse(
+                request_id=state.request.request_id,
+                status=status,
+                detail=f"{detail}\nfailure history: {summary}",
+                mode_used=state.mode,
+                degraded=state.degraded,
+            ),
+            now,
+        )
+
+    # ------------------------------------------------------------------
+    # Deadlines and hedging
+    # ------------------------------------------------------------------
+    def _enforce_deadlines(self, now: float) -> None:
+        for worker in self.pool.busy_workers():
+            state, attempt, deadline_at = worker.busy
+            if now < deadline_at:
+                continue
+            self.pool.restart(worker)
+            state.outstanding.pop(attempt, None)
+            if state.resolved:
+                continue  # straggler of an already-resolved request
+            _TIMEOUTS.inc()
+            self._attempt_failed(
+                state,
+                attempt,
+                "timeout",
+                f"attempt {attempt} exceeded its "
+                f"{deadline_at - state.attempt_started_at[attempt]:.1f}s "
+                "wall-clock deadline (worker killed)",
+                now,
+            )
+
+    def _maybe_hedge(self, now: float) -> None:
+        hedge_delay = self.config.hedge_delay_s
+        if hedge_delay is None:
+            return
+        for state in self._active:
+            if (
+                state.resolved
+                or state.hedged
+                or len(state.outstanding) != 1
+            ):
+                continue
+            started = min(
+                state.attempt_started_at[a] for a in state.outstanding
+            )
+            if now - started < hedge_delay:
+                continue
+            if not self.pool.idle_workers():
+                return
+            self._dispatch(state, now, hedge=True)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _quarantine(self, state: _RequestState, now: float) -> None:
+        """Stop retrying a poison input: write a reproducer, answer
+        ``circuit-open``."""
+        request = state.request
+        reproducer: Optional[str] = None
+        history = "".join(
+            f"attempt {a} [{mode}] {kind}: {detail}\n"
+            for a, mode, kind, detail in state.failures
+        )
+        if self.config.quarantine_dir:
+            flags = []
+            if request.mode == "irbuilder":
+                flags.append("-fopenmp-enable-irbuilder")
+            if request.optimize:
+                flags.append("-O")
+            if request.action == "run":
+                flags.append("--run")
+            invocation = (
+                "miniclang " + " ".join(flags + ["repro.c"])
+                + "  # quarantined poison input "
+                + f"(fingerprint {state.fingerprint})"
+            )
+            exc = PoisonInputError(
+                f"input {state.fingerprint} failed "
+                f"{len(state.failures)} attempt(s); breaker opened"
+            )
+            with crash_context(
+                request.source,
+                request.filename,
+                invocation,
+                self.config.quarantine_dir,
+            ):
+                reproducer = write_reproducer(
+                    "service-quarantine", exc, history
+                )
+        _QUARANTINED.inc()
+        self._resolve(
+            state,
+            CompileResponse(
+                request_id=request.request_id,
+                status=STATUS_CIRCUIT_OPEN,
+                detail=(
+                    "circuit breaker opened after "
+                    f"{len(state.failures)} failed attempt(s); "
+                    "input quarantined\n" + history.rstrip("\n")
+                ),
+                mode_used=state.mode,
+                degraded=state.degraded,
+                reproducer_path=reproducer,
+            ),
+            now,
+        )
+
+    def _resolve(
+        self,
+        state: _RequestState,
+        response: CompileResponse,
+        now: float,
+    ) -> None:
+        response.attempts = state.attempts
+        response.retries = max(
+            0, state.attempts - 1 - (1 if state.hedged else 0)
+        )
+        response.hedged = state.hedged
+        response.duration_s = now - state.admitted_at
+        self._queue.release()
+        self._active.remove(state)
+        self._record_response(state, response)
+
+    def _record_response(
+        self, state: _RequestState, response: CompileResponse
+    ) -> None:
+        _RESPONSES.inc()
+        self._responses[response.request_id] = response
+        state.response = response
+        profiler = active_time_trace()
+        if profiler is not None:
+            profiler.add_complete_event(
+                "ServiceRequest",
+                f"{response.request_id}: {response.status}",
+                state.start_ns,
+                time.perf_counter_ns(),
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def responses(self) -> dict[str, CompileResponse]:
+        return dict(self._responses)
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "CompileService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

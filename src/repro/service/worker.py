@@ -1,0 +1,115 @@
+"""The worker-process side of the compile service.
+
+``worker_main`` is the child entry point: a loop that receives
+:class:`~repro.service.request.WorkPayload` objects over a pipe,
+executes them through the request-scoped pipeline entry point
+(:func:`repro.pipeline.execute_request`) and ships a
+:class:`~repro.service.request.WorkOutcome` back.  One pipeline per
+worker, one request at a time — crash isolation comes from the process
+boundary, not from shared-state discipline.
+
+Per-payload fault arming: the parent decides which ``-finject-fault``
+specs apply to each attempt and the worker arms exactly those around the
+execution, so chaos failures are a deterministic function of
+``(request, attempt)`` even across worker restarts.  Three service-level
+sites are interpreted here rather than inside the pipeline:
+
+* ``service-worker-exit`` — ``os._exit``: a hard death the parent sees
+  as a broken pipe (the OOM-kill / segfault simulation);
+* ``service-worker-hang`` — sleep far past any deadline, forcing the
+  parent's wall-clock enforcement to kill and retry;
+* ``service-irbuilder`` / ``service-shadow`` — representation-specific
+  failures, the deterministic trigger for graceful degradation;
+* ``service-worker`` — a mode-independent ICE (the poison-input stand-in).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.instrument.faultinject import FAULTS, InjectedFault
+from repro.service.request import WorkOutcome, WorkPayload
+
+#: how long a "hung" worker sleeps — effectively forever next to any
+#: realistic per-attempt deadline
+_HANG_SLEEP_S = 3600.0
+
+
+def execute_payload(payload: WorkPayload) -> WorkOutcome:
+    """Run one attempt in this process and classify the outcome."""
+    from repro.pipeline import execute_request
+
+    FAULTS.disarm_all()
+    for spec in payload.inject_faults:
+        FAULTS.arm_spec(spec)
+    started = time.perf_counter()
+    try:
+        try:
+            FAULTS.hit("service-worker-exit")
+        except InjectedFault:
+            os._exit(9)  # simulate SIGKILL (OOM killer)
+        try:
+            FAULTS.hit("service-worker-hang")
+        except InjectedFault:
+            time.sleep(_HANG_SLEEP_S)
+        try:
+            FAULTS.hit("service-worker")
+            FAULTS.hit(
+                "service-irbuilder"
+                if payload.mode == "irbuilder"
+                else "service-shadow"
+            )
+        except InjectedFault as exc:
+            return WorkOutcome(
+                request_id=payload.request_id,
+                attempt=payload.attempt,
+                kind="ice",
+                detail=str(exc),
+                duration_s=time.perf_counter() - started,
+            )
+        outcome = execute_request(
+            payload.source,
+            filename=payload.filename,
+            action=payload.action,
+            mode=payload.mode,
+            optimize=payload.optimize,
+            num_threads=payload.num_threads,
+            entry=payload.entry,
+            defines=payload.defines,
+            fuel=payload.fuel,
+            strip_omp_transforms=payload.strip_omp_transforms,
+        )
+        return WorkOutcome(
+            request_id=payload.request_id,
+            attempt=payload.attempt,
+            kind=outcome.kind,
+            output=outcome.output,
+            exit_code=outcome.exit_code,
+            diagnostics=outcome.diagnostics,
+            detail=outcome.detail,
+            stats=outcome.stats,
+            duration_s=time.perf_counter() - started,
+        )
+    finally:
+        FAULTS.disarm_all()
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Child-process request loop.  Exits on the ``None`` sentinel, a
+    closed pipe, or a hard injected death."""
+    try:
+        while True:
+            try:
+                payload = conn.recv()
+            except (EOFError, KeyboardInterrupt):
+                break
+            if payload is None:
+                break
+            outcome = execute_payload(payload)
+            try:
+                conn.send(outcome)
+            except (BrokenPipeError, OSError):
+                break
+    finally:
+        conn.close()

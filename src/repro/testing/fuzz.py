@@ -30,10 +30,21 @@ from repro.testing.generator import generate_program
 from repro.testing.oracle import (
     DEFAULT_CONFIGS,
     DEFAULT_FUEL,
+    Config,
     Divergence,
     check_program,
     check_source,
 )
+
+
+def service_configs() -> tuple[Config, ...]:
+    """DEFAULT_CONFIGS plus the resilient-compile-service configuration
+    (worker-pool isolation must be semantics-neutral), inserted before
+    the stripped reference, which must stay last."""
+    return DEFAULT_CONFIGS[:-1] + (
+        Config("service", via_service=True),
+        DEFAULT_CONFIGS[-1],
+    )
 from repro.testing.shrink import shrink_source
 
 
@@ -248,6 +259,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print the program generated for SEED and exit",
     )
     parser.add_argument(
+        "--service",
+        action="store_true",
+        help="add the resilient compile service as a fifth "
+        "differential configuration",
+    )
+    parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress progress lines",
     )
@@ -269,6 +286,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         seed=args.seed,
         reproducer_dir=args.reproducer_dir,
         shrink=args.shrink,
+        configs=service_configs() if args.service else DEFAULT_CONFIGS,
         num_threads=args.num_threads,
         fuel=args.fuel,
         progress=progress,

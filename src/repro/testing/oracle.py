@@ -29,12 +29,19 @@ _TRIPS_RE = re.compile(r"\btrips=(-?\d+)")
 
 @dataclass(frozen=True)
 class Config:
-    """One way of compiling+running the program under test."""
+    """One way of compiling+running the program under test.
+
+    ``via_service=True`` routes the run through the shared resilient
+    compile service (worker-pool isolation) instead of the in-process
+    pipeline — the service then becomes a differential configuration of
+    its own: its retry/degradation machinery must be semantics-neutral.
+    """
 
     name: str
     enable_irbuilder: bool = False
     optimize: bool = False
     strip_omp_transforms: bool = False
+    via_service: bool = False
 
     def run(self, source: str, num_threads: int, fuel: int):
         return run_source(
@@ -93,6 +100,8 @@ def _run_config(
     from repro.core.crash_recovery import InternalCompilerError
     from repro.interp import ExecutionTimeout
 
+    if config.via_service:
+        return _run_config_via_service(config, source, num_threads, fuel)
     try:
         result = config.run(source, num_threads, fuel)
     except CompilationError as exc:
@@ -109,6 +118,51 @@ def _run_config(
         )
     code = result.exit_code if isinstance(result.exit_code, int) else 0
     return _Outcome(stdout=result.stdout, exit_code=code)
+
+
+def _run_config_via_service(
+    config: Config, source: str, num_threads: int, fuel: int
+) -> _Outcome:
+    """Execute one configuration on the shared compile service and map
+    its terminal response onto the oracle's outcome shape."""
+    from repro.service import (
+        STATUS_ERROR,
+        STATUS_TIMEOUT,
+        CompileRequest,
+        shared_service,
+    )
+
+    service = shared_service()
+    [response] = service.process_batch(
+        [
+            CompileRequest(
+                source=source,
+                action="run",
+                mode="irbuilder" if config.enable_irbuilder else "shadow",
+                optimize=config.optimize,
+                num_threads=num_threads,
+                fuel=fuel,
+                strip_omp_transforms=config.strip_omp_transforms,
+            )
+        ]
+    )
+    if response.ok:
+        code = (
+            response.exit_code
+            if isinstance(response.exit_code, int)
+            else 0
+        )
+        return _Outcome(stdout=response.output, exit_code=code)
+    if response.status == STATUS_ERROR:
+        kind = "compile-error" if response.diagnostics else "ice"
+        return _Outcome(
+            error=kind,
+            error_detail=response.diagnostics or response.detail,
+        )
+    if response.status == STATUS_TIMEOUT:
+        return _Outcome(error="timeout", error_detail=response.detail)
+    # ice, circuit-open, resource-exhausted: all internal failures
+    return _Outcome(error="ice", error_detail=response.detail)
 
 
 def check_source(

@@ -1,0 +1,27 @@
+// Graceful degradation is semantics-preserving: with the IRBuilder
+// path deterministically broken (injected fault on every attempt), the
+// service must fall back to the shadow-AST representation and produce
+// output byte-identical to a direct shadow compile of the same
+// tile+unroll program — the paper's two implementations of the same
+// transformations acting as each other's spares.
+//
+// RUN: miniclang-serve --run --mode irbuilder --inject-fault service-irbuilder --fault-attempts -1 --quarantine-dir= %s > %t.degraded 2> %t.log
+// RUN: miniclang --run %s > %t.direct
+// RUN: %python -c "import sys; a = open(sys.argv[1]).read(); b = open(sys.argv[2]).read(); sys.exit(0 if a == b and a else 1)" %t.degraded %t.direct
+// RUN: FileCheck --check-prefix=LOG --input-file %t.log %s
+// RUN: FileCheck --input-file %t.degraded %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp tile sizes(2, 2)
+  for (int i = 0; i < 4; i += 1)
+    for (int j = 0; j < 4; j += 1)
+      sum += i * 4 + j;
+  #pragma omp unroll partial(2)
+  for (int k = 0; k < 6; k += 1)
+    sum += k;
+  printf("sum=%d\n", sum);
+  return 0;
+}
+// LOG: degraded (irbuilder->shadow)
+// CHECK: sum=135

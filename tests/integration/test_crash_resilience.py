@@ -141,7 +141,7 @@ class TestFaultInjectionSweep:
     crash surfaces as a contained ICE — exit 70, diagnostic, pretty
     stack, loadable reproducer, zero raw tracebacks."""
 
-    @pytest.mark.parametrize("site", FAULTS.site_names())
+    @pytest.mark.parametrize("site", FAULTS.site_names(scope="pipeline"))
     def test_site_contained(self, site, tmp_path, capsys):
         src = _write(tmp_path, "omp.c", OMP_SRC)
         crash_dir = tmp_path / "crashes"

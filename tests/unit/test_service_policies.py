@@ -1,0 +1,324 @@
+"""Pure-unit tests for the compile-service policy objects.
+
+No worker processes anywhere in this file: the retry policy is plain
+arithmetic over an injected RNG, the circuit breaker takes a fake clock,
+and the admission queue is a counter exercise — the whole point of
+keeping policy separate from the pool mechanism.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service import (
+    STATUS_OK,
+    AdmissionQueue,
+    CircuitBreaker,
+    CompileRequest,
+    CompileResponse,
+    RetryPolicy,
+    other_mode,
+)
+from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_unjittered_backoff_is_exponential_and_capped(self):
+        policy = RetryPolicy(
+            max_attempts=6,
+            base_delay_s=0.1,
+            multiplier=2.0,
+            max_delay_s=0.5,
+            jitter=0.0,
+        )
+        delays = [policy.backoff(i) for i in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_bounds(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=0.2, jitter=0.5
+        )
+        for seed in range(50):
+            rng = random.Random(seed)
+            for i in range(3):
+                lo, hi = policy.bounds(i)
+                delay = policy.backoff(i, rng)
+                assert lo <= delay <= hi
+
+    def test_bounds_envelope(self):
+        policy = RetryPolicy(base_delay_s=1.0, jitter=0.25)
+        lo, hi = policy.bounds(0)
+        assert lo == pytest.approx(0.75)
+        assert hi == pytest.approx(1.25)
+
+    def test_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=5)
+        a = policy.schedule(random.Random(7))
+        b = policy.schedule(random.Random(7))
+        assert a == b
+
+    def test_schedule_length_is_retries_not_attempts(self):
+        assert len(RetryPolicy(max_attempts=3).schedule()) == 2
+        assert RetryPolicy(max_attempts=1).schedule() == []
+
+    def test_budget_truncates_last_delay(self):
+        policy = RetryPolicy(
+            max_attempts=3,
+            base_delay_s=1.0,
+            multiplier=2.0,
+            max_delay_s=10.0,
+            jitter=0.0,
+        )
+        # unclamped schedule would be [1.0, 2.0]
+        assert policy.schedule(budget_s=1.5) == [1.0, 0.5]
+
+    def test_budget_drops_unfittable_retries(self):
+        policy = RetryPolicy(
+            max_attempts=4, base_delay_s=1.0, jitter=0.0
+        )
+        assert policy.schedule(budget_s=1.0) == [1.0]
+        assert policy.schedule(budget_s=0.0) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay_s": -0.1},
+            {"multiplier": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        base=st.floats(0.001, 2.0),
+        multiplier=st.floats(1.0, 4.0),
+        max_attempts=st.integers(1, 8),
+        jitter=st.floats(0.0, 0.9),
+        budget=st.floats(0.0, 5.0),
+    )
+    def test_schedule_never_exceeds_budget(
+        self, seed, base, multiplier, max_attempts, jitter, budget
+    ):
+        """The invariant the service deadline math leans on: sleeping
+        through the whole retry schedule never exceeds the budget."""
+        policy = RetryPolicy(
+            max_attempts=max_attempts,
+            base_delay_s=base,
+            multiplier=multiplier,
+            jitter=jitter,
+        )
+        delays = policy.schedule(random.Random(seed), budget_s=budget)
+        assert sum(delays) <= budget + 1e-9
+        assert all(d >= 0 for d in delays)
+        assert len(delays) <= max_attempts - 1
+
+
+# ----------------------------------------------------------------------
+# CircuitBreaker
+# ----------------------------------------------------------------------
+class TestCircuitBreaker:
+    def make(self, threshold=3, cooldown=30.0):
+        clock = FakeClock()
+        return CircuitBreaker(threshold, cooldown, clock), clock
+
+    def test_closed_allows_and_counts_to_threshold(self):
+        breaker, _ = self.make(threshold=3)
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.record_failure()  # the tripping failure
+        assert breaker.state == OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_consecutive_failures(self):
+        breaker, _ = self.make(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()  # count restarted
+        assert breaker.state == CLOSED
+
+    def test_half_open_after_cooldown_grants_single_probe(self):
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe
+        assert not breaker.allow()  # only one
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = self.make(threshold=1, cooldown=5.0)
+        breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+        assert breaker.allow()  # no probe rationing when closed
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        breaker, clock = self.make(threshold=3, cooldown=5.0)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        assert breaker.record_failure()  # half-open failure trips again
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()
+        clock.advance(4.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+    def test_stranded_probe_is_regranted_after_cooldown(self):
+        """A granted probe whose request never reports back (e.g. shed
+        at admission) must not wedge the breaker half-open forever."""
+        breaker, clock = self.make(threshold=1, cooldown=10.0)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        # probe never reports...
+        clock.advance(9.9)
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()  # re-granted, breaker self-heals
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# AdmissionQueue
+# ----------------------------------------------------------------------
+class TestAdmissionQueue:
+    def test_sheds_over_capacity_counting_in_flight(self):
+        queue = AdmissionQueue(capacity=2)
+        assert queue.offer("a")
+        assert queue.offer("b")
+        assert not queue.offer("c")  # shed
+        assert queue.shed_count == 1
+        assert queue.pop() == "a"
+        # popped work is in flight: still over capacity
+        assert not queue.offer("c")
+        queue.release()
+        assert queue.offer("c")
+        assert queue.load == 2
+
+    def test_requeue_returns_to_head_without_shedding(self):
+        queue = AdmissionQueue(capacity=1)
+        queue.offer("a")
+        item = queue.pop()
+        queue.requeue(item)
+        assert queue.pop() == "a"
+        assert queue.shed_count == 0
+
+    def test_release_without_pop_raises(self):
+        queue = AdmissionQueue(capacity=1)
+        with pytest.raises(RuntimeError):
+            queue.release()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# Request fingerprints and response shape
+# ----------------------------------------------------------------------
+class TestRequestTypes:
+    def test_fingerprint_stable_and_behavior_sensitive(self):
+        request = CompileRequest(source="int main() { return 0; }")
+        assert request.fingerprint() == request.fingerprint()
+        same = CompileRequest(source="int main() { return 0; }")
+        assert request.fingerprint() == same.fingerprint()
+        for variant in (
+            CompileRequest(source="int main() { return 1; }"),
+            CompileRequest(
+                source="int main() { return 0; }", mode="irbuilder"
+            ),
+            CompileRequest(
+                source="int main() { return 0; }", action="run"
+            ),
+            CompileRequest(
+                source="int main() { return 0; }",
+                inject_faults=("service-worker",),
+            ),
+            CompileRequest(
+                source="int main() { return 0; }",
+                inject_faults=("service-worker",),
+                fault_attempts=-1,
+            ),
+        ):
+            assert request.fingerprint() != variant.fingerprint()
+        # identity fields don't change the fingerprint
+        renamed = CompileRequest(
+            source="int main() { return 0; }",
+            filename="other.c",
+            request_id="r1",
+            deadline_s=1.0,
+        )
+        assert request.fingerprint() == renamed.fingerprint()
+
+    def test_faults_for_attempt_windows(self):
+        request = CompileRequest(
+            source="x",
+            inject_faults=("service-worker-exit",),
+            fault_attempts=2,
+        )
+        assert request.faults_for_attempt(0)
+        assert request.faults_for_attempt(1)
+        assert not request.faults_for_attempt(2)
+        poison = CompileRequest(
+            source="x",
+            inject_faults=("service-worker",),
+            fault_attempts=-1,
+        )
+        assert all(poison.faults_for_attempt(i) for i in range(10))
+
+    def test_response_roundtrip(self):
+        response = CompileResponse(
+            request_id="r1",
+            status=STATUS_OK,
+            output="ir",
+            attempts=2,
+            retries=1,
+        )
+        assert response.ok
+        payload = response.to_dict()
+        assert payload["status"] == "ok"
+        assert payload["attempts"] == 2
+        assert payload["retries"] == 1
+
+    def test_other_mode_is_an_involution(self):
+        assert other_mode("shadow") == "irbuilder"
+        assert other_mode("irbuilder") == "shadow"

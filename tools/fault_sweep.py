@@ -67,11 +67,18 @@ def list_sites() -> list[str]:
             f"-print-fault-sites failed ({proc.returncode}):\n"
             f"{proc.stderr}"
         )
-    return [
-        line.split("\t", 1)[0]
-        for line in proc.stdout.splitlines()
-        if line.strip()
-    ]
+    sites = []
+    for line in proc.stdout.splitlines():
+        if not line.strip():
+            continue
+        fields = line.split("\t")
+        # Only "pipeline"-scoped sites fire in a plain CLI compile;
+        # "service"-scoped ones exist inside compile-service workers
+        # and are exercised by the service chaos harness instead.
+        if len(fields) >= 2 and fields[1] != "pipeline":
+            continue
+        sites.append(fields[0])
+    return sites
 
 
 def sweep_site(site: str, workdir: str) -> list[str]:

@@ -21,9 +21,10 @@ Commands are executed WITHOUT a shell: the runner implements pipes
 and the llvm ``not`` tool (expect a non-zero exit).  Tool names resolve
 to in-repo implementations:
 
-    miniclang  -> python -m repro.driver.cli   (PYTHONPATH=src)
-    FileCheck  -> python tools/filecheck.py
-    %python    -> the running interpreter
+    miniclang        -> python -m repro.driver.cli   (PYTHONPATH=src)
+    miniclang-serve  -> python -m repro.driver.serve
+    FileCheck        -> python tools/filecheck.py
+    %python          -> the running interpreter
 
 Other markers: ``// XFAIL: *`` marks the whole test as expected to
 fail; ``// UNSUPPORTED: *`` skips it.
@@ -186,6 +187,14 @@ def _resolve_tool(argv: list[str]) -> list[str]:
             "sys.exit(main())",
             *argv[1:],
         ]
+    if tool == "miniclang-serve":
+        return [
+            sys.executable,
+            "-c",
+            "import sys; from repro.driver.serve import main; "
+            "sys.exit(main())",
+            *argv[1:],
+        ]
     if tool in ("FileCheck", "filecheck"):
         return [sys.executable, FILECHECK, *argv[1:]]
     if tool == "true":
@@ -193,8 +202,8 @@ def _resolve_tool(argv: list[str]) -> list[str]:
     if tool == "false":
         return [sys.executable, "-c", "raise SystemExit(1)"]
     raise RunLineError(
-        f"unknown RUN tool '{tool}' (known: miniclang, FileCheck, "
-        "not, %python, true, false)"
+        f"unknown RUN tool '{tool}' (known: miniclang, "
+        "miniclang-serve, FileCheck, not, %python, true, false)"
     )
 
 
