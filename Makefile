@@ -4,8 +4,8 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test conformance fuzz fuzz-smoke fault-sweep service-chaos \
-	check-all
+.PHONY: test conformance fuzz fuzz-smoke fuzz-cache cache-bench \
+	fault-sweep service-chaos check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -28,6 +28,17 @@ fuzz-smoke:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.testing.fuzz \
 	    --count 50 --seed 1 --reproducer-dir fuzz-reproducers
 
+# Cache-oracle fuzzing: cached compiles (cold/warm/stage-resumed) must
+# be byte-identical to the uncached pipeline on every seed.
+fuzz-cache:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.testing.fuzz --cache \
+	    --count $(FUZZ_COUNT) --seed $(FUZZ_SEED) \
+	    --reproducer-dir fuzz-reproducers
+
+# Cold-vs-warm latency benchmark -> BENCH_cache.json.
+cache-bench:
+	$(PYTHON) tools/cache_bench.py --min-speedup 10
+
 # Fault-injection sweep: every registered ICE site must be contained.
 fault-sweep:
 	$(PYTHON) tools/fault_sweep.py
@@ -43,4 +54,5 @@ service-chaos:
 	    --quarantine-dir service-quarantine
 
 # Everything CI runs, in one shot.
-check-all: test conformance fuzz-smoke fault-sweep service-chaos
+check-all: test conformance fuzz-smoke fault-sweep service-chaos \
+	cache-bench

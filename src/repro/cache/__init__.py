@@ -1,0 +1,61 @@
+"""Content-addressed compilation cache with per-stage memoization.
+
+The ccache / ThinLTO-incremental-cache / clangd-preamble analogue for
+the reproduction's pipeline: compile products are addressed by a
+SHA-256 of canonicalized source + flags + stage + format version, kept
+in an in-memory LRU tier over an optional shared on-disk store, and
+memoized at every pipeline stage boundary so a changed input only
+re-runs the stages downstream of the first divergence.
+
+Public surface::
+
+    from repro.cache import CompilationCache
+    from repro.pipeline import compile_source_cached
+
+    cache = CompilationCache(".miniclang-cache")
+    cc = compile_source_cached(source, cache, optimize=True)
+    cc.ir_text           # byte-identical to a cold compile
+    cc.hit               # True on the warm path
+
+The service layer adds single-flight request dedup on top
+(:mod:`repro.cache.singleflight`) and memoizes terminal responses per
+request fingerprint; see :mod:`repro.service.service`.
+"""
+
+from repro.cache.cache import (
+    DEGRADED_KEY_SUFFIX,
+    CachedCompile,
+    CompilationCache,
+    degraded_key,
+)
+from repro.cache.disk import DiskTier
+from repro.cache.key import (
+    CACHE_FORMAT_VERSION,
+    canonicalize_flag_tokens,
+    canonicalize_source,
+    define_items,
+    request_fingerprint,
+    source_id,
+    stage_key,
+    token_stream_text,
+)
+from repro.cache.lru import LRUTier
+from repro.cache.singleflight import InflightTable
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CachedCompile",
+    "CompilationCache",
+    "DEGRADED_KEY_SUFFIX",
+    "DiskTier",
+    "InflightTable",
+    "LRUTier",
+    "canonicalize_flag_tokens",
+    "canonicalize_source",
+    "define_items",
+    "degraded_key",
+    "request_fingerprint",
+    "source_id",
+    "stage_key",
+    "token_stream_text",
+]

@@ -1,0 +1,194 @@
+"""The on-disk content-addressed tier.
+
+Layout (ccache-style two-level fan-out under the cache directory)::
+
+    DIR/
+      CACHEDIR.TAG                  # marks the tree as disposable
+      format                        # human-readable format stamp
+      objects/ab/abcdef....json     # one JSON artifact per content key
+      aliases/12/1234....           # exact-request key -> content key
+
+Writes are atomic (temp file + ``os.replace``) so concurrent readers —
+service workers share one directory — never observe a torn entry, and
+a duplicate write from two racing processes converges on identical
+bytes anyway because keys are content addresses.  Reads tolerate
+everything: a missing, truncated, or corrupt file is a miss, never an
+error (a cache must degrade to "slower", not "broken").
+
+Eviction is size-triggered: when a put grows the tree past
+``max_bytes``, the oldest entries by mtime go first (reads refresh
+mtime, making this an approximate LRU across processes).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.cache.key import CACHE_FORMAT_VERSION
+
+_FORMAT_STAMP = f"miniclang-cache format {CACHE_FORMAT_VERSION}\n"
+_CACHEDIR_TAG = (
+    "Signature: 8a477f597d28d172789f06886806bc55\n"
+    "# This directory is a miniclang compilation cache.\n"
+)
+
+
+class DiskTier:
+    """Content-addressed store rooted at *directory*."""
+
+    def __init__(
+        self,
+        directory: str,
+        max_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.directory = directory
+        self.max_bytes = max_bytes
+        self._objects = os.path.join(directory, "objects")
+        self._aliases = os.path.join(directory, "aliases")
+        #: total entries dropped by the byte-budget eviction sweep
+        self.evictions = 0
+        os.makedirs(self._objects, exist_ok=True)
+        os.makedirs(self._aliases, exist_ok=True)
+        self._stamp()
+
+    def _stamp(self) -> None:
+        for name, text in (
+            ("format", _FORMAT_STAMP),
+            ("CACHEDIR.TAG", _CACHEDIR_TAG),
+        ):
+            path = os.path.join(self.directory, name)
+            if not os.path.exists(path):
+                try:
+                    self._atomic_write(path, text)
+                except OSError:
+                    pass  # a read-only cache is still a cache
+
+    # ------------------------------------------------------------------
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self._objects, key[:2], key + ".json")
+
+    def _alias_path(self, key: str) -> str:
+        return os.path.join(self._aliases, key[:2], key)
+
+    @staticmethod
+    def _atomic_write(path: str, text: str) -> int:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        data = text.encode("utf-8")
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return len(data)
+
+    @staticmethod
+    def _read(path: str) -> Optional[str]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return fh.read()
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    @staticmethod
+    def _touch(path: str) -> None:
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Fetch one artifact; any malformed entry is a miss."""
+        path = self._object_path(key)
+        text = self._read(path)
+        if text is None:
+            return None
+        try:
+            obj = json.loads(text)
+        except ValueError:
+            return None
+        if not isinstance(obj, dict):
+            return None
+        self._touch(path)
+        return obj
+
+    def put(self, key: str, obj: dict) -> int:
+        """Store one artifact; returns bytes written (0 on failure —
+        a full disk must not fail the compile)."""
+        try:
+            written = self._atomic_write(
+                self._object_path(key),
+                json.dumps(obj, sort_keys=True, ensure_ascii=False),
+            )
+        except (OSError, TypeError, ValueError):
+            return 0
+        self._maybe_evict()
+        return written
+
+    def get_alias(self, key: str) -> Optional[str]:
+        text = self._read(self._alias_path(key))
+        if text is None:
+            return None
+        target = text.strip()
+        if target:
+            self._touch(self._alias_path(key))
+        return target or None
+
+    def put_alias(self, key: str, target: str) -> None:
+        try:
+            self._atomic_write(self._alias_path(key), target + "\n")
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def _walk_entries(self) -> list[tuple[float, int, str]]:
+        entries: list[tuple[float, int, str]] = []
+        for root in (self._objects, self._aliases):
+            for dirpath, _, filenames in os.walk(root):
+                for name in filenames:
+                    if name.startswith(".tmp-"):
+                        continue
+                    path = os.path.join(dirpath, name)
+                    try:
+                        st = os.stat(path)
+                    except OSError:
+                        continue
+                    entries.append((st.st_mtime, st.st_size, path))
+        return entries
+
+    @property
+    def bytes(self) -> int:
+        return sum(size for _, size, _ in self._walk_entries())
+
+    def __len__(self) -> int:
+        return len(self._walk_entries())
+
+    def _maybe_evict(self) -> int:
+        """Drop oldest entries until the tree fits the byte budget."""
+        entries = self._walk_entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return 0
+        evicted = 0
+        for _, size, path in sorted(entries):
+            try:
+                os.unlink(path)
+            except OSError:
+                continue
+            total -= size
+            evicted += 1
+            if total <= self.max_bytes:
+                break
+        self.evictions += evicted
+        return evicted

@@ -1,0 +1,158 @@
+"""Content-addressed cache keys.
+
+Every cache entry is addressed by a SHA-256 over *canonicalized* input:
+the source text (line endings normalized), the flag set (whitespace
+around flag tokens stripped, ``-D`` defines order-insensitive,
+``-I`` search paths order-*sensitive* — include order is semantics),
+the pipeline stage, and :data:`CACHE_FORMAT_VERSION`.  Bumping the
+version orphans every existing entry instead of misinterpreting it,
+the same trick ccache's ``cache_version`` plays.
+
+Keys chain along the pipeline, one per stage boundary::
+
+    k_pp  = H(version, "preprocess", token stream, filename, pp flags)
+    k_fe  = H("frontend", k_pp, representation, error limit)
+    k_cg  = H("codegen",  k_fe)
+    k_opt = H("opt",      k_cg, pass pipeline names)
+
+so a flag that only affects a late stage (``-O``) leaves every upstream
+key unchanged and the cached upstream artifacts stay addressable —
+the first *divergent* input decides where recompilation must resume.
+
+The preprocess key hashes the post-preprocess **token stream**, not the
+raw bytes: comment and whitespace edits produce the identical stream,
+so everything downstream of the preprocessor hits (ccache's "direct
+mode" keyed the way clangd keys preamble reuse).  Hashing is plain
+``hashlib.sha256`` over sorted-key JSON — deterministic across
+processes and interpreter restarts (``PYTHONHASHSEED`` never enters).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Optional, Sequence
+
+from repro.lex.tokens import Token
+
+#: bump whenever artifact layout or any key ingredient changes meaning
+CACHE_FORMAT_VERSION = 1
+
+
+def _digest(payload: object) -> str:
+    text = json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def canonicalize_source(source: str) -> str:
+    """Line-ending normalization: CRLF / lone CR become LF."""
+    return source.replace("\r\n", "\n").replace("\r", "\n")
+
+
+def canonicalize_flag_tokens(tokens: Iterable[str]) -> tuple[str, ...]:
+    """Strip insignificant whitespace from a raw flag list.
+
+    ``["-O ", "  -fopenmp"]`` and ``["-fopenmp", "-O"]`` canonicalize
+    identically (order-insensitive after stripping, empties dropped):
+    driver flag *spelling* whitespace and ordering are not semantics.
+    Flags whose relative order matters (include paths) must be keyed
+    positionally — see :func:`request_fingerprint`'s ``include_paths``.
+    """
+    stripped = (token.strip() for token in tokens)
+    return tuple(sorted(t for t in stripped if t))
+
+
+def define_items(
+    defines: Optional[dict[str, str]],
+) -> tuple[tuple[str, str], ...]:
+    """``-D`` macro table as a sorted, order-insensitive tuple."""
+    return tuple(sorted((defines or {}).items()))
+
+
+def token_stream_text(tokens: Sequence[Token]) -> str:
+    """Deterministic serialization of a post-preprocess token stream.
+
+    Annotation tokens (``annot_pragma_openmp`` …) carry their payload
+    token list in ``annotation_value``; it is serialized recursively so
+    two streams compare equal iff the parser would see the same input.
+    Locations are deliberately excluded — that is what makes comment
+    and whitespace edits hit downstream stages.
+    """
+    parts: list[str] = []
+    for token in tokens:
+        if isinstance(token.annotation_value, (list, tuple)) and all(
+            isinstance(t, Token) for t in token.annotation_value
+        ):
+            inner = token_stream_text(list(token.annotation_value))
+            parts.append(f"{token.kind.value}[{inner}]")
+        else:
+            parts.append(f"{token.kind.value}\x1f{token.spelling}")
+    return "\x1e".join(parts)
+
+
+def stage_key(
+    stage: str,
+    parent: Optional[str],
+    material: object = None,
+) -> str:
+    """Key for one pipeline stage, chained onto its upstream *parent*."""
+    return _digest(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "stage": stage,
+            "parent": parent,
+            "material": material,
+        }
+    )
+
+
+def request_fingerprint(
+    source: str,
+    *,
+    filename: str = "<input>",
+    openmp: bool = True,
+    enable_irbuilder: bool = False,
+    optimize: bool = False,
+    strip_omp_transforms: bool = False,
+    defines: Optional[dict[str, str]] = None,
+    include_paths: Sequence[str] = (),
+    error_limit: int = 0,
+    extra_flags: Iterable[str] = (),
+    action: str = "compile",
+) -> str:
+    """Exact-identity key of one whole request (raw source + flags).
+
+    This is the outermost address: the fast path for byte-identical
+    repeats and the single-flight collapse key.  ``include_paths`` keeps
+    its order (header search order is observable); ``defines`` and
+    ``extra_flags`` are canonicalized order-insensitively.
+    """
+    return _digest(
+        {
+            "version": CACHE_FORMAT_VERSION,
+            "kind": "request",
+            "source": canonicalize_source(source),
+            "filename": filename,
+            "action": action,
+            "openmp": openmp,
+            "mode": "irbuilder" if enable_irbuilder else "shadow",
+            "optimize": bool(optimize),
+            "strip": strip_omp_transforms,
+            "defines": define_items(defines),
+            "include_paths": list(include_paths),
+            "error_limit": error_limit,
+            "extra_flags": canonicalize_flag_tokens(extra_flags),
+        }
+    )
+
+
+def source_id(source: str) -> str:
+    """Identity of the raw (canonicalized) source text alone — the
+    validity condition for replaying cached *diagnostics*, whose
+    rendered carets embed line/column numbers."""
+    return _digest(canonicalize_source(source))

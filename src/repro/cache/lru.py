@@ -1,0 +1,78 @@
+"""The in-memory LRU tier.
+
+A plain ``OrderedDict`` bounded by entry count *and* an approximate
+byte budget, the same double limit ``-fcache-max-entries`` /
+``-fcache-max-bytes`` exposes.  Values are opaque to the tier; the
+caller supplies a byte size (strings: their UTF-8 length; live objects
+such as memoized IR modules: a nominal cost).  Eviction pops from the
+cold end and reports the count so the owning cache can feed the
+``cache.evictions`` statistic.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+
+class LRUTier:
+    """Bounded most-recently-used map: ``get`` refreshes recency."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        max_bytes: int = 64 * 1024 * 1024,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        self._entries.move_to_end(key)
+        return entry[0]
+
+    def put(self, key: str, value: Any, size: int = 0) -> int:
+        """Insert/replace; returns how many entries were evicted."""
+        size = max(0, int(size))
+        if key in self._entries:
+            self._bytes -= self._entries[key][1]
+            del self._entries[key]
+        self._entries[key] = (value, size)
+        self._bytes += size
+        evicted = 0
+        while len(self._entries) > self.max_entries or (
+            self._bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            _, (_, dropped) = self._entries.popitem(last=False)
+            self._bytes -= dropped
+            evicted += 1
+        return evicted
+
+    def discard(self, key: str) -> None:
+        entry = self._entries.pop(key, None)
+        if entry is not None:
+            self._bytes -= entry[1]
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    @property
+    def bytes(self) -> int:
+        return self._bytes
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

@@ -1,0 +1,63 @@
+"""Single-flight request coalescing.
+
+When a service handling heavy traffic sees N concurrent requests with
+the same fingerprint, running N identical compiles wastes N-1 workers:
+the first request becomes the *leader* and executes; the rest become
+*followers* that park until the leader's terminal response arrives and
+is fanned out to all of them (Go's ``singleflight`` package, or groupcache's
+load dedup).
+
+:class:`InflightTable` is the bookkeeping half — leader registration,
+follower parking, fan-out on resolution — used from the compile
+service's single-threaded event loop.  It deliberately holds no locks
+and no results: the service owns response construction, the table only
+answers "who is already flying this key?".
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class InflightTable(Generic[T]):
+    """Leader/follower registry keyed by request fingerprint."""
+
+    def __init__(self) -> None:
+        self._leaders: dict[str, T] = {}
+        self._followers: dict[str, list[T]] = {}
+        #: followers coalesced over the table's lifetime
+        self.collapsed = 0
+
+    # ------------------------------------------------------------------
+    def leader(self, key: str) -> Optional[T]:
+        return self._leaders.get(key)
+
+    def lead(self, key: str, state: T) -> None:
+        """Register *state* as the leader for *key* (must be vacant)."""
+        assert key not in self._leaders, f"duplicate leader for {key}"
+        self._leaders[key] = state
+
+    def follow(self, key: str, state: T) -> None:
+        """Park *state* behind the in-flight leader for *key*."""
+        assert key in self._leaders, f"no leader to follow for {key}"
+        self._followers.setdefault(key, []).append(state)
+        self.collapsed += 1
+
+    def resolve(self, key: str, state: T) -> list[T]:
+        """The leader finished: unregister and hand back the followers
+        (empty when *state* was not the registered leader — a stale
+        resolution must not hijack a newer leader's followers)."""
+        if self._leaders.get(key) is not state:
+            return []
+        del self._leaders[key]
+        return self._followers.pop(key, [])
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._leaders)
+
+    @property
+    def parked(self) -> int:
+        return sum(len(f) for f in self._followers.values())

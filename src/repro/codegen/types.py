@@ -13,6 +13,7 @@ class TypeLowering:
     def __init__(self, ctx: ASTContext) -> None:
         self.ctx = ctx
         self._struct_cache: dict[int, ir_ty.StructType] = {}
+        self._anon_count = 0
 
     def lower(self, qt: ast_ty.QualType) -> ir_ty.IRType:
         ty = ast_ty.desugar(qt).type
@@ -55,9 +56,19 @@ class TypeLowering:
             (f.offset_bits or 0) // 8 for f in decl.fields
         ]
         size_bits, _ = self.ctx._record_layout(decl)
+        # Anonymous records are numbered per module in lowering order:
+        # names must be a deterministic function of the source alone
+        # (decl.node_id is a process-global counter, which would make
+        # IR bytes depend on compile history — the compilation cache's
+        # byte-identity contract forbids that).
+        if decl.name:
+            name = decl.name
+        else:
+            name = f"anon.{self._anon_count}"
+            self._anon_count += 1
         struct = ir_ty.StructType(
             elements,
-            name=decl.name or f"anon.{decl.node_id:x}",
+            name=name,
             offsets=offsets,
             size=size_bits // 8,
         )

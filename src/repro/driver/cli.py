@@ -18,6 +18,10 @@ Observability flags (paper-adjacent tooling; see README "Observability")::
 
     miniclang -ftime-trace[=FILE] ...  # Chrome trace of compile+run
     miniclang -print-stats ...         # LLVM -stats style counter dump
+    miniclang -fcache[=DIR] ...        # content-addressed compile cache
+    miniclang -fno-cache ...           # (default)
+    miniclang -fcache-max-entries=N -fcache-max-bytes=N ...
+    miniclang -print-cache-stats ...   # cache.* counters + tier summary
     miniclang -Rpass=REGEX ...         # optimization remarks (passed)
     miniclang -Rpass-missed=REGEX ...
     miniclang -Rpass-analysis=REGEX ...
@@ -189,6 +193,30 @@ def build_arg_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="print_stats",
         help="dump internal statistics counters (LLVM -stats style)",
+    )
+    parser.add_argument(
+        "-print-cache-stats",
+        action="store_true",
+        dest="print_cache_stats",
+        help="dump the cache.* counters and cache tier summary "
+        "(use with -fcache)",
+    )
+    parser.add_argument(
+        "-fcache-max-entries",
+        type=int,
+        default=1024,
+        dest="cache_max_entries",
+        metavar="N",
+        help="in-memory cache tier capacity in entries (default 1024)",
+    )
+    parser.add_argument(
+        "-fcache-max-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        dest="cache_max_bytes",
+        metavar="N",
+        help="on-disk cache tier budget in bytes (default 256 MiB); "
+        "oldest entries are evicted past it",
     )
     parser.add_argument(
         "-Rpass",
@@ -412,6 +440,31 @@ def _extract_time_trace(
     return remaining, trace
 
 
+#: where ``-fcache`` without an explicit directory keeps its entries
+DEFAULT_CACHE_DIR = ".miniclang-cache"
+
+
+def _extract_cache_flags(
+    argv: list[str],
+) -> tuple[list[str], str | None]:
+    """Pull ``-fcache[=DIR]`` / ``-fno-cache`` out of *argv* (manual
+    for the same ``nargs="?"`` reason as ``-ftime-trace``; last flag
+    wins, clang-style).  Returns the remaining argv and the cache
+    directory (None = caching disabled)."""
+    remaining: list[str] = []
+    cache_dir: str | None = None
+    for arg in argv:
+        if arg == "-fcache":
+            cache_dir = DEFAULT_CACHE_DIR
+        elif arg.startswith("-fcache="):
+            cache_dir = arg.split("=", 1)[1] or DEFAULT_CACHE_DIR
+        elif arg == "-fno-cache":
+            cache_dir = None
+        else:
+            remaining.append(arg)
+    return remaining, cache_dir
+
+
 def _default_trace_path(input_name: str) -> str:
     if input_name == "-":
         return "stdin.time-trace.json"
@@ -439,6 +492,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     invocation = "miniclang " + " ".join(argv)
     argv, time_trace = _extract_time_trace(argv)
+    argv, cache_dir = _extract_cache_flags(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     if args.print_pipeline_passes:
@@ -476,6 +530,16 @@ def main(argv: list[str] | None = None) -> int:
             name, value = item, "1"
         defines[name] = value
 
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import CompilationCache
+
+        cache = CompilationCache(
+            cache_dir,
+            max_entries=args.cache_max_entries,
+            max_disk_bytes=args.cache_max_bytes,
+        )
+
     stats_before = STATS.snapshot()
     if time_trace is not None:
         enable_time_trace()
@@ -512,7 +576,9 @@ def main(argv: list[str] | None = None) -> int:
             # repro.driver.exitcodes).
             code = worst_exit_code(
                 code,
-                _drive(args, source, filename, defines, invocation),
+                _drive(
+                    args, source, filename, defines, invocation, cache
+                ),
             )
     finally:
         FAULTS.disarm_all()
@@ -531,11 +597,27 @@ def main(argv: list[str] | None = None) -> int:
                 STATS.render_text(STATS.delta_since(stats_before)),
                 file=sys.stderr,
             )
+        if args.print_cache_stats:
+            delta = {
+                key: value
+                for key, value in STATS.delta_since(
+                    stats_before
+                ).items()
+                if key.startswith("cache.")
+            }
+            print(STATS.render_text(delta), file=sys.stderr)
+            if cache is not None:
+                print(cache.describe(), file=sys.stderr)
     return code
 
 
 def _drive(
-    args, source: str, filename: str, defines: dict, invocation: str
+    args,
+    source: str,
+    filename: str,
+    defines: dict,
+    invocation: str,
+    cache=None,
 ) -> int:
     """Map every outcome of one input to its exit code.
 
@@ -546,7 +628,9 @@ def _drive(
     from repro.runtime.team import TeamError
 
     try:
-        return _drive_one(args, source, filename, defines, invocation)
+        return _drive_one(
+            args, source, filename, defines, invocation, cache
+        )
     except CompilationError as err:
         print(err.diagnostics_text, file=sys.stderr)
         return EXIT_ICE if err.ice else EXIT_USER_ERROR
@@ -582,11 +666,52 @@ def _drive(
 
 
 def _drive_one(
-    args, source: str, filename: str, defines: dict, invocation: str
+    args,
+    source: str,
+    filename: str,
+    defines: dict,
+    invocation: str,
+    cache=None,
 ) -> int:
     """The actual compile/run logic for one input (exceptions are
     mapped to exit codes by :func:`_drive`)."""
     instrument = _build_instrumentation(args)
+    if (
+        cache is not None
+        and not args.run
+        and not args.ast_dump
+        and not args.ast_dump_shadow
+        and not args.syntax_only
+        and instrument is None
+        and not (args.rpass or args.rpass_missed or args.rpass_analysis)
+    ):
+        # Plain compile: the memoized path.  Introspection flags
+        # (-print-before/-Rpass/-verify-each/...) need the passes to
+        # actually execute, so they fall through to the cold pipeline.
+        from repro.pipeline import compile_source_cached
+
+        cc = compile_source_cached(
+            source,
+            cache,
+            filename=filename,
+            openmp=args.openmp,
+            enable_irbuilder=args.enable_irbuilder,
+            optimize=args.optimize,
+            defines=defines,
+            include_paths=args.include_paths,
+            strip_omp_transforms=args.strip_omp_transforms,
+            error_limit=args.error_limit,
+            crash_reproducer_dir=args.crash_reproducer_dir,
+            invocation=invocation,
+        )
+        if cc.diagnostics_text:
+            print(cc.diagnostics_text, file=sys.stderr)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(cc.ir_text + "\n")
+        else:
+            print(cc.ir_text)
+        return 0
     if args.run:
         result = run_source(
             source,

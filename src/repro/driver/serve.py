@@ -5,7 +5,11 @@ Each input file becomes one :class:`~repro.service.CompileRequest`; the
 batch is executed on a pool of isolated worker processes with per-attempt
 wall-clock deadlines, retry with backoff, optional hedging, per-input
 circuit breaking, bounded admission, and shadow-AST <-> IRBuilder
-graceful degradation.  Successful payloads (IR text or guest stdout) go
+graceful degradation.  With ``-fcache[=DIR]`` terminal responses and
+per-stage compile artifacts are memoized in a content-addressed cache
+(workers share the disk tier), and concurrent identical requests
+collapse onto one execution (single-flight; disable with
+``--no-single-flight``).  Successful payloads (IR text or guest stdout) go
 to stdout; one status line per request goes to stderr with stable tokens
 for FileCheck::
 
@@ -158,6 +162,36 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="where poison-input reproducers are written "
         "('' disables quarantine reproducers)",
     )
+    # -fcache[=DIR] / -fno-cache are extracted manually in main()
+    # (same nargs="?"-vs-positional hazard as miniclang's -ftime-trace)
+    parser.add_argument(
+        "-fcache-max-entries",
+        type=int,
+        default=1024,
+        dest="cache_max_entries",
+        metavar="N",
+        help="in-memory cache tier capacity in entries (default 1024)",
+    )
+    parser.add_argument(
+        "-fcache-max-bytes",
+        type=int,
+        default=256 * 1024 * 1024,
+        dest="cache_max_bytes",
+        metavar="N",
+        help="on-disk cache tier byte budget (default 256 MiB)",
+    )
+    parser.add_argument(
+        "--no-single-flight",
+        action="store_true",
+        help="do not coalesce concurrent identical requests onto one "
+        "execution",
+    )
+    parser.add_argument(
+        "-print-cache-stats",
+        action="store_true",
+        dest="print_cache_stats",
+        help="dump the cache.* counters and cache tier summary",
+    )
     parser.add_argument(
         "--json",
         action="store_true",
@@ -189,6 +223,10 @@ def _status_line(name: str, request, response: CompileResponse) -> str:
         bits.append(f"retries={response.retries}")
     if response.hedged:
         bits.append("hedged")
+    if response.cache_hit:
+        bits.append("cached")
+    if response.coalesced:
+        bits.append("coalesced")
     if response.exit_code not in (None, 0):
         bits.append(f"exit={response.exit_code}")
     if response.reproducer_path:
@@ -216,7 +254,10 @@ def _response_exit_code(response: CompileResponse) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.driver.cli import _extract_cache_flags
+
     argv = list(sys.argv[1:] if argv is None else argv)
+    argv, cache_dir = _extract_cache_flags(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -264,11 +305,17 @@ def main(argv: list[str] | None = None) -> int:
         hedge_delay_s=args.hedge_delay,
         allow_degraded=not args.no_degrade,
         quarantine_dir=args.quarantine_dir or None,
+        enable_cache=cache_dir is not None,
+        cache_dir=cache_dir,
+        cache_max_entries=args.cache_max_entries,
+        cache_max_bytes=args.cache_max_bytes,
+        single_flight=not args.no_single_flight,
     )
     stats_before = STATS.snapshot()
     code = EXIT_USER_ERROR if read_errors else EXIT_OK
     with CompileService(config) as service:
         responses = service.process_batch(requests)
+        service_cache = service.cache
     for name, request, response in zip(names, requests, responses):
         print(_status_line(name, request, response), file=sys.stderr)
         if response.status not in (STATUS_OK, STATUS_DEGRADED):
@@ -287,6 +334,15 @@ def main(argv: list[str] | None = None) -> int:
             STATS.render_text(STATS.delta_since(stats_before)),
             file=sys.stderr,
         )
+    if args.print_cache_stats:
+        delta = {
+            key: value
+            for key, value in STATS.delta_since(stats_before).items()
+            if key.startswith("cache.")
+        }
+        print(STATS.render_text(delta), file=sys.stderr)
+        if service_cache is not None:
+            print(service_cache.describe(), file=sys.stderr)
     return code
 
 

@@ -32,6 +32,17 @@ class IRType:
         """Store size in bytes (LP64 layout)."""
         raise NotImplementedError(f"{self} has no size")
 
+    # Types are interned immutables (LLVM context-uniqued analogue):
+    # cloning a module must alias them, never duplicate them —
+    # duplication would both break identity comparisons and trip the
+    # interning ``__new__`` signatures under ``copy.deepcopy``.
+    def __copy__(self) -> "IRType":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "IRType":
+        memo[id(self)] = self
+        return self
+
 
 class VoidType(IRType):
     def __str__(self) -> str:

@@ -290,6 +290,347 @@ def compile_source(
         return result
 
 
+def _lex_for_cache(
+    source: str,
+    filename: str,
+    openmp: bool,
+    defines: dict[str, str],
+    include_paths: list[str],
+    strip_omp_transforms: bool,
+):
+    """Preprocess *source* in isolation (the cache's stage-1 probe).
+
+    Returns ``(tokens, diags)``; the token stream is what the
+    preprocess-stage cache key hashes, so an include-file edit changes
+    the key (the stream reflects post-#include content) while a comment
+    or whitespace edit does not."""
+    sm = SourceManager()
+    fm = FileManager(include_paths or [])
+    diags = DiagnosticsEngine(sm)
+    pp = Preprocessor(
+        sm,
+        fm,
+        diags,
+        PreprocessorOptions(
+            defines=dict(defines),
+            openmp=openmp,
+            strip_omp_transforms=strip_omp_transforms,
+        ),
+    )
+    pp.enter_source(source, filename)
+    return pp.lex_all(), diags
+
+
+def compile_source_cached(
+    source: str,
+    cache,
+    *,
+    filename: str = "<input>",
+    openmp: bool = True,
+    enable_irbuilder: bool = False,
+    optimize: bool = False,
+    defines: dict[str, str] | None = None,
+    include_paths: list[str] | None = None,
+    strip_omp_transforms: bool = False,
+    error_limit: int = 0,
+    crash_reproducer_dir: str | None = None,
+    invocation: str | None = None,
+):
+    """:func:`compile_source` with per-stage memoization.
+
+    *cache* is a :class:`repro.cache.CompilationCache`.  The memoization
+    hooks sit at the pipeline's stage boundaries, each keyed by a chain
+    of content hashes (see :mod:`repro.cache.key`), so recompilation
+    resumes downstream of the first divergent input:
+
+    1. **exact** — the raw request (source + flags) matches an alias:
+       replay the final artifact, run nothing;
+    2. **tokens** — after preprocessing, the token stream matches: the
+       final artifact is replayed and parse/sema/codegen/mid-end are
+       skipped (comment and whitespace edits land here);
+    3. **module** — only the ``optimize`` flag diverged: the memoized
+       unoptimized module (deep-copied) feeds the mid-end directly;
+    4. **cold** — full compile; every stage artifact is recorded on the
+       way out, including per-function codegen hashes.
+
+    Only *successful* compiles are cached (diagnostic-error and ICE
+    outcomes raise, exactly like ``compile_source(strict=True)``, and
+    leave no cache entry).  Cached diagnostics (warnings) embed source
+    locations, so they are only replayed when the raw source text is
+    byte-identical — a token-level hit on a comment-shifted file falls
+    back to a cold compile rather than replaying stale line numbers.
+    Returns a :class:`repro.cache.CachedCompile`; cached and cold
+    compiles are byte-identical in ``ir_text`` and
+    ``diagnostics_text`` (the differential fuzzer's cache oracle
+    enforces this).
+    """
+    import copy as _copy
+
+    from repro.cache.cache import (
+        FUNCTION_HITS,
+        STAGE_RESUMES,
+        CachedCompile,
+    )
+    from repro.cache.key import (
+        define_items,
+        request_fingerprint,
+        source_id,
+        stage_key,
+        token_stream_text,
+    )
+    from repro.ir.printer import print_function
+    from repro.midend import default_pass_pipeline
+
+    defines = dict(defines or {})
+    include_paths = list(include_paths or [])
+    mode = "irbuilder" if enable_irbuilder else "shadow"
+    src_id = source_id(source)
+
+    raw_key = request_fingerprint(
+        source,
+        filename=filename,
+        openmp=openmp,
+        enable_irbuilder=enable_irbuilder,
+        optimize=optimize,
+        strip_omp_transforms=strip_omp_transforms,
+        defines=defines,
+        include_paths=include_paths,
+        error_limit=error_limit,
+    )
+    # The raw key hashes the main file's bytes but not the bytes of
+    # any #included headers; only the token-stream key sees those.
+    # With include paths in play the exact-alias fast path could
+    # replay a stale artifact after a header edit, so skip it.
+    allow_alias = not include_paths
+
+    def _tier_of(key: str) -> str:
+        return (
+            "memory" if f"artifact:{key}" in cache.memory else "disk"
+        )
+
+    def _diags_ok(artifact: dict) -> bool:
+        # Rendered diagnostics embed line/column numbers, so they are
+        # only valid verbatim against the exact source that produced
+        # them.  Clean compiles replay anywhere.
+        return (
+            artifact.get("diagnostics", "") == ""
+            or artifact.get("source_id") == src_id
+        )
+
+    if allow_alias:
+        target = cache.get_alias(raw_key)
+        if target is not None:
+            # Tier must be sampled before the lookup: a disk hit is
+            # promoted into the memory tier on the way out.
+            tier = _tier_of(target)
+            artifact = cache.get_artifact(target)
+            if artifact is not None and _diags_ok(artifact):
+                return CachedCompile(
+                    ir_text=artifact["ir"],
+                    diagnostics_text=artifact.get("diagnostics", ""),
+                    key=target,
+                    hit=True,
+                    resumed_from="exact",
+                    origin=tier,
+                    stage_keys={"final": target},
+                )
+
+    # Stage 1 probe: preprocess in isolation to derive the chained
+    # stage keys.  Any lex-level failure (error diagnostics, fatal
+    # include errors) falls through to the uncached pipeline, which
+    # owns error rendering and crash recovery — nothing is cached.
+    tokens = None
+    try:
+        tokens, pre_diags = _lex_for_cache(
+            source,
+            filename,
+            openmp,
+            defines,
+            include_paths,
+            strip_omp_transforms,
+        )
+        if pre_diags.has_errors():
+            tokens = None
+    except Exception:
+        tokens = None
+
+    stage_keys: dict[str, str] = {}
+    k_cg = k_opt = final_key = None
+    if tokens is not None:
+        k_pp = stage_key(
+            "preprocess",
+            None,
+            [
+                token_stream_text(tokens),
+                filename,
+                openmp,
+                list(define_items(defines)),
+                strip_omp_transforms,
+            ],
+        )
+        k_fe = stage_key("frontend", k_pp, [mode, error_limit])
+        k_cg = stage_key("codegen", k_fe, [])
+        stage_keys = {
+            "preprocess": k_pp,
+            "frontend": k_fe,
+            "codegen": k_cg,
+        }
+        if optimize:
+            k_opt = stage_key(
+                "opt", k_cg, default_pass_pipeline().pass_names()
+            )
+            stage_keys["opt"] = k_opt
+        final_key = k_opt if optimize else k_cg
+
+        tier = _tier_of(final_key)  # sample before the promoting get
+        artifact = cache.get_artifact(final_key)
+        if artifact is not None and _diags_ok(artifact):
+            STAGE_RESUMES.inc()
+            if allow_alias:
+                cache.put_alias(raw_key, final_key)
+            return CachedCompile(
+                ir_text=artifact["ir"],
+                diagnostics_text=artifact.get("diagnostics", ""),
+                key=final_key,
+                hit=True,
+                resumed_from="tokens",
+                origin=tier,
+                stage_keys=stage_keys,
+            )
+
+        if optimize:
+            # Module resume: the unoptimized module for this token
+            # stream is memoized in-process — rerun only the mid-end.
+            cg_art = cache.get_artifact(k_cg)
+            if cg_art is not None and _diags_ok(cg_art):
+                module = cache.get_module(k_cg)
+                if module is not None:
+                    STAGE_RESUMES.inc()
+                    with crash_context(
+                        source,
+                        filename,
+                        invocation,
+                        crash_reproducer_dir,
+                    ):
+                        default_pass_pipeline().run(module)
+                        with time_trace_scope("Verify", filename):
+                            verify_module(module)
+                    diag_text = cg_art.get("diagnostics", "")
+                    artifact = {
+                        "stage": "opt",
+                        "ir": print_module(module),
+                        "diagnostics": diag_text,
+                        "source_id": cg_art.get("source_id", src_id),
+                    }
+                    cache.put_artifact(k_opt, artifact)
+                    if allow_alias:
+                        cache.put_alias(raw_key, k_opt)
+                    return CachedCompile(
+                        ir_text=artifact["ir"],
+                        diagnostics_text=diag_text,
+                        key=k_opt,
+                        hit=False,
+                        resumed_from="module",
+                        origin="compiled",
+                        stage_keys=stage_keys,
+                    )
+
+    # Cold: the full pipeline.  strict=True means errors and ICEs
+    # raise before any store below, so failures are never cached.
+    result = compile_source(
+        source,
+        filename=filename,
+        openmp=openmp,
+        enable_irbuilder=enable_irbuilder,
+        syntax_only=False,
+        defines=defines,
+        include_paths=include_paths,
+        verify=True,
+        strict=True,
+        error_limit=error_limit,
+        crash_reproducer_dir=crash_reproducer_dir,
+        invocation=invocation,
+        strip_omp_transforms=strip_omp_transforms,
+    )
+    assert result.module is not None
+    diag_text = result.diagnostics_text()
+    unopt_ir = result.ir_text()
+
+    if k_cg is not None:
+        cache.put_artifact(
+            k_cg,
+            {
+                "stage": "codegen",
+                "ir": unopt_ir,
+                "diagnostics": diag_text,
+                "source_id": src_id,
+            },
+        )
+        # Per-function codegen memo: keyed by the function body's AST
+        # dump, so an edit to one function registers every *other*
+        # function as a codegen-level hit.  (Splicing cached function
+        # text into a fresh module is unsound — module-level metadata
+        # numbering is global — so this memo only feeds accounting
+        # and the stored per-function IR snapshots.)
+        for fn in result.translation_unit.functions():
+            if fn.body is None:
+                continue
+            fn_key = stage_key(
+                "fn-codegen",
+                None,
+                [mode, fn.name, dump_ast(fn.body, dump_shadow=True)],
+            )
+            if cache.has_function(fn_key):
+                FUNCTION_HITS.inc()
+            else:
+                ir_fn = result.module.functions.get(fn.name)
+                cache.put_function(
+                    fn_key,
+                    print_function(ir_fn) if ir_fn is not None else "",
+                )
+        # Memoize the unoptimized module for O0 -> O1 resume.  When
+        # the mid-end is about to mutate it, memoize a private copy.
+        cache.put_module(
+            k_cg,
+            _copy.deepcopy(result.module) if optimize else result.module,
+        )
+
+    if optimize:
+        with crash_context(
+            source, filename, invocation, crash_reproducer_dir
+        ):
+            default_pass_pipeline(
+                remarks=result.diagnostics.remarks
+            ).run(result.module)
+            with time_trace_scope("Verify", filename):
+                verify_module(result.module)
+        final_ir = result.ir_text()
+        if k_opt is not None:
+            cache.put_artifact(
+                k_opt,
+                {
+                    "stage": "opt",
+                    "ir": final_ir,
+                    "diagnostics": diag_text,
+                    "source_id": src_id,
+                },
+            )
+    else:
+        final_ir = unopt_ir
+
+    if final_key is not None and allow_alias:
+        cache.put_alias(raw_key, final_key)
+    return CachedCompile(
+        ir_text=final_ir,
+        diagnostics_text=diag_text,
+        key=final_key if final_key is not None else raw_key,
+        hit=False,
+        resumed_from=None,
+        origin="compiled",
+        stage_keys=stage_keys,
+    )
+
+
 def run_source(
     source: str,
     entry: str = "main",
@@ -420,6 +761,7 @@ def execute_request(
     fuel: int | None = None,
     timeout_s: float | None = None,
     strip_omp_transforms: bool = False,
+    cache=None,
 ) -> RequestOutcome:
     """Request-scoped pipeline entry point for the compile service.
 
@@ -428,6 +770,10 @@ def execute_request(
     coexisting implementations) and maps every exception class the
     pipeline can produce onto a :class:`RequestOutcome` kind — the
     caller gets a terminal classification, never an exception.
+
+    *cache* (a :class:`repro.cache.CompilationCache`) routes ``compile``
+    actions through :func:`compile_source_cached`; output stays
+    byte-identical to the uncached path.
     """
     from repro.core.crash_recovery import InternalCompilerError
     from repro.instrument.faultinject import InjectedFault
@@ -458,6 +804,17 @@ def execute_request(
             )
             code = rr.exit_code if isinstance(rr.exit_code, int) else 0
             return finish("ok", output=rr.stdout, exit_code=code)
+        if cache is not None:
+            cc = compile_source_cached(
+                source,
+                cache,
+                filename=filename,
+                enable_irbuilder=enable_irbuilder,
+                optimize=optimize,
+                defines=defines,
+                strip_omp_transforms=strip_omp_transforms,
+            )
+            return finish("ok", output=cc.ir_text, exit_code=0)
         result = compile_source(
             source,
             filename=filename,

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Optional
 
 # ----------------------------------------------------------------------
@@ -138,6 +138,10 @@ class CompileResponse:
     hedged: bool = False
     duration_s: float = 0.0
     reproducer_path: Optional[str] = None
+    #: served from the service's response cache (no worker ran)
+    cache_hit: bool = False
+    #: fanned out from a coalesced single-flight leader's execution
+    coalesced: bool = False
     #: compile-stat deltas shipped back from the winning worker
     stats: dict[str, int] = field(default_factory=dict)
 
@@ -160,7 +164,18 @@ class CompileResponse:
             "hedged": self.hedged,
             "duration_s": round(self.duration_s, 6),
             "reproducer_path": self.reproducer_path,
+            "cache_hit": self.cache_hit,
+            "coalesced": self.coalesced,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileResponse":
+        """Rebuild a response from :meth:`to_dict` output (the service's
+        response-cache wire format); unknown keys are ignored."""
+        known = {f.name for f in fields(cls)}
+        return cls(
+            **{k: v for k, v in data.items() if k in known}
+        )
 
 
 # ----------------------------------------------------------------------
@@ -183,6 +198,9 @@ class WorkPayload:
     fuel: Optional[int]
     strip_omp_transforms: bool
     inject_faults: tuple[str, ...]
+    #: directory of the shared on-disk compilation cache; None disables
+    #: worker-side artifact caching for this attempt
+    cache_dir: Optional[str] = None
 
 
 @dataclass

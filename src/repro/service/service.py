@@ -25,7 +25,17 @@ representation:
   IRBuilder path is transparently retried on the shadow-AST path (and
   vice versa): the paper's two independent implementations of the same
   transformations double as fault-tolerance spares.  Degraded successes
-  are tagged (``status == "degraded"``, ``mode_used``).
+  are tagged (``status == "degraded"``, ``mode_used``);
+* **response caching** — with a :class:`repro.cache.CompilationCache`
+  attached, deterministic terminal responses (ok / error / degraded)
+  are memoized per request fingerprint and replayed without running a
+  worker; degraded answers live under a ``#degraded``-tagged key and
+  nothing is served or stored while the fingerprint's breaker is not
+  closed.  Workers additionally share a per-stage artifact cache
+  through ``cache_dir`` (:func:`repro.pipeline.compile_source_cached`);
+* **single-flight dedup** — concurrent identical fingerprints collapse
+  onto one leader execution; followers park and receive copies of the
+  leader's terminal response (``coalesced=True``).
 
 The contract: every admitted request receives exactly one terminal
 :class:`~repro.service.request.CompileResponse`.  All decisions feed
@@ -36,13 +46,18 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.cache import CompilationCache, InflightTable, degraded_key
+from repro.cache.cache import (
+    DEGRADED_HITS,
+    SINGLE_FLIGHT_COLLAPSES,
+)
 from repro.core.crash_recovery import crash_context, write_reproducer
 from repro.instrument.stats import STATS, get_statistic
 from repro.instrument.timetrace import active_time_trace
-from repro.service.breaker import BreakerBoard
+from repro.service.breaker import CLOSED, BreakerBoard
 from repro.service.pool import WorkerHandle, WorkerPool
 from repro.service.queue import AdmissionQueue
 from repro.service.request import (
@@ -148,6 +163,19 @@ class ServiceConfig:
     allow_degraded: bool = True
     quarantine_dir: Optional[str] = "service-quarantine"
     start_method: Optional[str] = None
+    #: a :class:`repro.cache.CompilationCache` to memoize terminal
+    #: responses in (None disables response caching); built from
+    #: ``cache_dir`` when ``enable_cache`` is set and no instance given
+    cache: Optional[CompilationCache] = None
+    enable_cache: bool = False
+    #: shared on-disk cache directory: the parent's response cache and
+    #: every worker's artifact cache root here (None = parent-memory
+    #: response cache only, no worker-side artifact caching)
+    cache_dir: Optional[str] = None
+    cache_max_entries: int = 1024
+    cache_max_bytes: int = 256 * 1024 * 1024
+    #: coalesce concurrent identical requests onto one execution
+    single_flight: bool = True
 
 
 class _RequestState:
@@ -202,6 +230,18 @@ class CompileService:
         self._responses: dict[str, CompileResponse] = {}
         self._seq = 0
         self._clock = time.monotonic
+        self._cache: Optional[CompilationCache] = self.config.cache
+        if self._cache is None and self.config.enable_cache:
+            self._cache = CompilationCache(
+                self.config.cache_dir,
+                max_entries=self.config.cache_max_entries,
+                max_disk_bytes=self.config.cache_max_bytes,
+            )
+        self._inflight: InflightTable[_RequestState] = InflightTable()
+
+    @property
+    def cache(self) -> Optional[CompilationCache]:
+        return self._cache
 
     # ------------------------------------------------------------------
     # Admission
@@ -219,6 +259,14 @@ class CompileService:
         now = self._clock()
         state = _RequestState(request, now)
         breaker = self._breakers.get(state.fingerprint)
+        # The breaker is consulted before the cache on purpose: a
+        # quarantined fingerprint must be rejected, never answered from
+        # a cache entry recorded back when it was healthy, and a
+        # half-open probe must actually run.
+        if breaker.state == CLOSED and self._cache is not None:
+            response = self._serve_from_cache(state)
+            if response is not None:
+                return response
         if not breaker.allow():
             _BREAKER_REJECTED.inc()
             return self._reject(
@@ -227,6 +275,14 @@ class CompileService:
                 "circuit breaker open for this input fingerprint "
                 f"({state.fingerprint}): quarantined as poison",
             )
+        if self.config.single_flight:
+            # Single-flight: an identical request already in flight
+            # makes this one a follower — it parks, runs nothing, and
+            # receives a copy of the leader's terminal response.
+            if self._inflight.leader(state.fingerprint) is not None:
+                self._inflight.follow(state.fingerprint, state)
+                SINGLE_FLIGHT_COLLAPSES.inc()
+                return None
         if not self._queue.offer(state):
             _SHED.inc()
             return self._reject(
@@ -235,7 +291,42 @@ class CompileService:
                 "admission queue over capacity "
                 f"({self._queue.capacity}); retry later",
             )
+        if self.config.single_flight:
+            self._inflight.lead(state.fingerprint, state)
         return None
+
+    def _serve_from_cache(
+        self, state: _RequestState
+    ) -> Optional[CompileResponse]:
+        """Replay a memoized terminal response, if one exists.  The
+        degraded-tagged key is consulted only as a fallback and only
+        when degradation is allowed for this request."""
+        assert self._cache is not None
+        data = self._cache.get_response(state.fingerprint)
+        if (
+            data is None
+            and self.config.allow_degraded
+            and state.request.allow_degraded
+        ):
+            data = self._cache.get_response(
+                degraded_key(state.fingerprint)
+            )
+            if data is not None:
+                DEGRADED_HITS.inc()
+        if data is None:
+            return None
+        response = CompileResponse.from_dict(data)
+        response.request_id = state.request.request_id
+        response.cache_hit = True
+        # Attempt accounting describes *this* request's serving cost:
+        # a replay burned no workers regardless of what the original
+        # execution took.
+        response.attempts = 0
+        response.retries = 0
+        response.hedged = False
+        response.duration_s = self._clock() - state.admitted_at
+        self._record_response(state, response)
+        return response
 
     def _reject(
         self, state: _RequestState, status: str, detail: str
@@ -324,6 +415,11 @@ class CompileService:
             fuel=request.fuel,
             strip_omp_transforms=request.strip_omp_transforms,
             inject_faults=request.faults_for_attempt(attempt),
+            cache_dir=(
+                self.config.cache_dir
+                if self._cache is not None
+                else None
+            ),
         )
         if not worker.send(payload):
             self.pool.restart(worker)
@@ -664,6 +760,52 @@ class CompileService:
         self._queue.release()
         self._active.remove(state)
         self._record_response(state, response)
+        self._maybe_cache_store(state, response)
+        if self.config.single_flight:
+            for follower in self._inflight.resolve(
+                state.fingerprint, state
+            ):
+                fanned = replace(
+                    response,
+                    request_id=follower.request.request_id,
+                    coalesced=True,
+                    # the follower itself burned no attempts: the
+                    # leader's execution cost is on the leader's row
+                    attempts=0,
+                    retries=0,
+                    hedged=False,
+                    duration_s=now - follower.admitted_at,
+                )
+                self._record_response(follower, fanned)
+
+    #: terminal statuses worth memoizing: deterministic answers a
+    #: byte-identical future request would reproduce anyway
+    _CACHEABLE_STATUSES = frozenset(
+        {STATUS_OK, STATUS_ERROR, STATUS_DEGRADED}
+    )
+
+    def _maybe_cache_store(
+        self, state: _RequestState, response: CompileResponse
+    ) -> None:
+        """Memoize a terminal response under the request fingerprint.
+
+        Never caches while the fingerprint's breaker is not CLOSED (a
+        quarantined input must stay quarantined, a half-open probe's
+        answer must not short-circuit the recovery protocol), never
+        caches infrastructure failures (ice/timeout/circuit-open —
+        transient by definition), and files degraded results under the
+        degraded-tagged key so they can never shadow a primary result.
+        """
+        if self._cache is None or response.cache_hit:
+            return
+        if response.status not in self._CACHEABLE_STATUSES:
+            return
+        if self._breakers.get(state.fingerprint).state != CLOSED:
+            return
+        key = state.fingerprint
+        if response.status == STATUS_DEGRADED:
+            key = degraded_key(key)
+        self._cache.put_response(key, response.to_dict())
 
     def _record_response(
         self, state: _RequestState, response: CompileResponse

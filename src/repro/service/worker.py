@@ -35,6 +35,23 @@ from repro.service.request import WorkOutcome, WorkPayload
 #: realistic per-attempt deadline
 _HANG_SLEEP_S = 3600.0
 
+#: per-process compilation caches, one per cache directory.  Workers
+#: share the *disk* tier through the directory; the memory tier (and
+#: the live-module memo) is private to each worker process.
+_CACHES: dict = {}
+
+
+def _cache_for(cache_dir):
+    if cache_dir is None:
+        return None
+    cache = _CACHES.get(cache_dir)
+    if cache is None:
+        from repro.cache import CompilationCache
+
+        cache = CompilationCache(cache_dir)
+        _CACHES[cache_dir] = cache
+    return cache
+
 
 def execute_payload(payload: WorkPayload) -> WorkOutcome:
     """Run one attempt in this process and classify the outcome."""
@@ -79,6 +96,13 @@ def execute_payload(payload: WorkPayload) -> WorkOutcome:
             defines=payload.defines,
             fuel=payload.fuel,
             strip_omp_transforms=payload.strip_omp_transforms,
+            # A fault-armed attempt must really run the pipeline — an
+            # artifact-cache hit would skip the armed site entirely.
+            cache=(
+                None
+                if payload.inject_faults
+                else _cache_for(getattr(payload, "cache_dir", None))
+            ),
         )
         return WorkOutcome(
             request_id=payload.request_id,

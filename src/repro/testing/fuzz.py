@@ -45,6 +45,19 @@ def service_configs() -> tuple[Config, ...]:
         Config("service", via_service=True),
         DEFAULT_CONFIGS[-1],
     )
+
+
+def cached_configs() -> tuple[Config, ...]:
+    """DEFAULT_CONFIGS plus the compilation-cache oracle configurations
+    (cached and cold compiles must be byte-identical, warm and
+    stage-resumed included), inserted before the stripped reference."""
+    return DEFAULT_CONFIGS[:-1] + (
+        Config("cached-shadow", cached=True),
+        Config("cached-irbuilder", cached=True, enable_irbuilder=True),
+        DEFAULT_CONFIGS[-1],
+    )
+
+
 from repro.testing.shrink import shrink_source
 
 
@@ -265,6 +278,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         "differential configuration",
     )
     parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="add the compilation-cache oracle configurations: cached "
+        "(cold, warm, stage-resumed) compiles must be byte-identical "
+        "to uncached ones",
+    )
+    parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress progress lines",
     )
@@ -281,12 +301,20 @@ def main(argv: Optional[list[str]] = None) -> int:
     progress = None if args.quiet else (
         lambda msg: print(msg, file=sys.stderr)
     )
+    if args.service and args.cache:
+        parser.error("--service and --cache are mutually exclusive")
+    if args.service:
+        configs = service_configs()
+    elif args.cache:
+        configs = cached_configs()
+    else:
+        configs = DEFAULT_CONFIGS
     report = run_campaign(
         count=args.count,
         seed=args.seed,
         reproducer_dir=args.reproducer_dir,
         shrink=args.shrink,
-        configs=service_configs() if args.service else DEFAULT_CONFIGS,
+        configs=configs,
         num_threads=args.num_threads,
         fuel=args.fuel,
         progress=progress,

@@ -35,6 +35,11 @@ class Config:
     compile service (worker-pool isolation) instead of the in-process
     pipeline — the service then becomes a differential configuration of
     its own: its retry/degradation machinery must be semantics-neutral.
+
+    ``cached=True`` additionally compiles through the content-addressed
+    compilation cache — cold, warm, and stage-resumed — and
+    byte-compares every cached result against the uncached pipeline
+    before running: the cache must be invisible to the semantics.
     """
 
     name: str
@@ -42,6 +47,7 @@ class Config:
     optimize: bool = False
     strip_omp_transforms: bool = False
     via_service: bool = False
+    cached: bool = False
 
     def run(self, source: str, num_threads: int, fuel: int):
         return run_source(
@@ -70,7 +76,7 @@ class Divergence:
 
     kind: str  # stdout / exit-code / trips / expected-stdout /
     #          # transformed-compile-error / stripped-compile-error /
-    #          # timeout / ice
+    #          # timeout / ice / cache-divergence
     config: str  # the configuration that disagreed
     detail: str
     source: str
@@ -103,6 +109,12 @@ def _run_config(
     if config.via_service:
         return _run_config_via_service(config, source, num_threads, fuel)
     try:
+        if config.cached:
+            mismatch = _cache_identity_mismatch(config, source)
+            if mismatch is not None:
+                return _Outcome(
+                    error="cache-divergence", error_detail=mismatch
+                )
         result = config.run(source, num_threads, fuel)
     except CompilationError as exc:
         kind = "ice" if exc.ice else "compile-error"
@@ -118,6 +130,95 @@ def _run_config(
         )
     code = result.exit_code if isinstance(result.exit_code, int) else 0
     return _Outcome(stdout=result.stdout, exit_code=code)
+
+
+#: one cache shared across a campaign's seeds, like a developer's
+#: long-lived cache directory — keys are content addresses, so reuse
+#: across unrelated programs is exactly what must stay sound
+_ORACLE_CACHE = None
+
+
+def _cache_identity_mismatch(
+    config: Config, source: str
+) -> Optional[str]:
+    """The cache oracle: compile *source* through the memoized pipeline
+    at both optimization levels, twice each (the second compile must be
+    a cache hit), and byte-compare every IR/diagnostics result against
+    the uncached pipeline.  Returns a description of the first
+    mismatch, None when the cache is byte-invisible.  Compilation
+    errors propagate to the caller's normal error mapping.
+    """
+    import difflib
+
+    global _ORACLE_CACHE
+    from repro.cache import CompilationCache
+    from repro.ir.verifier import verify_module
+    from repro.midend import default_pass_pipeline
+    from repro.pipeline import compile_source, compile_source_cached
+
+    if _ORACLE_CACHE is None:
+        _ORACLE_CACHE = CompilationCache()
+    cache = _ORACLE_CACHE
+
+    def compile_cached(optimize: bool):
+        return compile_source_cached(
+            source,
+            cache,
+            enable_irbuilder=config.enable_irbuilder,
+            optimize=optimize,
+            strip_omp_transforms=config.strip_omp_transforms,
+        )
+
+    def compile_cold(optimize: bool) -> tuple[str, str]:
+        result = compile_source(
+            source,
+            enable_irbuilder=config.enable_irbuilder,
+            strip_omp_transforms=config.strip_omp_transforms,
+            strict=True,
+        )
+        if optimize:
+            default_pass_pipeline(
+                remarks=result.diagnostics.remarks
+            ).run(result.module)
+            verify_module(result.module)
+        return result.ir_text(), result.diagnostics_text()
+
+    for optimize in (False, True):
+        level = f"O{int(optimize)}"
+        first = compile_cached(optimize)
+        again = compile_cached(optimize)
+        ref_ir, ref_diags = compile_cold(optimize)
+        for label, cc in (("first", first), ("repeat", again)):
+            if cc.ir_text != ref_ir:
+                diff = "\n".join(
+                    list(
+                        difflib.unified_diff(
+                            ref_ir.splitlines(),
+                            cc.ir_text.splitlines(),
+                            "cold-ir",
+                            f"cached-ir[{label}]",
+                            lineterm="",
+                        )
+                    )[:40]
+                )
+                return (
+                    f"[{level} {label} resume={cc.resumed_from} "
+                    f"origin={cc.origin}] cached IR differs from the "
+                    f"uncached pipeline:\n{diff}"
+                )
+            if cc.diagnostics_text != ref_diags:
+                return (
+                    f"[{level} {label} resume={cc.resumed_from}] "
+                    f"cached diagnostics differ:\n"
+                    f"cached: {cc.diagnostics_text!r}\n"
+                    f"cold:   {ref_diags!r}"
+                )
+        if not again.hit:
+            return (
+                f"[{level}] repeat compile missed the cache "
+                f"(resume={again.resumed_from})"
+            )
+    return None
 
 
 def _run_config_via_service(
