@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test conformance fuzz fuzz-smoke fuzz-cache cache-bench \
-	fault-sweep service-chaos check-all
+	fault-sweep service-chaos service-bench check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -53,6 +53,14 @@ service-chaos:
 	    --poison 2 --workers 2 --deadline 5 \
 	    --quarantine-dir service-quarantine
 
+# Service load-test harness: replays workload mixes (steady, cached,
+# faulted, overload) and records what the telemetry stack reports ->
+# BENCH_service.json.  Override: make service-bench BENCH_ARGS=--smoke
+BENCH_ARGS ?=
+service-bench:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/service_bench.py \
+	    $(BENCH_ARGS)
+
 # Everything CI runs, in one shot.
 check-all: test conformance fuzz-smoke fault-sweep service-chaos \
-	cache-bench
+	cache-bench service-bench

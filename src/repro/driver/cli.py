@@ -195,6 +195,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
         help="dump internal statistics counters (LLVM -stats style)",
     )
     parser.add_argument(
+        "--stats-json",
+        default=None,
+        dest="stats_json",
+        metavar="FILE",
+        help="write this invocation's statistics deltas as sorted JSON "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
         "-print-cache-stats",
         action="store_true",
         dest="print_cache_stats",
@@ -465,6 +473,26 @@ def _extract_cache_flags(
     return remaining, cache_dir
 
 
+def _write_stats_json(
+    path: str, stats_before: dict[str, int]
+) -> None:
+    """Write the statistics deltas since *stats_before* as JSON with
+    deterministically sorted keys (``-`` = stdout).  Shared by
+    ``miniclang --stats-json`` and ``miniclang-serve --stats-json``."""
+    import json
+
+    payload = json.dumps(
+        STATS.render_json(STATS.delta_since(stats_before)),
+        indent=1,
+        sort_keys=True,
+    )
+    if path == "-":
+        print(payload)
+    else:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(payload + "\n")
+
+
 def _default_trace_path(input_name: str) -> str:
     if input_name == "-":
         return "stdin.time-trace.json"
@@ -597,6 +625,8 @@ def main(argv: list[str] | None = None) -> int:
                 STATS.render_text(STATS.delta_since(stats_before)),
                 file=sys.stderr,
             )
+        if args.stats_json:
+            _write_stats_json(args.stats_json, stats_before)
         if args.print_cache_stats:
             delta = {
                 key: value

@@ -205,7 +205,63 @@ def build_arg_parser() -> argparse.ArgumentParser:
         dest="print_stats",
         help="dump the service.* and compile statistics to stderr",
     )
+    # -ftrace-requests[=DIR] is extracted manually in main() (the same
+    # nargs="?"-vs-positional hazard as -fcache / -ftime-trace)
+    parser.add_argument(
+        "--stats-json",
+        default=None,
+        dest="stats_json",
+        metavar="FILE",
+        help="write this batch's statistics deltas as sorted JSON "
+        "('-' for stdout)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        dest="metrics_json",
+        metavar="FILE",
+        help="write the service metrics snapshot (counters, gauges, "
+        "latency histograms with p50/p95/p99) as JSON",
+    )
+    parser.add_argument(
+        "--metrics-prom",
+        default=None,
+        dest="metrics_prom",
+        metavar="FILE",
+        help="write the service metrics in Prometheus text exposition "
+        "format",
+    )
+    parser.add_argument(
+        "--log-jsonl",
+        default=None,
+        dest="log_jsonl",
+        metavar="FILE",
+        help="append one JSON line per request lifecycle event "
+        "(submit/dispatch/retry/.../response), keyed by request and "
+        "trace ids",
+    )
     return parser
+
+
+#: where ``-ftrace-requests`` without an explicit directory writes
+DEFAULT_TRACE_DIR = "service-traces"
+
+
+def _extract_trace_requests(
+    argv: list[str],
+) -> tuple[list[str], str | None]:
+    """Pull ``-ftrace-requests[=DIR]`` out of *argv*.  Returns the
+    remaining argv and the trace directory (None = tracing off)."""
+    remaining: list[str] = []
+    trace_dir: str | None = None
+    for arg in argv:
+        if arg == "-ftrace-requests":
+            trace_dir = DEFAULT_TRACE_DIR
+        elif arg.startswith("-ftrace-requests="):
+            trace_dir = arg.split("=", 1)[1] or DEFAULT_TRACE_DIR
+        else:
+            remaining.append(arg)
+    return remaining, trace_dir
 
 
 def _status_line(name: str, request, response: CompileResponse) -> str:
@@ -254,10 +310,15 @@ def _response_exit_code(response: CompileResponse) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    from repro.driver.cli import _extract_cache_flags
+    from repro.driver.cli import (
+        _extract_cache_flags,
+        _write_stats_json,
+    )
+    from repro.instrument.telemetry import EventLog
 
     argv = list(sys.argv[1:] if argv is None else argv)
     argv, cache_dir = _extract_cache_flags(argv)
+    argv, trace_dir = _extract_trace_requests(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 
@@ -297,6 +358,9 @@ def main(argv: list[str] | None = None) -> int:
         )
         names.append(filename)
 
+    event_log = (
+        EventLog(path=args.log_jsonl) if args.log_jsonl else None
+    )
     config = ServiceConfig(
         workers=args.workers,
         queue_capacity=args.queue_capacity,
@@ -310,12 +374,21 @@ def main(argv: list[str] | None = None) -> int:
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
         single_flight=not args.no_single_flight,
+        trace_requests=trace_dir is not None,
+        trace_dir=trace_dir,
+        event_log=event_log,
     )
     stats_before = STATS.snapshot()
     code = EXIT_USER_ERROR if read_errors else EXIT_OK
-    with CompileService(config) as service:
-        responses = service.process_batch(requests)
-        service_cache = service.cache
+    try:
+        with CompileService(config) as service:
+            responses = service.process_batch(requests)
+            service_cache = service.cache
+            metrics = service.metrics
+            traces_written = list(service.tracer.written)
+    finally:
+        if event_log is not None:
+            event_log.close()
     for name, request, response in zip(names, requests, responses):
         print(_status_line(name, request, response), file=sys.stderr)
         if response.status not in (STATUS_OK, STATUS_DEGRADED):
@@ -329,11 +402,26 @@ def main(argv: list[str] | None = None) -> int:
             if not response.output.endswith("\n"):
                 sys.stdout.write("\n")
         code = worst_exit_code(code, _response_exit_code(response))
+    if trace_dir is not None and traces_written:
+        print(
+            f"miniclang-serve: wrote {len(traces_written)} request "
+            f"trace(s) to {trace_dir}",
+            file=sys.stderr,
+        )
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics.snapshot(), fh, indent=1)
+            fh.write("\n")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+            fh.write(metrics.render_prometheus())
     if args.print_stats:
         print(
             STATS.render_text(STATS.delta_since(stats_before)),
             file=sys.stderr,
         )
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats_before)
     if args.print_cache_stats:
         delta = {
             key: value

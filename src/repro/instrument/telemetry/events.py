@@ -1,0 +1,84 @@
+"""Structured JSONL event log for the compile service.
+
+One machine-parseable JSON object per line, one line per request
+lifecycle event — the greppable correlation layer between the metrics
+registry (aggregates, no identities) and the per-request traces (full
+detail, heavyweight).  Every record carries the ``request_id`` and, when
+tracing is active, the ``trace_id``, so a slow request found in the log
+links directly to its merged Chrome trace.
+
+Record shape (stable keys first, event-specific fields after)::
+
+    {"ts": 1723110712.123456, "event": "dispatch", "request_id":
+     "r00001", "trace_id": "6f1f...", "attempt": 0, "worker": 3, ...}
+
+The writer is append-only and line-buffered (each record is flushed), so
+a crashed service leaves a valid prefix.  ``None``-valued fields are
+dropped rather than serialized, keeping lines tight.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, IO, Optional
+
+
+class EventLog:
+    """JSONL sink over a path or an open stream.
+
+    ``EventLog(path=...)`` owns and closes the file;
+    ``EventLog(stream=...)`` writes to a caller-owned stream (tests use
+    ``io.StringIO``).  ``clock`` is injected for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        path: Optional[str] = None,
+        stream: Optional[IO[str]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if (path is None) == (stream is None):
+            raise ValueError("exactly one of path/stream is required")
+        self._owns = path is not None
+        self._stream = (
+            open(path, "a", encoding="utf-8") if path else stream
+        )
+        self._clock = clock
+        self.emitted = 0
+
+    def emit(self, event: str, **fields) -> None:
+        """Append one event record; ``None`` values are dropped."""
+        if self._stream is None:
+            return
+        record: dict = {"ts": round(self._clock(), 6), "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self._stream.write(
+            json.dumps(record, separators=(",", ":")) + "\n"
+        )
+        self._stream.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._stream is not None and self._owns:
+            self._stream.close()
+        self._stream = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Parse an event-log file back into records (test/tooling helper)."""
+    records: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -30,6 +30,7 @@ class CircuitBreaker:
         failure_threshold: int = 3,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[Callable[[str, str], None]] = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
@@ -42,6 +43,17 @@ class CircuitBreaker:
         self._probe_granted_at: Optional[float] = None
         #: times the breaker transitioned CLOSED/HALF_OPEN -> OPEN
         self.trips = 0
+        #: observer called as ``on_transition(old, new)`` on every real
+        #: state *mutation* (the lazy OPEN -> HALF_OPEN view in
+        #: :attr:`state` does not fire it; the grant in :meth:`allow`
+        #: that commits it does)
+        self.on_transition = on_transition
+
+    def _move(self, new_state: str) -> None:
+        old = self._state
+        self._state = new_state
+        if old != new_state and self.on_transition is not None:
+            self.on_transition(old, new_state)
 
     # ------------------------------------------------------------------
     @property
@@ -81,7 +93,7 @@ class CircuitBreaker:
                 >= self.cooldown_s
             )
         ):
-            self._state = HALF_OPEN
+            self._move(HALF_OPEN)
             self._probe_granted_at = self._clock()
             return True
         return False
@@ -94,7 +106,7 @@ class CircuitBreaker:
             self._state == CLOSED
             and self._consecutive_failures >= self.failure_threshold
         ):
-            self._state = OPEN
+            self._move(OPEN)
             self._opened_at = self._clock()
             self._probe_granted_at = None
             self.trips += 1
@@ -103,7 +115,7 @@ class CircuitBreaker:
 
     def record_success(self) -> None:
         self._consecutive_failures = 0
-        self._state = CLOSED
+        self._move(CLOSED)
         self._opened_at = None
         self._probe_granted_at = None
 
@@ -116,17 +128,32 @@ class BreakerBoard:
         failure_threshold: int = 3,
         cooldown_s: float = 30.0,
         clock: Callable[[], float] = time.monotonic,
+        on_transition: Optional[
+            Callable[[str, str, str], None]
+        ] = None,
     ) -> None:
         self.failure_threshold = failure_threshold
         self.cooldown_s = cooldown_s
         self._clock = clock
         self._breakers: dict[str, CircuitBreaker] = {}
+        #: observer called as ``on_transition(fingerprint, old, new)``
+        self.on_transition = on_transition
 
     def get(self, fingerprint: str) -> CircuitBreaker:
         breaker = self._breakers.get(fingerprint)
         if breaker is None:
+            observer = None
+            if self.on_transition is not None:
+                board_hook = self.on_transition
+
+                def observer(old: str, new: str, _fp=fingerprint) -> None:
+                    board_hook(_fp, old, new)
+
             breaker = CircuitBreaker(
-                self.failure_threshold, self.cooldown_s, self._clock
+                self.failure_threshold,
+                self.cooldown_s,
+                self._clock,
+                on_transition=observer,
             )
             self._breakers[fingerprint] = breaker
         return breaker

@@ -138,6 +138,7 @@ def run_chaos(args) -> int:
             )
             rejects.append(service.submit(resubmit))
         service.drain()
+        metrics_snapshot = service.metrics.snapshot()
     delta = STATS.delta_since(stats_before)
     stats = {
         key: value
@@ -244,6 +245,68 @@ def run_chaos(args) -> int:
         "(queue sized for the batch)",
     )
 
+    # -- metrics registry agrees with the ground truth -----------------
+    # Every submission (batch + poison resubmits) must be observed in
+    # the latency histogram exactly once — kills, hangs, and breaker
+    # rejects included.  "requests in == sum of terminal statuses" is
+    # the accounting identity the metrics export is trusted for.
+    submissions = args.count + n_poison
+    lat = metrics_snapshot["service_request_duration_seconds"]
+    observed = sum(row["count"] for row in lat["series"])
+    check(
+        observed == submissions,
+        f"latency histogram lost observations: "
+        f"{observed} != {submissions}",
+    )
+    for row in lat["series"]:
+        check(
+            sum(row["buckets"]) == row["count"],
+            "latency bucket counts disagree with series total for "
+            f"outcome {row['labels'].get('outcome')}",
+        )
+    requests_in = metrics_snapshot["service_requests_total"][
+        "series"
+    ][0]["value"]
+    responses_out = sum(
+        row["value"]
+        for row in metrics_snapshot["service_responses_total"]["series"]
+    )
+    check(
+        requests_in == submissions,
+        f"service_requests_total={requests_in} != {submissions}",
+    )
+    check(
+        responses_out == submissions,
+        "requests in != sum of terminal statuses: "
+        f"{requests_in} vs {responses_out}",
+    )
+    breaker_opens = sum(
+        row["value"]
+        for row in metrics_snapshot[
+            "service_breaker_transitions_total"
+        ]["series"]
+        if row["labels"].get("to") == "open"
+    )
+    check(
+        breaker_opens == n_poison,
+        f"breaker open transitions {breaker_opens} != poison "
+        f"{n_poison}",
+    )
+    for row in sorted(
+        lat["series"], key=lambda r: r["labels"].get("outcome", "")
+    ):
+        print(
+            f"chaos: latency[{row['labels'].get('outcome')}]: "
+            f"n={row['count']} p50={row['p50']}s p95={row['p95']}s "
+            f"p99={row['p99']}s"
+        )
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics_snapshot, fh, indent=1)
+            fh.write("\n")
+
     print(
         f"chaos: {args.count} requests "
         f"({len(plan['kill'])} kills, {len(plan['hang'])} hangs, "
@@ -304,6 +367,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--print-stats", action="store_true", dest="print_stats"
+    )
+    parser.add_argument(
+        "--metrics-json",
+        default=None,
+        dest="metrics_json",
+        metavar="FILE",
+        help="write the service metrics snapshot (per-outcome latency "
+        "histograms included) as JSON",
     )
     args = parser.parse_args(argv)
     return run_chaos(args)

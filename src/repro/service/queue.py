@@ -11,7 +11,7 @@ stance as a clangd daemon refusing new requests while saturated).
 from __future__ import annotations
 
 from collections import deque
-from typing import Generic, Iterator, Optional, TypeVar
+from typing import Callable, Generic, Iterator, Optional, TypeVar
 
 T = TypeVar("T")
 
@@ -24,7 +24,11 @@ class AdmissionQueue(Generic[T]):
     still counts against the backpressure threshold until it resolves.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(
+        self,
+        capacity: int,
+        on_change: Optional[Callable[[int, int], None]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self.capacity = capacity
@@ -32,6 +36,13 @@ class AdmissionQueue(Generic[T]):
         self._in_flight = 0
         #: total offers rejected over capacity
         self.shed_count = 0
+        #: observer called as ``on_change(queued, in_flight)`` after
+        #: every accepted mutation (telemetry gauges hook in here)
+        self.on_change = on_change
+
+    def _notify(self) -> None:
+        if self.on_change is not None:
+            self.on_change(len(self._items), self._in_flight)
 
     # ------------------------------------------------------------------
     @property
@@ -45,6 +56,7 @@ class AdmissionQueue(Generic[T]):
             self.shed_count += 1
             return False
         self._items.append(item)
+        self._notify()
         return True
 
     def pop(self) -> Optional[T]:
@@ -52,19 +64,23 @@ class AdmissionQueue(Generic[T]):
         if not self._items:
             return None
         self._in_flight += 1
-        return self._items.popleft()
+        item = self._items.popleft()
+        self._notify()
+        return item
 
     def requeue(self, item: T) -> None:
         """Return an in-flight item to the queue head (retry path);
         does not change the load, so it can never shed."""
         self._in_flight -= 1
         self._items.appendleft(item)
+        self._notify()
 
     def release(self) -> None:
         """Mark one in-flight item resolved."""
         if self._in_flight <= 0:
             raise RuntimeError("release() without matching pop()")
         self._in_flight -= 1
+        self._notify()
 
     def __len__(self) -> int:
         return len(self._items)

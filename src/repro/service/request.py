@@ -84,6 +84,10 @@ class CompileRequest:
     inject_faults: tuple[str, ...] = ()
     fault_attempts: int = 1
     request_id: Optional[str] = None
+    #: distributed-tracing context: minted at admission when request
+    #: tracing is enabled (callers may preset it to join an existing
+    #: trace, OpenTelemetry-style)
+    trace_id: Optional[str] = None
 
     def fingerprint(self) -> str:
         """Stable identity of the *input* for the circuit breaker.
@@ -137,6 +141,11 @@ class CompileResponse:
     retries: int = 0
     hedged: bool = False
     duration_s: float = 0.0
+    #: admission -> first dispatch (0.0 for rejected/cached requests)
+    queue_wait_s: float = 0.0
+    #: trace id of the request's merged cross-process trace (None when
+    #: request tracing was off)
+    trace_id: Optional[str] = None
     reproducer_path: Optional[str] = None
     #: served from the service's response cache (no worker ran)
     cache_hit: bool = False
@@ -163,6 +172,8 @@ class CompileResponse:
             "retries": self.retries,
             "hedged": self.hedged,
             "duration_s": round(self.duration_s, 6),
+            "queue_wait_s": round(self.queue_wait_s, 6),
+            "trace_id": self.trace_id,
             "reproducer_path": self.reproducer_path,
             "cache_hit": self.cache_hit,
             "coalesced": self.coalesced,
@@ -201,6 +212,12 @@ class WorkPayload:
     #: directory of the shared on-disk compilation cache; None disables
     #: worker-side artifact caching for this attempt
     cache_dir: Optional[str] = None
+    #: distributed-tracing context propagated across the process
+    #: boundary: when ``trace_id`` is set the worker runs the attempt
+    #: under a time-trace session and ships the completed spans back,
+    #: parented under ``parent_span_id`` (the parent's attempt span)
+    trace_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
 
 @dataclass
@@ -216,3 +233,15 @@ class WorkOutcome:
     detail: str = ""
     stats: dict[str, int] = field(default_factory=dict)
     duration_s: float = 0.0
+    #: completed pipeline spans (plain dicts, see
+    #: :func:`repro.instrument.telemetry.events_to_spans`); empty when
+    #: the attempt was not traced
+    spans: list[dict] = field(default_factory=list)
+    #: the worker's metrics snapshot for this attempt, merged exactly
+    #: into the parent registry (fixed-bucket histograms)
+    metrics: dict = field(default_factory=dict)
+    #: worker OS pid plus its (wall_ns, perf_ns) clock anchor — what
+    #: the parent needs to align span timestamps onto its own timeline
+    pid: int = 0
+    wall_anchor_ns: int = 0
+    perf_anchor_ns: int = 0

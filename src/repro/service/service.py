@@ -56,6 +56,15 @@ from repro.cache.cache import (
 )
 from repro.core.crash_recovery import crash_context, write_reproducer
 from repro.instrument.stats import STATS, get_statistic
+from repro.instrument.telemetry import (
+    DEFAULT_LATENCY_BUCKETS,
+    EventLog,
+    MetricsRegistry,
+    RequestTrace,
+    TraceRecorder,
+    new_span_id,
+    new_trace_id,
+)
 from repro.instrument.timetrace import active_time_trace
 from repro.service.breaker import CLOSED, BreakerBoard
 from repro.service.pool import WorkerHandle, WorkerPool
@@ -176,6 +185,16 @@ class ServiceConfig:
     cache_max_bytes: int = 256 * 1024 * 1024
     #: coalesce concurrent identical requests onto one execution
     single_flight: bool = True
+    #: build one merged cross-process Chrome trace per request
+    #: (``miniclang-serve -ftrace-requests``); implied by ``trace_dir``
+    trace_requests: bool = False
+    #: directory for per-request ``<request_id>.trace.json`` dumps
+    trace_dir: Optional[str] = None
+    #: structured JSONL request-lifecycle log (``--log-jsonl``)
+    event_log: Optional[EventLog] = None
+    #: metrics registry to record into; a private one is created when
+    #: None (inject a shared registry to aggregate across services)
+    metrics: Optional[MetricsRegistry] = None
 
 
 class _RequestState:
@@ -199,6 +218,12 @@ class _RequestState:
         self.response: Optional[CompileResponse] = None
         self.admitted_at = now
         self.start_ns = time.perf_counter_ns()
+        #: admission -> first dispatch (stays 0.0 for rejects/replays)
+        self.queue_wait_s = 0.0
+        #: the request's cross-process trace (None when tracing is off)
+        self.trace: Optional[RequestTrace] = None
+        #: attempt index -> (span id, start perf_ns) for open attempts
+        self.attempt_spans: dict[int, tuple[str, int]] = {}
 
     @property
     def resolved(self) -> bool:
@@ -219,12 +244,21 @@ class CompileService:
         self.pool = WorkerPool(
             self.config.workers, self.config.start_method
         )
+        self.metrics = self.config.metrics or MetricsRegistry()
+        self.events = self.config.event_log
+        self._trace_requests = bool(
+            self.config.trace_requests or self.config.trace_dir
+        )
+        self.tracer = TraceRecorder(directory=self.config.trace_dir)
+        self._init_instruments()
         self._queue: AdmissionQueue[_RequestState] = AdmissionQueue(
-            self.config.queue_capacity
+            self.config.queue_capacity,
+            on_change=self._on_queue_change,
         )
         self._breakers = BreakerBoard(
             self.config.breaker_threshold,
             self.config.breaker_cooldown_s,
+            on_transition=self._on_breaker_transition,
         )
         self._active: list[_RequestState] = []
         self._responses: dict[str, CompileResponse] = {}
@@ -244,6 +278,84 @@ class CompileService:
         return self._cache
 
     # ------------------------------------------------------------------
+    # Telemetry plumbing
+    # ------------------------------------------------------------------
+    def _init_instruments(self) -> None:
+        """Register this service's instruments in the metrics registry.
+
+        Histogram buckets are the fixed defaults, so snapshots from any
+        service (or worker) merge exactly, bucket by bucket.
+        """
+        m = self.metrics
+        self._m_requests = m.counter(
+            "service_requests_total",
+            "Requests submitted to the compile service",
+        )
+        self._m_responses = m.counter(
+            "service_responses_total",
+            "Terminal responses by status",
+            ("status",),
+        )
+        self._m_latency = m.histogram(
+            "service_request_duration_seconds",
+            "End-to-end latency by terminal outcome "
+            "(ok/degraded/error/.../cached/coalesced/shed)",
+            ("outcome",),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_queue_wait = m.histogram(
+            "service_queue_wait_seconds",
+            "Admission-to-first-dispatch wait",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._m_queue_depth = m.gauge(
+            "service_queue_depth", "Requests queued, not yet dispatched"
+        )
+        self._m_in_flight = m.gauge(
+            "service_in_flight", "Requests dispatched, not yet resolved"
+        )
+        self._m_retries = m.counter(
+            "service_retries_total", "Attempt retries scheduled"
+        )
+        self._m_hedges = m.counter(
+            "service_hedges_total", "Hedged duplicate attempts"
+        )
+        self._m_breaker = m.counter(
+            "service_breaker_transitions_total",
+            "Circuit-breaker state transitions",
+            ("from", "to"),
+        )
+        self._m_cache_events = m.counter(
+            "service_cache_events_total",
+            "Response-cache outcomes by tier",
+            ("tier",),
+        )
+        self._m_attempts = m.counter(
+            "service_attempts_total",
+            "Worker attempts dispatched by mode",
+            ("mode",),
+        )
+
+    def _emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def _on_queue_change(self, queued: int, in_flight: int) -> None:
+        self._m_queue_depth.set(queued)
+        self._m_in_flight.set(in_flight)
+
+    def _on_breaker_transition(
+        self, fingerprint: str, old: str, new: str
+    ) -> None:
+        self._m_breaker.labels(**{"from": old, "to": new}).inc()
+        self._emit(
+            "breaker-transition",
+            fingerprint=fingerprint,
+            old=old,
+            new=new,
+        )
+
+    # ------------------------------------------------------------------
     # Admission
     # ------------------------------------------------------------------
     def submit(
@@ -253,22 +365,63 @@ class CompileService:
         when the request is rejected (open breaker, shed load); None
         when it was queued — drain to get its response."""
         _REQUESTS.inc()
+        self._m_requests.inc()
         self._seq += 1
         if request.request_id is None:
             request.request_id = f"r{self._seq:05d}"
         now = self._clock()
         state = _RequestState(request, now)
+        if self._trace_requests:
+            # Mint the trace context at admission (or join one the
+            # caller pre-set, OpenTelemetry-style); every decision from
+            # here on lands in this request's merged trace.
+            if request.trace_id is None:
+                request.trace_id = new_trace_id()
+            state.trace = RequestTrace(
+                request.trace_id, request.request_id
+            )
+        self._emit(
+            "submit",
+            request_id=request.request_id,
+            trace_id=request.trace_id,
+            fingerprint=state.fingerprint,
+            action=request.action,
+            mode=request.mode,
+        )
         breaker = self._breakers.get(state.fingerprint)
         # The breaker is consulted before the cache on purpose: a
         # quarantined fingerprint must be rejected, never answered from
         # a cache entry recorded back when it was healthy, and a
         # half-open probe must actually run.
         if breaker.state == CLOSED and self._cache is not None:
+            lookup_start = time.perf_counter_ns()
             response = self._serve_from_cache(state)
+            if state.trace is not None:
+                state.trace.add_span(
+                    "cache-lookup",
+                    lookup_start,
+                    time.perf_counter_ns(),
+                    detail="hit" if response is not None else "miss",
+                )
             if response is not None:
                 return response
-        if not breaker.allow():
+        decision_start = time.perf_counter_ns()
+        allowed = breaker.allow()
+        if state.trace is not None:
+            state.trace.add_span(
+                "breaker-decision",
+                decision_start,
+                time.perf_counter_ns(),
+                detail=f"state={breaker.state} allowed={allowed}",
+            )
+        if not allowed:
             _BREAKER_REJECTED.inc()
+            self._emit(
+                "breaker-reject",
+                request_id=request.request_id,
+                trace_id=request.trace_id,
+                fingerprint=state.fingerprint,
+            )
             return self._reject(
                 state,
                 STATUS_CIRCUIT_OPEN,
@@ -282,6 +435,12 @@ class CompileService:
             if self._inflight.leader(state.fingerprint) is not None:
                 self._inflight.follow(state.fingerprint, state)
                 SINGLE_FLIGHT_COLLAPSES.inc()
+                self._emit(
+                    "coalesce-follow",
+                    request_id=request.request_id,
+                    trace_id=request.trace_id,
+                    fingerprint=state.fingerprint,
+                )
                 return None
         if not self._queue.offer(state):
             _SHED.inc()
@@ -302,6 +461,7 @@ class CompileService:
         degraded-tagged key is consulted only as a fallback and only
         when degradation is allowed for this request."""
         assert self._cache is not None
+        tier = "response-hit"
         data = self._cache.get_response(state.fingerprint)
         if (
             data is None
@@ -313,8 +473,11 @@ class CompileService:
             )
             if data is not None:
                 DEGRADED_HITS.inc()
+                tier = "degraded-hit"
         if data is None:
+            self._m_cache_events.labels(tier="miss").inc()
             return None
+        self._m_cache_events.labels(tier=tier).inc()
         response = CompileResponse.from_dict(data)
         response.request_id = state.request.request_id
         response.cache_hit = True
@@ -401,6 +564,12 @@ class CompileService:
         worker = idle[0]
         request = state.request
         attempt = state.attempts
+        # The attempt span id is allocated *before* dispatch so the
+        # worker can parent its pipeline spans under it; the span itself
+        # is recorded when the attempt completes (_close_attempt_span).
+        attempt_span_id = (
+            new_span_id() if state.trace is not None else None
+        )
         payload = WorkPayload(
             request_id=request.request_id,
             attempt=attempt,
@@ -420,6 +589,10 @@ class CompileService:
                 if self._cache is not None
                 else None
             ),
+            trace_id=(
+                request.trace_id if state.trace is not None else None
+            ),
+            parent_span_id=attempt_span_id,
         )
         if not worker.send(payload):
             self.pool.restart(worker)
@@ -429,6 +602,18 @@ class CompileService:
             if request.deadline_s is not None
             else self.config.deadline_s
         )
+        if attempt == 0:
+            state.queue_wait_s = max(0.0, now - state.admitted_at)
+            self._m_queue_wait.observe(state.queue_wait_s)
+            if state.trace is not None:
+                state.trace.add_span(
+                    "queue-wait", state.start_ns, time.perf_counter_ns()
+                )
+        if attempt_span_id is not None:
+            state.attempt_spans[attempt] = (
+                attempt_span_id,
+                time.perf_counter_ns(),
+            )
         state.attempts += 1
         state.mode_attempts += 1
         state.outstanding[attempt] = worker
@@ -439,6 +624,18 @@ class CompileService:
             state.hedged = True
             state.hedge_attempt = attempt
             _HEDGES.inc()
+            self._m_hedges.inc()
+        self._m_attempts.labels(mode=state.mode).inc()
+        self._emit(
+            "dispatch",
+            request_id=request.request_id,
+            trace_id=request.trace_id,
+            attempt=attempt,
+            mode=state.mode,
+            worker=worker.worker_id,
+            hedge=hedge or None,
+            faults=list(payload.inject_faults) or None,
+        )
         return True
 
     def _poll_timeout(self, now: float) -> float:
@@ -477,6 +674,49 @@ class CompileService:
     # ------------------------------------------------------------------
     # Attempt completion
     # ------------------------------------------------------------------
+    def _close_attempt_span(
+        self,
+        state: _RequestState,
+        attempt: int,
+        detail: str,
+        outcome: Optional[WorkOutcome] = None,
+    ) -> None:
+        """Record the attempt span opened at dispatch and, when the
+        worker shipped pipeline spans back, align them onto the parent
+        timeline and adopt them under it."""
+        entry = state.attempt_spans.pop(attempt, None)
+        if entry is None or state.trace is None:
+            return
+        span_id, started_ns = entry
+        end_ns = time.perf_counter_ns()
+        state.trace.add_span(
+            f"attempt-{attempt}",
+            started_ns,
+            end_ns,
+            detail=detail,
+            span_id=span_id,
+        )
+        if outcome is not None and outcome.spans:
+            state.trace.merge_worker_spans(
+                outcome.spans,
+                (outcome.wall_anchor_ns, outcome.perf_anchor_ns),
+                span_id,
+                started_ns,
+                end_ns,
+            )
+
+    def _absorb_worker_telemetry(self, outcome: WorkOutcome) -> None:
+        """Fold a worker's compile-stat deltas and metrics snapshot into
+        the parent registries.  Runs for EVERY received outcome — failed
+        and stale attempts did real compiler work too; dropping their
+        counters made parent-side -print-stats systematically undercount
+        (the bug this fixes)."""
+        for key, value in outcome.stats.items():
+            owner, _, name = key.partition(".")
+            STATS.get(owner, name).inc(value)
+        if outcome.metrics:
+            self.metrics.merge(outcome.metrics)
+
     def _on_worker_ready(self, worker: WorkerHandle) -> None:
         state, attempt, _deadline = worker.busy
         now = self._clock()
@@ -489,11 +729,30 @@ class CompileService:
             self.pool.restart(worker)
             died = True
         state.outstanding.pop(attempt, None)
+        if outcome is not None:
+            self._absorb_worker_telemetry(outcome)
+            self._emit(
+                "attempt-complete",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                attempt=attempt,
+                kind=outcome.kind,
+                duration_s=round(outcome.duration_s, 6),
+                worker_pid=outcome.pid or None,
+                stale=state.resolved or None,
+            )
         if state.resolved:
             _STALE_RESULTS.inc()
             return
         if died:
             _WORKER_LOST.inc()
+            self._close_attempt_span(state, attempt, "worker-lost")
+            self._emit(
+                "worker-lost",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                attempt=attempt,
+            )
             self._attempt_failed(
                 state,
                 attempt,
@@ -503,6 +762,7 @@ class CompileService:
             )
             return
         assert outcome is not None
+        self._close_attempt_span(state, attempt, outcome.kind, outcome)
         if outcome.kind == "ok":
             self._attempt_succeeded(state, attempt, outcome, now)
         elif outcome.kind in ("compile-error", "guest-error", "timeout"):
@@ -549,11 +809,9 @@ class CompileService:
     ) -> None:
         if state.hedged and attempt == state.hedge_attempt:
             _HEDGE_WINS.inc()
-        # Fold the winning worker's compile-stat deltas into the parent
-        # registry so service-level -print-stats sees real compile work.
-        for key, value in outcome.stats.items():
-            owner, _, name = key.partition(".")
-            STATS.get(owner, name).inc(value)
+        # (The worker's compile-stat deltas were already folded into the
+        # parent registry by _absorb_worker_telemetry, which runs for
+        # every received outcome, not just successes.)
         self._breakers.get(state.fingerprint).record_success()
         if state.degraded:
             _DEGRADED.inc()
@@ -619,15 +877,32 @@ class CompileService:
             delay = retry.backoff(state.mode_attempts - 1, state.rng)
             state.next_retry_at = now + delay
             _RETRIES.inc()
+            self._m_retries.inc()
+            self._emit(
+                "retry",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                attempt=attempt,
+                kind=kind,
+                delay_s=round(delay, 6),
+            )
             return
         if can_degrade:
             # Graceful degradation: the other representation of the
             # same transformations serves as the fallback implementation.
             state.degraded = True
+            from_mode = state.mode
             state.mode = other_mode(state.mode)
             state.mode_attempts = 0
             state.next_retry_at = now
             _DEGRADED_FALLBACKS.inc()
+            self._emit(
+                "degrade",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                from_mode=from_mode,
+                to_mode=state.mode,
+            )
             return
         _FAILED.inc()
         status = STATUS_TIMEOUT if kind == "timeout" else STATUS_ICE
@@ -659,6 +934,13 @@ class CompileService:
             if state.resolved:
                 continue  # straggler of an already-resolved request
             _TIMEOUTS.inc()
+            self._close_attempt_span(state, attempt, "deadline-killed")
+            self._emit(
+                "deadline-kill",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                attempt=attempt,
+            )
             self._attempt_failed(
                 state,
                 attempt,
@@ -728,6 +1010,14 @@ class CompileService:
                     "service-quarantine", exc, history
                 )
         _QUARANTINED.inc()
+        self._emit(
+            "quarantine",
+            request_id=request.request_id,
+            trace_id=request.trace_id,
+            fingerprint=state.fingerprint,
+            failures=len(state.failures),
+            reproducer=reproducer,
+        )
         self._resolve(
             state,
             CompileResponse(
@@ -806,11 +1096,57 @@ class CompileService:
         if response.status == STATUS_DEGRADED:
             key = degraded_key(key)
         self._cache.put_response(key, response.to_dict())
+        self._m_cache_events.labels(tier="store").inc()
+
+    @staticmethod
+    def _outcome_label(response: CompileResponse) -> str:
+        """Latency-histogram outcome: serving path wins over status —
+        a replayed or coalesced answer has its own latency profile."""
+        if response.cache_hit:
+            return "cached"
+        if response.coalesced:
+            return "coalesced"
+        if response.status == STATUS_RESOURCE_EXHAUSTED:
+            return "shed"
+        return response.status
 
     def _record_response(
         self, state: _RequestState, response: CompileResponse
     ) -> None:
+        """The single choke point every terminal response passes through
+        (resolutions, rejects, cache replays, coalesced fan-outs):
+        metrics, the JSONL event, and trace finalization happen here, so
+        requests-in == sum of terminal outcomes by construction."""
         _RESPONSES.inc()
+        response.queue_wait_s = state.queue_wait_s
+        outcome = self._outcome_label(response)
+        self._m_responses.labels(status=response.status).inc()
+        self._m_latency.labels(outcome=outcome).observe(
+            response.duration_s
+        )
+        if state.trace is not None:
+            response.trace_id = state.trace.trace_id
+            state.trace.close(
+                "ServiceRequest",
+                state.start_ns,
+                time.perf_counter_ns(),
+                detail=f"{response.request_id}: {response.status}",
+            )
+            self.tracer.record(state.trace)
+        self._emit(
+            "response",
+            request_id=response.request_id,
+            trace_id=response.trace_id,
+            status=response.status,
+            outcome=outcome,
+            duration_s=round(response.duration_s, 6),
+            queue_wait_s=round(response.queue_wait_s, 6),
+            attempts=response.attempts,
+            retries=response.retries,
+            hedged=response.hedged or None,
+            cache_hit=response.cache_hit or None,
+            coalesced=response.coalesced or None,
+        )
         self._responses[response.request_id] = response
         state.response = response
         profiler = active_time_trace()

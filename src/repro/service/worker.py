@@ -29,6 +29,15 @@ import os
 import time
 
 from repro.instrument.faultinject import FAULTS, InjectedFault
+from repro.instrument.telemetry import (
+    MetricsRegistry,
+    clock_anchor,
+    events_to_spans,
+)
+from repro.instrument.timetrace import (
+    disable_time_trace,
+    enable_time_trace,
+)
 from repro.service.request import WorkOutcome, WorkPayload
 
 #: how long a "hung" worker sleeps — effectively forever next to any
@@ -51,6 +60,30 @@ def _cache_for(cache_dir):
         cache = CompilationCache(cache_dir)
         _CACHES[cache_dir] = cache
     return cache
+
+
+def _finalize(payload: WorkPayload, outcome: WorkOutcome) -> WorkOutcome:
+    """Attach the telemetry sidecar to an outgoing outcome: this
+    worker's pid and clock anchor (for span alignment in the parent),
+    any captured pipeline spans, and the per-attempt metrics snapshot
+    the parent merges exactly (fixed-bucket histograms)."""
+    outcome.pid = os.getpid()
+    outcome.wall_anchor_ns, outcome.perf_anchor_ns = clock_anchor()
+    metrics = MetricsRegistry()
+    metrics.histogram(
+        "worker_attempt_duration_seconds",
+        "Per-attempt wall time inside the worker process",
+        ("kind", "mode"),
+    ).labels(kind=outcome.kind, mode=payload.mode).observe(
+        outcome.duration_s
+    )
+    metrics.counter(
+        "worker_attempts_total",
+        "Attempts executed by worker processes",
+        ("kind",),
+    ).labels(kind=outcome.kind).inc()
+    outcome.metrics = metrics.snapshot()
+    return outcome
 
 
 def execute_payload(payload: WorkPayload) -> WorkOutcome:
@@ -78,33 +111,56 @@ def execute_payload(payload: WorkPayload) -> WorkOutcome:
                 else "service-shadow"
             )
         except InjectedFault as exc:
-            return WorkOutcome(
-                request_id=payload.request_id,
-                attempt=payload.attempt,
-                kind="ice",
-                detail=str(exc),
-                duration_s=time.perf_counter() - started,
+            return _finalize(
+                payload,
+                WorkOutcome(
+                    request_id=payload.request_id,
+                    attempt=payload.attempt,
+                    kind="ice",
+                    detail=str(exc),
+                    duration_s=time.perf_counter() - started,
+                ),
             )
-        outcome = execute_request(
-            payload.source,
-            filename=payload.filename,
-            action=payload.action,
-            mode=payload.mode,
-            optimize=payload.optimize,
-            num_threads=payload.num_threads,
-            entry=payload.entry,
-            defines=payload.defines,
-            fuel=payload.fuel,
-            strip_omp_transforms=payload.strip_omp_transforms,
-            # A fault-armed attempt must really run the pipeline — an
-            # artifact-cache hit would skip the armed site entirely.
-            cache=(
-                None
-                if payload.inject_faults
-                else _cache_for(getattr(payload, "cache_dir", None))
-            ),
-        )
-        return WorkOutcome(
+        # Distributed tracing: with a propagated trace context, run the
+        # whole attempt under a fresh time-trace session and ship the
+        # completed pipeline spans back alongside the result.
+        traced = payload.trace_id is not None
+        if traced:
+            disable_time_trace()  # defensive: never inherit a session
+            profiler = enable_time_trace()
+        try:
+            outcome = execute_request(
+                payload.source,
+                filename=payload.filename,
+                action=payload.action,
+                mode=payload.mode,
+                optimize=payload.optimize,
+                num_threads=payload.num_threads,
+                entry=payload.entry,
+                defines=payload.defines,
+                fuel=payload.fuel,
+                strip_omp_transforms=payload.strip_omp_transforms,
+                # A fault-armed attempt must really run the pipeline — an
+                # artifact-cache hit would skip the armed site entirely.
+                cache=(
+                    None
+                    if payload.inject_faults
+                    else _cache_for(getattr(payload, "cache_dir", None))
+                ),
+            )
+        finally:
+            spans: list[dict] = []
+            if traced:
+                disable_time_trace()
+                spans = [
+                    span.to_dict()
+                    for span in events_to_spans(
+                        profiler.events,
+                        payload.trace_id,
+                        payload.parent_span_id,
+                    )
+                ]
+        result = WorkOutcome(
             request_id=payload.request_id,
             attempt=payload.attempt,
             kind=outcome.kind,
@@ -115,6 +171,8 @@ def execute_payload(payload: WorkPayload) -> WorkOutcome:
             stats=outcome.stats,
             duration_s=time.perf_counter() - started,
         )
+        result.spans = spans
+        return _finalize(payload, result)
     finally:
         FAULTS.disarm_all()
 

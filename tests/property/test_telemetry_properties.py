@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) for the telemetry layer.
+
+The metrics registry's whole design bet is that fixed-bucket histograms
+merge *exactly* — so merging must be associative and commutative, and
+quantile estimates must be within one bucket of the exact order
+statistic no matter how observations are distributed or split across
+processes.  The tracing properties mirror the parent's merge step: span
+forests reconstructed from properly nested scope events have no orphan
+parents, and clock alignment + clamping keeps children inside their
+parents (monotonic nesting) for any clock offset and clamp window.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument.telemetry import (
+    MetricsRegistry,
+    RequestTrace,
+    events_to_spans,
+    new_span_id,
+)
+from repro.instrument.timetrace import TraceEvent
+
+FAST = settings(max_examples=60, deadline=None)
+
+BOUNDS = (0.001, 0.01, 0.1, 1.0, 10.0)
+
+observations = st.lists(
+    st.floats(
+        min_value=1e-6,
+        max_value=100.0,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    max_size=40,
+)
+
+
+def _hist_snapshot(values: list[float]) -> dict:
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", "l", ("k",), buckets=BOUNDS)
+    for v in values:
+        h.labels(k="a").observe(v)
+    return reg.snapshot()
+
+
+def _merged(*snaps: dict) -> dict:
+    reg = MetricsRegistry()
+    for snap in snaps:
+        reg.merge(snap)
+    return reg.snapshot()
+
+
+def _exact_parts(snap: dict) -> tuple[dict, list[float]]:
+    """Split a snapshot into its exact part (bucket counts, totals,
+    quantiles — everything but the float ``sum`` accumulators, which
+    are only reproducible up to float addition order) and the sums."""
+    import copy
+
+    exact = copy.deepcopy(snap)
+    sums: list[float] = []
+    for metric in exact.values():
+        for row in metric.get("series", []):
+            if "sum" in row:
+                sums.append(row.pop("sum"))
+    return exact, sums
+
+
+def _assert_equivalent(left: dict, right: dict) -> None:
+    import pytest
+
+    exact_l, sums_l = _exact_parts(left)
+    exact_r, sums_r = _exact_parts(right)
+    assert exact_l == exact_r
+    assert sums_l == pytest.approx(sums_r, rel=1e-9, abs=1e-12)
+
+
+class TestHistogramMergeAlgebra:
+    @FAST
+    @given(observations, observations)
+    def test_merge_commutative(self, xs, ys):
+        a, b = _hist_snapshot(xs), _hist_snapshot(ys)
+        _assert_equivalent(_merged(a, b), _merged(b, a))
+
+    @FAST
+    @given(observations, observations, observations)
+    def test_merge_associative(self, xs, ys, zs):
+        a, b, c = map(_hist_snapshot, (xs, ys, zs))
+        _assert_equivalent(
+            _merged(_merged(a, b), c), _merged(a, _merged(b, c))
+        )
+
+    @FAST
+    @given(observations, observations)
+    def test_merge_equals_union_stream(self, xs, ys):
+        # Splitting a stream across two processes and merging loses
+        # nothing: identical to observing the union in one registry.
+        _assert_equivalent(
+            _merged(_hist_snapshot(xs), _hist_snapshot(ys)),
+            _hist_snapshot(xs + ys),
+        )
+
+
+class TestQuantileBounds:
+    @FAST
+    @given(
+        observations.filter(bool),
+        st.sampled_from([0.5, 0.9, 0.95, 0.99]),
+    )
+    def test_exact_order_statistic_within_reported_bucket(
+        self, values, q
+    ):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", buckets=BOUNDS)
+        for v in values:
+            h.observe(v)
+        cell = h.labels()
+        lo, hi = cell.quantile_bounds(q)
+        rank = max(1, min(len(values), math.ceil(q * len(values))))
+        exact = sorted(values)[rank - 1]
+        assert lo < exact <= hi
+        # the point estimate is the bucket's upper bound (or the last
+        # finite bound for the overflow bucket)
+        assert cell.quantile(q) in (hi, BOUNDS[-1])
+
+
+@st.composite
+def nested_scope_events(draw) -> list[TraceEvent]:
+    """Properly nested scope events, as scoped ``with``-instrumentation
+    produces them: a random push/pop walk over a monotone clock."""
+    ops = draw(
+        st.lists(
+            st.sampled_from(["push", "pop", "tick"]),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    clock = 0
+    stack: list[tuple[str, int]] = []
+    events: list[TraceEvent] = []
+    serial = 0
+    for op in ops:
+        clock += draw(st.integers(min_value=1, max_value=50))
+        if op == "push":
+            stack.append((f"scope{serial}", clock))
+            serial += 1
+        elif op == "pop" and stack:
+            name, start = stack.pop()
+            events.append(
+                TraceEvent(
+                    name=name,
+                    detail="",
+                    start_ns=start,
+                    duration_ns=clock - start,
+                )
+            )
+    while stack:
+        clock += 1
+        name, start = stack.pop()
+        events.append(
+            TraceEvent(
+                name=name,
+                detail="",
+                start_ns=start,
+                duration_ns=clock - start,
+            )
+        )
+    return events
+
+
+class TestSpanMerge:
+    @FAST
+    @given(nested_scope_events())
+    def test_reconstruction_has_no_orphans_and_nests(self, events):
+        spans = events_to_spans(events, "t1", "root")
+        ids = {s.span_id for s in spans}
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
+            assert span.parent_id == "root" or span.parent_id in ids
+            if span.parent_id in by_id:
+                parent = by_id[span.parent_id]
+                assert parent.start_ns <= span.start_ns
+                assert span.end_ns <= parent.end_ns
+
+    @FAST
+    @given(
+        nested_scope_events(),
+        st.integers(min_value=-(10**12), max_value=10**12),
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    def test_adopted_spans_stay_clamped_and_nested(
+        self, events, skew, clamp_start, clamp_width
+    ):
+        spans = events_to_spans(events, "t1", None)
+        clamp_end = clamp_start + clamp_width
+        trace = RequestTrace("t1", "r1")
+        attempt_id = new_span_id()
+        # a worker whose perf-counter origin differs by `skew`
+        worker_anchor = (
+            trace._anchor[0],
+            trace._anchor[1] + skew,
+        )
+        trace.merge_worker_spans(
+            [s.to_dict() for s in spans],
+            worker_anchor,
+            attempt_id,
+            clamp_start_ns=clamp_start,
+            clamp_end_ns=clamp_end,
+        )
+        adopted = trace.spans
+        by_id = {s.span_id: s for s in adopted}
+        for span in adopted:
+            # inside the attempt window, and still a valid interval
+            assert clamp_start <= span.start_ns <= span.end_ns
+            assert span.end_ns <= clamp_end
+            # no orphans: parents are the attempt span or adopted spans
+            assert (
+                span.parent_id == attempt_id
+                or span.parent_id in by_id
+            )
+            if span.parent_id in by_id:
+                parent = by_id[span.parent_id]
+                assert parent.start_ns <= span.start_ns
+                assert span.end_ns <= parent.end_ns

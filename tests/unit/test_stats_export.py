@@ -1,0 +1,132 @@
+"""Tests for machine-readable statistics export: ``--stats-json`` on
+both CLIs and deterministic ``-print-stats`` ordering.
+
+Worker-side statistics used to vanish when a request failed; the
+service now folds every outcome's stats into the parent registry (see
+``CompileService._absorb_worker_telemetry``), so ``miniclang-serve
+--stats-json`` must report parse/sema work even for batches that never
+succeed.  Determinism matters because the dumps are diffed across runs
+in CI.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.driver import cli, serve
+
+HELLO = """\
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp unroll partial(2)
+  for (int i = 0; i < 4; i += 1)
+    printf("i=%d\\n", i);
+  return 0;
+}
+"""
+
+BAD = "int main() { return undeclared; }\n"
+
+
+@pytest.fixture()
+def hello_c(tmp_path):
+    path = tmp_path / "hello.c"
+    path.write_text(HELLO)
+    return str(path)
+
+
+class TestMiniclangStatsJson:
+    def test_writes_sorted_json_deltas(self, tmp_path, hello_c):
+        out = tmp_path / "stats.json"
+        code = cli.main(
+            ["-fsyntax-only", "--stats-json", str(out), hello_c]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert data, "no statistics collected"
+        assert list(data) == sorted(data)
+        assert all(isinstance(v, int) for v in data.values())
+        # only this invocation's deltas, so parse work is visible
+        assert any(key.startswith("parser.") for key in data)
+
+    def test_dash_writes_to_stdout(self, capsys, hello_c):
+        code = cli.main(["-fsyntax-only", "--stats-json", "-", hello_c])
+        assert code == 0
+        payload = capsys.readouterr().out
+        data = json.loads(payload)
+        assert list(data) == sorted(data)
+
+    def test_repeated_runs_identical(self, tmp_path, hello_c):
+        outs = []
+        for i in range(2):
+            out = tmp_path / f"stats{i}.json"
+            cli.main(
+                ["-fsyntax-only", "--stats-json", str(out), hello_c]
+            )
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]
+
+
+class TestMiniclangPrintStatsOrdering:
+    def _stats_block(self, err: str) -> list[str]:
+        lines = err.splitlines()
+        start = next(
+            i for i, l in enumerate(lines) if "Statistics Collected" in l
+        )
+        return lines[start + 2 :]
+
+    def test_rows_sorted_and_stable_across_runs(
+        self, capsys, hello_c
+    ):
+        blocks = []
+        for _ in range(2):
+            cli.main(["-fsyntax-only", "-print-stats", hello_c])
+            blocks.append(self._stats_block(capsys.readouterr().err))
+        assert blocks[0] == blocks[1]
+        assert blocks[0], "empty stats dump"
+
+
+class TestServeStatsJson:
+    def test_serve_writes_sorted_json(self, tmp_path, hello_c):
+        out = tmp_path / "serve-stats.json"
+        code = serve.main(
+            [
+                "--workers",
+                "1",
+                "--stats-json",
+                str(out),
+                hello_c,
+            ]
+        )
+        assert code == 0
+        data = json.loads(out.read_text())
+        assert list(data) == sorted(data)
+        assert data.get("service.requests") == 1
+        assert data.get("service.responses") == 1
+        # worker-side pipeline stats crossed the process boundary
+        assert any(key.startswith("parser.") for key in data)
+
+    def test_worker_stats_survive_failed_requests(self, tmp_path):
+        # Regression: stats from failed attempts used to be dropped on
+        # the floor because only successful outcomes were merged.
+        bad = tmp_path / "bad.c"
+        bad.write_text(BAD)
+        out = tmp_path / "stats.json"
+        code = serve.main(
+            [
+                "--workers",
+                "1",
+                "--retries",
+                "0",
+                "--stats-json",
+                str(out),
+                str(bad),
+            ]
+        )
+        assert code != 0  # the batch failed...
+        data = json.loads(out.read_text())
+        # ...but the worker's parse/sema effort is still accounted for
+        assert any(key.startswith("parser.") for key in data)
+        assert data.get("service.responses") == 1

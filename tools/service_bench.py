@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Service load-test harness: ``PYTHONPATH=src python tools/service_bench.py``.
+
+Replays mixed workloads through :class:`repro.service.CompileService`
+and records what the *telemetry stack* reports — the latency histograms,
+throughput, and shed/degraded rates come from the service's own metrics
+registry, so the benchmark doubles as an end-to-end check that the
+telemetry accounting is trustworthy under load.
+
+Workload mixes (each runs on a fresh service + registry):
+
+* **steady** — unique programs (``examples/`` + fuzzer-generated) at
+  batch concurrency: the baseline latency profile;
+* **cached** — the same sources replayed round after round with the
+  response cache on: hot-path latency (``cached`` outcome) vs the cold
+  first round;
+* **faulted** — a chaos slice (worker kills, hangs, poison inputs)
+  with fast retries: latency per terminal outcome under faults;
+* **overload** — a burst several times the queue capacity: load
+  shedding and the tail it protects.
+
+``--smoke`` runs the first two mixes with small batches (the CI mode);
+the default runs all four.  The report lands in ``BENCH_service.json``.
+Sanity gates (always enforced): every mix must achieve nonzero
+throughput, record a p99 for at least one latency outcome, and lose
+zero requests (submissions == terminal responses, both in the python
+objects and in the metrics registry).
+
+Usage::
+
+    PYTHONPATH=src python tools/service_bench.py \
+        [--smoke] [--batch 24] [--rounds 3] [--duration 30] \
+        [--concurrency 2] [--fuzz-seeds 12] [--out BENCH_service.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.service import (  # noqa: E402
+    CompileRequest,
+    CompileService,
+    RetryPolicy,
+    ServiceConfig,
+)
+from repro.service.chaos import _make_source  # noqa: E402
+from repro.testing.generator import generate_program  # noqa: E402
+
+
+def _corpus(fuzz_seeds: int) -> list[tuple[str, str]]:
+    """(name, source) pairs: every example plus generated programs."""
+    sources: list[tuple[str, str]] = []
+    for path in sorted(
+        glob.glob(os.path.join(REPO_ROOT, "examples", "*.c"))
+    ):
+        with open(path, "r", encoding="utf-8") as fh:
+            sources.append((os.path.basename(path), fh.read()))
+    for seed in range(1, fuzz_seeds + 1):
+        sources.append(
+            (f"fuzz-seed-{seed}", generate_program(seed).source)
+        )
+    return sources
+
+
+def _steady_batch(args, round_index: int) -> list[CompileRequest]:
+    sources = _corpus(args.fuzz_seeds)
+    batch = []
+    for i in range(args.batch):
+        name, source = sources[i % len(sources)]
+        batch.append(
+            CompileRequest(
+                # Unique per (round, slot): no coalescing, no cache.
+                source=f"// steady r{round_index} i{i}\n" + source,
+                filename=f"{name}#r{round_index}.{i}",
+                mode="irbuilder" if i % 2 else "shadow",
+            )
+        )
+    return batch
+
+
+def _cached_batch(args, round_index: int) -> list[CompileRequest]:
+    sources = _corpus(args.fuzz_seeds)
+    return [
+        CompileRequest(
+            # Identical across rounds: round 0 populates the response
+            # cache, later rounds replay from it.
+            source=sources[i % len(sources)][1],
+            filename=sources[i % len(sources)][0],
+        )
+        for i in range(args.batch)
+    ]
+
+
+def _faulted_batch(args, round_index: int) -> list[CompileRequest]:
+    batch = []
+    for i in range(args.batch):
+        faults: tuple[str, ...] = ()
+        fault_attempts = 1
+        if i % 8 == 1:
+            faults = ("service-worker-exit",)
+        elif i % 8 == 3:
+            faults = ("service-worker-hang",)
+        elif i % 8 == 5:
+            faults = ("service-worker",)
+            fault_attempts = -1  # poison: fails on every attempt
+        batch.append(
+            CompileRequest(
+                source=_make_source(i + round_index * args.batch),
+                filename=f"faulted-{round_index}.{i}.c",
+                action="run",
+                mode="irbuilder" if i % 2 else "shadow",
+                deadline_s=3.0,
+                inject_faults=faults,
+                fault_attempts=fault_attempts,
+            )
+        )
+    return batch
+
+
+def _overload_batch(args, round_index: int) -> list[CompileRequest]:
+    sources = _corpus(args.fuzz_seeds)
+    return [
+        CompileRequest(
+            source=f"// burst r{round_index} i{i}\n"
+            + sources[i % len(sources)][1],
+            filename=f"burst-{round_index}.{i}.c",
+        )
+        # A burst several times the overload queue capacity.
+        for i in range(args.batch * 4)
+    ]
+
+
+def _mix_config(name: str, args, scratch: str) -> ServiceConfig:
+    common = dict(
+        workers=args.concurrency,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.1
+        ),
+        quarantine_dir=None,
+    )
+    if name == "steady":
+        return ServiceConfig(queue_capacity=args.batch * 8, **common)
+    if name == "cached":
+        return ServiceConfig(
+            queue_capacity=args.batch * 8,
+            enable_cache=True,
+            cache_dir=os.path.join(scratch, "cache"),
+            **common,
+        )
+    if name == "faulted":
+        return ServiceConfig(
+            queue_capacity=args.batch * 8,
+            deadline_s=3.0,
+            breaker_threshold=3,
+            **common,
+        )
+    if name == "overload":
+        # Deliberately too small for the burst: sheds are the point.
+        return ServiceConfig(
+            queue_capacity=max(4, args.batch), **common
+        )
+    raise ValueError(f"unknown mix {name!r}")
+
+
+_MIX_BUILDERS = {
+    "steady": _steady_batch,
+    "cached": _cached_batch,
+    "faulted": _faulted_batch,
+    "overload": _overload_batch,
+}
+
+
+def _latency_table(snapshot: dict, metric: str) -> dict:
+    table = {}
+    for row in snapshot.get(metric, {}).get("series", []):
+        outcome = row["labels"].get("outcome", "")
+        table[outcome or "_"] = {
+            "count": row["count"],
+            "p50_s": row["p50"],
+            "p95_s": row["p95"],
+            "p99_s": row["p99"],
+            "mean_s": round(row["sum"] / max(row["count"], 1), 6),
+        }
+    return table
+
+
+def run_mix(name: str, args, scratch: str) -> dict:
+    """Run one workload mix to its duration/round budget and report
+    what the metrics registry observed."""
+    build = _MIX_BUILDERS[name]
+    config = _mix_config(name, args, scratch)
+    submitted = 0
+    answered = 0
+    statuses: dict[str, int] = {}
+    rounds = 0
+    started = time.perf_counter()
+    with CompileService(config) as service:
+        while rounds < args.rounds:
+            batch = build(args, rounds)
+            responses = service.process_batch(batch)
+            submitted += len(batch)
+            answered += sum(
+                1 for r in responses if r is not None and r.status
+            )
+            for r in responses:
+                statuses[r.status] = statuses.get(r.status, 0) + 1
+            rounds += 1
+            if time.perf_counter() - started >= args.duration:
+                break
+        wall_s = time.perf_counter() - started
+        snapshot = service.metrics.snapshot()
+    requests_in = snapshot["service_requests_total"]["series"][0][
+        "value"
+    ]
+    responses_out = sum(
+        row["value"]
+        for row in snapshot["service_responses_total"]["series"]
+    )
+    latency = _latency_table(
+        snapshot, "service_request_duration_seconds"
+    )
+    total = max(submitted, 1)
+    return {
+        "rounds": rounds,
+        "requests": submitted,
+        "responses": answered,
+        "lost": submitted - answered,
+        "metrics_requests_in": requests_in,
+        "metrics_responses_out": responses_out,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(submitted / max(wall_s, 1e-9), 2),
+        "statuses": dict(sorted(statuses.items())),
+        "rates": {
+            "shed": round(
+                statuses.get("resource-exhausted", 0) / total, 4
+            ),
+            "degraded": round(statuses.get("degraded", 0) / total, 4),
+            "error": round(statuses.get("error", 0) / total, 4),
+            "circuit_open": round(
+                statuses.get("circuit-open", 0) / total, 4
+            ),
+        },
+        "latency_by_outcome": latency,
+        "queue_wait": _latency_table(
+            snapshot, "service_queue_wait_seconds"
+        ),
+    }
+
+
+def _check_mix(name: str, report: dict) -> list[str]:
+    """The sanity gates every mix must pass."""
+    problems = []
+    if report["throughput_rps"] <= 0:
+        problems.append(f"{name}: zero throughput")
+    if report["lost"] != 0:
+        problems.append(f"{name}: lost {report['lost']} request(s)")
+    if report["metrics_requests_in"] != report["metrics_responses_out"]:
+        problems.append(
+            f"{name}: metrics accounting broken: "
+            f"{report['metrics_requests_in']} in vs "
+            f"{report['metrics_responses_out']} terminal"
+        )
+    if not any(
+        row["count"] > 0 and row["p99_s"] > 0
+        for row in report["latency_by_outcome"].values()
+    ):
+        problems.append(f"{name}: no p99 recorded")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="service_bench",
+        description="load-test the compile service and record what "
+        "its telemetry reports",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI mode: steady + cached mixes only, small batches",
+    )
+    parser.add_argument("--batch", type=int, default=24)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="per-mix wall-clock budget (stops after the round that "
+        "crosses it)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=2,
+        help="worker pool size per mix",
+    )
+    parser.add_argument("--fuzz-seeds", type=int, default=12)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--mixes",
+        default=None,
+        help="comma-separated subset of "
+        + "/".join(_MIX_BUILDERS),
+    )
+    args = parser.parse_args(argv)
+
+    if args.mixes:
+        mix_names = [m.strip() for m in args.mixes.split(",") if m.strip()]
+        unknown = set(mix_names) - set(_MIX_BUILDERS)
+        if unknown:
+            parser.error(f"unknown mixes: {sorted(unknown)}")
+    elif args.smoke:
+        mix_names = ["steady", "cached"]
+        args.batch = min(args.batch, 8)
+        args.rounds = min(args.rounds, 2)
+        args.fuzz_seeds = min(args.fuzz_seeds, 4)
+    else:
+        mix_names = list(_MIX_BUILDERS)
+
+    scratch = tempfile.mkdtemp(prefix="miniclang-service-bench-")
+    mixes: dict[str, dict] = {}
+    problems: list[str] = []
+    try:
+        for name in mix_names:
+            report = run_mix(name, args, scratch)
+            mixes[name] = report
+            problems.extend(_check_mix(name, report))
+            ok_n = report["statuses"].get("ok", 0)
+            print(
+                f"service-bench: {name}: {report['requests']} reqs in "
+                f"{report['wall_s']}s ({report['throughput_rps']} rps) "
+                f"| ok={ok_n} shed={report['rates']['shed']:.0%} "
+                f"degraded={report['rates']['degraded']:.0%} | "
+                + " ".join(
+                    f"{o}:p99={row['p99_s']}s"
+                    for o, row in sorted(
+                        report["latency_by_outcome"].items()
+                    )
+                )
+            )
+    finally:
+        shutil.rmtree(scratch, ignore_errors=True)
+
+    report = {
+        "tool": "service_bench",
+        "smoke": bool(args.smoke),
+        "concurrency": args.concurrency,
+        "batch": args.batch,
+        "rounds": args.rounds,
+        "mixes": mixes,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    print(f"service-bench: wrote {args.out}")
+    if problems:
+        for problem in problems:
+            print(f"service-bench: FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
