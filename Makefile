@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTHONPATH := src
 
 .PHONY: test conformance fuzz fuzz-smoke fuzz-cache cache-bench \
-	fault-sweep service-chaos service-bench check-all
+	fault-sweep service-chaos storage-chaos service-bench check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -53,6 +53,20 @@ service-chaos:
 	    --poison 2 --workers 2 --deadline 5 \
 	    --quarantine-dir service-quarantine
 
+# Storage chaos: concurrent compiles against a fault-armed shared disk
+# cache with a mid-campaign service restart; asserts zero corrupt
+# payloads served, durable quarantine, exact metrics accounting.
+# Work dirs live under /tmp so nothing lands at the repo root.
+STORAGE_CHAOS_DIR ?= /tmp/miniclang-storage-chaos
+storage-chaos:
+	rm -rf $(STORAGE_CHAOS_DIR)
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.service.chaos \
+	    --storage --count $(CHAOS_COUNT) --poison 2 --workers 2 \
+	    --deadline 5 --durable \
+	    --cache-dir $(STORAGE_CHAOS_DIR)/cache \
+	    --state-dir $(STORAGE_CHAOS_DIR)/state \
+	    --quarantine-dir $(STORAGE_CHAOS_DIR)/quarantine
+
 # Service load-test harness: replays workload mixes (steady, cached,
 # faulted, overload) and records what the telemetry stack reports ->
 # BENCH_service.json.  Override: make service-bench BENCH_ARGS=--smoke
@@ -63,4 +77,4 @@ service-bench:
 
 # Everything CI runs, in one shot.
 check-all: test conformance fuzz-smoke fault-sweep service-chaos \
-	cache-bench service-bench
+	storage-chaos cache-bench service-bench

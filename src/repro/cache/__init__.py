@@ -29,6 +29,12 @@ from repro.cache.cache import (
     degraded_key,
 )
 from repro.cache.disk import DiskTier
+from repro.cache.integrity import (
+    IntegrityError,
+    payload_digest,
+    seal,
+    unseal,
+)
 from repro.cache.key import (
     CACHE_FORMAT_VERSION,
     canonicalize_flag_tokens,
@@ -49,13 +55,17 @@ __all__ = [
     "DEGRADED_KEY_SUFFIX",
     "DiskTier",
     "InflightTable",
+    "IntegrityError",
     "LRUTier",
     "canonicalize_flag_tokens",
     "canonicalize_source",
     "define_items",
     "degraded_key",
+    "payload_digest",
     "request_fingerprint",
+    "seal",
     "source_id",
     "stage_key",
     "token_stream_text",
+    "unseal",
 ]

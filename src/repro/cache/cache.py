@@ -121,12 +121,15 @@ class CompilationCache:
         max_entries: int = 1024,
         max_memory_bytes: int = 64 * 1024 * 1024,
         max_disk_bytes: int = 256 * 1024 * 1024,
+        durable: bool = False,
     ) -> None:
         self.directory = directory
         self.memory = LRUTier(max_entries, max_memory_bytes)
         self.modules = LRUTier(max_entries)
         self.disk: Optional[DiskTier] = (
-            DiskTier(directory, max_disk_bytes) if directory else None
+            DiskTier(directory, max_disk_bytes, durable=durable)
+            if directory
+            else None
         )
 
     # ------------------------------------------------------------------
@@ -244,6 +247,10 @@ class CompilationCache:
         if self.disk is not None:
             bits.append(f"dir={self.directory}")
             bits.append(f"disk-bytes={self.disk.bytes}")
+            if self.disk.durable:
+                bits.append("durable=1")
+            if self.disk.write_disabled:
+                bits.append("disk-writes=disabled")
         else:
             bits.append("dir=<memory-only>")
         return "cache: " + " ".join(bits)

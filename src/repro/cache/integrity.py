@@ -1,0 +1,95 @@
+"""Self-verifying storage envelopes for the on-disk cache tier.
+
+Every file the disk tier writes — artifacts, aliases, service state
+snapshots — is a JSON *envelope* carrying a SHA-256 over the canonical
+serialization of its payload::
+
+    {"format": 2, "sha256": "<hex>", "payload": {...}}
+
+Reads recompute the digest and compare; a mismatch (bit rot, a torn
+write that slipped past ``os.replace``, a partial copy, an editor
+mangling the file) raises :class:`IntegrityError` so the caller can
+treat the entry as *corrupt* — delete it and report a miss — rather
+than deserializing garbage and serving wrong bytes.  This is ccache's
+file-integrity checking applied to every stored object, with the
+digest stored inline instead of in the filename so alias files (whose
+names are request keys, not content addresses) get the same protection.
+
+The digest is computed over compact sorted-key JSON — the exact
+canonical form :mod:`repro.cache.key` hashes — so sealing is
+deterministic across processes and interpreter restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Union
+
+from repro.cache.key import CACHE_FORMAT_VERSION
+
+
+class IntegrityError(Exception):
+    """The stored envelope is unreadable, mismatched, or truncated."""
+
+
+def _canonical(payload: object) -> str:
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=False,
+    )
+
+
+def payload_digest(payload: object) -> str:
+    """SHA-256 hex digest of the canonical payload serialization."""
+    return hashlib.sha256(_canonical(payload).encode("utf-8")).hexdigest()
+
+
+def seal(payload: object) -> str:
+    """Wrap *payload* in a checksummed envelope, ready for disk."""
+    return json.dumps(
+        {
+            "format": CACHE_FORMAT_VERSION,
+            "sha256": payload_digest(payload),
+            "payload": payload,
+        },
+        sort_keys=True,
+        ensure_ascii=False,
+    )
+
+
+def unseal(data: Union[bytes, str]) -> object:
+    """Verify and unwrap one envelope; raises :class:`IntegrityError`
+    on any defect — undecodable bytes, malformed JSON, a foreign format
+    version, a missing digest, or a digest mismatch."""
+    if isinstance(data, bytes):
+        try:
+            data = data.decode("utf-8")
+        except UnicodeDecodeError as err:
+            raise IntegrityError(f"undecodable bytes: {err}") from None
+    try:
+        envelope = json.loads(data)
+    except ValueError as err:
+        raise IntegrityError(f"malformed envelope: {err}") from None
+    if not isinstance(envelope, dict):
+        raise IntegrityError("envelope is not an object")
+    if envelope.get("format") != CACHE_FORMAT_VERSION:
+        raise IntegrityError(
+            f"format version {envelope.get('format')!r} != "
+            f"{CACHE_FORMAT_VERSION}"
+        )
+    digest = envelope.get("sha256")
+    if not isinstance(digest, str):
+        raise IntegrityError("missing sha256 digest")
+    if "payload" not in envelope:
+        raise IntegrityError("missing payload")
+    payload = envelope["payload"]
+    actual = payload_digest(payload)
+    if actual != digest:
+        raise IntegrityError(
+            f"digest mismatch: stored {digest[:12]}..., "
+            f"recomputed {actual[:12]}..."
+        )
+    return payload

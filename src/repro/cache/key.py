@@ -36,7 +36,8 @@ from typing import Iterable, Optional, Sequence
 from repro.lex.tokens import Token
 
 #: bump whenever artifact layout or any key ingredient changes meaning
-CACHE_FORMAT_VERSION = 1
+#: (2: on-disk entries gained self-verifying SHA-256 envelopes)
+CACHE_FORMAT_VERSION = 2
 
 
 def _digest(payload: object) -> str:

@@ -324,12 +324,14 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "-crash-reproducer-dir",
-        default="miniclang-crashes",
+        default=os.environ.get(
+            "MINICLANG_CRASH_DIR", "miniclang-crashes"
+        ),
         dest="crash_reproducer_dir",
         metavar="DIR",
         help="where internal-compiler-error reproducers (source + "
         "invocation + traceback) and -verify-each before/after IR are "
-        "written (default: miniclang-crashes)",
+        "written (default: $MINICLANG_CRASH_DIR or miniclang-crashes)",
     )
     parser.add_argument(
         "-ferror-limit",
@@ -454,13 +456,15 @@ DEFAULT_CACHE_DIR = ".miniclang-cache"
 
 def _extract_cache_flags(
     argv: list[str],
-) -> tuple[list[str], str | None]:
-    """Pull ``-fcache[=DIR]`` / ``-fno-cache`` out of *argv* (manual
-    for the same ``nargs="?"`` reason as ``-ftime-trace``; last flag
-    wins, clang-style).  Returns the remaining argv and the cache
-    directory (None = caching disabled)."""
+) -> tuple[list[str], str | None, bool]:
+    """Pull ``-fcache[=DIR]`` / ``-fno-cache`` / ``-fcache-durable``
+    out of *argv* (manual for the same ``nargs="?"`` reason as
+    ``-ftime-trace``; last flag wins, clang-style).  Returns the
+    remaining argv, the cache directory (None = caching disabled), and
+    whether durable (fsync-before-rename) writes were requested."""
     remaining: list[str] = []
     cache_dir: str | None = None
+    durable = False
     for arg in argv:
         if arg == "-fcache":
             cache_dir = DEFAULT_CACHE_DIR
@@ -468,9 +472,11 @@ def _extract_cache_flags(
             cache_dir = arg.split("=", 1)[1] or DEFAULT_CACHE_DIR
         elif arg == "-fno-cache":
             cache_dir = None
+        elif arg == "-fcache-durable":
+            durable = True
         else:
             remaining.append(arg)
-    return remaining, cache_dir
+    return remaining, cache_dir, durable
 
 
 def _write_stats_json(
@@ -520,7 +526,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     invocation = "miniclang " + " ".join(argv)
     argv, time_trace = _extract_time_trace(argv)
-    argv, cache_dir = _extract_cache_flags(argv)
+    argv, cache_dir, cache_durable = _extract_cache_flags(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
     if args.print_pipeline_passes:
@@ -566,6 +572,7 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir,
             max_entries=args.cache_max_entries,
             max_disk_bytes=args.cache_max_bytes,
+            durable=cache_durable,
         )
 
     stats_before = STATS.snapshot()

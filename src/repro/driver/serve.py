@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import signal
 import sys
 
 from repro.driver.exitcodes import (
@@ -157,10 +159,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--quarantine-dir",
-        default="service-quarantine",
+        default=os.environ.get(
+            "MINICLANG_QUARANTINE_DIR", "service-quarantine"
+        ),
         metavar="DIR",
         help="where poison-input reproducers are written "
-        "('' disables quarantine reproducers)",
+        "('' disables quarantine reproducers; default: "
+        "$MINICLANG_QUARANTINE_DIR or service-quarantine)",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        dest="state_dir",
+        metavar="DIR",
+        help="persist the breaker board and poison-input quarantine "
+        "here; a restart restores them (quarantined inputs are "
+        "rejected without re-execution, aged breakers re-enter "
+        "half-open probing)",
+    )
+    parser.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        dest="drain_timeout",
+        metavar="SECONDS",
+        help="on SIGTERM/SIGINT: let in-flight requests finish this "
+        "long before shedding the rest (second signal exits "
+        "immediately)",
+    )
+    parser.add_argument(
+        "--worker-max-requests",
+        type=int,
+        default=None,
+        dest="worker_max_requests",
+        metavar="N",
+        help="preemptively recycle each worker after N completed "
+        "attempts (zero request loss; gunicorn-style max_requests)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=5.0,
+        dest="heartbeat_interval",
+        metavar="SECONDS",
+        help="liveness-check idle workers this often (0 disables)",
     )
     # -fcache[=DIR] / -fno-cache are extracted manually in main()
     # (same nargs="?"-vs-positional hazard as miniclang's -ftime-trace)
@@ -247,6 +289,50 @@ def build_arg_parser() -> argparse.ArgumentParser:
 DEFAULT_TRACE_DIR = "service-traces"
 
 
+class _DrainSignals:
+    """SIGTERM/SIGINT -> graceful drain (systemd-style stop protocol).
+
+    First signal: admission closes, in-flight work gets the drain
+    deadline, state is snapshotted, the process exits 0.  Second
+    signal: immediate exit with the conventional ``128 + signum``.
+    """
+
+    def __init__(self, service, drain_deadline_s: float) -> None:
+        self.service = service
+        self.drain_deadline_s = drain_deadline_s
+        self.triggered = False
+        self._previous: dict[int, object] = {}
+
+    def _handle(self, signum, frame) -> None:
+        if self.triggered:
+            os._exit(128 + signum)
+        self.triggered = True
+        name = signal.Signals(signum).name
+        print(
+            f"miniclang-serve: {name} received: draining "
+            f"(deadline {self.drain_deadline_s:.1f}s; send again to "
+            "exit immediately)",
+            file=sys.stderr,
+        )
+        self.service.begin_drain(self.drain_deadline_s)
+
+    def install(self) -> None:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._previous[signum] = signal.signal(
+                    signum, self._handle
+                )
+            except (ValueError, OSError):  # pragma: no cover
+                pass  # non-main thread / unsupported platform
+
+    def restore(self) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+
 def _extract_trace_requests(
     argv: list[str],
 ) -> tuple[list[str], str | None]:
@@ -317,7 +403,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.instrument.telemetry import EventLog
 
     argv = list(sys.argv[1:] if argv is None else argv)
-    argv, cache_dir = _extract_cache_flags(argv)
+    argv, cache_dir, cache_durable = _extract_cache_flags(argv)
     argv, trace_dir = _extract_trace_requests(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
@@ -373,16 +459,27 @@ def main(argv: list[str] | None = None) -> int:
         cache_dir=cache_dir,
         cache_max_entries=args.cache_max_entries,
         cache_max_bytes=args.cache_max_bytes,
+        cache_durable=cache_durable,
         single_flight=not args.no_single_flight,
+        state_dir=args.state_dir,
+        drain_deadline_s=args.drain_timeout,
+        worker_max_requests=args.worker_max_requests,
+        heartbeat_interval_s=args.heartbeat_interval,
         trace_requests=trace_dir is not None,
         trace_dir=trace_dir,
         event_log=event_log,
     )
     stats_before = STATS.snapshot()
     code = EXIT_USER_ERROR if read_errors else EXIT_OK
+    drainer = None
     try:
         with CompileService(config) as service:
-            responses = service.process_batch(requests)
+            drainer = _DrainSignals(service, args.drain_timeout)
+            drainer.install()
+            try:
+                responses = service.process_batch(requests)
+            finally:
+                drainer.restore()
             service_cache = service.cache
             metrics = service.metrics
             traces_written = list(service.tracer.written)
@@ -402,6 +499,22 @@ def main(argv: list[str] | None = None) -> int:
             if not response.output.endswith("\n"):
                 sys.stdout.write("\n")
         code = worst_exit_code(code, _response_exit_code(response))
+    if drainer is not None and drainer.triggered:
+        served = sum(1 for r in responses if r.ok)
+        shed = sum(
+            1
+            for r in responses
+            if r.status == STATUS_RESOURCE_EXHAUSTED
+        )
+        print(
+            f"miniclang-serve: drained: {served} served, {shed} shed, "
+            "state snapshotted; exiting 0",
+            file=sys.stderr,
+        )
+        # A graceful drain is a *successful* shutdown: the shed work
+        # got structured answers and the supervisor must not treat the
+        # stop as a crash (systemd's clean-stop contract).
+        code = EXIT_OK
     if trace_dir is not None and traces_written:
         print(
             f"miniclang-serve: wrote {len(traces_written)} request "

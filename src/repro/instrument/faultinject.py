@@ -189,3 +189,34 @@ FAULTS.register(
     "shadow-AST-path request execution in a service worker",
     scope="service",
 )
+# Storage sites (repro.cache.disk): a deterministic I/O shim inside the
+# disk tier.  Each site simulates one physical failure mode — a torn
+# write reaching disk, a full filesystem, silent bit rot on read, a
+# failed rename or fsync — and is *contained by the tier itself*: the
+# InjectedFault never escapes disk.py, so an armed storage site must
+# degrade a compile to "slower" (miss / memory-only), never break it.
+FAULTS.register(
+    "storage-write-torn",
+    "disk-tier write persists truncated bytes (torn write reaches disk)",
+    scope="storage",
+)
+FAULTS.register(
+    "storage-write-enospc",
+    "disk-tier write fails with ENOSPC (filesystem full)",
+    scope="storage",
+)
+FAULTS.register(
+    "storage-read-corrupt",
+    "disk-tier read returns bit-rotted bytes (checksum must catch it)",
+    scope="storage",
+)
+FAULTS.register(
+    "storage-rename-fail",
+    "disk-tier atomic rename fails with EIO",
+    scope="storage",
+)
+FAULTS.register(
+    "storage-fsync-fail",
+    "disk-tier fsync fails with EIO (durable mode only)",
+    scope="storage",
+)

@@ -42,6 +42,12 @@ from repro.service.service import (
     PoisonInputError,
     ServiceConfig,
 )
+from repro.service.state import (
+    ServiceState,
+    load_state,
+    save_state,
+    state_path,
+)
 
 __all__ = [
     "AdmissionQueue",
@@ -53,6 +59,7 @@ __all__ = [
     "PoisonInputError",
     "RetryPolicy",
     "ServiceConfig",
+    "ServiceState",
     "STATUS_CIRCUIT_OPEN",
     "STATUS_DEGRADED",
     "STATUS_ERROR",
@@ -61,8 +68,11 @@ __all__ = [
     "STATUS_RESOURCE_EXHAUSTED",
     "STATUS_TIMEOUT",
     "TERMINAL_STATUSES",
+    "load_state",
     "other_mode",
+    "save_state",
     "shared_service",
+    "state_path",
 ]
 
 _shared: Optional[CompileService] = None

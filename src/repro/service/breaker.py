@@ -119,6 +119,47 @@ class CircuitBreaker:
         self._opened_at = None
         self._probe_granted_at = None
 
+    # -- durable state -------------------------------------------------
+    def export_state(self) -> Optional[dict]:
+        """Snapshot for :mod:`repro.service.state`; None when there is
+        nothing worth persisting (CLOSED with no failure streak).
+
+        The open timestamp is persisted as an *age* — monotonic clock
+        readings mean nothing across processes — so a restored breaker
+        keeps its place in the cooldown: an entry older than
+        ``cooldown_s`` immediately presents as HALF_OPEN and re-enters
+        probing.
+        """
+        if self._state == CLOSED and self._consecutive_failures == 0:
+            return None
+        state = {
+            "state": self._state,
+            "consecutive_failures": self._consecutive_failures,
+            "trips": self.trips,
+        }
+        if self._opened_at is not None:
+            state["opened_age_s"] = round(
+                self._clock() - self._opened_at, 3
+            )
+        return state
+
+    def restore_state(self, data: dict) -> None:
+        """Adopt a snapshot produced by :meth:`export_state`."""
+        state = data.get("state")
+        if state not in (CLOSED, OPEN, HALF_OPEN):
+            return
+        self._state = state
+        self._consecutive_failures = max(
+            0, int(data.get("consecutive_failures", 0))
+        )
+        self.trips = max(0, int(data.get("trips", 0)))
+        self._probe_granted_at = None
+        if state == CLOSED:
+            self._opened_at = None
+        else:
+            age = float(data.get("opened_age_s", 0.0))
+            self._opened_at = self._clock() - max(0.0, age)
+
 
 class BreakerBoard:
     """Fingerprint -> :class:`CircuitBreaker` map with shared settings."""
@@ -164,3 +205,26 @@ class BreakerBoard:
     @property
     def open_count(self) -> int:
         return sum(1 for b in self._breakers.values() if b.is_open)
+
+    # -- durable state -------------------------------------------------
+    def export_state(self) -> dict[str, dict]:
+        """Fingerprint -> breaker snapshot, non-trivial entries only."""
+        exported: dict[str, dict] = {}
+        for fingerprint, breaker in self._breakers.items():
+            state = breaker.export_state()
+            if state is not None:
+                exported[fingerprint] = state
+        return exported
+
+    def restore_state(self, data: dict[str, dict]) -> int:
+        """Recreate breakers from a snapshot (observers attached as
+        usual via :meth:`get`); returns how many were restored."""
+        restored = 0
+        for fingerprint, state in data.items():
+            if not isinstance(fingerprint, str) or not isinstance(
+                state, dict
+            ):
+                continue
+            self.get(fingerprint).restore_state(state)
+            restored += 1
+        return restored

@@ -24,15 +24,19 @@ smoke batch and the acceptance harness in one.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.instrument.stats import STATS
+from repro.instrument.telemetry.metrics import MetricsRegistry
 from repro.service import (
     STATUS_CIRCUIT_OPEN,
     CompileRequest,
     CompileService,
     RetryPolicy,
     ServiceConfig,
+    load_state,
+    state_path,
 )
 
 #: every chaos request is a real program: tile+unroll, compiled and run
@@ -326,6 +330,414 @@ def run_chaos(args) -> int:
     return 0
 
 
+# ======================================================================
+# Storage chaos: fault-armed shared disk cache + kill-and-restart
+# ======================================================================
+
+#: the deterministic I/O fault family inside the disk tier
+_STORAGE_SITES = (
+    "storage-write-torn",
+    "storage-write-enospc",
+    "storage-read-corrupt",
+    "storage-rename-fail",
+    "storage-fsync-fail",
+)
+
+#: distinct cacheable programs the storage campaign rotates through —
+#: repetition is the point: later requests must be able to *hit* what
+#: earlier (possibly torn) writes stored
+_N_STORAGE_SOURCES = 8
+
+
+def _storage_mode(src: int) -> str:
+    return "irbuilder" if src % 2 else "shadow"
+
+
+def _storage_request(
+    src: int,
+    deadline: float,
+    faults: tuple[str, ...] = (),
+    fault_attempts: int = 1,
+    tag: str = " [storage]",
+) -> CompileRequest:
+    return CompileRequest(
+        source=_make_source(src, tag),
+        filename=f"storage-{src}.c",
+        action="compile",
+        mode=_storage_mode(src),
+        deadline_s=deadline,
+        inject_faults=faults,
+        fault_attempts=fault_attempts,
+    )
+
+
+def _poison_request(p: int, deadline: float) -> CompileRequest:
+    # Unique source per poison input -> distinct fingerprints, so each
+    # trips (and persists) its own breaker.
+    return CompileRequest(
+        source=_make_source(900 + p, " [poison]"),
+        filename=f"storage-poison-{p}.c",
+        action="compile",
+        mode="shadow",
+        deadline_s=deadline,
+        inject_faults=("service-worker",),
+        fault_attempts=-1,
+    )
+
+
+def build_storage_phases(
+    args,
+) -> tuple[list, list, dict[str, list[int]], dict[str, list[int]]]:
+    """Two request batches (before / after the restart) plus per-phase
+    category index sets.
+
+    Phase A opens with a clean warm-up covering every source (so the
+    disk cache holds known-good entries before anything is torn), then
+    interleaves storage-fault-armed requests, worker kills, and poison
+    inputs.  Phase B — served by a *fresh* service on the same cache
+    and state directories — replays the sources with cold memory tiers,
+    arming ``storage-read-corrupt`` on the first visit to each source
+    so corruption detection is exercised deterministically.
+    """
+    half = max(16, args.count // 2)
+    phase_a: list[CompileRequest] = []
+    plan_a: dict[str, list[int]] = {
+        "clean": [],
+        "storage": [],
+        "kill": [],
+        "poison": [],
+    }
+    warmup = max(_N_STORAGE_SOURCES, half // 4)
+    poison_slots = {
+        warmup + 1 + p * 3: p for p in range(args.poison)
+    }
+    for i in range(half):
+        src = i % _N_STORAGE_SOURCES
+        if i < warmup:
+            phase_a.append(_storage_request(src, args.deadline))
+            plan_a["clean"].append(i)
+        elif i in poison_slots:
+            phase_a.append(
+                _poison_request(poison_slots[i], args.deadline)
+            )
+            plan_a["poison"].append(i)
+        elif args.kill_every and i % args.kill_every == 0:
+            # Unique tag (an IR-invisible comment) -> unique
+            # fingerprint, so repeated kills are really executed
+            # instead of replayed from the response cache.
+            phase_a.append(
+                _storage_request(
+                    src,
+                    args.deadline,
+                    ("service-worker-exit",),
+                    tag=f" [storage kill {i}]",
+                )
+            )
+            plan_a["kill"].append(i)
+        else:
+            site = _STORAGE_SITES[i % len(_STORAGE_SITES)]
+            phase_a.append(
+                _storage_request(
+                    src, args.deadline, (site,), fault_attempts=-1
+                )
+            )
+            plan_a["storage"].append(i)
+
+    rest = max(_N_STORAGE_SOURCES, args.count - half)
+    phase_b: list[CompileRequest] = []
+    plan_b: dict[str, list[int]] = {"clean": [], "read-corrupt": []}
+    for j in range(rest):
+        src = j % _N_STORAGE_SOURCES
+        if j < _N_STORAGE_SOURCES:
+            # First visit to each source after the restart: the memory
+            # tiers are cold, so the disk read happens — and the armed
+            # fault corrupts it in flight.  The tier must detect, heal,
+            # and recompile; serving torn bytes would be the bug.
+            phase_b.append(
+                _storage_request(
+                    src, args.deadline, ("storage-read-corrupt",)
+                )
+            )
+            plan_b["read-corrupt"].append(j)
+        else:
+            phase_b.append(_storage_request(src, args.deadline))
+            plan_b["clean"].append(j)
+    return phase_a, phase_b, plan_a, plan_b
+
+
+def run_storage_chaos(args) -> int:
+    from repro.pipeline import execute_request
+
+    phase_a, phase_b, plan_a, plan_b = build_storage_phases(args)
+    n_poison = len(plan_a["poison"])
+
+    # Uncached oracle: the byte-identity reference for every rotating
+    # source, computed before any cache or fault is in play.
+    oracle: dict[int, str] = {}
+    for src in range(_N_STORAGE_SOURCES):
+        outcome = execute_request(
+            _make_source(src, " [storage]"),
+            filename=f"storage-{src}.c",
+            action="compile",
+            mode=_storage_mode(src),
+            cache=None,
+        )
+        if outcome.kind != "ok":
+            print(
+                f"chaos: oracle compile of source {src} failed: "
+                f"{outcome.kind}",
+                file=sys.stderr,
+            )
+            return 1
+        oracle[src] = outcome.output
+
+    metrics = MetricsRegistry()
+
+    def config() -> ServiceConfig:
+        return ServiceConfig(
+            workers=args.workers,
+            queue_capacity=max(args.count + 8, 16),
+            deadline_s=args.deadline,
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.01, max_delay_s=0.1
+            ),
+            breaker_threshold=3,
+            # Long cooldown: restored OPEN breakers must still be OPEN
+            # when phase B resubmits the poison inputs.
+            breaker_cooldown_s=600.0,
+            quarantine_dir=args.quarantine_dir or None,
+            enable_cache=True,
+            cache_dir=args.cache_dir,
+            cache_durable=args.durable,
+            state_dir=args.state_dir,
+            metrics=metrics,
+        )
+
+    stats_before = STATS.snapshot()
+
+    # -- phase A: faulted traffic, then a *restart* --------------------
+    with CompileService(config()) as service_a:
+        responses_a = service_a.process_batch(phase_a)
+    # service_a's shutdown snapshotted its breaker board + quarantine.
+
+    snapshot_file = state_path(args.state_dir)
+    mid_state = load_state(args.state_dir)
+
+    # -- phase B: a fresh instance on the same cache + state dirs ------
+    with CompileService(config()) as service_b:
+        restored = dict(service_b.quarantined)
+        responses_b = service_b.process_batch(phase_b)
+        rejects = []
+        for i in plan_a["poison"]:
+            original = phase_a[i]
+            rejects.append(
+                service_b.submit(
+                    CompileRequest(
+                        source=original.source,
+                        filename=original.filename,
+                        action=original.action,
+                        mode=original.mode,
+                        deadline_s=args.deadline,
+                        inject_faults=original.inject_faults,
+                        fault_attempts=original.fault_attempts,
+                    )
+                )
+            )
+        service_b.drain()
+        metrics_snapshot = service_b.metrics.snapshot()
+
+    delta = STATS.delta_since(stats_before)
+    stats = {
+        key: value
+        for key, value in delta.items()
+        if key.startswith(("service.", "cache."))
+    }
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    # -- zero lost requests across the restart -------------------------
+    check(
+        len(responses_a) == len(phase_a),
+        f"phase A lost requests: {len(responses_a)}/{len(phase_a)}",
+    )
+    check(
+        len(responses_b) == len(phase_b),
+        f"phase B lost requests: {len(responses_b)}/{len(phase_b)}",
+    )
+    for tag, responses in (("A", responses_a), ("B", responses_b)):
+        for i, response in enumerate(responses):
+            check(
+                response is not None and bool(response.status),
+                f"phase {tag} request {i} has no terminal response",
+            )
+
+    # -- zero corrupt payloads served: byte-identity vs the oracle -----
+    def check_output(tag: str, requests, responses, indices) -> None:
+        for i in indices:
+            response = responses[i]
+            check(
+                response.ok,
+                f"phase {tag} request {i} not served: "
+                f"{response.status}",
+            )
+            if not response.ok:
+                continue
+            src = int(requests[i].filename.split("-")[1].split(".")[0])
+            check(
+                response.output == oracle[src],
+                f"phase {tag} request {i} served bytes that differ "
+                f"from the uncached oracle for source {src} — "
+                "corrupt payload escaped the integrity check",
+            )
+
+    check_output(
+        "A",
+        phase_a,
+        responses_a,
+        plan_a["clean"] + plan_a["storage"] + plan_a["kill"],
+    )
+    check_output(
+        "B",
+        phase_b,
+        responses_b,
+        plan_b["clean"] + plan_b["read-corrupt"],
+    )
+    for i in plan_a["kill"]:
+        check(
+            responses_a[i].attempts >= 2,
+            f"kill request {i} resolved in "
+            f"{responses_a[i].attempts} attempt(s) — fault not armed?",
+        )
+
+    # -- corruption was actually detected (not silently served) --------
+    check(
+        stats.get("cache.corrupt-entries", 0) > 0,
+        "cache.corrupt-entries == 0: the campaign never detected "
+        "corruption — the read-corrupt arm did not reach the disk tier",
+    )
+
+    # -- poison quarantine survives the restart ------------------------
+    poison_fingerprints = {
+        phase_a[i].fingerprint() for i in plan_a["poison"]
+    }
+    for i in plan_a["poison"]:
+        check(
+            responses_a[i].status == STATUS_CIRCUIT_OPEN,
+            f"poison request {i} ended {responses_a[i].status}",
+        )
+    check(
+        mid_state is not None,
+        f"no usable state snapshot at {snapshot_file} after phase A",
+    )
+    if mid_state is not None:
+        check(
+            poison_fingerprints
+            <= set(mid_state.quarantined.keys()),
+            "phase A snapshot lost quarantined fingerprints",
+        )
+    check(
+        poison_fingerprints <= set(restored.keys()),
+        "restarted service did not restore the quarantine",
+    )
+    for i, reject in zip(plan_a["poison"], rejects):
+        check(
+            reject is not None
+            and reject.status == STATUS_CIRCUIT_OPEN,
+            f"poison resubmit {i} was not rejected after restart",
+        )
+        check(
+            reject is not None and reject.attempts == 0,
+            f"poison resubmit {i} burned {reject.attempts} worker "
+            "attempt(s) — quarantine must reject without re-executing",
+        )
+    check(
+        stats.get("service.quarantine-restored", 0) == n_poison,
+        f"service.quarantine-restored="
+        f"{stats.get('service.quarantine-restored')} != {n_poison}",
+    )
+    check(
+        stats.get("service.state-restores", 0) >= 1,
+        "restart never restored a state snapshot",
+    )
+    final_state = load_state(args.state_dir)
+    check(
+        final_state is not None
+        and poison_fingerprints
+        <= set(final_state.quarantined.keys()),
+        "final state snapshot is unusable or lost the quarantine",
+    )
+
+    # -- metrics accounting is exact across both instances -------------
+    submissions = len(phase_a) + len(phase_b) + n_poison
+    check(
+        stats.get("service.requests", 0) == submissions,
+        f"service.requests={stats.get('service.requests')} != "
+        f"{submissions}",
+    )
+    check(
+        stats.get("service.responses", 0) == submissions,
+        f"service.responses={stats.get('service.responses')} != "
+        f"{submissions}",
+    )
+    lat = metrics_snapshot["service_request_duration_seconds"]
+    observed = sum(row["count"] for row in lat["series"])
+    check(
+        observed == submissions,
+        "shared latency histogram lost observations across the "
+        f"restart: {observed} != {submissions}",
+    )
+    requests_in = metrics_snapshot["service_requests_total"]["series"][
+        0
+    ]["value"]
+    responses_out = sum(
+        row["value"]
+        for row in metrics_snapshot["service_responses_total"]["series"]
+    )
+    check(
+        requests_in == submissions,
+        f"service_requests_total={requests_in} != {submissions}",
+    )
+    check(
+        responses_out == submissions,
+        "requests in != sum of terminal statuses: "
+        f"{requests_in} vs {responses_out}",
+    )
+
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics_snapshot, fh, indent=1)
+            fh.write("\n")
+
+    served = sum(1 for r in responses_a if r.ok) + sum(
+        1 for r in responses_b if r.ok
+    )
+    print(
+        f"storage-chaos: {len(phase_a)}+{len(phase_b)} requests "
+        f"({len(plan_a['storage'])} storage-faulted, "
+        f"{len(plan_b['read-corrupt'])} read-corrupt, "
+        f"{len(plan_a['kill'])} kills, {n_poison} poison) "
+        f"across one restart: {served} served, "
+        f"{stats.get('cache.corrupt-entries', 0)} corrupt entries "
+        f"detected+healed, "
+        f"{stats.get('cache.disk-disabled', 0)} disk degradations, "
+        f"state snapshot at {snapshot_file}"
+    )
+    if args.print_stats or failures:
+        print(STATS.render_text(delta), file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"storage-chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("storage-chaos: all invariants hold")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.chaos",
@@ -376,7 +788,35 @@ def main(argv: list[str] | None = None) -> int:
         help="write the service metrics snapshot (per-outcome latency "
         "histograms included) as JSON",
     )
+    parser.add_argument(
+        "--storage",
+        action="store_true",
+        help="run the storage campaign instead: fault-armed shared "
+        "disk cache, mid-campaign service restart, durable "
+        "quarantine; asserts zero corrupt payloads served",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default="storage-chaos-cache",
+        dest="cache_dir",
+        metavar="DIR",
+        help="shared disk cache directory for --storage",
+    )
+    parser.add_argument(
+        "--state-dir",
+        default="storage-chaos-state",
+        dest="state_dir",
+        metavar="DIR",
+        help="durable service state directory for --storage",
+    )
+    parser.add_argument(
+        "--durable",
+        action="store_true",
+        help="fsync cache writes before rename (-fcache-durable)",
+    )
     args = parser.parse_args(argv)
+    if args.storage:
+        return run_storage_chaos(args)
     return run_chaos(args)
 
 

@@ -62,6 +62,8 @@ class WorkerHandle:
         #: parent-side attempt bookkeeping, owned by the service:
         #: None when idle, else (state, attempt_no, deadline_at)
         self.busy: Optional[tuple] = None
+        #: completed attempts (drives --worker-max-requests recycling)
+        self.jobs_done = 0
         _WORKERS_STARTED.inc()
 
     @property

@@ -212,6 +212,8 @@ class WorkPayload:
     #: directory of the shared on-disk compilation cache; None disables
     #: worker-side artifact caching for this attempt
     cache_dir: Optional[str] = None
+    #: fsync cache writes before rename (``-fcache-durable``)
+    cache_durable: bool = False
     #: distributed-tracing context propagated across the process
     #: boundary: when ``trace_id`` is set the worker runs the attempt
     #: under a time-trace session and ships the completed spans back,

@@ -44,7 +44,9 @@ The contract: every admitted request receives exactly one terminal
 
 from __future__ import annotations
 
+import os
 import random
+import sys
 import time
 from dataclasses import dataclass, field, replace
 from typing import Optional
@@ -84,6 +86,7 @@ from repro.service.request import (
     other_mode,
 )
 from repro.service.retry import RetryPolicy
+from repro.service.state import ServiceState, load_state, save_state
 
 _REQUESTS = get_statistic(
     "service", "requests", "Requests submitted to the compile service"
@@ -148,6 +151,34 @@ _STALE_RESULTS = get_statistic(
     "stale-results",
     "Worker results discarded after the request was already resolved",
 )
+_DRAINS = get_statistic(
+    "service", "drains", "Times the service entered drain mode"
+)
+_DRAIN_REJECTED = get_statistic(
+    "service",
+    "drain-rejected",
+    "Requests rejected at admission while draining",
+)
+_DRAIN_SHED = get_statistic(
+    "service",
+    "drain-shed",
+    "Unresolved requests shed at the drain deadline",
+)
+_WORKER_RECYCLED = get_statistic(
+    "service",
+    "worker-recycled",
+    "Workers preemptively recycled at --worker-max-requests",
+)
+_HEARTBEAT_RESTARTS = get_statistic(
+    "service",
+    "worker-heartbeat-restarts",
+    "Silently-dead idle workers caught by the heartbeat check",
+)
+_QUARANTINE_RESTORED = get_statistic(
+    "service",
+    "quarantine-restored",
+    "Quarantined fingerprints restored from a state snapshot",
+)
 
 
 class PoisonInputError(Exception):
@@ -170,7 +201,11 @@ class ServiceConfig:
     breaker_threshold: int = 3
     breaker_cooldown_s: float = 30.0
     allow_degraded: bool = True
-    quarantine_dir: Optional[str] = "service-quarantine"
+    quarantine_dir: Optional[str] = field(
+        default_factory=lambda: os.environ.get(
+            "MINICLANG_QUARANTINE_DIR", "service-quarantine"
+        )
+    )
     start_method: Optional[str] = None
     #: a :class:`repro.cache.CompilationCache` to memoize terminal
     #: responses in (None disables response caching); built from
@@ -183,8 +218,21 @@ class ServiceConfig:
     cache_dir: Optional[str] = None
     cache_max_entries: int = 1024
     cache_max_bytes: int = 256 * 1024 * 1024
+    #: fsync cache writes before rename (``-fcache-durable``), in the
+    #: parent's response cache and every worker's artifact cache
+    cache_durable: bool = False
     #: coalesce concurrent identical requests onto one execution
     single_flight: bool = True
+    #: directory for durable state snapshots (breaker board + poison
+    #: quarantine); None disables persistence
+    state_dir: Optional[str] = None
+    #: how long drain mode lets in-flight work finish before shedding
+    drain_deadline_s: float = 10.0
+    #: preemptively recycle a worker after this many completed attempts
+    #: (gunicorn's ``max_requests`` leak amnesty); None disables
+    worker_max_requests: Optional[int] = None
+    #: liveness-check idle workers this often (0 disables)
+    heartbeat_interval_s: float = 5.0
     #: build one merged cross-process Chrome trace per request
     #: (``miniclang-serve -ftrace-requests``); implied by ``trace_dir``
     trace_requests: bool = False
@@ -244,7 +292,13 @@ class CompileService:
         self.pool = WorkerPool(
             self.config.workers, self.config.start_method
         )
-        self.metrics = self.config.metrics or MetricsRegistry()
+        # Explicit None check: an empty injected registry is falsy
+        # (``__len__`` == 0) and ``or`` would silently replace it.
+        self.metrics = (
+            self.config.metrics
+            if self.config.metrics is not None
+            else MetricsRegistry()
+        )
         self.events = self.config.event_log
         self._trace_requests = bool(
             self.config.trace_requests or self.config.trace_dir
@@ -270,12 +324,167 @@ class CompileService:
                 self.config.cache_dir,
                 max_entries=self.config.cache_max_entries,
                 max_disk_bytes=self.config.cache_max_bytes,
+                durable=self.config.cache_durable,
             )
         self._inflight: InflightTable[_RequestState] = InflightTable()
+        #: fingerprint -> quarantine metadata, persisted via state_dir
+        self._quarantined: dict[str, dict] = {}
+        self._draining = False
+        self._drain_deadline_at: Optional[float] = None
+        self._last_heartbeat_at = self._clock()
+        if self.config.state_dir:
+            self._restore_state()
 
     @property
     def cache(self) -> Optional[CompilationCache]:
         return self._cache
+
+    # ------------------------------------------------------------------
+    # Durable state
+    # ------------------------------------------------------------------
+    @property
+    def quarantined(self) -> dict[str, dict]:
+        """Fingerprint -> metadata of currently quarantined inputs."""
+        return dict(self._quarantined)
+
+    def _restore_state(self) -> None:
+        """Adopt the snapshot under ``state_dir``, if any: OPEN
+        breakers come back open (aged past their cooldown they present
+        as HALF_OPEN and re-enter probing) and quarantined fingerprints
+        are rejected at admission without re-executing anything."""
+        loaded = load_state(
+            self.config.state_dir,
+            diagnostic=lambda msg: print(
+                f"miniclang-serve: warning: {msg}", file=sys.stderr
+            ),
+        )
+        if loaded is None:
+            return
+        restored = self._breakers.restore_state(loaded.breakers)
+        self._quarantined = dict(loaded.quarantined)
+        _QUARANTINE_RESTORED.inc(len(self._quarantined))
+        self._emit(
+            "state-restored",
+            breakers=restored,
+            quarantined=len(self._quarantined),
+            saved_at=loaded.saved_at,
+        )
+
+    def snapshot_state(self) -> Optional[str]:
+        """Persist breakers + quarantine; returns the snapshot path
+        (None when no ``state_dir`` is configured or the write failed —
+        losing a snapshot never takes the service down with it)."""
+        if not self.config.state_dir:
+            return None
+        state = ServiceState(
+            breakers=self._breakers.export_state(),
+            quarantined=dict(self._quarantined),
+        )
+        try:
+            path = save_state(self.config.state_dir, state)
+        except OSError as err:
+            print(
+                f"miniclang-serve: warning: state snapshot failed: {err}",
+                file=sys.stderr,
+            )
+            return None
+        self._emit(
+            "state-snapshot",
+            path=path,
+            breakers=len(state.breakers),
+            quarantined=len(state.quarantined),
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(
+        self, deadline_s: Optional[float] = None
+    ) -> None:
+        """Enter drain mode: admission closes (new submissions get a
+        structured ``resource-exhausted`` answer), in-flight and queued
+        work gets until the drain deadline to finish, then is shed.
+        Idempotent; the first call starts the deadline clock."""
+        if self._draining:
+            return
+        self._draining = True
+        deadline = (
+            deadline_s
+            if deadline_s is not None
+            else self.config.drain_deadline_s
+        )
+        self._drain_deadline_at = self._clock() + max(0.0, deadline)
+        _DRAINS.inc()
+        self._emit(
+            "drain-begin",
+            deadline_s=deadline,
+            queued=len(self._queue),
+            active=len(self._active),
+        )
+
+    def _shed_for_drain(self, now: float) -> None:
+        """Drain deadline passed: kill outstanding attempts and give
+        every unresolved request a terminal answer — shutting down must
+        shed structuredly, never strand silently."""
+        while True:
+            state = self._queue.pop()
+            if state is None:
+                break
+            self._active.append(state)
+        for state in list(self._active):
+            if state.resolved:
+                continue
+            for attempt, worker in list(state.outstanding.items()):
+                self.pool.restart(worker)
+                self._close_attempt_span(state, attempt, "drain-shed")
+            state.outstanding.clear()
+            _DRAIN_SHED.inc()
+            self._resolve(
+                state,
+                CompileResponse(
+                    request_id=state.request.request_id,
+                    status=STATUS_RESOURCE_EXHAUSTED,
+                    detail=(
+                        "shed at the drain deadline: service shutting "
+                        "down; resubmit to a live instance"
+                    ),
+                    mode_used=None,
+                ),
+                now,
+            )
+
+    def _check_worker_health(self, now: float) -> None:
+        """Heartbeat idle workers (a silently-dead process would
+        otherwise only surface on its next dispatch) and recycle any
+        past the ``worker_max_requests`` amnesty once idle."""
+        limit = self.config.worker_max_requests
+        if limit:
+            for worker in self.pool.idle_workers():
+                if worker.jobs_done >= limit:
+                    self.pool.restart(worker)
+                    _WORKER_RECYCLED.inc()
+                    self._emit(
+                        "worker-recycled",
+                        worker=worker.worker_id,
+                        jobs_done=worker.jobs_done,
+                    )
+        interval = self.config.heartbeat_interval_s
+        if not interval or now - self._last_heartbeat_at < interval:
+            return
+        self._last_heartbeat_at = now
+        for worker in self.pool.idle_workers():
+            if not worker.proc.is_alive():
+                self.pool.restart(worker)
+                _HEARTBEAT_RESTARTS.inc()
+                self._emit(
+                    "worker-heartbeat-restart",
+                    worker=worker.worker_id,
+                )
 
     # ------------------------------------------------------------------
     # Telemetry plumbing
@@ -348,6 +557,10 @@ class CompileService:
         self, fingerprint: str, old: str, new: str
     ) -> None:
         self._m_breaker.labels(**{"from": old, "to": new}).inc()
+        if new == CLOSED:
+            # A successful half-open probe is the parole hearing: the
+            # input demonstrably works again, lift its quarantine.
+            self._quarantined.pop(fingerprint, None)
         self._emit(
             "breaker-transition",
             fingerprint=fingerprint,
@@ -371,6 +584,17 @@ class CompileService:
             request.request_id = f"r{self._seq:05d}"
         now = self._clock()
         state = _RequestState(request, now)
+        if self._draining:
+            _DRAIN_REJECTED.inc()
+            self._emit(
+                "drain-reject", request_id=request.request_id
+            )
+            return self._reject(
+                state,
+                STATUS_RESOURCE_EXHAUSTED,
+                "service draining: admission closed; resubmit to a "
+                "live instance",
+            )
         if self._trace_requests:
             # Mint the trace context at admission (or join one the
             # caller pre-set, OpenTelemetry-style); every decision from
@@ -507,11 +731,27 @@ class CompileService:
     # The event loop
     # ------------------------------------------------------------------
     def drain(self) -> None:
-        """Run until every admitted request has a terminal response."""
+        """Run until every admitted request has a terminal response.
+
+        In drain mode (:meth:`begin_drain`) the loop additionally
+        enforces the drain deadline: whatever has not resolved by then
+        is shed with a structured answer and the loop exits."""
         while len(self._queue) or self._active:
             now = self._clock()
+            if (
+                self._drain_deadline_at is not None
+                and now >= self._drain_deadline_at
+            ):
+                self._shed_for_drain(now)
+                break
+            self._check_worker_health(now)
             self._start_ready(now)
             timeout = self._poll_timeout(self._clock())
+            if self._drain_deadline_at is not None:
+                timeout = min(
+                    timeout,
+                    max(0.0, self._drain_deadline_at - self._clock()),
+                )
             for worker in self.pool.wait(timeout):
                 self._on_worker_ready(worker)
             now = self._clock()
@@ -589,6 +829,7 @@ class CompileService:
                 if self._cache is not None
                 else None
             ),
+            cache_durable=self.config.cache_durable,
             trace_id=(
                 request.trace_id if state.trace is not None else None
             ),
@@ -725,6 +966,7 @@ class CompileService:
         try:
             outcome = worker.conn.recv()
             worker.busy = None
+            worker.jobs_done += 1
         except (EOFError, OSError):
             self.pool.restart(worker)
             died = True
@@ -1010,6 +1252,11 @@ class CompileService:
                     "service-quarantine", exc, history
                 )
         _QUARANTINED.inc()
+        self._quarantined[state.fingerprint] = {
+            "filename": request.filename,
+            "failures": len(state.failures),
+            "reproducer": reproducer,
+        }
         self._emit(
             "quarantine",
             request_id=request.request_id,
@@ -1164,6 +1411,7 @@ class CompileService:
         return dict(self._responses)
 
     def shutdown(self) -> None:
+        self.snapshot_state()
         self.pool.shutdown()
 
     def __enter__(self) -> "CompileService":

@@ -1,0 +1,157 @@
+"""Durable service state: atomic snapshots of the breaker board and
+the poison-input quarantine.
+
+Without persistence a restart makes the service forget every lesson it
+paid for: a poison input that tripped its breaker and burned
+``failure_threshold`` worker attempts gets re-eaten from scratch.
+:func:`save_state` writes one ``state.json`` under ``--state-dir`` —
+sealed with the same SHA-256 envelope the disk cache uses
+(:mod:`repro.cache.integrity`) and committed with the fsync → rename →
+directory-fsync ordering SQLite's atomic commit relies on — and
+:func:`load_state` restores it on startup.  A corrupt or
+foreign-version snapshot is preserved as ``state.json.corrupt`` for
+forensics and the service starts fresh: losing the state must degrade
+to "relearn", never to "refuse to boot".
+
+Breaker open timestamps are persisted as *ages* (monotonic clocks do
+not survive a process), so an OPEN breaker restored after its cooldown
+has elapsed immediately presents as HALF_OPEN and re-enters probing —
+quarantine is a parole, not a life sentence.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cache.integrity import IntegrityError, seal, unseal
+from repro.instrument.stats import get_statistic
+
+#: bump whenever the snapshot payload changes meaning
+STATE_FORMAT_VERSION = 1
+
+STATE_BASENAME = "state.json"
+
+_STATE_SNAPSHOTS = get_statistic(
+    "service", "state-snapshots", "Durable state snapshots written"
+)
+_STATE_RESTORES = get_statistic(
+    "service", "state-restores", "Durable state snapshots restored"
+)
+_STATE_CORRUPT = get_statistic(
+    "service",
+    "state-corrupt",
+    "State snapshots rejected as corrupt or foreign",
+)
+
+
+@dataclass
+class ServiceState:
+    """One snapshot: breaker board + quarantined fingerprints."""
+
+    #: fingerprint -> CircuitBreaker.export_state() dict
+    breakers: dict[str, dict] = field(default_factory=dict)
+    #: fingerprint -> quarantine metadata (filename, reproducer, ...)
+    quarantined: dict[str, dict] = field(default_factory=dict)
+    #: wall-clock write time (informational only)
+    saved_at: Optional[str] = None
+
+
+def state_path(state_dir: str) -> str:
+    return os.path.join(state_dir, STATE_BASENAME)
+
+
+def save_state(state_dir: str, state: ServiceState) -> str:
+    """Atomically persist *state*; returns the snapshot path.
+
+    fsync-before-rename plus a directory fsync: after this returns the
+    snapshot survives power loss, not just process death.
+    """
+    os.makedirs(state_dir, exist_ok=True)
+    path = state_path(state_dir)
+    text = seal(
+        {
+            "version": STATE_FORMAT_VERSION,
+            "saved_at": state.saved_at
+            or datetime.datetime.now(datetime.timezone.utc).isoformat(),
+            "breakers": state.breakers,
+            "quarantined": state.quarantined,
+        }
+    )
+    fd, tmp = tempfile.mkstemp(dir=state_dir, prefix=".tmp-state-")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        dirfd = os.open(state_dir, os.O_RDONLY)
+    except OSError:
+        dirfd = None
+    if dirfd is not None:
+        try:
+            os.fsync(dirfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dirfd)
+    _STATE_SNAPSHOTS.inc()
+    return path
+
+
+def load_state(
+    state_dir: str,
+    diagnostic: Optional[Callable[[str], None]] = None,
+) -> Optional[ServiceState]:
+    """Load the snapshot under *state_dir*; None when absent or
+    unusable (corrupt snapshots are set aside, never trusted)."""
+    path = state_path(state_dir)
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        return None
+    try:
+        payload = unseal(data)
+        if not isinstance(payload, dict):
+            raise IntegrityError("state payload is not an object")
+        if payload.get("version") != STATE_FORMAT_VERSION:
+            raise IntegrityError(
+                f"state version {payload.get('version')!r} != "
+                f"{STATE_FORMAT_VERSION}"
+            )
+    except IntegrityError as err:
+        _STATE_CORRUPT.inc()
+        quarantined_path = path + ".corrupt"
+        try:
+            os.replace(path, quarantined_path)
+        except OSError:
+            quarantined_path = path
+        if diagnostic is not None:
+            diagnostic(
+                f"service state {path} unusable ({err}); starting "
+                f"fresh, bad snapshot kept at {quarantined_path}"
+            )
+        return None
+    breakers = payload.get("breakers")
+    quarantined = payload.get("quarantined")
+    state = ServiceState(
+        breakers=breakers if isinstance(breakers, dict) else {},
+        quarantined=(
+            quarantined if isinstance(quarantined, dict) else {}
+        ),
+        saved_at=payload.get("saved_at"),
+    )
+    _STATE_RESTORES.inc()
+    return state

@@ -50,16 +50,34 @@ _HANG_SLEEP_S = 3600.0
 _CACHES: dict = {}
 
 
-def _cache_for(cache_dir):
+def _cache_for(cache_dir, durable: bool = False):
     if cache_dir is None:
         return None
-    cache = _CACHES.get(cache_dir)
+    cache = _CACHES.get((cache_dir, durable))
     if cache is None:
         from repro.cache import CompilationCache
 
-        cache = CompilationCache(cache_dir)
-        _CACHES[cache_dir] = cache
+        cache = CompilationCache(cache_dir, durable=durable)
+        _CACHES[(cache_dir, durable)] = cache
     return cache
+
+
+def _attempt_cache(payload: WorkPayload):
+    """The cache this attempt compiles through.
+
+    A fault-armed attempt must really run the pipeline — an
+    artifact-cache hit would skip the armed site entirely — *except*
+    when every armed site is a ``storage`` one: those live inside the
+    disk tier, so bypassing the cache would be bypassing the fault.
+    """
+    if payload.inject_faults:
+        sites = (spec.partition(":")[0] for spec in payload.inject_faults)
+        if any(FAULTS.scope_of(site) != "storage" for site in sites):
+            return None
+    return _cache_for(
+        getattr(payload, "cache_dir", None),
+        getattr(payload, "cache_durable", False),
+    )
 
 
 def _finalize(payload: WorkPayload, outcome: WorkOutcome) -> WorkOutcome:
@@ -140,13 +158,7 @@ def execute_payload(payload: WorkPayload) -> WorkOutcome:
                 defines=payload.defines,
                 fuel=payload.fuel,
                 strip_omp_transforms=payload.strip_omp_transforms,
-                # A fault-armed attempt must really run the pipeline — an
-                # artifact-cache hit would skip the armed site entirely.
-                cache=(
-                    None
-                    if payload.inject_faults
-                    else _cache_for(getattr(payload, "cache_dir", None))
-                ),
+                cache=_attempt_cache(payload),
             )
         finally:
             spans: list[dict] = []

@@ -8,9 +8,35 @@ the paper's central semantic-equivalence property.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.pipeline import CompileResult, RunResult, compile_source, run_source
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _artifact_dirs_in_tmp(tmp_path_factory):
+    """Point crash reproducers and quarantine output at a temp dir.
+
+    ``-crash-reproducer-dir`` and ``--quarantine-dir`` default to these
+    environment variables, and subprocesses spawned by tests inherit
+    them — so a failing test can never strew ``miniclang-crashes/`` or
+    ``service-quarantine/`` across the repository root (CI enforces a
+    clean tree after the suite)."""
+    base = tmp_path_factory.mktemp("artifacts")
+    before = {
+        key: os.environ.get(key)
+        for key in ("MINICLANG_CRASH_DIR", "MINICLANG_QUARANTINE_DIR")
+    }
+    os.environ["MINICLANG_CRASH_DIR"] = str(base / "crashes")
+    os.environ["MINICLANG_QUARANTINE_DIR"] = str(base / "quarantine")
+    yield
+    for key, value in before.items():
+        if value is None:
+            os.environ.pop(key, None)
+        else:
+            os.environ[key] = value
 
 
 def compile_c(source: str, **kwargs) -> CompileResult:

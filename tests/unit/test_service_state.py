@@ -1,0 +1,141 @@
+"""Durable service state: atomic snapshots, corrupt-snapshot triage,
+and breaker-board export/restore with age-based cooldown carry-over."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.service.breaker import BreakerBoard, CircuitBreaker
+from repro.service.state import (
+    ServiceState,
+    load_state,
+    save_state,
+    state_path,
+)
+
+
+class TestSnapshotFile:
+    def test_roundtrip(self, tmp_path):
+        state = ServiceState(
+            breakers={"fp1": {"state": "open", "opened_age_s": 2.0}},
+            quarantined={"fp1": {"filename": "poison.c"}},
+        )
+        path = save_state(str(tmp_path), state)
+        assert path == state_path(str(tmp_path))
+        loaded = load_state(str(tmp_path))
+        assert loaded is not None
+        assert loaded.breakers == state.breakers
+        assert loaded.quarantined == state.quarantined
+        assert loaded.saved_at  # stamped at save time
+
+    def test_missing_dir_is_none(self, tmp_path):
+        assert load_state(str(tmp_path / "nope")) is None
+
+    def test_corrupt_snapshot_set_aside(self, tmp_path):
+        save_state(str(tmp_path), ServiceState())
+        path = state_path(str(tmp_path))
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{ not json")
+        messages: list[str] = []
+        assert load_state(str(tmp_path), messages.append) is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert messages and "starting fresh" in messages[0]
+
+    def test_foreign_version_set_aside(self, tmp_path):
+        from repro.cache.integrity import seal
+
+        os.makedirs(str(tmp_path), exist_ok=True)
+        with open(state_path(str(tmp_path)), "w") as fh:
+            fh.write(seal({"version": 999}))
+        assert load_state(str(tmp_path)) is None
+        assert os.path.exists(state_path(str(tmp_path)) + ".corrupt")
+
+    def test_no_stale_temp_files(self, tmp_path):
+        save_state(str(tmp_path), ServiceState())
+        save_state(str(tmp_path), ServiceState())
+        stray = [
+            name
+            for name in os.listdir(str(tmp_path))
+            if name.startswith(".tmp-")
+        ]
+        assert stray == []
+
+    def test_snapshot_is_sealed(self, tmp_path):
+        save_state(str(tmp_path), ServiceState())
+        with open(state_path(str(tmp_path))) as fh:
+            envelope = json.load(fh)
+        assert "sha256" in envelope and "payload" in envelope
+
+
+class TestBreakerExportRestore:
+    def test_closed_breaker_exports_none(self):
+        assert CircuitBreaker().export_state() is None
+
+    def test_open_breaker_roundtrip_stays_open(self):
+        now = [100.0]
+        a = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=60.0,
+            clock=lambda: now[0],
+        )
+        assert a.record_failure()  # trips
+        now[0] += 5.0
+        exported = a.export_state()
+        assert exported["state"] == "open"
+        assert exported["opened_age_s"] == 5.0
+
+        # "Another process, later": a fresh clock epoch.
+        later = [0.0]
+        b = CircuitBreaker(
+            failure_threshold=1,
+            cooldown_s=60.0,
+            clock=lambda: later[0],
+        )
+        b.restore_state(exported)
+        assert b.state == "open"
+        assert not b.allow()
+        # The cooldown *continues* rather than restarting: 5s served,
+        # 55s remain.
+        later[0] += 56.0
+        assert b.state == "half-open"
+        assert b.allow()
+
+    def test_aged_out_snapshot_presents_half_open(self):
+        a = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        a.record_failure()
+        exported = a.export_state()
+        exported["opened_age_s"] = 999.0
+        b = CircuitBreaker(failure_threshold=1, cooldown_s=1.0)
+        b.restore_state(exported)
+        assert b.state == "half-open"
+        assert b.allow()  # probe re-granted immediately
+
+    def test_garbage_snapshot_ignored(self):
+        b = CircuitBreaker()
+        b.restore_state({"state": "molten"})
+        assert b.state == "closed"
+
+    def test_board_roundtrip(self):
+        board = BreakerBoard(failure_threshold=1, cooldown_s=600.0)
+        board.get("poison").record_failure()
+        board.get("healthy").record_success()
+        exported = board.export_state()
+        assert set(exported.keys()) == {"poison"}
+
+        transitions: list[tuple[str, str, str]] = []
+        fresh = BreakerBoard(
+            failure_threshold=1,
+            cooldown_s=600.0,
+            on_transition=lambda fp, old, new: transitions.append(
+                (fp, old, new)
+            ),
+        )
+        assert fresh.restore_state(exported) == 1
+        assert fresh.get("poison").state == "open"
+        assert fresh.open_count == 1
+        # Observers attach through the restore path too: the next real
+        # transition must fire them.
+        fresh.get("poison").record_success()
+        assert ("poison", "open", "closed") in transitions

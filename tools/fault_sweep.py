@@ -60,25 +60,29 @@ def run_miniclang(args: list[str]) -> subprocess.CompletedProcess:
     )
 
 
-def list_sites() -> list[str]:
+def list_sites() -> dict[str, list[str]]:
+    """Registered fault sites grouped by scope.
+
+    "pipeline" sites fire in a plain CLI compile and must be contained
+    as ICEs; "storage" sites fire inside the disk cache tier and must
+    be *absorbed* (the compile succeeds, the cache degrades);
+    "service" sites exist inside compile-service workers and are
+    exercised by the service chaos harness instead.
+    """
     proc = run_miniclang(["-print-fault-sites"])
     if proc.returncode != 0:
         raise SystemExit(
             f"-print-fault-sites failed ({proc.returncode}):\n"
             f"{proc.stderr}"
         )
-    sites = []
+    by_scope: dict[str, list[str]] = {}
     for line in proc.stdout.splitlines():
         if not line.strip():
             continue
         fields = line.split("\t")
-        # Only "pipeline"-scoped sites fire in a plain CLI compile;
-        # "service"-scoped ones exist inside compile-service workers
-        # and are exercised by the service chaos harness instead.
-        if len(fields) >= 2 and fields[1] != "pipeline":
-            continue
-        sites.append(fields[0])
-    return sites
+        scope = fields[1] if len(fields) >= 2 else "pipeline"
+        by_scope.setdefault(scope, []).append(fields[0])
+    return by_scope
 
 
 def sweep_site(site: str, workdir: str) -> list[str]:
@@ -136,6 +140,60 @@ def sweep_site(site: str, workdir: str) -> list[str]:
     return failures
 
 
+def sweep_storage_site(site: str, workdir: str) -> list[str]:
+    """Storage faults must be *absorbed*, not crash: armed or not, the
+    compile exits 0 with byte-identical output (the cache silently
+    degrades).  Swept twice — against a cold cache (write-path faults
+    fire) and a warmed one (read-path faults fire)."""
+    failures: list[str] = []
+    src = os.path.join(workdir, "sweep.c")
+    with open(src, "w", encoding="utf-8") as fh:
+        fh.write(SWEEP_SOURCE)
+
+    oracle = run_miniclang(["-emit-llvm", src])
+    if oracle.returncode != 0:
+        return [f"uncached oracle compile failed ({oracle.returncode})"]
+
+    cache_dir = os.path.join(workdir, "cache")
+    warm = run_miniclang([f"-fcache={cache_dir}", "-emit-llvm", src])
+    if warm.returncode != 0:
+        return [f"cache warm-up compile failed ({warm.returncode})"]
+
+    for label, directory in (
+        ("cold", os.path.join(workdir, "cache-cold")),
+        ("warm", cache_dir),
+    ):
+        proc = run_miniclang(
+            [
+                f"-finject-fault={site}",
+                f"-fcache={directory}",
+                "-fcache-durable",
+                "-emit-llvm",
+                src,
+            ]
+        )
+        output = proc.stdout + proc.stderr
+        if proc.returncode != 0:
+            failures.append(
+                f"{label}: armed compile exited {proc.returncode}, "
+                "storage faults must be absorbed"
+            )
+        if proc.stdout != oracle.stdout:
+            failures.append(
+                f"{label}: armed compile output differs from the "
+                "uncached oracle"
+            )
+        if "Traceback (most recent call last)" in output:
+            failures.append(
+                f"{label}: raw Python traceback leaked to the user"
+            )
+        if "internal compiler error" in output:
+            failures.append(
+                f"{label}: storage fault escalated to an ICE"
+            )
+    return failures
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -148,7 +206,9 @@ def main() -> int:
 
     base = args.keep or tempfile.mkdtemp(prefix="fault-sweep-")
     os.makedirs(base, exist_ok=True)
-    sites = list_sites()
+    by_scope = list_sites()
+    sites = by_scope.get("pipeline", [])
+    storage_sites = by_scope.get("storage", [])
     print(f"sweeping {len(sites)} fault sites: {', '.join(sites)}")
 
     failed = False
@@ -156,6 +216,22 @@ def main() -> int:
         workdir = os.path.join(base, site)
         os.makedirs(workdir, exist_ok=True)
         failures = sweep_site(site, workdir)
+        if failures:
+            failed = True
+            print(f"FAIL {site}")
+            for failure in failures:
+                print(f"     - {failure}")
+        else:
+            print(f"ok   {site}")
+
+    print(
+        f"sweeping {len(storage_sites)} storage fault sites: "
+        f"{', '.join(storage_sites)}"
+    )
+    for site in storage_sites:
+        workdir = os.path.join(base, site)
+        os.makedirs(workdir, exist_ok=True)
+        failures = sweep_storage_site(site, workdir)
         if failures:
             failed = True
             print(f"FAIL {site}")
