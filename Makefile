@@ -4,8 +4,9 @@
 PYTHON ?= python
 PYTHONPATH := src
 
-.PHONY: test conformance fuzz fuzz-smoke fuzz-cache cache-bench \
-	fault-sweep service-chaos storage-chaos service-bench check-all
+.PHONY: test conformance fuzz fuzz-smoke fuzz-cache fuzz-exec \
+	cache-bench exec-bench fault-sweep service-chaos storage-chaos \
+	service-bench check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -35,9 +36,21 @@ fuzz-cache:
 	    --count $(FUZZ_COUNT) --seed $(FUZZ_SEED) \
 	    --reproducer-dir fuzz-reproducers
 
+# Engine-differential fuzzing: every seed races -fexec=closures
+# against the reference interpreter (the sixth oracle); any divergence
+# in stdout, exit code or execution profile is a finding.
+fuzz-exec:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.testing.fuzz --exec \
+	    --count $(FUZZ_COUNT) --seed $(FUZZ_SEED) \
+	    --reproducer-dir fuzz-reproducers
+
 # Cold-vs-warm latency benchmark -> BENCH_cache.json.
 cache-bench:
 	$(PYTHON) tools/cache_bench.py --min-speedup 10
+
+# Interpreter-vs-closures engine benchmark -> BENCH_exec.json.
+exec-bench:
+	$(PYTHON) tools/exec_bench.py --min-speedup 5
 
 # Fault-injection sweep: every registered ICE site must be contained.
 fault-sweep:
@@ -76,5 +89,5 @@ service-bench:
 	    $(BENCH_ARGS)
 
 # Everything CI runs, in one shot.
-check-all: test conformance fuzz-smoke fault-sweep service-chaos \
-	storage-chaos cache-bench service-bench
+check-all: test conformance fuzz-smoke fuzz-exec fault-sweep \
+	service-chaos storage-chaos cache-bench exec-bench service-bench

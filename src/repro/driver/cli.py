@@ -163,6 +163,16 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--entry", default="main")
     parser.add_argument(
+        "-fexec",
+        choices=("interp", "closures"),
+        default="interp",
+        dest="exec_engine",
+        metavar="ENGINE",
+        help="with --run: execution engine — 'interp' (reference "
+        "tree-walking interpreter, default) or 'closures' "
+        "(closure-compiled engine, identical observable semantics)",
+    )
+    parser.add_argument(
         "--num-threads",
         type=int,
         default=4,
@@ -769,6 +779,7 @@ def _drive_one(
             memory_limit=args.max_memory,
             max_call_depth=args.max_recursion,
             strip_omp_transforms=args.strip_omp_transforms,
+            exec_engine=args.exec_engine,
         )
         _emit_remarks(args, result.compile_result)
         if args.profile_report:

@@ -1,0 +1,75 @@
+"""Execution engines for optimized IR.
+
+Two engines share one machine definition (memory model, natives,
+simulated OpenMP runtime, profiles, guardrails) and differ only in
+instruction dispatch:
+
+* ``interp`` — the reference tree-walking interpreter
+  (:class:`repro.interp.interpreter.Interpreter`);
+* ``closures`` — the closure-compiling engine
+  (:class:`repro.exec.engine.ClosureInterpreter`), which lowers each
+  function to pre-compiled Python closures with operands resolved to
+  dense register slots.
+
+:func:`create_interpreter` is the single selection point used by the
+pipeline, the differential oracle and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.interp.interpreter import Interpreter
+from repro.ir.module import Module
+
+#: engine names accepted by ``-fexec=`` and ``create_interpreter``
+ENGINES = ("interp", "closures")
+
+
+def create_interpreter(
+    module: Module, engine: str = "interp", **kwargs: Any
+) -> Interpreter:
+    """Instantiate the requested execution engine over *module*.
+
+    Both engines accept the same constructor keywords
+    (``profile_detail``, ``memory_limit``, ``max_call_depth``, ...) and
+    honour the same run-time guardrails.
+    """
+    if engine == "interp":
+        return Interpreter(module, **kwargs)
+    if engine == "closures":
+        from repro.exec.engine import ClosureInterpreter
+
+        return ClosureInterpreter(module, **kwargs)
+    raise ValueError(
+        f"unknown execution engine {engine!r} "
+        f"(expected one of {', '.join(ENGINES)})"
+    )
+
+
+def profile_fingerprint(profile) -> dict:
+    """Engine-comparable digest of an ExecutionProfile.
+
+    Two runs of the same program under different engines must produce
+    equal fingerprints: total/per-thread retired instructions, barrier
+    accounting, fork counts and (when detailed) per-block counts."""
+    return {
+        "total_instructions": profile.total_instructions,
+        "fork_count": profile.fork_count,
+        "barrier_episodes": profile.barrier_episodes,
+        "threads": [
+            (
+                ctx.gtid,
+                ctx.thread_id,
+                ctx.instructions_retired,
+                ctx.barrier_waits,
+            )
+            for ctx in profile.contexts
+        ],
+        "block_counts": {
+            f"{fn}:{block}": count
+            for (fn, block), count in sorted(
+                profile.block_counts.items()
+            )
+        },
+    }

@@ -1,0 +1,1333 @@
+"""The closure compiler: optimized IR -> pre-compiled Python closures.
+
+One closure per *instruction*, one :class:`BlockCode` per basic block.
+Operands are resolved at compile time to dense register-file slots —
+constants (including global and function addresses, which are fixed per
+interpreter instance) live in a constant pool appended to the register
+file, so every operand read is a single ``regs[i]`` index.  Control flow
+is pre-linked: a branch closure captures the target block's op list and
+its per-edge phi parallel copy, so taking an edge is two attribute
+stores and no lookups (block parameters are "passed explicitly" in the
+block-argument sense — each edge knows exactly which slots to move).
+
+The granularity is deliberate: the reference interpreter retires exactly
+one instruction per ``step()``, and the simulated OpenMP runtime's
+observable semantics (round-robin interleaving, FIFO dynamic dispatch,
+``critical`` spin order, printf ordering) depend on that.  Compiling a
+whole block into one closure would be faster but would change the
+interleaving; compiling one closure per instruction keeps every
+scheduler decision bit-identical while removing the per-step operand
+dispatch (``isinstance`` chains, ``id()``-keyed register dicts,
+``value_of`` constant re-evaluation) that dominates the tree walker.
+
+Semantics-parity rules mirrored from
+:class:`repro.interp.interpreter.ExecutionContext` (the reference):
+
+* anything the interpreter raises lazily must stay lazy here — a
+  compile-time failure on one instruction becomes a closure that raises
+  the same exception only when that instruction executes;
+* phi nodes are resolved on the edge as a parallel copy and are never
+  retired as instructions (the entry index after a jump skips them);
+* natives see C-signed argument values, may return ``RETRY`` to spin,
+  and void-typed calls discard results — exactly as the interpreter.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.interp.interpreter import (
+    RETRY,
+    InterpreterError,
+    ThreadState,
+    Trap,
+)
+from repro.interp.memory import MemoryError_
+from repro.ir.instructions import (
+    AllocaInst,
+    BinaryInst,
+    BinOp,
+    BranchInst,
+    CallInst,
+    CastInst,
+    CastOp,
+    CondBranchInst,
+    FCmpInst,
+    FCmpPred,
+    GEPInst,
+    ICmpInst,
+    ICmpPred,
+    Instruction,
+    LoadInst,
+    PhiInst,
+    ReturnInst,
+    SelectInst,
+    StoreInst,
+    SwitchInst,
+    UnreachableInst,
+)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+)
+from repro.ir.values import (
+    Argument,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    GlobalVariable,
+    UndefValue,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exec.engine import ClosureInterpreter
+
+_DONE = ThreadState.DONE
+
+#: struct codecs for the specialized load/store closures
+_INT_STRUCTS = {
+    1: struct.Struct("<B"),
+    8: struct.Struct("<B"),
+    16: struct.Struct("<H"),
+    32: struct.Struct("<I"),
+    64: struct.Struct("<Q"),
+}
+_F32 = struct.Struct("<f")
+_F64 = struct.Struct("<d")
+_F32_RT = struct.Struct("f")
+
+
+def _f32(value: float) -> float:
+    """Round-trip through single precision (the interpreter's idiom)."""
+    return _F32_RT.unpack(_F32_RT.pack(value))[0]
+
+
+class BlockCode:
+    """Compiled form of one basic block: ``ops[i]`` executes
+    ``block.instructions[i]``.  A sentinel op at ``ops[len]`` reports
+    falling off the end (malformed IR), like the interpreter's bounds
+    check."""
+
+    __slots__ = ("block", "ops", "entry_index", "descs")
+
+    def __init__(self, block: BasicBlock) -> None:
+        self.block = block
+        self.ops: list[Callable] = []
+        #: index execution enters at after a jump (skips leading phis)
+        self.entry_index = 0
+        #: deterministic per-op descriptions (the "dispatch table" the
+        #: determinism property test asserts on)
+        self.descs: list[str] = []
+
+
+class CompiledFunction:
+    """Dispatch tables for one function under one interpreter instance.
+
+    The register file layout is ``[args..., instruction results...,
+    constant pool...]``; ``regs_template`` is copied per frame so
+    constants need no runtime resolution at all."""
+
+    __slots__ = (
+        "fn",
+        "slots",
+        "arg_slots",
+        "n_values",
+        "consts",
+        "regs_template",
+        "blocks",
+        "entry",
+    )
+
+    def __init__(self, fn: Function) -> None:
+        self.fn = fn
+        #: id(Value) -> register slot, for Arguments and Instructions
+        self.slots: dict[int, int] = {}
+        self.arg_slots: list[int] = []
+        self.n_values = 0
+        self.consts: list[Any] = []
+        self.regs_template: list[Any] = []
+        self.blocks: dict[int, BlockCode] = {}
+        self.entry: BlockCode | None = None
+
+    def describe(self) -> str:
+        """Deterministic text rendering of the dispatch table; byte-equal
+        for byte-equal input IR (same IR -> same dispatch table)."""
+        lines = [
+            f"function @{self.fn.name}: {self.n_values} value slot(s), "
+            f"{len(self.consts)} constant(s)"
+        ]
+        for block in self.fn.blocks:
+            code = self.blocks[id(block)]
+            lines.append(
+                f"  block %{block.name} (entry at {code.entry_index}):"
+            )
+            lines.extend(
+                f"    [{i}] {desc}" for i, desc in enumerate(code.descs)
+            )
+        return "\n".join(lines)
+
+
+class ClosureCompiler:
+    """Compiles functions of one module for one interpreter instance.
+
+    Bound to the instance because global addresses, function
+    pseudo-addresses and resolved natives are baked into the closures."""
+
+    def __init__(self, interp: "ClosureInterpreter") -> None:
+        self.interp = interp
+
+    # ------------------------------------------------------------------
+    # Entry point (two-phase, so mutually recursive calls can link)
+    # ------------------------------------------------------------------
+    def compile(self, code: CompiledFunction) -> None:
+        fn = code.fn
+        n = 0
+        for arg in fn.args:
+            code.slots[id(arg)] = n
+            code.arg_slots.append(n)
+            n += 1
+        for block in fn.blocks:
+            code.blocks[id(block)] = BlockCode(block)
+            for inst in block.instructions:
+                code.slots[id(inst)] = n
+                n += 1
+        code.n_values = n
+        code.entry = code.blocks[id(fn.entry_block)]
+        self._const_index: dict[tuple, int] = {}
+        for block in fn.blocks:
+            self._compile_block(code, block)
+        code.regs_template = [None] * code.n_values + code.consts
+
+    # ------------------------------------------------------------------
+    # Operand resolution
+    # ------------------------------------------------------------------
+    def _const_slot(self, code: CompiledFunction, value: Any) -> int:
+        key = (value.__class__, value)
+        try:
+            slot = self._const_index.get(key)
+        except TypeError:  # unhashable (never for int/float) — append
+            slot = None
+            key = None
+        if slot is None:
+            slot = code.n_values + len(code.consts)
+            code.consts.append(value)
+            if key is not None:
+                self._const_index[key] = slot
+        return slot
+
+    def _slot(self, code: CompiledFunction, v) -> int:
+        """Register slot holding *v* at run time (constants are pooled).
+
+        Raises for values the interpreter cannot evaluate either; the
+        caller turns that into a lazily-raising op for parity."""
+        if isinstance(v, (Instruction, Argument)):
+            slot = code.slots.get(id(v))
+            if slot is None:
+                raise InterpreterError(
+                    f"use of value %{v.name} before definition in "
+                    f"@{code.fn.name}"
+                )
+            return slot
+        if isinstance(v, ConstantInt):
+            return self._const_slot(code, v.value)
+        if isinstance(v, ConstantFP):
+            return self._const_slot(code, v.value)
+        if isinstance(v, (ConstantPointerNull, UndefValue)):
+            return self._const_slot(code, 0)
+        if isinstance(v, Function):
+            return self._const_slot(
+                code, self.interp.memory.address_of_function(v)
+            )
+        if isinstance(v, GlobalVariable):
+            return self._const_slot(code, self.interp.global_address(v))
+        raise InterpreterError(f"cannot evaluate {v!r}")
+
+    def _ref(self, v) -> str:
+        """Stable operand spelling for dispatch-table descriptions."""
+        try:
+            return v.ref()
+        except Exception:  # pragma: no cover - defensive
+            return "<operand>"
+
+    # ------------------------------------------------------------------
+    # Block compilation
+    # ------------------------------------------------------------------
+    def _compile_block(
+        self, code: CompiledFunction, block: BasicBlock
+    ) -> None:
+        bc = code.blocks[id(block)]
+        phis = 0
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, PhiInst) and phis == index:
+                phis += 1
+            try:
+                op, desc = self._compile_inst(code, block, inst, index)
+            except Exception as exc:
+                # Parity: the interpreter evaluates lazily, so anything
+                # we cannot compile must fail only when executed.
+                op = _raiser(exc)
+                desc = f"raise {type(exc).__name__}: {exc}"
+            bc.ops.append(op)
+            bc.descs.append(desc)
+        bc.entry_index = phis
+        bc.ops.append(_fell_off(block.name))
+
+    # ------------------------------------------------------------------
+    # Instruction compilation
+    # ------------------------------------------------------------------
+    def _compile_inst(
+        self,
+        code: CompiledFunction,
+        block: BasicBlock,
+        inst: Instruction,
+        index: int,
+    ):
+        nxt = index + 1
+        if isinstance(inst, BinaryInst):
+            return self._compile_binop(code, inst, nxt)
+        if isinstance(inst, ICmpInst):
+            return self._compile_icmp(code, inst, nxt)
+        if isinstance(inst, FCmpInst):
+            return self._compile_fcmp(code, inst, nxt)
+        if isinstance(inst, CastInst):
+            return self._compile_cast(code, inst, nxt)
+        if isinstance(inst, AllocaInst):
+            return self._compile_alloca(code, inst, nxt)
+        if isinstance(inst, LoadInst):
+            return self._compile_load(code, inst, nxt)
+        if isinstance(inst, StoreInst):
+            return self._compile_store(code, inst, nxt)
+        if isinstance(inst, GEPInst):
+            return self._compile_gep(code, inst, nxt)
+        if isinstance(inst, BranchInst):
+            edge = self._edge(code, block, inst.target)
+            return edge, f"br -> %{inst.target.name}"
+        if isinstance(inst, CondBranchInst):
+            return self._compile_condbr(code, block, inst)
+        if isinstance(inst, SwitchInst):
+            return self._compile_switch(code, block, inst)
+        if isinstance(inst, ReturnInst):
+            return self._compile_ret(code, inst)
+        if isinstance(inst, UnreachableInst):
+            return (
+                _raiser(Trap("reached 'unreachable' instruction")),
+                "unreachable",
+            )
+        if isinstance(inst, SelectInst):
+            d = code.slots[id(inst)]
+            c = self._slot(code, inst.condition)
+            t = self._slot(code, inst.true_value)
+            f = self._slot(code, inst.false_value)
+
+            def op(ctx, frame, d=d, c=c, t=t, f=f, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[t] if regs[c] else regs[f]
+                frame.index = nxt
+
+            return op, (
+                f"r{d} = select r{c} ? r{t} : r{f}"
+            )
+        if isinstance(inst, PhiInst):
+            # Never retired: edges resolve phis and jump past them.
+            return (
+                _raiser(
+                    InterpreterError(
+                        "phi encountered outside block entry"
+                    )
+                ),
+                f"phi {self._ref(inst)} (resolved on edges)",
+            )
+        if isinstance(inst, CallInst):
+            return self._compile_call(code, inst, nxt)
+        raise InterpreterError(
+            f"unhandled instruction {type(inst).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def _compile_binop(self, code, inst: BinaryInst, nxt: int):
+        d = code.slots[id(inst)]
+        a = self._slot(code, inst.lhs)
+        b = self._slot(code, inst.rhs)
+        op_kind = inst.op
+        desc = (
+            f"r{d} = {op_kind.value} r{a}, r{b}  "
+            f"; {self._ref(inst.lhs)}, {self._ref(inst.rhs)}"
+        )
+        if op_kind.is_float_op:
+            if op_kind == BinOp.FADD:
+                def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = regs[a] + regs[b]
+                    frame.index = nxt
+            elif op_kind == BinOp.FSUB:
+                def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = regs[a] - regs[b]
+                    frame.index = nxt
+            elif op_kind == BinOp.FMUL:
+                def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = regs[a] * regs[b]
+                    frame.index = nxt
+            elif op_kind == BinOp.FDIV:
+                def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                    regs = frame.regs
+                    lhs, rhs = regs[a], regs[b]
+                    if rhs == 0.0:
+                        regs[d] = (
+                            float("inf")
+                            if lhs > 0
+                            else float("-inf")
+                            if lhs < 0
+                            else float("nan")
+                        )
+                    else:
+                        regs[d] = lhs / rhs
+                    frame.index = nxt
+            else:  # FREM
+                def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                    regs = frame.regs
+                    rhs = regs[b]
+                    regs[d] = (
+                        math.fmod(regs[a], rhs)
+                        if rhs != 0
+                        else float("nan")
+                    )
+                    frame.index = nxt
+            return op, desc
+        ty = inst.type
+        assert isinstance(ty, IntType)
+        mask = ty.mask
+        half = 1 << (ty.bits - 1)
+        full = 1 << ty.bits
+        bits = ty.bits
+        if op_kind == BinOp.ADD:
+            def op(ctx, frame, d=d, a=a, b=b, mask=mask, nxt=nxt):
+                regs = frame.regs
+                regs[d] = (regs[a] + regs[b]) & mask
+                frame.index = nxt
+        elif op_kind == BinOp.SUB:
+            def op(ctx, frame, d=d, a=a, b=b, mask=mask, nxt=nxt):
+                regs = frame.regs
+                regs[d] = (regs[a] - regs[b]) & mask
+                frame.index = nxt
+        elif op_kind == BinOp.MUL:
+            def op(ctx, frame, d=d, a=a, b=b, mask=mask, nxt=nxt):
+                regs = frame.regs
+                regs[d] = (regs[a] * regs[b]) & mask
+                frame.index = nxt
+        elif op_kind == BinOp.UDIV:
+            def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                regs = frame.regs
+                rhs = regs[b]
+                if rhs == 0:
+                    raise Trap("division by zero")
+                regs[d] = regs[a] // rhs
+                frame.index = nxt
+        elif op_kind == BinOp.UREM:
+            def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                regs = frame.regs
+                rhs = regs[b]
+                if rhs == 0:
+                    raise Trap("division by zero")
+                regs[d] = regs[a] % rhs
+                frame.index = nxt
+        elif op_kind == BinOp.SDIV:
+            def op(
+                ctx, frame, d=d, a=a, b=b,
+                mask=mask, half=half, full=full, nxt=nxt,
+            ):
+                regs = frame.regs
+                rhs = regs[b]
+                if rhs == 0:
+                    raise Trap("division by zero")
+                sa = regs[a] & mask
+                if sa >= half:
+                    sa -= full
+                sb = rhs & mask
+                if sb >= half:
+                    sb -= full
+                q = abs(sa) // abs(sb)
+                if (sa < 0) != (sb < 0):
+                    q = -q
+                regs[d] = q & mask
+                frame.index = nxt
+        elif op_kind == BinOp.SREM:
+            def op(
+                ctx, frame, d=d, a=a, b=b,
+                mask=mask, half=half, full=full, nxt=nxt,
+            ):
+                regs = frame.regs
+                rhs = regs[b]
+                if rhs == 0:
+                    raise Trap("division by zero")
+                sa = regs[a] & mask
+                if sa >= half:
+                    sa -= full
+                sb = rhs & mask
+                if sb >= half:
+                    sb -= full
+                q = abs(sa) // abs(sb)
+                if (sa < 0) != (sb < 0):
+                    q = -q
+                regs[d] = (sa - q * sb) & mask
+                frame.index = nxt
+        elif op_kind == BinOp.AND:
+            def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[a] & regs[b]
+                frame.index = nxt
+        elif op_kind == BinOp.OR:
+            def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[a] | regs[b]
+                frame.index = nxt
+        elif op_kind == BinOp.XOR:
+            def op(ctx, frame, d=d, a=a, b=b, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[a] ^ regs[b]
+                frame.index = nxt
+        elif op_kind == BinOp.SHL:
+            def op(
+                ctx, frame, d=d, a=a, b=b, mask=mask, bits=bits, nxt=nxt
+            ):
+                regs = frame.regs
+                regs[d] = (regs[a] << (regs[b] % bits)) & mask
+                frame.index = nxt
+        elif op_kind == BinOp.LSHR:
+            def op(ctx, frame, d=d, a=a, b=b, bits=bits, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[a] >> (regs[b] % bits)
+                frame.index = nxt
+        elif op_kind == BinOp.ASHR:
+            def op(
+                ctx, frame, d=d, a=a, b=b,
+                mask=mask, half=half, full=full, bits=bits, nxt=nxt,
+            ):
+                regs = frame.regs
+                sa = regs[a] & mask
+                if sa >= half:
+                    sa -= full
+                regs[d] = (sa >> (regs[b] % bits)) & mask
+                frame.index = nxt
+        else:  # pragma: no cover - enum is closed
+            raise InterpreterError(f"unhandled binop {op_kind}")
+        return op, desc
+
+    # ------------------------------------------------------------------
+    def _compile_icmp(self, code, inst: ICmpInst, nxt: int):
+        import operator
+
+        d = code.slots[id(inst)]
+        a = self._slot(code, inst.lhs)
+        b = self._slot(code, inst.rhs)
+        pred = inst.pred
+        cmp = {
+            ICmpPred.EQ: operator.eq,
+            ICmpPred.NE: operator.ne,
+            ICmpPred.SLT: operator.lt,
+            ICmpPred.SLE: operator.le,
+            ICmpPred.SGT: operator.gt,
+            ICmpPred.SGE: operator.ge,
+            ICmpPred.ULT: operator.lt,
+            ICmpPred.ULE: operator.le,
+            ICmpPred.UGT: operator.gt,
+            ICmpPred.UGE: operator.ge,
+        }[pred]
+        desc = f"r{d} = icmp {pred.value} r{a}, r{b}"
+        ty = inst.lhs.type
+        if pred.is_signed and isinstance(ty, IntType):
+            mask = ty.mask
+            half = 1 << (ty.bits - 1)
+            full = 1 << ty.bits
+
+            def op(
+                ctx, frame, d=d, a=a, b=b, cmp=cmp,
+                mask=mask, half=half, full=full, nxt=nxt,
+            ):
+                regs = frame.regs
+                lhs = regs[a] & mask
+                if lhs >= half:
+                    lhs -= full
+                rhs = regs[b] & mask
+                if rhs >= half:
+                    rhs -= full
+                regs[d] = 1 if cmp(lhs, rhs) else 0
+                frame.index = nxt
+        else:
+            def op(ctx, frame, d=d, a=a, b=b, cmp=cmp, nxt=nxt):
+                regs = frame.regs
+                regs[d] = 1 if cmp(regs[a], regs[b]) else 0
+                frame.index = nxt
+
+        return op, desc
+
+    def _compile_fcmp(self, code, inst: FCmpInst, nxt: int):
+        import operator
+
+        d = code.slots[id(inst)]
+        a = self._slot(code, inst.lhs)
+        b = self._slot(code, inst.rhs)
+        cmp = {
+            FCmpPred.OEQ: operator.eq,
+            FCmpPred.ONE: operator.ne,
+            FCmpPred.OLT: operator.lt,
+            FCmpPred.OLE: operator.le,
+            FCmpPred.OGT: operator.gt,
+            FCmpPred.OGE: operator.ge,
+        }[inst.pred]
+
+        def op(ctx, frame, d=d, a=a, b=b, cmp=cmp, nxt=nxt):
+            regs = frame.regs
+            regs[d] = 1 if cmp(regs[a], regs[b]) else 0
+            frame.index = nxt
+
+        return op, f"r{d} = fcmp {inst.pred.value} r{a}, r{b}"
+
+    # ------------------------------------------------------------------
+    def _compile_cast(self, code, inst: CastInst, nxt: int):
+        d = code.slots[id(inst)]
+        s = self._slot(code, inst.value)
+        kind = inst.op
+        src_ty = inst.value.type
+        dst_ty = inst.type
+        desc = f"r{d} = {kind.value} r{s} to {dst_ty}"
+        if kind == CastOp.TRUNC:
+            assert isinstance(dst_ty, IntType)
+            mask = dst_ty.mask
+
+            def op(ctx, frame, d=d, s=s, mask=mask, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[s] & mask
+                frame.index = nxt
+        elif kind == CastOp.ZEXT:
+            def op(ctx, frame, d=d, s=s, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[s]
+                frame.index = nxt
+        elif kind == CastOp.SEXT:
+            assert isinstance(src_ty, IntType) and isinstance(
+                dst_ty, IntType
+            )
+            smask = src_ty.mask
+            shalf = 1 << (src_ty.bits - 1)
+            sfull = 1 << src_ty.bits
+            dmask = dst_ty.mask
+
+            def op(
+                ctx, frame, d=d, s=s,
+                smask=smask, shalf=shalf, sfull=sfull, dmask=dmask,
+                nxt=nxt,
+            ):
+                regs = frame.regs
+                v = regs[s] & smask
+                if v >= shalf:
+                    v -= sfull
+                regs[d] = v & dmask
+                frame.index = nxt
+        elif kind in (CastOp.FPTOSI, CastOp.FPTOUI):
+            assert isinstance(dst_ty, IntType)
+            dmask = dst_ty.mask
+
+            def op(ctx, frame, d=d, s=s, dmask=dmask, nxt=nxt):
+                regs = frame.regs
+                regs[d] = int(regs[s]) & dmask
+                frame.index = nxt
+        elif kind == CastOp.SITOFP:
+            assert isinstance(src_ty, IntType)
+            smask = src_ty.mask
+            shalf = 1 << (src_ty.bits - 1)
+            sfull = 1 << src_ty.bits
+            narrow = isinstance(dst_ty, FloatType) and dst_ty.bits == 32
+
+            def op(
+                ctx, frame, d=d, s=s,
+                smask=smask, shalf=shalf, sfull=sfull, narrow=narrow,
+                nxt=nxt,
+            ):
+                regs = frame.regs
+                v = regs[s] & smask
+                if v >= shalf:
+                    v -= sfull
+                result = float(v)
+                if narrow:
+                    result = _f32(result)
+                regs[d] = result
+                frame.index = nxt
+        elif kind == CastOp.UITOFP:
+            narrow = isinstance(dst_ty, FloatType) and dst_ty.bits == 32
+
+            def op(ctx, frame, d=d, s=s, narrow=narrow, nxt=nxt):
+                regs = frame.regs
+                result = float(regs[s])
+                if narrow:
+                    result = _f32(result)
+                regs[d] = result
+                frame.index = nxt
+        elif kind in (CastOp.FPEXT, CastOp.FPTRUNC):
+            narrow = isinstance(dst_ty, FloatType) and dst_ty.bits == 32
+
+            def op(ctx, frame, d=d, s=s, narrow=narrow, nxt=nxt):
+                regs = frame.regs
+                v = regs[s]
+                regs[d] = _f32(v) if narrow else float(v)
+                frame.index = nxt
+        elif kind in (CastOp.PTRTOINT, CastOp.INTTOPTR, CastOp.BITCAST):
+            if isinstance(dst_ty, IntType):
+                dmask = dst_ty.mask
+
+                def op(ctx, frame, d=d, s=s, dmask=dmask, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = int(regs[s]) & dmask
+                    frame.index = nxt
+            else:
+                def op(ctx, frame, d=d, s=s, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = regs[s]
+                    frame.index = nxt
+        else:  # pragma: no cover - enum is closed
+            raise InterpreterError(f"unhandled cast {kind}")
+        return op, desc
+
+    # ------------------------------------------------------------------
+    def _compile_alloca(self, code, inst: AllocaInst, nxt: int):
+        d = code.slots[id(inst)]
+        el_size = inst.allocated_type.size_bytes()
+        zero = self.interp.memory.zero
+        if inst.array_size is None:
+            size = el_size
+
+            def op(ctx, frame, d=d, size=size, zero=zero, nxt=nxt):
+                addr = ctx.stack_alloc(size)
+                zero(addr, size)
+                frame.regs[d] = addr
+                frame.index = nxt
+
+            return op, f"r{d} = alloca {inst.allocated_type} ({size}B)"
+        c = self._slot(code, inst.array_size)
+
+        def op(
+            ctx, frame, d=d, c=c, el_size=el_size, zero=zero, nxt=nxt
+        ):
+            count = frame.regs[c]
+            size = el_size * max(1, count)
+            addr = ctx.stack_alloc(size)
+            zero(addr, size)
+            frame.regs[d] = addr
+            frame.index = nxt
+
+        return op, f"r{d} = alloca {inst.allocated_type} x r{c}"
+
+    # ------------------------------------------------------------------
+    def _compile_load(self, code, inst: LoadInst, nxt: int):
+        d = code.slots[id(inst)]
+        p = self._slot(code, inst.pointer)
+        ty = inst.type
+        mem = self.interp.memory
+        data = mem.data
+        desc = f"r{d} = load {ty}, r{p}"
+        if isinstance(ty, IntType) and ty.bits in _INT_STRUCTS:
+            codec = _INT_STRUCTS[ty.bits]
+            size = ty.size_bytes()
+            unpack_from = codec.unpack_from
+            if ty.bits == 1:
+                def op(
+                    ctx, frame, d=d, p=p, data=data,
+                    unpack_from=unpack_from, size=size, nxt=nxt,
+                ):
+                    regs = frame.regs
+                    addr = regs[p]
+                    if addr <= 0 or addr + size > len(data):
+                        raise MemoryError_(
+                            f"out-of-range access: {size} bytes "
+                            f"at {addr:#x}"
+                        )
+                    regs[d] = unpack_from(data, addr)[0] & 1
+                    frame.index = nxt
+            else:
+                def op(
+                    ctx, frame, d=d, p=p, data=data,
+                    unpack_from=unpack_from, size=size, nxt=nxt,
+                ):
+                    regs = frame.regs
+                    addr = regs[p]
+                    if addr <= 0 or addr + size > len(data):
+                        raise MemoryError_(
+                            f"out-of-range access: {size} bytes "
+                            f"at {addr:#x}"
+                        )
+                    regs[d] = unpack_from(data, addr)[0]
+                    frame.index = nxt
+            return op, desc
+        if isinstance(ty, FloatType) or isinstance(ty, PointerType):
+            codec = (
+                _F64
+                if isinstance(ty, FloatType) and ty.bits == 64
+                else _F32
+                if isinstance(ty, FloatType)
+                else _INT_STRUCTS[64]
+            )
+            size = ty.size_bytes()
+            unpack_from = codec.unpack_from
+
+            def op(
+                ctx, frame, d=d, p=p, data=data,
+                unpack_from=unpack_from, size=size, nxt=nxt,
+            ):
+                regs = frame.regs
+                addr = regs[p]
+                if addr <= 0 or addr + size > len(data):
+                    raise MemoryError_(
+                        f"out-of-range access: {size} bytes at {addr:#x}"
+                    )
+                regs[d] = unpack_from(data, addr)[0]
+                frame.index = nxt
+
+            return op, desc
+        # Aggregate or exotic width: defer to Memory.load for the exact
+        # error behaviour.
+        load = mem.load
+
+        def op(ctx, frame, d=d, p=p, load=load, ty=ty, nxt=nxt):
+            regs = frame.regs
+            regs[d] = load(ty, regs[p])
+            frame.index = nxt
+
+        return op, desc
+
+    def _compile_store(self, code, inst: StoreInst, nxt: int):
+        v = self._slot(code, inst.value)
+        p = self._slot(code, inst.pointer)
+        ty = inst.value.type
+        mem = self.interp.memory
+        data = mem.data
+        desc = f"store {ty} r{v} -> r{p}"
+        if isinstance(ty, IntType) and ty.bits in _INT_STRUCTS:
+            codec = _INT_STRUCTS[ty.bits]
+            size = ty.size_bytes()
+            mask = ty.mask
+            pack_into = codec.pack_into
+
+            def op(
+                ctx, frame, v=v, p=p, data=data,
+                pack_into=pack_into, size=size, mask=mask, nxt=nxt,
+            ):
+                regs = frame.regs
+                addr = regs[p]
+                if addr <= 0 or addr + size > len(data):
+                    raise MemoryError_(
+                        f"out-of-range access: {size} bytes at {addr:#x}"
+                    )
+                pack_into(data, addr, int(regs[v]) & mask)
+                frame.index = nxt
+
+            return op, desc
+        if isinstance(ty, FloatType):
+            codec = _F32 if ty.bits == 32 else _F64
+            size = ty.size_bytes()
+            pack_into = codec.pack_into
+
+            def op(
+                ctx, frame, v=v, p=p, data=data,
+                pack_into=pack_into, size=size, nxt=nxt,
+            ):
+                regs = frame.regs
+                addr = regs[p]
+                if addr <= 0 or addr + size > len(data):
+                    raise MemoryError_(
+                        f"out-of-range access: {size} bytes at {addr:#x}"
+                    )
+                pack_into(data, addr, float(regs[v]))
+                frame.index = nxt
+
+            return op, desc
+        if isinstance(ty, PointerType):
+            codec = _INT_STRUCTS[64]
+            pack_into = codec.pack_into
+            mask64 = (1 << 64) - 1
+
+            def op(
+                ctx, frame, v=v, p=p, data=data,
+                pack_into=pack_into, mask64=mask64, nxt=nxt,
+            ):
+                regs = frame.regs
+                addr = regs[p]
+                if addr <= 0 or addr + 8 > len(data):
+                    raise MemoryError_(
+                        f"out-of-range access: 8 bytes at {addr:#x}"
+                    )
+                pack_into(data, addr, int(regs[v]) & mask64)
+                frame.index = nxt
+
+            return op, desc
+        store = mem.store
+
+        def op(ctx, frame, v=v, p=p, store=store, ty=ty, nxt=nxt):
+            regs = frame.regs
+            store(ty, regs[p], regs[v])
+            frame.index = nxt
+
+        return op, desc
+
+    # ------------------------------------------------------------------
+    def _compile_gep(self, code, inst: GEPInst, nxt: int):
+        d = code.slots[id(inst)]
+        p = self._slot(code, inst.pointer)
+        ty = inst.element_type
+        el_size = ty.size_bytes()
+        first = inst.indices[0]
+        desc = (
+            f"r{d} = gep {ty}, r{p} + "
+            f"[{', '.join(self._ref(i) for i in inst.indices)}]"
+        )
+        if len(inst.indices) == 1:
+            if isinstance(first, ConstantInt):
+                off = first.signed_value * el_size
+
+                def op(ctx, frame, d=d, p=p, off=off, nxt=nxt):
+                    regs = frame.regs
+                    regs[d] = regs[p] + off
+                    frame.index = nxt
+
+                return op, desc
+            i0 = self._slot(code, first)
+            idx_ty = first.type
+            if isinstance(idx_ty, IntType):
+                mask = idx_ty.mask
+                half = 1 << (idx_ty.bits - 1)
+                full = 1 << idx_ty.bits
+
+                def op(
+                    ctx, frame, d=d, p=p, i0=i0, el_size=el_size,
+                    mask=mask, half=half, full=full, nxt=nxt,
+                ):
+                    regs = frame.regs
+                    idx = regs[i0] & mask
+                    if idx >= half:
+                        idx -= full
+                    regs[d] = regs[p] + idx * el_size
+                    frame.index = nxt
+            else:
+                def op(
+                    ctx, frame, d=d, p=p, i0=i0, el_size=el_size, nxt=nxt
+                ):
+                    regs = frame.regs
+                    regs[d] = regs[p] + regs[i0] * el_size
+                    frame.index = nxt
+
+            return op, desc
+        # Multi-index: fold when every aggregate step is constant
+        # (struct field access, constant array indices).
+        if isinstance(first, ConstantInt) and all(
+            isinstance(i, ConstantInt) for i in inst.indices[1:]
+        ):
+            walk_ty = ty
+            off = first.signed_value * el_size
+            for raw in inst.indices[1:]:
+                idx_val = raw.value
+                if isinstance(walk_ty, StructType):
+                    off += walk_ty.offset_of(idx_val)
+                    walk_ty = walk_ty.elements[idx_val]
+                elif isinstance(walk_ty, ArrayType):
+                    signed = raw.signed_value
+                    off += signed * walk_ty.element.size_bytes()
+                    walk_ty = walk_ty.element
+                else:
+                    raise InterpreterError(
+                        f"gep into non-aggregate type {walk_ty}"
+                    )
+
+            def op(ctx, frame, d=d, p=p, off=off, nxt=nxt):
+                regs = frame.regs
+                regs[d] = regs[p] + off
+                frame.index = nxt
+
+            return op, desc
+        # Generic fallback mirroring ExecutionContext._gep exactly.
+        idx_slots = [self._slot(code, i) for i in inst.indices]
+        idx_types = [i.type for i in inst.indices]
+
+        def op(
+            ctx, frame, d=d, p=p, ty=ty,
+            idx_slots=idx_slots, idx_types=idx_types, nxt=nxt,
+        ):
+            regs = frame.regs
+            addr = regs[p]
+            indices = [regs[s] for s in idx_slots]
+            first_val = indices[0]
+            idx_ty = idx_types[0]
+            if isinstance(idx_ty, IntType):
+                first_val = idx_ty.to_signed(first_val)
+            addr += first_val * ty.size_bytes()
+            walk_ty = ty
+            for raw_ty, idx_val in zip(idx_types[1:], indices[1:]):
+                if isinstance(walk_ty, StructType):
+                    addr += walk_ty.offset_of(idx_val)
+                    walk_ty = walk_ty.elements[idx_val]
+                elif isinstance(walk_ty, ArrayType):
+                    signed = idx_val
+                    if isinstance(raw_ty, IntType):
+                        signed = raw_ty.to_signed(idx_val)
+                    addr += signed * walk_ty.element.size_bytes()
+                    walk_ty = walk_ty.element
+                else:
+                    raise InterpreterError(
+                        f"gep into non-aggregate type {walk_ty}"
+                    )
+            regs[d] = addr
+            frame.index = nxt
+
+        return op, desc
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _edge(
+        self, code: CompiledFunction, src: BasicBlock, target: BasicBlock
+    ):
+        """Pre-linked jump closure for the edge ``src -> target``: the
+        phi parallel copy plus the block/ops/index switch.  Signature is
+        ``(ctx, frame)`` so an unconditional branch op *is* its edge."""
+        tbc = code.blocks[id(target)]
+        tblock = target
+        tops = tbc.ops  # list object is stable; filled by fill order
+        phis = []
+        for i in target.instructions:
+            if isinstance(i, PhiInst):
+                phis.append(i)
+            else:
+                break
+        if not phis:
+            def edge(ctx, frame, tblock=tblock, tops=tops):
+                frame.block = tblock
+                frame.ops = tops
+                frame.index = 0
+
+            return edge
+        tindex = len(phis)
+        copies = []
+        for phi in phis:
+            incoming = phi.incoming_for(src)
+            if incoming is None:
+                return _raiser(
+                    InterpreterError(
+                        f"phi %{phi.name} has no incoming for {src.name}"
+                    )
+                )
+            copies.append(
+                (code.slots[id(phi)], self._slot(code, incoming))
+            )
+        if len(copies) == 1:
+            (pd, ps) = copies[0]
+
+            def edge(
+                ctx, frame, pd=pd, ps=ps,
+                tblock=tblock, tops=tops, tindex=tindex,
+            ):
+                regs = frame.regs
+                regs[pd] = regs[ps]
+                frame.block = tblock
+                frame.ops = tops
+                frame.index = tindex
+
+            return edge
+        copies = tuple(copies)
+
+        def edge(
+            ctx, frame, copies=copies,
+            tblock=tblock, tops=tops, tindex=tindex,
+        ):
+            regs = frame.regs
+            values = [regs[s] for _, s in copies]
+            for (pd, _), value in zip(copies, values):
+                regs[pd] = value
+            frame.block = tblock
+            frame.ops = tops
+            frame.index = tindex
+
+        return edge
+
+    def _compile_condbr(self, code, block, inst: CondBranchInst):
+        c = self._slot(code, inst.condition)
+        te = self._edge(code, block, inst.true_block)
+        fe = self._edge(code, block, inst.false_block)
+
+        def op(ctx, frame, c=c, te=te, fe=fe):
+            (te if frame.regs[c] else fe)(ctx, frame)
+
+        return op, (
+            f"br r{c} ? %{inst.true_block.name} : "
+            f"%{inst.false_block.name}"
+        )
+
+    def _compile_switch(self, code, block, inst: SwitchInst):
+        c = self._slot(code, inst.condition)
+        default_edge = self._edge(code, block, inst.default)
+        table = {}
+        for case_value, target in inst.cases:
+            # First matching case wins, like the interpreter's scan.
+            table.setdefault(
+                case_value, self._edge(code, block, target)
+            )
+        ty = inst.condition.type
+        desc = (
+            f"switch r{c} "
+            f"[{', '.join(str(v) for v, _ in inst.cases)}] "
+            f"default %{inst.default.name}"
+        )
+        if isinstance(ty, IntType):
+            mask = ty.mask
+            half = 1 << (ty.bits - 1)
+            full = 1 << ty.bits
+
+            def op(
+                ctx, frame, c=c, table=table, default_edge=default_edge,
+                mask=mask, half=half, full=full,
+            ):
+                v = frame.regs[c] & mask
+                if v >= half:
+                    v -= full
+                table.get(v, default_edge)(ctx, frame)
+        else:
+            def op(
+                ctx, frame, c=c, table=table, default_edge=default_edge
+            ):
+                table.get(frame.regs[c], default_edge)(ctx, frame)
+
+        return op, desc
+
+    def _compile_ret(self, code, inst: ReturnInst):
+        if inst.value is not None:
+            v = self._slot(code, inst.value)
+
+            def op(ctx, frame, v=v, _DONE=_DONE):
+                stack = ctx.stack
+                stack.pop()
+                ctx.stack_ptr = frame.stack_mark
+                value = frame.regs[v]
+                if not stack:
+                    ctx.return_value = value
+                    ctx.state = _DONE
+                    return
+                rd = frame.ret_dst
+                caller = stack[-1]
+                if rd is not None:
+                    caller.regs[rd] = value
+                caller.index = frame.ret_index
+
+            return op, f"ret r{v}"
+
+        def op(ctx, frame, _DONE=_DONE):
+            stack = ctx.stack
+            stack.pop()
+            ctx.stack_ptr = frame.stack_mark
+            if not stack:
+                ctx.return_value = None
+                ctx.state = _DONE
+                return
+            rd = frame.ret_dst
+            caller = stack[-1]
+            if rd is not None:
+                caller.regs[rd] = None
+            caller.index = frame.ret_index
+
+        return op, "ret void"
+
+    # ------------------------------------------------------------------
+    # Calls
+    # ------------------------------------------------------------------
+    def _native_convs(self, inst: CallInst):
+        """Positions of int args natives see as C-signed values."""
+        convs = []
+        for i, a in enumerate(inst.args):
+            ty = a.type
+            if isinstance(ty, IntType) and ty.bits > 1:
+                convs.append(
+                    (i, ty.mask, 1 << (ty.bits - 1), 1 << ty.bits)
+                )
+        return tuple(convs)
+
+    def _compile_call(self, code, inst: CallInst, nxt: int):
+        interp = self.interp
+        arg_slots = tuple(self._slot(code, a) for a in inst.args)
+        dst = None if inst.type.is_void else code.slots[id(inst)]
+        convs = self._native_convs(inst)
+        callee = inst.callee
+        if isinstance(callee, Function):
+            name = callee.name
+            # native_for raises for an undefined external — defer that
+            # to execution time (the interpreter only fails when the
+            # call actually runs).
+            native = interp.native_for(callee)
+            if native is not None:
+                desc = (
+                    f"{'call' if dst is None else f'r{dst} = call'} "
+                    f"native @{name}"
+                    f"({', '.join(f'r{s}' for s in arg_slots)})"
+                )
+
+                def op(
+                    ctx, frame, native=native, interp=interp,
+                    arg_slots=arg_slots, convs=convs, dst=dst, nxt=nxt,
+                ):
+                    regs = frame.regs
+                    args = [regs[s] for s in arg_slots]
+                    for i, mask, half, full in convs:
+                        v = args[i] & mask
+                        if v >= half:
+                            v -= full
+                        args[i] = v
+                    result = native(interp, ctx, args)
+                    if result is RETRY:
+                        return
+                    if dst is not None:
+                        regs[dst] = result
+                    frame.index = nxt
+
+                return op, desc
+            callee_code = interp.code_for(callee)
+            depth = interp.max_call_depth
+            desc = (
+                f"{'call' if dst is None else f'r{dst} = call'} "
+                f"@{name}({', '.join(f'r{s}' for s in arg_slots)})"
+            )
+
+            def op(
+                ctx, frame, callee_code=callee_code,
+                arg_slots=arg_slots, depth=depth, name=name,
+                dst=dst, nxt=nxt,
+            ):
+                stack = ctx.stack
+                if len(stack) >= depth:
+                    raise InterpreterError(
+                        f"guest call depth exceeded the limit of "
+                        f"{depth} frames while calling @{name} "
+                        f"(runaway recursion?)"
+                    )
+                regs = frame.regs
+                frame_new = ClosureFrame(
+                    callee_code,
+                    [regs[s] for s in arg_slots],
+                    ctx.stack_ptr,
+                )
+                frame_new.ret_dst = dst
+                frame_new.ret_index = nxt
+                stack.append(frame_new)
+
+            return op, desc
+        # Indirect call: resolve the target at run time, like the
+        # interpreter (invalid address traps, undefined extern raises).
+        cslot = self._slot(code, callee)
+        desc = (
+            f"{'call' if dst is None else f'r{dst} = call'} "
+            f"*r{cslot}({', '.join(f'r{s}' for s in arg_slots)})"
+        )
+
+        def op(
+            ctx, frame, interp=interp, cslot=cslot,
+            arg_slots=arg_slots, convs=convs, dst=dst, nxt=nxt,
+        ):
+            regs = frame.regs
+            addr = regs[cslot]
+            fn = interp.memory.function_at(addr)
+            if fn is None:
+                raise Trap(
+                    f"indirect call to invalid address {addr:#x}"
+                )
+            args = [regs[s] for s in arg_slots]
+            native = interp.native_for(fn)
+            if native is not None:
+                for i, mask, half, full in convs:
+                    v = args[i] & mask
+                    if v >= half:
+                        v -= full
+                    args[i] = v
+                result = native(interp, ctx, args)
+                if result is RETRY:
+                    return
+                if dst is not None:
+                    regs[dst] = result
+                frame.index = nxt
+                return
+            stack = ctx.stack
+            if len(stack) >= interp.max_call_depth:
+                raise InterpreterError(
+                    f"guest call depth exceeded the limit of "
+                    f"{interp.max_call_depth} frames while calling "
+                    f"@{fn.name} (runaway recursion?)"
+                )
+            if fn.is_declaration:  # pragma: no cover - native_for raised
+                raise InterpreterError(
+                    f"call to undefined function @{fn.name}"
+                )
+            frame_new = ClosureFrame(
+                interp.code_for(fn), args, ctx.stack_ptr
+            )
+            frame_new.ret_dst = dst
+            frame_new.ret_index = nxt
+            stack.append(frame_new)
+
+        return op, desc
+
+
+# ---------------------------------------------------------------------------
+# Shared op helpers
+# ---------------------------------------------------------------------------
+def _raiser(exc: BaseException):
+    """An op that raises *exc* when (and only when) executed."""
+
+    def op(ctx, frame, exc=exc):
+        raise exc
+
+    return op
+
+
+def _fell_off(block_name: str):
+    def op(ctx, frame, block_name=block_name):
+        raise InterpreterError(
+            f"fell off the end of block {block_name}"
+        )
+
+    return op
+
+
+class ClosureFrame:
+    """Compiled call frame: dense register file + current dispatch
+    table.  ``block``/``index`` track the real IR position so scheduler
+    snapshots and call-site identity (``single``) stay exact."""
+
+    __slots__ = (
+        "fn",
+        "code",
+        "block",
+        "ops",
+        "index",
+        "regs",
+        "stack_mark",
+        "ret_dst",
+        "ret_index",
+    )
+
+    def __init__(
+        self, code: CompiledFunction, args: list, stack_mark: int
+    ) -> None:
+        self.fn = code.fn
+        self.code = code
+        entry = code.entry
+        self.block = entry.block
+        self.ops = entry.ops
+        self.index = 0
+        regs = code.regs_template.copy()
+        for slot, value in zip(code.arg_slots, args):
+            regs[slot] = value
+        self.regs = regs
+        self.stack_mark = stack_mark
+        #: where the matching ret writes its value in the caller
+        self.ret_dst = None
+        self.ret_index = 0

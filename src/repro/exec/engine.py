@@ -1,0 +1,194 @@
+"""The closure-compiled execution engine.
+
+:class:`ClosureInterpreter` is a drop-in :class:`Interpreter` that
+executes pre-compiled closures (see :mod:`repro.exec.compiler`) instead
+of walking the instruction tree.  Everything *around* stepping — memory
+model, globals, natives, the simulated OpenMP runtime, profiles,
+guardrails — is inherited unchanged, which is what makes the
+engine-differential oracle meaningful: the two engines share one
+definition of the machine and differ only in how an instruction's
+semantics are dispatched.
+
+Parity contract (asserted by the sixth oracle and the integration
+suite):
+
+* byte-identical stdout and return value for every program;
+* identical :class:`~repro.instrument.ExecutionProfile` — total and
+  per-thread retired-instruction counts, barrier waits/episodes, fork
+  counts, and detailed block counts;
+* identical guardrail behaviour: fuel accounting decrements once per
+  retired instruction, the wall-clock deadline is polled on the same
+  ``budget & 0xFFF`` mask, and the deliberate quirk that fuel
+  exhaustion fires even when the final instruction completed the
+  program is preserved;
+* identical scheduler semantics: one instruction retired per
+  ``step()``, so :class:`repro.runtime.team.Team`'s round-robin,
+  ``critical`` spin order, FIFO dynamic dispatch and deadlock detection
+  interleave exactly as under the reference interpreter.
+
+Known (documented) divergence: when *malformed* IR falls off the end of
+a block, the closure engine counts that final fetch as a retired
+instruction before raising, while the tree walker raises on the bounds
+check first.  Verified IR never hits this path.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.instrument.faultinject import FAULTS
+from repro.interp.interpreter import (
+    ExecutionContext,
+    ExecutionTimeout,
+    Interpreter,
+    InterpreterError,
+    ThreadState,
+    scheduler_snapshot,
+)
+from repro.ir.module import Function, Module
+
+from repro.exec.compiler import (
+    ClosureCompiler,
+    ClosureFrame,
+    CompiledFunction,
+)
+
+
+class ClosureContext(ExecutionContext):
+    """One logical thread executing compiled closures.
+
+    Subclasses the reference context so the OpenMP runtime, the team
+    scheduler and the profile registry treat it identically; only frame
+    representation and stepping differ."""
+
+    interp: "ClosureInterpreter"
+
+    # ------------------------------------------------------------------
+    def _push_frame(self, fn: Function, args: list[Any]) -> None:
+        if fn.is_declaration:
+            raise InterpreterError(
+                f"call to undefined function @{fn.name}"
+            )
+        if len(self.stack) >= self.interp.max_call_depth:
+            raise InterpreterError(
+                f"guest call depth exceeded the limit of "
+                f"{self.interp.max_call_depth} frames while calling "
+                f"@{fn.name} (runaway recursion?)"
+            )
+        self.stack.append(
+            ClosureFrame(
+                self.interp.code_for(fn), args, self.stack_ptr
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def value_of(self, v) -> Any:
+        """Compatibility shim for natives/debug hooks that resolve IR
+        values against the current frame (registers live in slots)."""
+        frame = self.stack[-1] if self.stack else None
+        if frame is not None:
+            slot = frame.code.slots.get(id(v))
+            if slot is not None:
+                return frame.regs[slot]
+        return super().value_of(v)
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Retire exactly one instruction — same granularity as the
+        reference so team interleaving is bit-identical."""
+        if self.state is not ThreadState.RUNNABLE:
+            return
+        frame = self.stack[-1]
+        if FAULTS.armed:
+            FAULTS.hit("interp-step")
+        self.instructions_retired += 1
+        profile = self.interp.profile
+        if profile.detailed:
+            profile.count_block(frame.fn.name, frame.block.name)
+        frame.ops[frame.index](self, frame)
+
+    def run_to_completion(self, fuel: int | None = None) -> Any:
+        """Serial threaded-dispatch loop: ``step()`` inlined with the
+        loop state hoisted into locals.  Accounting (fuel decrement per
+        retired instruction, deadline poll mask, barrier pass-through
+        for single-threaded contexts) replicates the reference loop
+        statement for statement."""
+        interp = self.interp
+        budget = fuel if fuel is not None else interp.default_fuel
+        profile = interp.profile
+        detailed = profile.detailed
+        stack = self.stack
+        faults = FAULTS
+        RUNNABLE = ThreadState.RUNNABLE
+        BARRIER = ThreadState.BARRIER
+        DONE = ThreadState.DONE
+        while self.state is not DONE:
+            if self.state is BARRIER:
+                # Single-threaded contexts pass barriers trivially.
+                self.state = RUNNABLE
+                self.waiting_at = None
+            frame = stack[-1]
+            if faults.armed:
+                faults.hit("interp-step")
+            self.instructions_retired += 1
+            if detailed:
+                profile.count_block(frame.fn.name, frame.block.name)
+            frame.ops[frame.index](self, frame)
+            budget -= 1
+            if budget <= 0:
+                raise ExecutionTimeout(
+                    "execution fuel exhausted (infinite loop?)",
+                    scheduler_snapshot(interp),
+                )
+            if (budget & 0xFFF) == 0:
+                interp.check_deadline()
+        return self.return_value
+
+
+class ClosureInterpreter(Interpreter):
+    """Interpreter whose contexts execute pre-compiled closures.
+
+    Compilation is per-interpreter-instance because global addresses,
+    function pseudo-addresses and resolved natives are baked into the
+    closures; it is lazy and memoized per function, so a program only
+    pays for what it calls."""
+
+    engine_name = "closures"
+
+    def __init__(self, module: Module, **kwargs: Any) -> None:
+        super().__init__(module, **kwargs)
+        self._compiler = ClosureCompiler(self)
+        self._code: dict[int, CompiledFunction] = {}
+
+    # ------------------------------------------------------------------
+    def code_for(self, fn: Function) -> CompiledFunction:
+        """Memoized compilation.  The shell is registered *before* the
+        fill so mutually recursive functions link against it; call ops
+        read the shell's tables only at execution time, by which point
+        every reachable function has been filled."""
+        code = self._code.get(id(fn))
+        if code is None:
+            code = CompiledFunction(fn)
+            self._code[id(fn)] = code
+            self._compiler.compile(code)
+        return code
+
+    # ------------------------------------------------------------------
+    def spawn_context(
+        self, fn: Function, args: list[Any], thread_id: int = 0
+    ) -> ClosureContext:
+        return ClosureContext(self, fn, args, thread_id=thread_id)
+
+    # ------------------------------------------------------------------
+    def describe_code(self) -> str:
+        """Deterministic rendering of every compiled dispatch table
+        (definition order, name/slot based — no object identities), the
+        artifact the compilation-determinism property test compares."""
+        parts = []
+        for fn in self.module.functions.values():
+            if fn.is_declaration:
+                continue
+            parts.append(self.code_for(fn).describe())
+        return "\n\n".join(parts)

@@ -681,6 +681,10 @@ class ExecutionContext:
 class Interpreter:
     """Owns a module instance: memory, globals, natives, entry points."""
 
+    #: engine selector this class answers to (``-fexec=``); the closure
+    #: engine overrides it
+    engine_name = "interp"
+
     def __init__(
         self,
         module: Module,
@@ -766,13 +770,22 @@ class Interpreter:
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
+    def spawn_context(
+        self, fn: Function, args: list[Any], thread_id: int = 0
+    ) -> ExecutionContext:
+        """Create one logical thread over *fn*.  The single point where
+        contexts are born (entry points and the OpenMP runtime's
+        fork both route through it) so execution engines can substitute
+        their own context type."""
+        return ExecutionContext(self, fn, args, thread_id=thread_id)
+
     def create_context(
         self, fn_name: str, args: list[Any] | None = None
     ) -> ExecutionContext:
         fn = self.module.get_function(fn_name)
         if fn is None:
             raise InterpreterError(f"no function @{fn_name}")
-        return ExecutionContext(self, fn, args or [])
+        return self.spawn_context(fn, args or [])
 
     @property
     def instruction_count(self) -> int:

@@ -651,6 +651,7 @@ def run_source(
     memory_limit: int | None = None,
     max_call_depth: int = 256,
     strip_omp_transforms: bool = False,
+    exec_engine: str = "interp",
 ) -> RunResult:
     """Compile and execute *source*; returns exit code and captured
     stdout.  ``optimize=True`` additionally runs the mid-end pass
@@ -663,7 +664,13 @@ def run_source(
     ``timeout_s`` is a wall-clock deadline (both raise
     :class:`~repro.interp.ExecutionTimeout` carrying a scheduler
     snapshot), ``memory_limit`` caps guest memory and
-    ``max_call_depth`` caps guest recursion."""
+    ``max_call_depth`` caps guest recursion.
+
+    ``exec_engine`` selects the execution engine (``-fexec=``):
+    ``"interp"`` is the reference tree-walking interpreter,
+    ``"closures"`` the closure-compiled engine with identical observable
+    semantics (see :mod:`repro.exec`)."""
+    from repro.exec import create_interpreter
     from repro.interp.interpreter import InterpreterError, Trap
     from repro.runtime.team import TeamError
 
@@ -690,8 +697,9 @@ def run_source(
                 instrument=instrument,
             ).run(result.module, instrument)
             verify_module(result.module)
-        interp = Interpreter(
+        interp = create_interpreter(
             result.module,
+            engine=exec_engine,
             profile_detail=profile_detail,
             memory_limit=memory_limit,
             max_call_depth=max_call_depth,
@@ -761,6 +769,7 @@ def execute_request(
     fuel: int | None = None,
     timeout_s: float | None = None,
     strip_omp_transforms: bool = False,
+    exec_engine: str = "interp",
     cache=None,
 ) -> RequestOutcome:
     """Request-scoped pipeline entry point for the compile service.
@@ -801,6 +810,7 @@ def execute_request(
                 fuel=fuel,
                 timeout_s=timeout_s,
                 strip_omp_transforms=strip_omp_transforms,
+                exec_engine=exec_engine,
             )
             code = rr.exit_code if isinstance(rr.exit_code, int) else 0
             return finish("ok", output=rr.stdout, exit_code=code)

@@ -161,8 +161,9 @@ class OpenMPRuntime:
             btid_addr = interp.memory.allocate(4)
             interp.memory.store(i32, gtid_addr, gtid)
             interp.memory.store(i32, btid_addr, tid)
-            thread_ctx = ExecutionContext(
-                interp,
+            # Route through the engine hook so the closure engine's
+            # contexts join the team instead of reference ones.
+            thread_ctx = interp.spawn_context(
                 outlined,
                 [gtid_addr, btid_addr, context_ptr],
                 thread_id=tid,

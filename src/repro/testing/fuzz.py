@@ -58,6 +58,27 @@ def cached_configs() -> tuple[Config, ...]:
     )
 
 
+def closure_configs() -> tuple[Config, ...]:
+    """DEFAULT_CONFIGS plus the closure-engine oracle configurations
+    (the sixth oracle): each one races the closure-compiled engine
+    against the reference interpreter on the same program — stdout,
+    exit codes, error classification and execution profiles must all
+    match — across shadow, IRBuilder and the optimized pipeline.
+    Inserted before the stripped reference, which must stay last."""
+    return DEFAULT_CONFIGS[:-1] + (
+        Config("closures-shadow", exec_engine="closures"),
+        Config(
+            "closures-irbuilder",
+            enable_irbuilder=True,
+            exec_engine="closures",
+        ),
+        Config(
+            "closures-O1", optimize=True, exec_engine="closures"
+        ),
+        DEFAULT_CONFIGS[-1],
+    )
+
+
 from repro.testing.shrink import shrink_source
 
 
@@ -285,6 +306,14 @@ def main(argv: Optional[list[str]] = None) -> int:
         "to uncached ones",
     )
     parser.add_argument(
+        "--exec",
+        action="store_true",
+        dest="exec_oracle",
+        help="add the closure-engine oracle configurations: every run "
+        "races -fexec=closures against the reference interpreter and "
+        "requires identical output, exit codes and execution profiles",
+    )
+    parser.add_argument(
         "--quiet", "-q", action="store_true",
         help="suppress progress lines",
     )
@@ -301,12 +330,16 @@ def main(argv: Optional[list[str]] = None) -> int:
     progress = None if args.quiet else (
         lambda msg: print(msg, file=sys.stderr)
     )
-    if args.service and args.cache:
-        parser.error("--service and --cache are mutually exclusive")
+    if sum((args.service, args.cache, args.exec_oracle)) > 1:
+        parser.error(
+            "--service, --cache and --exec are mutually exclusive"
+        )
     if args.service:
         configs = service_configs()
     elif args.cache:
         configs = cached_configs()
+    elif args.exec_oracle:
+        configs = closure_configs()
     else:
         configs = DEFAULT_CONFIGS
     report = run_campaign(

@@ -40,6 +40,13 @@ class Config:
     compilation cache — cold, warm, and stage-resumed — and
     byte-compares every cached result against the uncached pipeline
     before running: the cache must be invisible to the semantics.
+
+    ``exec_engine="closures"`` executes on the closure-compiled engine
+    *and* races it against the reference interpreter on the same
+    program: stdout, exit code, error classification and the execution
+    profile (total/per-thread retired instructions, barrier/fork
+    accounting, per-block counts) must all match, or the run reports an
+    ``exec-divergence``.
     """
 
     name: str
@@ -48,8 +55,16 @@ class Config:
     strip_omp_transforms: bool = False
     via_service: bool = False
     cached: bool = False
+    exec_engine: str = "interp"
 
-    def run(self, source: str, num_threads: int, fuel: int):
+    def run(
+        self,
+        source: str,
+        num_threads: int,
+        fuel: int,
+        exec_engine: str | None = None,
+        profile_detail: bool = False,
+    ):
         return run_source(
             source,
             num_threads=num_threads,
@@ -57,6 +72,10 @@ class Config:
             optimize=self.optimize,
             strip_omp_transforms=self.strip_omp_transforms,
             fuel=fuel,
+            exec_engine=(
+                self.exec_engine if exec_engine is None else exec_engine
+            ),
+            profile_detail=profile_detail,
         )
 
 
@@ -76,7 +95,7 @@ class Divergence:
 
     kind: str  # stdout / exit-code / trips / expected-stdout /
     #          # transformed-compile-error / stripped-compile-error /
-    #          # timeout / ice / cache-divergence
+    #          # timeout / ice / cache-divergence / exec-divergence
     config: str  # the configuration that disagreed
     detail: str
     source: str
@@ -108,6 +127,8 @@ def _run_config(
 
     if config.via_service:
         return _run_config_via_service(config, source, num_threads, fuel)
+    if config.exec_engine != "interp":
+        return _run_config_dual_engine(config, source, num_threads, fuel)
     try:
         if config.cached:
             mismatch = _cache_identity_mismatch(config, source)
@@ -130,6 +151,111 @@ def _run_config(
         )
     code = result.exit_code if isinstance(result.exit_code, int) else 0
     return _Outcome(stdout=result.stdout, exit_code=code)
+
+
+def _engine_outcome(
+    config: Config,
+    source: str,
+    num_threads: int,
+    fuel: int,
+    engine: str,
+) -> tuple[_Outcome, Optional[dict]]:
+    """Run one configuration on one engine; outcome plus the execution
+    profile fingerprint (None unless the run completed)."""
+    from repro.core.crash_recovery import InternalCompilerError
+    from repro.exec import profile_fingerprint
+    from repro.interp import ExecutionTimeout
+
+    try:
+        result = config.run(
+            source,
+            num_threads,
+            fuel,
+            exec_engine=engine,
+            profile_detail=True,
+        )
+    except CompilationError as exc:
+        kind = "ice" if exc.ice else "compile-error"
+        return _Outcome(error=kind, error_detail=str(exc)), None
+    except ExecutionTimeout as exc:
+        return _Outcome(error="timeout", error_detail=str(exc)), None
+    except InternalCompilerError as exc:
+        return _Outcome(error="ice", error_detail=str(exc)), None
+    except Exception as exc:
+        return (
+            _Outcome(
+                error="ice",
+                error_detail=f"{type(exc).__name__}: {exc}",
+            ),
+            None,
+        )
+    code = result.exit_code if isinstance(result.exit_code, int) else 0
+    return (
+        _Outcome(stdout=result.stdout, exit_code=code),
+        profile_fingerprint(result.interpreter.profile),
+    )
+
+
+def _run_config_dual_engine(
+    config: Config, source: str, num_threads: int, fuel: int
+) -> _Outcome:
+    """The engine oracle: execute the configuration under the reference
+    interpreter AND the closure engine; any observable difference —
+    stdout, exit code, error classification/detail, or the execution
+    profile fingerprint — is an ``exec-divergence``.  When the engines
+    agree the closure outcome stands in for the configuration, so it is
+    additionally compared against the stripped reference like every
+    other transformed config."""
+    ref, ref_fp = _engine_outcome(
+        config, source, num_threads, fuel, "interp"
+    )
+    out, out_fp = _engine_outcome(
+        config, source, num_threads, fuel, config.exec_engine
+    )
+    if (ref.error, ref.error_detail) != (out.error, out.error_detail):
+        return _Outcome(
+            error="exec-divergence",
+            error_detail=(
+                f"error classification differs:\n"
+                f"interp:   {ref.error!r} {ref.error_detail!r}\n"
+                f"{config.exec_engine}: {out.error!r} "
+                f"{out.error_detail!r}"
+            ),
+        )
+    if out.error is not None:
+        # both engines failed identically — report it as the underlying
+        # failure so check_source's invalid-program logic applies
+        return out
+    if out.stdout != ref.stdout:
+        return _Outcome(
+            error="exec-divergence",
+            error_detail=(
+                f"stdout differs:\n"
+                f"interp:   {ref.stdout!r}\n"
+                f"{config.exec_engine}: {out.stdout!r}"
+            ),
+        )
+    if out.exit_code != ref.exit_code:
+        return _Outcome(
+            error="exec-divergence",
+            error_detail=(
+                f"exit code differs: interp {ref.exit_code}, "
+                f"{config.exec_engine} {out.exit_code}"
+            ),
+        )
+    if out_fp != ref_fp:
+        diffs = [
+            f"  {key}: interp={ref_fp[key]!r} "
+            f"{config.exec_engine}={out_fp[key]!r}"
+            for key in ref_fp
+            if ref_fp[key] != out_fp[key]
+        ]
+        return _Outcome(
+            error="exec-divergence",
+            error_detail="execution profile differs:\n"
+            + "\n".join(diffs),
+        )
+    return out
 
 
 #: one cache shared across a campaign's seeds, like a developer's
@@ -302,6 +428,10 @@ def check_source(
 
     for config in configs[:-1]:
         out = _run_config(config, source, num_threads, fuel)
+        if out.error == "exec-divergence":
+            # Engine disagreement is a finding regardless of whether
+            # the reference configuration happens to error too.
+            return make("exec-divergence", config.name, out.error_detail)
         if out.error is not None and ref.error is not None:
             continue  # invalid program everywhere: not interesting
         if out.error is not None:

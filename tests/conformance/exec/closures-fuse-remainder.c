@@ -1,0 +1,19 @@
+// 'fuse' over loops of unequal trip counts under the closure engine:
+// the guarded tail (iterations where only the longer loop's body
+// runs) must interleave identically to the reference interpreter.
+// RUN: miniclang --run -fexec=closures %s | FileCheck %s
+// RUN: miniclang --run -fexec=closures -fopenmp-enable-irbuilder %s \
+// RUN:     | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  #pragma omp fuse
+  {
+    for (int i = 0; i < 4; i += 1)
+      printf("a%d ", i);
+    for (int j = 0; j < 2; j += 1)
+      printf("b%d ", j);
+  }
+  printf("\n");
+  return 0;
+}
+// CHECK: a0 b0 a1 b1 a2 a3

@@ -1,0 +1,17 @@
+// The closure-compiled engine (-fexec=closures) on a tiled loop nest
+// with remainder tiles: 5x5 under sizes(2,2) leaves partial tiles on
+// both dimensions, so the floor/guard arithmetic the transformation
+// emits is exercised end to end on the compiled dispatch path.
+// RUN: miniclang --run -fexec=closures %s | FileCheck %s
+// RUN: miniclang --run -fexec=closures -O %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int checksum = 0;
+  #pragma omp tile sizes(2, 2)
+  for (int i = 0; i < 5; i += 1)
+    for (int j = 0; j < 5; j += 1)
+      checksum += i * 10 + j;
+  printf("checksum=%d\n", checksum);
+  return 0;
+}
+// CHECK: checksum=550

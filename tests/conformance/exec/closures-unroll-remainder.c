@@ -1,0 +1,15 @@
+// Partial unroll with a remainder (10 % 4 != 0) under the closure
+// engine: the epilogue loop the mid-end materializes must retire on
+// the compiled dispatch path with the same trip accounting.
+// RUN: miniclang --run -fexec=closures %s | FileCheck %s
+// RUN: miniclang --run -fexec=closures -O %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  long acc = 0;
+  #pragma omp unroll partial(4)
+  for (int i = 0; i < 10; i += 1)
+    acc += i * 3 + 1;
+  printf("acc=%d\n", (int)acc);
+  return 0;
+}
+// CHECK: acc=145

@@ -1,0 +1,26 @@
+// The engine-equivalence contract as a RUN-line pair: the same program
+// through -fexec=interp and -fexec=closures must satisfy the same
+// FileCheck expectations line for line — worksharing interleaving,
+// critical-section ordering and the final reduction value included.
+// RUN: miniclang --run -fexec=interp --num-threads 3 %s | FileCheck %s
+// RUN: miniclang --run -fexec=closures --num-threads 3 %s | FileCheck %s
+// RUN: miniclang --run -fexec=interp -O --num-threads 3 %s | FileCheck %s
+// RUN: miniclang --run -fexec=closures -O --num-threads 3 %s | FileCheck %s
+int printf(const char *fmt, ...);
+int main() {
+  int sum = 0;
+  #pragma omp parallel for reduction(+: sum) schedule(static)
+  for (int i = 0; i < 9; i += 1)
+    sum += i + 1;
+  printf("sum=%d\n", sum);
+  int ticket = 0;
+  #pragma omp parallel
+  {
+    #pragma omp critical
+    { ticket += 1; }
+  }
+  printf("tickets=%d\n", ticket);
+  return 0;
+}
+// CHECK: sum=45
+// CHECK: tickets=3

@@ -39,6 +39,16 @@ def _artifact_dirs_in_tmp(tmp_path_factory):
             os.environ[key] = value
 
 
+@pytest.fixture(params=["interp", "closures"])
+def exec_engine(request) -> str:
+    """Parametrizes a test over both execution engines (the reference
+    tree-walking interpreter and the closure-compiled engine); pass the
+    value straight to ``run_source(..., exec_engine=...)``.  Guardrail
+    and semantics tests using this fixture assert engine parity by
+    construction."""
+    return request.param
+
+
 def compile_c(source: str, **kwargs) -> CompileResult:
     kwargs.setdefault("openmp", True)
     return compile_source(source, **kwargs)

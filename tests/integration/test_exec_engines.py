@@ -1,0 +1,240 @@
+"""Engine-differential integration suite.
+
+Every program in the standing corpus (``examples/`` plus the
+``tests/conformance/exec/`` cases) runs under both execution engines —
+the reference tree-walking interpreter and the closure-compiled engine
+— asserting byte-identical stdout, equal exit codes and equal execution
+profiles (total and per-thread retired instructions, barrier/fork
+accounting, detailed per-block counts).  Guardrail parity is asserted
+separately: fuel exhaustion, wall-clock timeout (exit code 124 through
+the CLI) and deadlock detection must classify, count and render
+identically under ``-fexec=closures``.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import pytest
+
+from repro.driver.cli import main as cli_main
+from repro.driver.exitcodes import EXIT_TIMEOUT, EXIT_USER_ERROR
+from repro.exec import create_interpreter, profile_fingerprint
+from repro.interp.interpreter import DeadlockError, ExecutionTimeout
+from repro.pipeline import run_source
+
+pytestmark = pytest.mark.exec_differential
+
+REPO_ROOT = os.path.dirname(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+)
+
+CORPUS = sorted(
+    glob.glob(os.path.join(REPO_ROOT, "examples", "*.c"))
+) + sorted(
+    glob.glob(
+        os.path.join(REPO_ROOT, "tests", "conformance", "exec", "*.c")
+    )
+)
+
+
+def run_both_engines(source: str, **kwargs):
+    """Run under both engines; assert the full parity contract."""
+    kwargs.setdefault("num_threads", 3)
+    kwargs.setdefault("profile_detail", True)
+    interp = run_source(source, exec_engine="interp", **kwargs)
+    closures = run_source(source, exec_engine="closures", **kwargs)
+    assert closures.stdout == interp.stdout, (
+        "stdout diverged between engines:\n"
+        f"interp:   {interp.stdout!r}\n"
+        f"closures: {closures.stdout!r}"
+    )
+    assert closures.exit_code == interp.exit_code
+    assert closures.instruction_count == interp.instruction_count
+    fp_interp = profile_fingerprint(interp.interpreter.profile)
+    fp_closures = profile_fingerprint(closures.interpreter.profile)
+    assert fp_closures == fp_interp, (
+        "execution profiles diverged between engines"
+    )
+    return interp, closures
+
+
+class TestCorpusParity:
+    @pytest.mark.parametrize(
+        "path", CORPUS, ids=[os.path.basename(p) for p in CORPUS]
+    )
+    @pytest.mark.parametrize("optimize", [False, True], ids=["O0", "O1"])
+    def test_program_parity(self, path, optimize):
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        run_both_engines(source, optimize=optimize)
+
+    def test_corpus_nonempty(self):
+        # the parametrization above silently collects nothing if the
+        # corpus moves; pin the floor
+        assert len(CORPUS) >= 10
+
+
+class TestRepresentationMatrix:
+    """Both engines across both OpenMP representations."""
+
+    SOURCE = r"""
+    int main() {
+      int sum = 0;
+      #pragma omp parallel for reduction(+: sum) schedule(dynamic, 2)
+      for (int i = 0; i < 13; i += 1)
+        sum += i * 2 + 1;
+      printf("sum=%d\n", sum);
+      return 0;
+    }
+    """
+
+    @pytest.mark.parametrize("irbuilder", [False, True])
+    @pytest.mark.parametrize("optimize", [False, True])
+    def test_matrix(self, irbuilder, optimize):
+        interp, _ = run_both_engines(
+            self.SOURCE,
+            enable_irbuilder=irbuilder,
+            optimize=optimize,
+        )
+        assert interp.stdout == "sum=169\n"
+
+
+class TestGuardrailParity:
+    HANG = "int main() { while (1) {} return 0; }"
+
+    def test_fuel_exhaustion_identical(self):
+        outcomes = {}
+        for engine in ("interp", "closures"):
+            with pytest.raises(ExecutionTimeout) as exc_info:
+                run_source(self.HANG, fuel=5000, exec_engine=engine)
+            snap = exc_info.value.snapshot
+            outcomes[engine] = (
+                str(exc_info.value),
+                snap.total_instructions,
+                len(snap.threads),
+                snap.render(),
+            )
+        assert outcomes["closures"] == outcomes["interp"]
+
+    def test_fuel_boundary_identical(self):
+        """The exact fuel value at which a program flips from timeout
+        to success must be the same for both engines (shared
+        accounting: one unit per retired instruction)."""
+        source = "int main() { return 7; }"
+        for fuel in range(1, 32):
+            results = []
+            for engine in ("interp", "closures"):
+                try:
+                    r = run_source(
+                        source, fuel=fuel, exec_engine=engine
+                    )
+                    results.append(("ok", r.exit_code))
+                except ExecutionTimeout:
+                    results.append(("timeout", None))
+            assert results[0] == results[1], (
+                f"fuel accounting diverged at fuel={fuel}: {results}"
+            )
+
+    def test_cli_fuel_exit_124(self, tmp_path, capsys):
+        path = tmp_path / "hang.c"
+        path.write_text(self.HANG)
+        for engine in ("interp", "closures"):
+            code = cli_main(
+                ["--run", f"-fexec={engine}", "--fuel", "5000", str(path)]
+            )
+            err = capsys.readouterr().err
+            assert code == EXIT_TIMEOUT
+            assert "Scheduler state at abort:" in err
+
+    def test_deadlock_detection_identical(self):
+        source = r"""
+        int main() {
+          #pragma omp parallel num_threads(2)
+          {
+            if (omp_get_thread_num() == 0) {
+              #pragma omp barrier
+            }
+          }
+          return 0;
+        }
+        """
+        messages = {}
+        for engine in ("interp", "closures"):
+            with pytest.raises(DeadlockError) as exc_info:
+                run_source(source, exec_engine=engine)
+            messages[engine] = (
+                str(exc_info.value),
+                exc_info.value.snapshot.total_instructions,
+            )
+        assert messages["closures"] == messages["interp"]
+
+    def test_cli_deadlock_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "deadlock.c"
+        path.write_text(
+            "int main() {\n"
+            "  #pragma omp parallel num_threads(2)\n"
+            "  {\n"
+            "    if (omp_get_thread_num() == 0) {\n"
+            "      #pragma omp barrier\n"
+            "    }\n"
+            "  }\n"
+            "  return 0;\n"
+            "}\n"
+        )
+        for engine in ("interp", "closures"):
+            code = cli_main(["--run", f"-fexec={engine}", str(path)])
+            capsys.readouterr()
+            assert code == EXIT_USER_ERROR
+
+    def test_guest_error_parity(self, exec_engine):
+        """Runtime traps carry the same classification under either
+        engine (parametrized by the shared conftest fixture)."""
+        from repro.interp.interpreter import Trap
+
+        source = "int main() { int x = 0; return 1 / x; }"
+        with pytest.raises(Trap, match="division by zero"):
+            run_source(source, exec_engine=exec_engine)
+
+    def test_recursion_limit_parity(self, exec_engine):
+        from repro.interp.interpreter import InterpreterError
+
+        source = "int f(int n) { return f(n + 1); } int main() { return f(0); }"
+        with pytest.raises(
+            InterpreterError, match="guest call depth exceeded"
+        ):
+            run_source(source, exec_engine=exec_engine, max_call_depth=64)
+
+
+class TestEngineInternals:
+    """Closure-engine behaviours with no interpreter counterpart."""
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution engine"):
+            run_source("int main() { return 0; }", exec_engine="jit")
+
+    def test_cli_rejects_unknown_engine(self, tmp_path, capsys):
+        path = tmp_path / "ok.c"
+        path.write_text("int main() { return 0; }")
+        with pytest.raises(SystemExit):
+            cli_main(["--run", "-fexec=jit", str(path)])
+        capsys.readouterr()
+
+    def test_lazy_compilation(self):
+        """Only functions the program actually calls are compiled."""
+        from repro.pipeline import compile_source
+
+        source = r"""
+        int used(int x) { return x + 1; }
+        int unused(int x) { return x - 1; }
+        int main() { return used(41) - 42; }
+        """
+        result = compile_source(source)
+        engine = create_interpreter(result.module, engine="closures")
+        assert engine.run("main", []) == 0
+        compiled = {
+            code.fn.name for code in engine._code.values()
+        }
+        assert "used" in compiled and "main" in compiled
+        assert "unused" not in compiled
