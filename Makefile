@@ -6,7 +6,7 @@ PYTHONPATH := src
 
 .PHONY: test conformance fuzz fuzz-smoke fuzz-cache fuzz-exec \
 	cache-bench exec-bench fault-sweep service-chaos storage-chaos \
-	service-bench check-all
+	net-chaos service-bench check-all
 
 # Tier-1: the unit/integration/property pytest suite.
 test:
@@ -80,9 +80,24 @@ storage-chaos:
 	    --state-dir $(STORAGE_CHAOS_DIR)/state \
 	    --quarantine-dir $(STORAGE_CHAOS_DIR)/quarantine
 
+# Network chaos: the sharded TCP front door under hostile clients —
+# disconnects mid-request, garbage bytes, truncated/half-written and
+# oversized frames, slow loris, shard-worker kills — plus a real
+# miniclang-serve subprocess draining cleanly on SIGTERM.  Asserts
+# zero lost and zero double-answered requests and exact accounting
+# (requests admitted == terminal responses on the merged shard
+# ledgers).
+net-chaos:
+	PYTHONPATH=$(PYTHONPATH) $(PYTHON) -m repro.service.chaos \
+	    --net --count $(CHAOS_COUNT) --shards 2 --clients 4 \
+	    --workers 2 --deadline 5 --kill-every 10
+
 # Service load-test harness: replays workload mixes (steady, cached,
 # faulted, overload) and records what the telemetry stack reports ->
-# BENCH_service.json.  Override: make service-bench BENCH_ARGS=--smoke
+# BENCH_service.json; --transport both also measures the steady and
+# cached mixes through the in-process shard router vs over TCP and
+# gates the TCP steady p50 at 2x in-process.
+# Override: make service-bench BENCH_ARGS=--smoke
 BENCH_ARGS ?=
 service-bench:
 	PYTHONPATH=$(PYTHONPATH) $(PYTHON) tools/service_bench.py \
@@ -90,4 +105,5 @@ service-bench:
 
 # Everything CI runs, in one shot.
 check-all: test conformance fuzz-smoke fuzz-exec fault-sweep \
-	service-chaos storage-chaos cache-bench exec-bench service-bench
+	service-chaos storage-chaos net-chaos cache-bench exec-bench \
+	service-bench

@@ -66,12 +66,55 @@ def build_arg_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "inputs",
-        nargs="+",
+        nargs="*",
         metavar="input",
-        help="C source file(s), '-' for stdin",
+        help="C source file(s), '-' for stdin (omitted with --listen)",
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="worker pool size"
+    )
+    parser.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="serve over TCP instead of executing an input batch: "
+        "accept length-prefixed JSON frames, route across --shards "
+        "worker pools, drain gracefully on SIGTERM (port 0 = pick a "
+        "free port; the bound address is printed to stderr)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --listen: number of independent worker-pool shards "
+        "(least-queue-depth routing, per-shard breaker boards)",
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        dest="max_connections",
+        metavar="N",
+        help="with --listen: concurrent-connection cap (excess "
+        "connections get a retryable server-busy error frame)",
+    )
+    parser.add_argument(
+        "--frame-timeout",
+        type=float,
+        default=10.0,
+        dest="frame_timeout",
+        metavar="SECONDS",
+        help="with --listen: a started frame must finish arriving "
+        "within this window (slow-loris eviction)",
+    )
+    parser.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        dest="idle_timeout",
+        metavar="SECONDS",
+        help="with --listen: close connections idle this long",
     )
     parser.add_argument(
         "--deadline",
@@ -395,6 +438,170 @@ def _response_exit_code(response: CompileResponse) -> int:
     return EXIT_ICE
 
 
+def _shard_configs(
+    args, cache_dir, cache_durable, trace_dir, event_log
+) -> list[ServiceConfig]:
+    """One ServiceConfig per shard, from the shared CLI knobs.  Every
+    shard gets its own state subdirectory (independent breaker boards
+    persist independently) and skips response retention (a long-lived
+    server answers through the response hook, not the batch map)."""
+    configs: list[ServiceConfig] = []
+    for index in range(max(1, args.shards)):
+        configs.append(
+            ServiceConfig(
+                workers=args.workers,
+                queue_capacity=args.queue_capacity,
+                deadline_s=args.deadline,
+                retry=RetryPolicy(
+                    max_attempts=1 + max(0, args.retries)
+                ),
+                hedge_delay_s=args.hedge_delay,
+                allow_degraded=not args.no_degrade,
+                quarantine_dir=args.quarantine_dir or None,
+                enable_cache=cache_dir is not None,
+                cache_dir=cache_dir,
+                cache_max_entries=args.cache_max_entries,
+                cache_max_bytes=args.cache_max_bytes,
+                cache_durable=cache_durable,
+                single_flight=not args.no_single_flight,
+                state_dir=(
+                    os.path.join(args.state_dir, f"shard-{index}")
+                    if args.state_dir
+                    else None
+                ),
+                drain_deadline_s=args.drain_timeout,
+                worker_max_requests=args.worker_max_requests,
+                heartbeat_interval_s=args.heartbeat_interval,
+                trace_requests=trace_dir is not None,
+                trace_dir=trace_dir,
+                event_log=event_log,
+                retain_responses=False,
+            )
+        )
+    return configs
+
+
+def _run_server(
+    args, cache_dir, cache_durable, trace_dir
+) -> int:
+    """``--listen`` mode: the asyncio TCP front door over a shard
+    router.  Runs until a drain completes (SIGTERM/SIGINT; a second
+    signal exits immediately) and exits 0 on a graceful drain."""
+    import asyncio
+
+    from repro.instrument.telemetry import EventLog
+    from repro.service.net import (
+        NetServer,
+        NetServerConfig,
+        ShardRouter,
+        parse_address,
+    )
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as err:
+        print(f"miniclang-serve: error: {err}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    event_log = (
+        EventLog(path=args.log_jsonl) if args.log_jsonl else None
+    )
+    stats_before = STATS.snapshot()
+    router = ShardRouter(
+        _shard_configs(
+            args, cache_dir, cache_durable, trace_dir, event_log
+        )
+    )
+    net_config = NetServerConfig(
+        host=host,
+        port=port,
+        max_connections=args.max_connections,
+        frame_timeout_s=args.frame_timeout,
+        idle_timeout_s=args.idle_timeout,
+        drain_deadline_s=args.drain_timeout,
+    )
+
+    async def _serve() -> None:
+        server = NetServer(router, net_config)
+        bound_host, bound_port = await server.start()
+        print(
+            f"miniclang-serve: listening on {bound_host}:{bound_port} "
+            f"({router.shard_count} shard(s), {args.workers} "
+            "worker(s) each)",
+            file=sys.stderr,
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        triggered: set[int] = set()
+
+        def on_signal(signum: int) -> None:
+            if triggered:
+                os._exit(128 + signum)
+            triggered.add(signum)
+            name = signal.Signals(signum).name
+            print(
+                f"miniclang-serve: {name} received: draining "
+                f"(deadline {args.drain_timeout:.1f}s; send again to "
+                "exit immediately)",
+                file=sys.stderr,
+                flush=True,
+            )
+            server.request_drain(args.drain_timeout)
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, on_signal, signum
+                )
+            except (NotImplementedError, RuntimeError):
+                pass  # pragma: no cover - non-unix platforms
+        await server.serve_until_drained()
+
+    router.start()
+    try:
+        asyncio.run(_serve())
+    finally:
+        router.shutdown()
+        if event_log is not None:
+            event_log.close()
+    metrics = router.merged_metrics()
+    requests_total = 0.0
+    responses_total = 0.0
+    req_metric = metrics.get("service_requests_total")
+    if req_metric is not None:
+        requests_total = req_metric.value
+    resp_metric = metrics.get("service_responses_total")
+    if resp_metric is not None:
+        responses_total = sum(
+            cell.value for _, cell in resp_metric.series()
+        )
+    print(
+        "miniclang-serve: drained: "
+        f"{int(requests_total)} request(s) admitted, "
+        f"{int(responses_total)} terminal response(s), "
+        "state snapshotted; exiting 0",
+        file=sys.stderr,
+    )
+    if args.metrics_json:
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(metrics.snapshot(), fh, indent=1)
+            fh.write("\n")
+    if args.metrics_prom:
+        with open(args.metrics_prom, "w", encoding="utf-8") as fh:
+            fh.write(metrics.render_prometheus())
+    if args.print_stats:
+        print(
+            STATS.render_text(STATS.delta_since(stats_before)),
+            file=sys.stderr,
+        )
+    if args.stats_json:
+        from repro.driver.cli import _write_stats_json
+
+        _write_stats_json(args.stats_json, stats_before)
+    # A graceful drain is a successful shutdown (systemd's clean-stop
+    # contract) — the accounting line above is the audit trail.
+    return EXIT_OK
+
+
 def main(argv: list[str] | None = None) -> int:
     from repro.driver.cli import (
         _extract_cache_flags,
@@ -407,6 +614,12 @@ def main(argv: list[str] | None = None) -> int:
     argv, trace_dir = _extract_trace_requests(argv)
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    if args.listen is not None:
+        if args.inputs:
+            parser.error("--listen takes no input files")
+        return _run_server(args, cache_dir, cache_durable, trace_dir)
+    if not args.inputs:
+        parser.error("input files required (or --listen HOST:PORT)")
 
     requests: list[CompileRequest] = []
     names: list[str] = []

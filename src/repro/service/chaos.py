@@ -738,6 +738,504 @@ def run_storage_chaos(args) -> int:
     return 0
 
 
+# ======================================================================
+# Network chaos: the TCP front door under hostile clients
+# ======================================================================
+
+#: deterministic junk that contains no ``MAGIC`` byte sequence, so the
+#: decoder's resync scan is exercised without accidentally framing
+_GARBAGE = bytes([0x00, 0x01, 0x7F, 0xFE, 0xFD, 0x42, 0x03, 0xF0]) * 8
+
+
+def _recv_events(sock, max_frame_bytes=None, timeout_s=5.0):
+    """Read frames off *sock* until EOF or *timeout_s*; decoded events."""
+    import socket as socketlib
+    import time
+
+    from repro.service.net.protocol import FrameDecoder
+
+    decoder = (
+        FrameDecoder(max_frame_bytes)
+        if max_frame_bytes
+        else FrameDecoder()
+    )
+    events: list = []
+    sock.settimeout(timeout_s)
+    deadline = time.monotonic() + timeout_s
+    try:
+        while time.monotonic() < deadline:
+            data = sock.recv(65536)
+            if not data:
+                break
+            events.extend(decoder.feed(data))
+    except (socketlib.timeout, OSError):
+        pass
+    return events
+
+
+def _sigterm_drain_scenario(args, check) -> None:
+    """Spawn a real ``miniclang-serve --listen`` subprocess, serve one
+    request over TCP, SIGTERM it, and assert the structured drain:
+    exit code 0 and the ``drained`` banner."""
+    import os as oslib
+    import signal
+    import subprocess
+    import sys as syslib
+    import tempfile
+    import threading
+
+    import repro
+    from repro.service.net import NetClient
+
+    src_root = oslib.path.dirname(
+        oslib.path.dirname(oslib.path.abspath(repro.__file__))
+    )
+    env = dict(oslib.environ)
+    env["PYTHONPATH"] = (
+        src_root + oslib.pathsep + env.get("PYTHONPATH", "")
+    )
+    with tempfile.TemporaryDirectory(prefix="net-chaos-") as tmp:
+        proc = subprocess.Popen(
+            [
+                syslib.executable,
+                "-m",
+                "repro.driver.serve",
+                "--listen",
+                "127.0.0.1:0",
+                "--shards",
+                "2",
+                "--workers",
+                "1",
+                "--state-dir",
+                oslib.path.join(tmp, "state"),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner_box: list = []
+
+            # The operational banner goes to stderr (stdout is
+            # reserved for compile output).
+            def read_banner() -> None:
+                banner_box.append(proc.stderr.readline())
+
+            reader = threading.Thread(target=read_banner, daemon=True)
+            reader.start()
+            reader.join(timeout=60.0)
+            banner = banner_box[0] if banner_box else ""
+            check(
+                "listening on " in banner,
+                f"serve subprocess printed no banner: {banner!r}",
+            )
+            if "listening on " not in banner:
+                proc.kill()
+                proc.wait(timeout=10)
+                return
+            address = banner.split("listening on ")[1].split(" ")[0]
+            client = NetClient(address, deadline_s=30.0)
+            response = client.request(
+                CompileRequest(
+                    source=_make_source(7, " [drain]"),
+                    filename="net-drain.c",
+                    action="run",
+                    mode="shadow",
+                    deadline_s=args.deadline,
+                )
+            )
+            check(
+                response.ok,
+                "subprocess server did not serve the pre-drain "
+                f"request: {response.status}",
+            )
+            proc.send_signal(signal.SIGTERM)
+            try:
+                stdout, stderr = proc.communicate(timeout=60)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                stdout, stderr = proc.communicate()
+                check(False, "SIGTERM drain hung past 60s")
+                return
+            check(
+                proc.returncode == 0,
+                f"SIGTERM drain exited {proc.returncode}, expected 0 "
+                f"(stderr: {stderr.strip()[:200]})",
+            )
+            check(
+                "drained:" in stderr,
+                "drain did not print the structured summary line",
+            )
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=10)
+
+
+def run_net_chaos(args) -> int:
+    """The ``--net`` campaign: an in-process sharded TCP server under
+    concurrent well-behaved load *and* every misbehaving client the
+    protocol defends against — disconnects mid-request, garbage bytes,
+    truncated and half-written frames, oversized frames, slow loris,
+    shard-worker kills — then the exact-accounting audit: zero lost
+    requests, zero double-answered requests, requests admitted ==
+    terminal responses on the merged shard ledgers.  Ends with a real
+    ``miniclang-serve`` subprocess draining cleanly on SIGTERM."""
+    import socket
+    import struct
+    import threading
+    import time
+
+    from repro.service.net import (
+        DEFAULT_MAX_FRAME_BYTES,
+        NetClient,
+        NetServerConfig,
+        NetServerThread,
+    )
+    from repro.service.net.protocol import (
+        FrameError,
+        encode_frame,
+        ping_message,
+        request_message,
+    )
+
+    failures: list[str] = []
+
+    def check(condition: bool, message: str) -> None:
+        if not condition:
+            failures.append(message)
+
+    def net_request(index: int, faults=()) -> CompileRequest:
+        return CompileRequest(
+            source=_make_source(index, " [net]"),
+            filename=f"net-{index}.c",
+            action="run",
+            mode="irbuilder" if index % 2 else "shadow",
+            deadline_s=args.deadline,
+            inject_faults=tuple(faults),
+            fault_attempts=1,
+        )
+
+    shard_configs = [
+        ServiceConfig(
+            workers=args.workers,
+            queue_capacity=max(args.count + 8, 16),
+            deadline_s=args.deadline,
+            retry=RetryPolicy(
+                max_attempts=3, base_delay_s=0.01, max_delay_s=0.1
+            ),
+            breaker_threshold=3,
+            retain_responses=False,
+        )
+        for _ in range(args.shards)
+    ]
+    net_config = NetServerConfig(
+        frame_timeout_s=1.0,
+        idle_timeout_s=60.0,
+        write_timeout_s=5.0,
+        drain_deadline_s=10.0,
+    )
+    stats_before = STATS.snapshot()
+    host = NetServerThread(shard_configs, net_config)
+    host.start()
+    address = host.address
+
+    def raw_socket(timeout_s: float = 5.0) -> socket.socket:
+        sock = socket.create_connection(address, timeout=timeout_s)
+        sock.settimeout(timeout_s)
+        return sock
+
+    try:
+        # -- health round ----------------------------------------------
+        probe = NetClient(address, deadline_s=args.deadline)
+        check(probe.ping(), "initial health ping failed")
+
+        # -- well-behaved concurrent load (with shard-worker kills) ----
+        per_client = max(2, args.count // max(1, args.clients))
+        clients: list[NetClient] = []
+        load: dict[int, list[tuple[bool, object]]] = {}
+
+        def client_load(tag: int) -> None:
+            # One client hedges cross-shard; the rest retry plainly.
+            client = NetClient(
+                address,
+                deadline_s=max(20.0, args.deadline * 4),
+                retry=RetryPolicy(
+                    max_attempts=3, base_delay_s=0.05, max_delay_s=0.5
+                ),
+                hedge_delay_s=2.0 if tag == 0 else None,
+            )
+            clients.append(client)
+            results = []
+            for k in range(per_client):
+                kill = bool(
+                    args.kill_every and k % args.kill_every == 1
+                )
+                request = net_request(
+                    tag * 10000 + k,
+                    faults=("service-worker-exit",) if kill else (),
+                )
+                results.append((kill, client.request(request)))
+            load[tag] = results
+
+        threads = [
+            threading.Thread(
+                target=client_load, args=(tag,), daemon=True
+            )
+            for tag in range(args.clients)
+        ]
+        for thread in threads:
+            thread.start()
+
+        # -- client disconnect mid-request (RST before the answer) -----
+        for i in range(2):
+            sock = raw_socket()
+            sock.sendall(
+                encode_frame(
+                    request_message(
+                        f"gone{i:02d}",
+                        net_request(20000 + i),
+                        deadline_s=args.deadline,
+                    )
+                )
+            )
+            # SO_LINGER(0) turns close() into an immediate RST: the
+            # server sees the connection die while the compile is still
+            # in flight and must orphan the answer, not crash or lose
+            # the ledger entry.
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            sock.close()
+
+        # -- garbage bytes, then a valid frame: decoder must resync ----
+        sock = raw_socket()
+        sock.sendall(_GARBAGE + encode_frame(ping_message("after-junk")))
+        events = _recv_events(sock, timeout_s=5.0)
+        sock.close()
+        check(
+            any(
+                isinstance(e, dict)
+                and e.get("type") == "error"
+                and e.get("code") == "bad-magic"
+                for e in events
+            ),
+            f"garbage bytes drew no bad-magic error frame: {events!r}",
+        )
+        check(
+            any(
+                isinstance(e, dict)
+                and e.get("type") == "pong"
+                and e.get("id") == "after-junk"
+                for e in events
+            ),
+            "server failed to resync to the valid frame after garbage",
+        )
+
+        # -- truncated frame, peer closes mid-frame --------------------
+        frame = encode_frame(
+            request_message(
+                "trunc01", net_request(20100), deadline_s=args.deadline
+            )
+        )
+        sock = raw_socket()
+        sock.sendall(frame[: len(frame) // 2])
+        sock.close()  # server reads EOF mid-frame; must just drop it
+
+        # -- half-written frame, completed within the window -----------
+        frame = encode_frame(
+            request_message(
+                "half01", net_request(20200), deadline_s=args.deadline
+            )
+        )
+        sock = raw_socket(timeout_s=args.deadline + 10.0)
+        sock.sendall(frame[:10])
+        time.sleep(0.3)  # inside frame_timeout_s=1.0
+        sock.sendall(frame[10:])
+        events = _recv_events(sock, timeout_s=args.deadline + 10.0)
+        sock.close()
+        half_responses = [
+            e
+            for e in events
+            if isinstance(e, dict)
+            and e.get("type") == "response"
+            and e.get("id") == "half01"
+        ]
+        check(
+            len(half_responses) == 1
+            and half_responses[0]["response"].get("status") == "ok",
+            "half-written-then-completed frame was not served: "
+            f"{events!r}",
+        )
+
+        # -- oversized frame: fatal structured error, not a crash ------
+        sock = raw_socket()
+        sock.sendall(
+            struct.pack(
+                ">2sBBI", b"MC", 1, 0, DEFAULT_MAX_FRAME_BYTES + 1
+            )
+        )
+        events = _recv_events(sock, timeout_s=5.0)
+        sock.close()
+        check(
+            any(
+                isinstance(e, dict)
+                and e.get("type") == "error"
+                and e.get("code") == "oversized-frame"
+                for e in events
+            ),
+            f"oversized frame drew no oversized-frame error: {events!r}",
+        )
+
+        # -- slow loris: start a frame, stall, get evicted -------------
+        sock = raw_socket(timeout_s=net_config.frame_timeout_s + 5.0)
+        sock.sendall(frame[:12])  # header + 4 payload bytes, then stall
+        events = _recv_events(
+            sock, timeout_s=net_config.frame_timeout_s + 5.0
+        )
+        sock.close()
+        check(
+            any(
+                isinstance(e, dict)
+                and e.get("type") == "error"
+                and e.get("code") == "slow-client"
+                for e in events
+            ),
+            f"slow-loris connection was not evicted: {events!r}",
+        )
+
+        for thread in threads:
+            thread.join(timeout=120.0)
+            check(not thread.is_alive(), "a load client thread hung")
+
+        # -- the server survived all of it -----------------------------
+        check(probe.ping(), "health ping failed after the campaign")
+    finally:
+        host.stop(drain_deadline_s=10.0)
+
+    delta = STATS.delta_since(stats_before)
+    merged = host.router.merged_metrics().snapshot()
+
+    # -- zero lost, zero double-answered requests ----------------------
+    expected_load = args.clients * per_client
+    responses = [item for results in load.values() for item in results]
+    check(
+        len(responses) == expected_load,
+        f"load lost requests: {len(responses)}/{expected_load}",
+    )
+    kills = 0
+    for kill, response in responses:
+        check(
+            response is not None and bool(response.status),
+            "a load request has no terminal response",
+        )
+        if response is None:
+            continue
+        check(
+            response.ok,
+            f"load request not served: {response.status} "
+            f"({(response.detail or '').splitlines()[0] if response.detail else ''})",
+        )
+        if kill:
+            kills += 1
+            check(
+                response.attempts >= 2,
+                f"worker-kill request resolved in {response.attempts} "
+                "attempt(s) — fault not armed?",
+            )
+    duplicates = sum(c.duplicate_responses for c in clients)
+    duplicates += probe.duplicate_responses
+    check(
+        duplicates == 0,
+        f"{duplicates} double-answered request frame(s) observed",
+    )
+
+    # -- exact accounting: admitted == terminal, sent + orphaned -------
+    admitted = delta.get("net.requests", 0)
+    sent = delta.get("net.responses-sent", 0)
+    orphaned = delta.get("net.responses-orphaned", 0)
+    check(admitted > 0, "no requests were admitted over the wire")
+    check(
+        admitted == sent + orphaned,
+        f"wire ledger leak: {admitted} admitted != "
+        f"{sent} sent + {orphaned} orphaned",
+    )
+    requests_in = merged["service_requests_total"]["series"][0]["value"]
+    responses_out = sum(
+        row["value"]
+        for row in merged["service_responses_total"]["series"]
+    )
+    check(
+        requests_in == admitted,
+        f"service_requests_total={requests_in} != admitted {admitted}",
+    )
+    check(
+        responses_out == admitted,
+        "requests in != sum of terminal statuses: "
+        f"{admitted} vs {responses_out}",
+    )
+    routed = sum(
+        row["value"] for row in merged["router_requests_total"]["series"]
+    )
+    check(
+        routed == admitted,
+        f"router_requests_total={routed} != admitted {admitted}",
+    )
+    if expected_load >= args.shards * 4:
+        for row in merged["router_requests_total"]["series"]:
+            check(
+                row["value"] > 0,
+                f"shard {row['labels'].get('shard')} never saw a "
+                "request — least-depth routing is not spreading load",
+            )
+    for gauge in ("service_shard_queue_depth", "service_shard_in_flight"):
+        for row in merged[gauge]["series"]:
+            check(
+                row["value"] == 0,
+                f"{gauge}{{shard={row['labels'].get('shard')}}}="
+                f"{row['value']} after drain, expected 0",
+            )
+    check(
+        delta.get("net.slow-loris-evictions", 0) >= 1,
+        "slow-loris eviction was not counted",
+    )
+    check(
+        delta.get("net.frame-errors", 0) >= 2,
+        f"net.frame-errors={delta.get('net.frame-errors')} < 2 "
+        "(garbage + oversized)",
+    )
+
+    # -- structured SIGTERM drain of a real subprocess -----------------
+    _sigterm_drain_scenario(args, check)
+
+    if args.metrics_json:
+        import json
+
+        with open(args.metrics_json, "w", encoding="utf-8") as fh:
+            json.dump(merged, fh, indent=1)
+            fh.write("\n")
+
+    print(
+        f"net-chaos: {expected_load} requests over TCP "
+        f"({args.clients} clients, {args.shards} shards, "
+        f"{kills} worker kills) + 2 disconnects, garbage, truncated, "
+        f"half-written, oversized, slow-loris: "
+        f"{admitted} admitted, {sent} answered, {orphaned} orphaned, "
+        f"{duplicates} duplicates"
+    )
+    if args.print_stats or failures:
+        print(STATS.render_text(delta), file=sys.stderr)
+    if failures:
+        for failure in failures:
+            print(f"net-chaos: FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("net-chaos: all invariants hold")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service.chaos",
@@ -814,7 +1312,30 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fsync cache writes before rename (-fcache-durable)",
     )
+    parser.add_argument(
+        "--net",
+        action="store_true",
+        help="run the network campaign instead: sharded TCP server "
+        "under hostile clients (disconnects, garbage, truncated/"
+        "half-written/oversized frames, slow loris, worker kills); "
+        "asserts zero lost and zero double-answered requests plus "
+        "a clean SIGTERM drain of a real serve subprocess",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="worker-pool shards behind the TCP server (--net)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent well-behaved load clients (--net)",
+    )
     args = parser.parse_args(argv)
+    if args.net:
+        return run_net_chaos(args)
     if args.storage:
         return run_storage_chaos(args)
     return run_chaos(args)

@@ -113,17 +113,27 @@ class WorkerPool:
     def busy_workers(self) -> list[WorkerHandle]:
         return [w for w in self.workers if not w.idle]
 
-    def wait(self, timeout: float) -> list[WorkerHandle]:
-        """Block until a busy worker has a result (or died), up to
-        *timeout* seconds; returns the ready workers."""
+    def wait(
+        self, timeout: float, extra_conns=()
+    ) -> tuple[list[WorkerHandle], list]:
+        """Block until a busy worker has a result (or died) or one of
+        *extra_conns* is readable, up to *timeout* seconds.
+
+        Returns ``(ready_workers, ready_extras)``.  *extra_conns* may
+        hold anything :func:`multiprocessing.connection.wait` accepts
+        (sockets included) — the service's network layer multiplexes
+        its inbox wakeup with worker completions through it."""
         busy = self.busy_workers()
-        if not busy:
+        by_conn = {w.conn: w for w in busy}
+        conns = list(by_conn) + list(extra_conns)
+        if not conns:
             if timeout > 0:
                 time.sleep(timeout)
-            return []
-        by_conn = {w.conn: w for w in busy}
-        ready = connection.wait(list(by_conn), timeout=timeout)
-        return [by_conn[c] for c in ready]
+            return [], []
+        ready = connection.wait(conns, timeout=timeout)
+        workers = [by_conn[c] for c in ready if c in by_conn]
+        extras = [c for c in ready if c not in by_conn]
+        return workers, extras
 
     def restart(self, worker: WorkerHandle) -> WorkerHandle:
         """Kill *worker* and replace it in place with a fresh process."""

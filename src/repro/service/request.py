@@ -80,6 +80,14 @@ class CompileRequest:
     fuel: Optional[int] = None
     strip_omp_transforms: bool = False
     deadline_s: Optional[float] = None  # None = service default
+    #: *total* remaining wall-clock budget across all attempts —
+    #: deadline propagation (the gRPC model): a network caller stamps
+    #: each hop with what is *left* of its budget, the service clamps
+    #: every attempt deadline to it and never schedules a retry that
+    #: could not finish inside it.  None = unbounded (per-attempt
+    #: ``deadline_s`` still applies).  Not part of the fingerprint:
+    #: the budget describes the caller's patience, not the input.
+    budget_s: Optional[float] = None
     allow_degraded: bool = True
     inject_faults: tuple[str, ...] = ()
     fault_attempts: int = 1

@@ -179,6 +179,18 @@ _QUARANTINE_RESTORED = get_statistic(
     "quarantine-restored",
     "Quarantined fingerprints restored from a state snapshot",
 )
+_BUDGET_EXPIRED = get_statistic(
+    "service",
+    "budget-expired",
+    "Requests whose propagated deadline budget ran out before an "
+    "attempt could start",
+)
+_BUDGET_SUPPRESSED = get_statistic(
+    "service",
+    "budget-suppressed-retries",
+    "Retries suppressed because the propagated deadline budget could "
+    "not fit another attempt",
+)
 
 
 class PoisonInputError(Exception):
@@ -243,6 +255,12 @@ class ServiceConfig:
     #: metrics registry to record into; a private one is created when
     #: None (inject a shared registry to aggregate across services)
     metrics: Optional[MetricsRegistry] = None
+    #: keep every terminal response in the ``responses`` map (what
+    #: :meth:`CompileService.process_batch` reads back).  Long-lived
+    #: callers that consume responses through the ``on_response`` hook
+    #: — the network shard router — set this False so a server that
+    #: answers millions of requests does not grow an unbounded dict.
+    retain_responses: bool = True
 
 
 class _RequestState:
@@ -265,6 +283,13 @@ class _RequestState:
         self.hedge_attempt: Optional[int] = None
         self.response: Optional[CompileResponse] = None
         self.admitted_at = now
+        #: absolute wall point the propagated deadline budget runs out
+        #: (None = no budget attached)
+        self.budget_deadline_at: Optional[float] = (
+            now + request.budget_s
+            if request.budget_s is not None
+            else None
+        )
         self.start_ns = time.perf_counter_ns()
         #: admission -> first dispatch (stays 0.0 for rejects/replays)
         self.queue_wait_s = 0.0
@@ -316,6 +341,11 @@ class CompileService:
         )
         self._active: list[_RequestState] = []
         self._responses: dict[str, CompileResponse] = {}
+        #: observer called with every terminal CompileResponse, right
+        #: after it is recorded — the shard router resolves its
+        #: per-request futures here.  Fires synchronously, including
+        #: for rejects produced inside :meth:`submit`.
+        self.on_response = None
         self._seq = 0
         self._clock = time.monotonic
         self._cache: Optional[CompilationCache] = self.config.cache
@@ -523,6 +553,10 @@ class CompileService:
         self._m_in_flight = m.gauge(
             "service_in_flight", "Requests dispatched, not yet resolved"
         )
+        self._m_breakers_open = m.gauge(
+            "service_breakers_open",
+            "Circuit breakers currently open (quarantined fingerprints)",
+        )
         self._m_retries = m.counter(
             "service_retries_total", "Attempt retries scheduled"
         )
@@ -557,6 +591,7 @@ class CompileService:
         self, fingerprint: str, old: str, new: str
     ) -> None:
         self._m_breaker.labels(**{"from": old, "to": new}).inc()
+        self._m_breakers_open.set(self._breakers.open_count)
         if new == CLOSED:
             # A successful half-open probe is the parole hearing: the
             # input demonstrably works again, lift its quarantine.
@@ -594,6 +629,22 @@ class CompileService:
                 STATUS_RESOURCE_EXHAUSTED,
                 "service draining: admission closed; resubmit to a "
                 "live instance",
+            )
+        if request.budget_s is not None and request.budget_s <= 0:
+            # Propagated-deadline hygiene: a caller whose budget is
+            # already spent gets an instant answer instead of burning a
+            # worker on a result nobody is waiting for.
+            _BUDGET_EXPIRED.inc()
+            self._emit(
+                "budget-expired",
+                request_id=request.request_id,
+                stage="admission",
+            )
+            return self._reject(
+                state,
+                STATUS_TIMEOUT,
+                "deadline budget exhausted before admission "
+                f"({request.budget_s:.3f}s remaining)",
             )
         if self._trace_requests:
             # Mint the trace context at admission (or join one the
@@ -730,33 +781,64 @@ class CompileService:
     # ------------------------------------------------------------------
     # The event loop
     # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Admitted requests without a terminal response yet."""
+        return len(self._queue) + len(self._active)
+
+    @property
+    def admission_queue(self) -> AdmissionQueue:
+        """The bounded admission queue (observer hook: ``on_change``)."""
+        return self._queue
+
+    @property
+    def breaker_board(self) -> BreakerBoard:
+        """The per-fingerprint breaker board (hook: ``on_transition``)."""
+        return self._breakers
+
+    def step(self, extra_conns=()) -> list:
+        """One event-loop iteration: health checks, dispatch, one
+        bounded wait, deadline and hedge enforcement.
+
+        Returns the members of *extra_conns* that became readable
+        during the wait — a long-lived caller (the network shard
+        router) hands in its inbox wakeup here so new submissions
+        interrupt the worker wait instead of waiting out the poll
+        timeout.  Safe to call with nothing pending: it degrades to a
+        bounded sleep on *extra_conns*."""
+        now = self._clock()
+        if (
+            self._drain_deadline_at is not None
+            and now >= self._drain_deadline_at
+        ):
+            self._shed_for_drain(now)
+            return []
+        self._check_worker_health(now)
+        self._start_ready(now)
+        timeout = self._poll_timeout(self._clock())
+        if self._drain_deadline_at is not None:
+            timeout = min(
+                timeout,
+                max(0.0, self._drain_deadline_at - self._clock()),
+            )
+        ready_workers, ready_extra = self.pool.wait(
+            timeout, extra_conns=extra_conns
+        )
+        for worker in ready_workers:
+            self._on_worker_ready(worker)
+        now = self._clock()
+        self._enforce_deadlines(now)
+        self._maybe_hedge(now)
+        return ready_extra
+
     def drain(self) -> None:
         """Run until every admitted request has a terminal response.
 
         In drain mode (:meth:`begin_drain`) the loop additionally
         enforces the drain deadline: whatever has not resolved by then
         is shed with a structured answer and the loop exits."""
-        while len(self._queue) or self._active:
-            now = self._clock()
-            if (
-                self._drain_deadline_at is not None
-                and now >= self._drain_deadline_at
-            ):
-                self._shed_for_drain(now)
-                break
-            self._check_worker_health(now)
-            self._start_ready(now)
-            timeout = self._poll_timeout(self._clock())
-            if self._drain_deadline_at is not None:
-                timeout = min(
-                    timeout,
-                    max(0.0, self._drain_deadline_at - self._clock()),
-                )
-            for worker in self.pool.wait(timeout):
-                self._on_worker_ready(worker)
-            now = self._clock()
-            self._enforce_deadlines(now)
-            self._maybe_hedge(now)
+        while self.pending:
+            self.step()
 
     def process_batch(
         self, requests: list[CompileRequest]
@@ -790,6 +872,33 @@ class CompileService:
                     return
                 state.next_retry_at = now
                 self._active.append(state)
+            if (
+                state.budget_deadline_at is not None
+                and now >= state.budget_deadline_at
+            ):
+                # The budget ran out while the request sat queued (or
+                # between retries): answer now, dispatch nothing.
+                _BUDGET_EXPIRED.inc()
+                self._emit(
+                    "budget-expired",
+                    request_id=state.request.request_id,
+                    stage="dispatch",
+                )
+                self._resolve(
+                    state,
+                    CompileResponse(
+                        request_id=state.request.request_id,
+                        status=STATUS_TIMEOUT,
+                        detail=(
+                            "deadline budget exhausted before dispatch "
+                            f"({state.request.budget_s:.3f}s granted)"
+                        ),
+                        mode_used=None,
+                        degraded=state.degraded,
+                    ),
+                    now,
+                )
+                continue
             if not self._dispatch(state, now):
                 # The chosen idle worker's pipe was dead; it has been
                 # replaced — loop and try again with the fresh worker.
@@ -843,6 +952,12 @@ class CompileService:
             if request.deadline_s is not None
             else self.config.deadline_s
         )
+        if state.budget_deadline_at is not None:
+            # Deadline propagation: no attempt may outlive what is left
+            # of the caller's end-to-end budget.
+            deadline = min(
+                deadline, max(0.0, state.budget_deadline_at - now)
+            )
         if attempt == 0:
             state.queue_wait_s = max(0.0, now - state.admitted_at)
             self._m_queue_wait.observe(state.queue_wait_s)
@@ -1115,8 +1230,26 @@ class CompileService:
             if can_degrade
             else retry.max_attempts
         )
-        if state.mode_attempts < budget:
-            delay = retry.backoff(state.mode_attempts - 1, state.rng)
+        delay = retry.backoff(state.mode_attempts - 1, state.rng)
+        # Deadline propagation: a retry whose backoff alone would land
+        # past the caller's remaining budget is pointless work — the
+        # caller has given up by then.  Suppress it and fall through to
+        # degradation (an immediate dispatch may still fit) or the
+        # terminal answer.
+        budget_blocked = (
+            state.budget_deadline_at is not None
+            and now + delay >= state.budget_deadline_at
+        )
+        if state.mode_attempts < budget and budget_blocked:
+            _BUDGET_SUPPRESSED.inc()
+            self._emit(
+                "budget-suppressed-retry",
+                request_id=state.request.request_id,
+                trace_id=state.request.trace_id,
+                attempt=attempt,
+                delay_s=round(delay, 6),
+            )
+        if state.mode_attempts < budget and not budget_blocked:
             state.next_retry_at = now + delay
             _RETRIES.inc()
             self._m_retries.inc()
@@ -1147,10 +1280,17 @@ class CompileService:
             )
             return
         _FAILED.inc()
-        status = STATUS_TIMEOUT if kind == "timeout" else STATUS_ICE
+        budget_cut = budget_blocked and state.mode_attempts < budget
+        status = (
+            STATUS_TIMEOUT
+            if kind == "timeout" or budget_cut
+            else STATUS_ICE
+        )
         summary = "; ".join(
             f"attempt {a} [{mode}] {k}" for a, mode, k, _ in state.failures
         )
+        if budget_cut:
+            summary += "; remaining retries suppressed by deadline budget"
         self._resolve(
             state,
             CompileResponse(
@@ -1394,7 +1534,8 @@ class CompileService:
             cache_hit=response.cache_hit or None,
             coalesced=response.coalesced or None,
         )
-        self._responses[response.request_id] = response
+        if self.config.retain_responses:
+            self._responses[response.request_id] = response
         state.response = response
         profiler = active_time_trace()
         if profiler is not None:
@@ -1404,6 +1545,8 @@ class CompileService:
                 state.start_ns,
                 time.perf_counter_ns(),
             )
+        if self.on_response is not None:
+            self.on_response(response)
 
     # ------------------------------------------------------------------
     @property

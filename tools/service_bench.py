@@ -257,6 +257,221 @@ def run_mix(name: str, args, scratch: str) -> dict:
     }
 
 
+# ----------------------------------------------------------------------
+# Transport comparison: the same client-side workload through the
+# in-process shard router vs over TCP (NetServerThread + NetClient).
+# Latencies here are *exact* client-wall medians (statistics.median of
+# per-request wall times), not bucketed histogram quantiles — the
+# 2x-overhead gate needs more resolution than log-spaced buckets give.
+# ----------------------------------------------------------------------
+
+TRANSPORT_MIXES = ("steady", "cached")
+
+#: the acceptance gate: steady-state p50 over TCP must stay within
+#: this factor of the in-process p50
+TCP_P50_FACTOR = 2.0
+
+
+def _exact_latency(samples: list[float]) -> dict:
+    import statistics
+
+    data = sorted(samples)
+    if not data:
+        return {"count": 0, "p50_s": 0.0, "p95_s": 0.0, "mean_s": 0.0}
+    return {
+        "count": len(data),
+        "p50_s": round(statistics.median(data), 6),
+        "p95_s": round(
+            data[min(len(data) - 1, int(0.95 * len(data)))], 6
+        ),
+        "mean_s": round(sum(data) / len(data), 6),
+        "max_s": round(data[-1], 6),
+    }
+
+
+def _transport_configs(
+    mix: str, transport: str, args, scratch: str
+) -> list[ServiceConfig]:
+    common = dict(
+        workers=args.concurrency,
+        queue_capacity=args.batch * 8,
+        retry=RetryPolicy(
+            max_attempts=3, base_delay_s=0.01, max_delay_s=0.1
+        ),
+        quarantine_dir=None,
+        retain_responses=False,
+    )
+    if mix == "cached":
+        return [
+            ServiceConfig(
+                enable_cache=True,
+                cache_dir=os.path.join(
+                    scratch, f"{transport}-{mix}-cache-{i}"
+                ),
+                **common,
+            )
+            for i in range(args.shards)
+        ]
+    return [ServiceConfig(**common) for _ in range(args.shards)]
+
+
+def run_transport_mix(
+    transport: str, mix: str, args, scratch: str
+) -> dict:
+    """One workload mix through one transport; exact client-side wall
+    latencies plus the merged shard-ledger accounting."""
+    import threading
+
+    from repro.service.net import (
+        NetClient,
+        NetServerConfig,
+        NetServerThread,
+        ShardRouter,
+    )
+
+    configs = _transport_configs(mix, transport, args, scratch)
+    sources = _corpus(args.fuzz_seeds)
+    per_client = max(4, args.batch // max(1, args.clients))
+    # cached needs a cold round to populate before the timed rounds
+    rounds = max(2, args.rounds) if mix == "cached" else 1
+
+    host = None
+    router = None
+    if transport == "tcp":
+        host = NetServerThread(configs, NetServerConfig())
+        host.start()
+    else:
+        router = ShardRouter(configs).start()
+
+    durations: list[float] = []
+    statuses: dict[str, int] = {}
+    duplicates = 0
+    lock = threading.Lock()
+
+    def build_request(tag: int, rnd: int, k: int) -> CompileRequest:
+        name, source = sources[k % len(sources)]
+        if mix == "steady":
+            # Unique per (transport, client, slot): no cache, no
+            # coalescing — every request does the full pipeline.
+            source = f"// {transport} t{tag} k{k}\n" + source
+            name = f"{name}#{transport}.{tag}.{k}"
+        return CompileRequest(
+            source=source,
+            filename=name,
+            mode="irbuilder" if k % 2 else "shadow",
+        )
+
+    def submit_inproc(request: CompileRequest):
+        done = threading.Event()
+        box: list = []
+
+        def callback(response) -> None:
+            box.append(response)
+            done.set()
+
+        router.submit(request, callback)
+        done.wait(timeout=120.0)
+        return box[0] if box else None
+
+    def worker(tag: int) -> None:
+        nonlocal duplicates
+        client = None
+        if transport == "tcp":
+            client = NetClient(host.address, deadline_s=60.0)
+            send = client.request
+        else:
+            send = submit_inproc
+        local: list[float] = []
+        local_statuses: dict[str, int] = {}
+        for rnd in range(rounds):
+            for k in range(per_client):
+                request = build_request(tag, rnd, k)
+                t0 = time.perf_counter()
+                response = send(request)
+                elapsed = time.perf_counter() - t0
+                status = (
+                    response.status if response is not None else "lost"
+                )
+                # cached: time only the warm rounds
+                if mix != "cached" or rnd > 0:
+                    local.append(elapsed)
+                local_statuses[status] = (
+                    local_statuses.get(status, 0) + 1
+                )
+        with lock:
+            durations.extend(local)
+            for status, n in local_statuses.items():
+                statuses[status] = statuses.get(status, 0) + n
+            if client is not None:
+                duplicates += client.duplicate_responses
+
+    started = time.perf_counter()
+    threads = [
+        threading.Thread(target=worker, args=(tag,), daemon=True)
+        for tag in range(args.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall_s = time.perf_counter() - started
+    if transport == "tcp":
+        host.stop(drain_deadline_s=10.0)
+        merged = host.router.merged_metrics().snapshot()
+    else:
+        router.shutdown()
+        merged = router.merged_metrics().snapshot()
+
+    requests_in = merged["service_requests_total"]["series"][0]["value"]
+    responses_out = sum(
+        row["value"]
+        for row in merged["service_responses_total"]["series"]
+    )
+    issued = args.clients * per_client * rounds
+    return {
+        "transport": transport,
+        "shards": args.shards,
+        "clients": args.clients,
+        "requests": issued,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(issued / max(wall_s, 1e-9), 2),
+        "statuses": dict(sorted(statuses.items())),
+        "duplicate_responses": duplicates,
+        "metrics_requests_in": requests_in,
+        "metrics_responses_out": responses_out,
+        "client_wall_latency": _exact_latency(durations),
+    }
+
+
+def _check_transport_mix(
+    transport: str, mix: str, report: dict
+) -> list[str]:
+    problems = []
+    label = f"{transport}/{mix}"
+    if report["statuses"].get("lost", 0):
+        problems.append(
+            f"{label}: {report['statuses']['lost']} lost request(s)"
+        )
+    if report["statuses"].get("ok", 0) != report["requests"]:
+        problems.append(
+            f"{label}: not every request ok: {report['statuses']}"
+        )
+    if report["duplicate_responses"]:
+        problems.append(
+            f"{label}: {report['duplicate_responses']} "
+            "double-answered request(s)"
+        )
+    if report["metrics_requests_in"] != report["metrics_responses_out"]:
+        problems.append(
+            f"{label}: merged ledger broken: "
+            f"{report['metrics_requests_in']} in vs "
+            f"{report['metrics_responses_out']} terminal"
+        )
+    if report["client_wall_latency"]["count"] == 0:
+        problems.append(f"{label}: no latency samples")
+    return problems
+
+
 def _check_mix(name: str, report: dict) -> list[str]:
     """The sanity gates every mix must pass."""
     problems = []
@@ -308,6 +523,26 @@ def main(argv=None) -> int:
     parser.add_argument("--fuzz-seeds", type=int, default=12)
     parser.add_argument("--out", default="BENCH_service.json")
     parser.add_argument(
+        "--transport",
+        choices=("both", "inproc", "tcp", "none"),
+        default="both",
+        help="also run the steady+cached mixes through the shard "
+        "router in-process and/or over TCP, recording exact "
+        "client-wall medians (default: both; 'none' skips)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="shard count for the transport comparison",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="concurrent clients for the transport comparison",
+    )
+    parser.add_argument(
         "--mixes",
         default=None,
         help="comma-separated subset of "
@@ -349,6 +584,49 @@ def main(argv=None) -> int:
                     )
                 )
             )
+        transports: dict[str, dict] = {}
+        if args.transport != "none":
+            transport_names = (
+                ["inproc", "tcp"]
+                if args.transport == "both"
+                else [args.transport]
+            )
+            for transport in transport_names:
+                transports[transport] = {}
+                for mix in TRANSPORT_MIXES:
+                    t_report = run_transport_mix(
+                        transport, mix, args, scratch
+                    )
+                    transports[transport][mix] = t_report
+                    problems.extend(
+                        _check_transport_mix(transport, mix, t_report)
+                    )
+                    lat = t_report["client_wall_latency"]
+                    print(
+                        f"service-bench: transport {transport}/{mix}: "
+                        f"{t_report['requests']} reqs "
+                        f"({t_report['throughput_rps']} rps) | "
+                        f"p50={lat['p50_s']}s p95={lat['p95_s']}s "
+                        f"(exact, n={lat['count']})"
+                    )
+        if "inproc" in transports and "tcp" in transports:
+            inproc_p50 = transports["inproc"]["steady"][
+                "client_wall_latency"
+            ]["p50_s"]
+            tcp_p50 = transports["tcp"]["steady"][
+                "client_wall_latency"
+            ]["p50_s"]
+            ratio = round(tcp_p50 / max(inproc_p50, 1e-9), 3)
+            transports["tcp_over_inproc_steady_p50"] = ratio
+            print(
+                f"service-bench: tcp/inproc steady p50 ratio: {ratio} "
+                f"(gate: <= {TCP_P50_FACTOR})"
+            )
+            if tcp_p50 > TCP_P50_FACTOR * inproc_p50:
+                problems.append(
+                    f"tcp steady p50 {tcp_p50}s exceeds "
+                    f"{TCP_P50_FACTOR}x in-process {inproc_p50}s"
+                )
     finally:
         shutil.rmtree(scratch, ignore_errors=True)
 
@@ -359,6 +637,7 @@ def main(argv=None) -> int:
         "batch": args.batch,
         "rounds": args.rounds,
         "mixes": mixes,
+        "transports": transports,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1)
